@@ -1,0 +1,166 @@
+// Ablation + baseline comparison (§6.2 lessons and §8 related work):
+//   * per-anti-pattern ablation: each checker's contribution to recall;
+//   * comparison against the three prior-work baseline strategies
+//     (paired-consistency / escape-invariant / cross-check) on precision.
+
+#include <cstdio>
+
+#include <map>
+#include <set>
+
+#include "src/baselines/baselines.h"
+#include "src/checkers/engine.h"
+#include "src/checkers/templates.h"
+#include "src/corpus/generator.h"
+#include "src/report/table.h"
+#include "src/support/strings.h"
+
+int main() {
+  using namespace refscan;
+
+  std::printf("== Ablation and baseline comparison ==\n\n");
+
+  const Corpus corpus = GenerateKernelCorpus();
+
+  // ---- Full engine run.
+  CheckerEngine engine;
+  const ScanResult full = engine.Scan(corpus.tree);
+
+  auto evaluate = [&corpus](const std::vector<BugReport>& reports) {
+    std::set<std::pair<std::string, std::string>> hits;
+    int fps = 0;
+    for (const BugReport& r : reports) {
+      if (corpus.FindBug(r.file, r.function) != nullptr) {
+        hits.emplace(r.file, r.function);
+      } else {
+        ++fps;
+      }
+    }
+    return std::make_pair(static_cast<int>(hits.size()), fps);
+  };
+
+  // ---- Per-pattern ablation: run with exactly one pattern enabled.
+  Table ablation("Per-anti-pattern ablation (single checker enabled)");
+  ablation.Header({"Checker", "Planted", "Detected", "Recall", "Extra reports"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  std::map<int, int> planted_per_pattern;
+  for (const PlantedBug& bug : corpus.ground_truth) {
+    planted_per_pattern[bug.anti_pattern]++;
+  }
+  for (int p = 1; p <= 9; ++p) {
+    ScanOptions options;
+    options.enabled_patterns = {p};
+    CheckerEngine single(KnowledgeBase::BuiltIn(), options);
+    const ScanResult result = single.Scan(corpus.tree);
+    int detected = 0;
+    int extra = 0;
+    for (const BugReport& r : result.reports) {
+      const PlantedBug* bug = corpus.FindBug(r.file, r.function);
+      if (bug != nullptr && bug->anti_pattern == p) {
+        ++detected;
+      } else if (bug == nullptr && !corpus.IsPlantedFp(r.file, r.function)) {
+        ++extra;
+      }
+    }
+    const int planted = planted_per_pattern[p];
+    ablation.Row({StrFormat("P%d %s", p, std::string(AntiPatternName(p)).c_str()),
+                  StrFormat("%d", planted), StrFormat("%d", detected),
+                  planted > 0 ? Pct(static_cast<double>(detected) / planted) : "-",
+                  StrFormat("%d", extra)});
+  }
+  std::printf("%s\n", ablation.Render().c_str());
+
+  // ---- Design-choice ablation: disable one precision feature at a time
+  // and measure the damage (the checkers' precision comes from exactly
+  // these two pieces of reasoning).
+  {
+    struct Config {
+      const char* name;
+      bool prune_null;
+      bool transfers;
+    };
+    const Config kConfigs[] = {
+        {"full engine", true, true},
+        {"no NULL-branch pruning", false, true},
+        {"no ownership-transfer modelling", true, false},
+        {"neither (naive matcher)", false, false},
+    };
+    Table knobs("Design-choice ablation (precision features off one at a time)");
+    knobs.Header({"Configuration", "Reports", "TP funcs", "FPs", "Precision"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    for (const Config& config : kConfigs) {
+      ScanOptions options;
+      options.prune_null_branches = config.prune_null;
+      options.model_ownership_transfer = config.transfers;
+      CheckerEngine ablated(KnowledgeBase::BuiltIn(), options);
+      const ScanResult result = ablated.Scan(corpus.tree);
+      std::set<std::pair<std::string, std::string>> hits;
+      int fps = 0;
+      for (const BugReport& r : result.reports) {
+        if (corpus.FindBug(r.file, r.function) != nullptr) {
+          hits.emplace(r.file, r.function);
+        } else if (!corpus.IsPlantedFp(r.file, r.function)) {
+          ++fps;
+        }
+      }
+      const double precision =
+          result.reports.empty() ? 0
+                                 : static_cast<double>(hits.size()) / result.reports.size();
+      knobs.Row({config.name, StrFormat("%zu", result.reports.size()),
+                 StrFormat("%zu", hits.size()), StrFormat("%d", fps), Pct(precision)});
+    }
+    std::printf("%s\n", knobs.Render().c_str());
+  }
+
+  // ---- Baselines.
+  const BaselineResult baselines = RunBaselines(corpus.tree, KnowledgeBase::BuiltIn());
+
+  auto evaluate_baseline = [&corpus](const std::vector<BaselineReport>& reports) {
+    std::set<std::pair<std::string, std::string>> hits;
+    int fps = 0;
+    for (const BaselineReport& r : reports) {
+      if (corpus.FindBug(r.file, r.function) != nullptr) {
+        hits.emplace(r.file, r.function);
+      } else if (!corpus.IsPlantedFp(r.file, r.function)) {
+        ++fps;
+      }
+    }
+    return std::make_pair(static_cast<int>(hits.size()), fps);
+  };
+
+  const auto [our_tp, our_fp] = evaluate(full.reports);
+  const auto [pc_tp, pc_fp] = evaluate_baseline(baselines.paired_consistency);
+  const auto [ei_tp, ei_fp] = evaluate_baseline(baselines.escape_invariant);
+  const auto [cc_tp, cc_fp] = evaluate_baseline(baselines.cross_check);
+
+  const int planted = static_cast<int>(corpus.ground_truth.size());
+  auto fmt_row = [planted](const char* name, int tp, int fp, int reports) {
+    const double precision = reports > 0 ? static_cast<double>(tp) / reports : 0;
+    return std::vector<std::string>{
+        name,
+        StrFormat("%d", reports),
+        StrFormat("%d", tp),
+        StrFormat("%d", fp),
+        Pct(static_cast<double>(tp) / planted),
+        Pct(precision),
+    };
+  };
+
+  Table compare("Checkers vs prior-work baseline strategies (351 planted bugs)");
+  compare.Header({"Detector", "Reports", "TP funcs", "FPs", "Recall", "Precision"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                  Align::kRight});
+  compare.Row(fmt_row("anti-pattern checkers (P1-P9)", our_tp, our_fp,
+                      static_cast<int>(full.reports.size())));
+  compare.Row(fmt_row("paired-consistency (RID-style)", pc_tp, pc_fp,
+                      static_cast<int>(baselines.paired_consistency.size())));
+  compare.Row(fmt_row("escape-invariant (LinKRID-style)", ei_tp, ei_fp,
+                      static_cast<int>(baselines.escape_invariant.size())));
+  compare.Row(fmt_row("cross-check (majority vote)", cc_tp, cc_fp,
+                      static_cast<int>(baselines.cross_check.size())));
+  std::printf("%s\n", compare.Render().c_str());
+
+  std::printf("paper: LinKRID-style invariant checking suffers ~60%% false positives on kernel\n"
+              "code (§8); the anti-pattern checkers report 351 bugs + 5 known-FP shapes.\n");
+  return 0;
+}

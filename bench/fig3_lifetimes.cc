@@ -1,0 +1,73 @@
+// Figure 3 — The lifetime of refcounting bugs (introduced-version to
+// fixed-version lines), plus Findings 4 and 5.
+
+#include <cstdio>
+
+#include "src/histmine/miner.h"
+#include "src/report/table.h"
+#include "src/stats/stats.h"
+#include "src/support/strings.h"
+
+int main() {
+  using namespace refscan;
+
+  std::printf("== Figure 3: lifetimes of refcounting bugs ==\n\n");
+
+  HistoryOptions options;
+  options.noise_commits = 60000;
+  const History history = GenerateHistory(options);
+  const MiningResult mined = MineRefcountBugs(history, KnowledgeBase::BuiltIn());
+  const LifetimeStats stats = LifetimeAnalysis(mined.dataset);
+
+  Table table("Lifetime findings (tagged bugs only — those carrying Fixes: tags)");
+  table.Header({"Metric", "Paper", "Measured"}, {Align::kLeft, Align::kRight, Align::kRight});
+  table.Row({"Bugs with Fixes: tags", "567", StrFormat("%d", stats.with_fixes_tag)});
+  table.Row({"Lifetime > 1 year", "429 (75.7%)",
+             StrFormat("%d (%s)", stats.over_one_year,
+                       Pct(static_cast<double>(stats.over_one_year) /
+                           std::max(1, stats.with_fixes_tag))
+                           .c_str())});
+  table.Row({"Lifetime > 10 years", "19", StrFormat("%d", stats.over_ten_years)});
+  table.Row({"  ... of which UAF", "7", StrFormat("%d", stats.over_ten_years_uaf)});
+  table.Row({"v2.6 -> v5.x/v6.x survivors", "23", StrFormat("%d", stats.ancient_to_modern)});
+  table.Row({"Introduced v4.x, fixed v5.x", "~135", StrFormat("%d", stats.span_v4_to_v5)});
+  table.Row({"Introduced v3.x, fixed v5.x", "~80", StrFormat("%d", stats.span_v3_to_v5)});
+  table.Row({"Introduced and fixed in v5.x", "~189", StrFormat("%d", stats.within_v5)});
+  std::printf("%s\n", table.Render().c_str());
+
+  // ASCII rendering of the span lines: bucket introductions per major
+  // series and draw introduced->fixed histograms.
+  const auto& timeline = ReleaseTimeline();
+  std::map<std::pair<int, int>, int> span_matrix;  // (intro major, fixed major) -> count
+  for (const auto& [intro, fixed] : stats.spans) {
+    span_matrix[{timeline[static_cast<size_t>(intro)].major,
+                 timeline[static_cast<size_t>(fixed)].major}]++;
+  }
+  Table spans("Introduced-major x fixed-major span matrix (Figure 3 lines, bucketed)");
+  spans.Header({"introduced \\ fixed", "v2.6", "v3.x", "v4.x", "v5.x", "v6.x"},
+               {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                Align::kRight});
+  for (int intro_major : {2, 3, 4, 5}) {
+    std::vector<std::string> row = {intro_major == 2 ? "v2.6" : StrFormat("v%d.x", intro_major)};
+    for (int fixed_major : {2, 3, 4, 5, 6}) {
+      const auto it = span_matrix.find({intro_major, fixed_major});
+      row.push_back(StrFormat("%d", it != span_matrix.end() ? it->second : 0));
+    }
+    spans.Row(std::move(row));
+  }
+  std::printf("%s\n", spans.Render().c_str());
+
+  std::printf("Finding 4: %s of tagged bugs lived longer than one year (paper: 75.7%%); "
+              "%d exceeded ten years, %d of them UAF (paper: 19 / 7).\n",
+              Pct(static_cast<double>(stats.over_one_year) / std::max(1, stats.with_fixes_tag))
+                  .c_str(),
+              stats.over_ten_years, stats.over_ten_years_uaf);
+  std::printf("Finding 5: %d bugs survived from the first major release (v2.6.y) into "
+              "v5.x/v6.x kernels (paper: 23).\n",
+              stats.ancient_to_modern);
+  std::printf("Infection: a tagged bug shipped in %.1f mainline releases on average "
+              "(max %d of %zu) — ×~8 counting stable point releases (the paper's 753).\n",
+              stats.mean_releases_infected, stats.max_releases_infected,
+              ReleaseTimeline().size());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Performance microbenchmarks (google-benchmark) for the analysis pipeline:
+// tokenizing, parsing, CFG+CPG construction, full-tree scanning, history
+// mining, and one word2vec training step. Not a paper table — engineering
+// numbers for the README.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ast/parser.h"
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+#include "src/cpg/cpg.h"
+#include "src/embed/corpus_text.h"
+#include "src/embed/word2vec.h"
+#include "src/histmine/miner.h"
+#include "src/lexer/lexer.h"
+
+namespace refscan {
+namespace {
+
+const SourceFile& SampleFile() {
+  static const SourceFile* file = [] {
+    const Corpus corpus = GenerateKernelCorpus();
+    // Pick the largest generated file as the representative input.
+    const SourceFile* largest = nullptr;
+    for (const auto& [path, f] : corpus.tree.files()) {
+      if (largest == nullptr || f.text().size() > largest->text().size()) {
+        largest = &f;
+      }
+    }
+    return new SourceFile(*largest);
+  }();
+  return *file;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const SourceFile& file = SampleFile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(file));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file.text().size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ParseFile(benchmark::State& state) {
+  const SourceFile& file = SampleFile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseFile(file));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file.text().size()));
+}
+BENCHMARK(BM_ParseFile);
+
+void BM_BuildCfgCpg(benchmark::State& state) {
+  const SourceFile& file = SampleFile();
+  const TranslationUnit unit = ParseFile(file);
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  for (auto _ : state) {
+    for (const FunctionDef& fn : unit.functions) {
+      const Cfg cfg = BuildCfg(fn);
+      benchmark::DoNotOptimize(BuildCpg(cfg, kb));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(unit.functions.size()));
+}
+BENCHMARK(BM_BuildCfgCpg);
+
+void BM_FullTreeScan(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  for (auto _ : state) {
+    CheckerEngine engine;
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+}
+BENCHMARK(BM_FullTreeScan)->Unit(benchmark::kMillisecond);
+
+void BM_MineHistory(benchmark::State& state) {
+  HistoryOptions options;
+  options.noise_commits = static_cast<int>(state.range(0));
+  static std::map<int, History> cache;
+  History& history = cache.try_emplace(options.noise_commits, GenerateHistory(options))
+                         .first->second;
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineRefcountBugs(history, kb));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(history.commits.size()));
+}
+BENCHMARK(BM_MineHistory)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  HistoryOptions options;
+  options.noise_commits = 2000;
+  static const History* history = new History(GenerateHistory(options));
+  static const auto* sentences =
+      new std::vector<std::vector<std::string>>(BuildCommitSentences(*history));
+  for (auto _ : state) {
+    Word2Vec model;
+    EmbedOptions embed;
+    embed.epochs = 1;
+    model.Train(*sentences, embed);
+    benchmark::DoNotOptimize(model.vocab_size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sentences->size()));
+}
+BENCHMARK(BM_Word2VecEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace refscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Table 1 — Semantic templates for the two intro bugs (Listings 1 and 2).
+// Runs the real checkers over the paper's listing code and prints the
+// matched templates next to the paper's.
+
+#include <cstdio>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/templates.h"
+#include "src/report/table.h"
+
+int main() {
+  using namespace refscan;
+
+  std::printf("== Table 1: semantic templates for the intro listings ==\n\n");
+
+  CheckerEngine engine;
+
+  // Listing 1: the missing-refcounting bug in drivers/nvmem/core.c.
+  const ScanResult listing1 = engine.ScanFileText(
+      "drivers/nvmem/core.c",
+      "struct nvmem_device *__nvmem_device_get(void *data)\n"
+      "{\n"
+      "  struct device *dev = bus_find_device(nvmem_bus_type, NULL, data, match);\n"
+      "  if (!dev)\n"
+      "    return ERR_PTR(-ENOENT);\n"
+      "  if (probe_lock(dev) < 0)\n"
+      "    return ERR_PTR(-EBUSY);\n"  // error exit without put_device
+      "  return to_nvmem(dev);\n"
+      "}\n");
+
+  // Listing 2: the misplacing-refcounting bug in drivers/usb/serial/console.c.
+  CheckerEngine engine2;
+  const ScanResult listing2 = engine2.ScanFileText(
+      "drivers/usb/serial/console.c",
+      "static int usb_console_setup(struct console *co)\n"
+      "{\n"
+      "  struct usb_serial *serial = usb_serial_get_by_index(co->index);\n"
+      "  configure(serial);\n"
+      "  usb_serial_put(serial);\n"
+      "  mutex_unlock(&serial->disc_mutex);\n"
+      "  return 0;\n"
+      "}\n");
+
+  Table table("Semantic templates (paper Table 1 vs checker-matched)");
+  table.Header({"Bug", "Paper template", "Matched template", "Checker"});
+  table.Row({"Listing 1", "F_start -> S_G -> B_error -> F_end",
+             listing1.reports.empty() ? "(none)" : listing1.reports[0].template_path,
+             listing1.reports.empty()
+                 ? "-"
+                 : std::string(AntiPatternName(listing1.reports[0].anti_pattern))});
+  table.Row({"Listing 2", "F_start -> S_P(p0) -> S_U.D(p0) -> F_end",
+             listing2.reports.empty() ? "(none)" : listing2.reports[0].template_path,
+             listing2.reports.empty()
+                 ? "-"
+                 : std::string(AntiPatternName(listing2.reports[0].anti_pattern))});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("All nine anti-pattern templates (Section 5):\n");
+  for (int p = 1; p <= 9; ++p) {
+    std::printf("  P%d %-20s %s\n", p, std::string(AntiPatternName(p)).c_str(),
+                AntiPatternTemplate(p).c_str());
+  }
+
+  std::printf("\nReports produced from the listings:\n");
+  for (const auto* result : {&listing1, &listing2}) {
+    for (const BugReport& r : result->reports) {
+      std::printf("  [P%d %s] %s:%u %s — %s\n", r.anti_pattern,
+                  std::string(ImpactName(r.impact)).c_str(), r.file.c_str(), r.line,
+                  r.function.c_str(), r.message.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Table 5 — Per-module details of the new bugs: top-2 bug-caused APIs,
+// anti-pattern instance counts, bug totals and confirmations.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <map>
+
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+#include "src/report/table.h"
+#include "src/support/strings.h"
+
+int main() {
+  using namespace refscan;
+
+  std::printf("== Table 5: per-module breakdown of the new bugs ==\n\n");
+
+  const Corpus corpus = GenerateKernelCorpus();
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(corpus.tree);
+
+  struct Row {
+    std::map<std::string, int> api_counts;
+    std::map<int, int> pattern_counts;
+    int bugs = 0;
+    int confirmed = 0;
+    int rejected = 0;
+    int no_response = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Row> rows;
+
+  for (const BugReport& r : result.reports) {
+    const PlantedBug* bug = corpus.FindBug(r.file, r.function);
+    if (bug == nullptr) {
+      continue;  // planted FP shapes are tabulated in Table 4
+    }
+    const PathParts parts = SplitKernelPath(r.file);
+    Row& row = rows[{parts.subsystem, parts.module}];
+    row.bugs++;
+    row.api_counts[r.api]++;
+    row.pattern_counts[r.anti_pattern]++;
+    switch (bug->response) {
+      case MaintainerResponse::kConfirmed:
+        row.confirmed++;
+        break;
+      case MaintainerResponse::kPatchRejected:
+        row.rejected++;
+        break;
+      case MaintainerResponse::kNoResponse:
+        row.no_response++;
+        break;
+    }
+  }
+
+  Table table("Per-module new-bug details (NR = all patches unanswered, PR = patch rejected)");
+  table.Header({"Subsystem", "Module", "Bug-Caused API (Top-2)", "#Anti-Pattern", "#Bug",
+                "Confirm"},
+               {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
+                Align::kRight});
+  int total_bugs = 0;
+  int total_confirmed = 0;
+  std::string last_subsystem;
+  for (const auto& [key, row] : rows) {
+    const auto& [subsystem, module] = key;
+    if (subsystem != last_subsystem && !last_subsystem.empty()) {
+      table.Separator();
+    }
+    last_subsystem = subsystem;
+
+    // Top-2 APIs by count.
+    std::vector<std::pair<std::string, int>> apis(row.api_counts.begin(), row.api_counts.end());
+    std::sort(apis.begin(), apis.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::string api_text;
+    for (size_t i = 0; i < apis.size() && i < 2; ++i) {
+      if (i > 0) {
+        api_text += ", ";
+      }
+      api_text += StrFormat("%s[%d]", apis[i].first.c_str(), apis[i].second);
+    }
+
+    std::string pattern_text;
+    for (const auto& [pattern, count] : row.pattern_counts) {
+      if (!pattern_text.empty()) {
+        pattern_text += " ";
+      }
+      pattern_text += StrFormat("P%d[%d]", pattern, count);
+    }
+
+    std::string confirm = row.confirmed > 0 ? StrFormat("%d", row.confirmed)
+                          : row.rejected > 0 ? "PR"
+                                             : "NR";
+    if (row.rejected > 0 && row.confirmed > 0) {
+      confirm += StrFormat("+%dPR", row.rejected);
+    }
+
+    table.Row({subsystem, module, api_text, pattern_text, StrFormat("%d", row.bugs), confirm});
+    total_bugs += row.bugs;
+    total_confirmed += row.confirmed;
+  }
+  table.Separator();
+  table.Row({"Total", StrFormat("%zu modules", rows.size()), "", "",
+             StrFormat("%d", total_bugs), StrFormat("%d", total_confirmed)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("paper: 54 modules, 351 bugs, 240 confirmed; long-tailed per-module counts.\n");
+
+  // The long-tail check from §6.2: a few modules hold most of the bugs.
+  std::vector<int> counts;
+  for (const auto& [key, row] : rows) {
+    counts.push_back(row.bugs);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  int top5 = 0;
+  for (size_t i = 0; i < counts.size() && i < 5; ++i) {
+    top5 += counts[i];
+  }
+  std::printf("long tail: the 5 largest modules hold %d/%d bugs (%s) — consistent with "
+              "Finding 3's long-tailed distribution.\n",
+              top5, total_bugs, Pct(static_cast<double>(top5) / total_bugs).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 6 — The error-prone APIs (Appendix A): the knowledge-base catalogue
+// grouped the way the paper presents it.
+
+#include <cstdio>
+
+#include "src/kb/kb.h"
+#include "src/report/table.h"
+#include "src/support/strings.h"
+
+int main() {
+  using namespace refscan;
+
+  std::printf("== Table 6: error-prone APIs (Appendix A) ==\n\n");
+
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+
+  Table table("Error-prone API catalogue (ID = implementation deviation, H = hidden)");
+  table.Header({"Group", "Bug Type", "API", "Notes"});
+
+  for (const auto& [name, api] : kb.apis()) {
+    if (api.returns_error) {
+      table.Row({"ID", "Return-Error", name, "increments even on error return"});
+    }
+  }
+  for (const auto& [name, api] : kb.apis()) {
+    if (api.may_return_null) {
+      table.Row({"ID", "Return-NULL", name, "returned object pointer may be NULL"});
+    }
+  }
+  table.Separator();
+  for (const auto& [name, loop] : kb.smart_loops()) {
+    table.Row({"H", "Complete-Hidden", name,
+               StrFormat("smartloop over %s (iterator arg %d)", loop.embedded_api.c_str(),
+                         loop.iterator_arg)});
+  }
+  table.Separator();
+  for (const auto& [name, api] : kb.apis()) {
+    if (api.hidden && !api.returns_error && !api.may_return_null) {
+      std::string notes = api.returns_object ? "returns acquired object" : "";
+      if (api.consumed_param >= 0) {
+        if (!notes.empty()) {
+          notes += "; ";
+        }
+        notes += StrFormat("consumes parameter %d", api.consumed_param);
+      }
+      table.Row({"H", "Inc./Dec.-Hidden", name, notes});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  size_t general = 0;
+  size_t specific = 0;
+  size_t embedded = 0;
+  for (const auto& [name, api] : kb.apis()) {
+    switch (api.category) {
+      case ApiCategory::kGeneral:
+        ++general;
+        break;
+      case ApiCategory::kSpecific:
+        ++specific;
+        break;
+      case ApiCategory::kEmbedded:
+        ++embedded;
+        break;
+    }
+  }
+  std::printf("Catalogue size: %zu APIs (%zu general, %zu specific, %zu refcounting-embedded), "
+              "%zu smartloops, %zu refcounted base structures.\n",
+              kb.apis().size(), general, specific, embedded, kb.smart_loops().size(),
+              kb.refcounted_structs().size());
+  return 0;
+}

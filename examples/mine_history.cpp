@@ -1,0 +1,72 @@
+// Mine the refcounting bug dataset from a (synthetic) kernel git history —
+// the paper's §3.1 methodology end-to-end: synthesise the commit stream,
+// run the two-level keyword/implementation filter, remove wrong-fix false
+// positives via Fixes: tags, and print the resulting dataset's headline
+// statistics (Findings 1-5).
+//
+//   ./build/examples/mine_history [noise_commits]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/histmine/miner.h"
+#include "src/report/table.h"
+#include "src/stats/stats.h"
+#include "src/support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace refscan;
+
+  HistoryOptions options;
+  options.noise_commits = argc > 1 ? std::atoi(argv[1]) : 40000;
+
+  std::printf("synthesising kernel history (%d noise commits + calibrated population)...\n",
+              options.noise_commits);
+  const History history = GenerateHistory(options);
+  std::printf("  %zu commits across %zu mainline releases (v2.6.12..v6.1, %d versions "
+              "counting stable releases)\n\n",
+              history.commits.size(), ReleaseTimeline().size(), TotalVersionCount());
+
+  const MiningResult result = MineRefcountBugs(history, KnowledgeBase::BuiltIn());
+
+  Table pipeline("Two-level filtering pipeline (§3.1)");
+  pipeline.Header({"Stage", "Paper", "Measured"}, {Align::kLeft, Align::kRight, Align::kRight});
+  pipeline.Row({"Commit logs scanned", "~1,000,000", StrFormat("%zu", result.total_commits)});
+  pipeline.Row({"Level-1 keyword candidates", "1,825",
+                StrFormat("%zu", result.level1_candidates.size())});
+  pipeline.Row({"Level-2 implementation-confirmed", "-",
+                StrFormat("%zu", result.level2_candidates.size())});
+  pipeline.Row({"Removed as wrong fixes (Fixes: tags)", "-",
+                StrFormat("%zu", result.removed_as_wrong_fix.size())});
+  pipeline.Row({"Final dataset", "1,033", StrFormat("%zu", result.dataset.size())});
+  std::printf("%s\n", pipeline.Render().c_str());
+
+  const Taxonomy tax = TaxonomyBreakdown(result.dataset);
+  std::printf("Finding 1: %s of bugs lead to memory leaks (paper 71.7%%)\n",
+              Pct(tax.Fraction(tax.leak)).c_str());
+  std::printf("Finding 2: %s lead to UAF, %s are UAD (paper 28.3%% / 9.1%%)\n",
+              Pct(tax.Fraction(tax.uaf)).c_str(), Pct(tax.Fraction(tax.uad)).c_str());
+
+  const auto breakdown = SubsystemBreakdown(result.dataset);
+  std::printf("Finding 3: '%s' holds %s of all bugs (paper: drivers, 56.9%%)\n",
+              breakdown[0].name.c_str(),
+              Pct(static_cast<double>(breakdown[0].bugs) / tax.total).c_str());
+
+  const LifetimeStats life = LifetimeAnalysis(result.dataset);
+  std::printf("Finding 4: %s of tagged bugs lived > 1 year; %d lived > 10 years "
+              "(paper 75.7%% / 19)\n",
+              Pct(static_cast<double>(life.over_one_year) / std::max(1, life.with_fixes_tag))
+                  .c_str(),
+              life.over_ten_years);
+  std::printf("Finding 5: %d bugs span v2.6 -> v5.x/v6.x (paper 23)\n\n",
+              life.ancient_to_modern);
+
+  std::printf("example mined commits:\n");
+  for (size_t i = 0; i < result.dataset.size() && i < 5; ++i) {
+    const MinedBug& bug = result.dataset[i];
+    std::printf("  %s %s (%s, fixed in %s)\n", bug.commit->id.c_str(),
+                bug.commit->subject.c_str(), bug.is_leak ? "leak" : "UAF",
+                ReleaseTimeline()[static_cast<size_t>(bug.fixed_release)].name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: scan a snippet of kernel-style C for refcounting bugs.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+//
+// The engine parses the code with refscan's tolerant C front end, annotates
+// it with semantic refcounting events, and matches the nine anti-patterns
+// from the SOSP'23 study. Pass a file path to scan your own C file instead.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/templates.h"
+
+namespace {
+
+constexpr const char* kDemoCode = R"c(
+// A condensed version of the paper's Listing 3: pm_runtime_get_sync()
+// raises the usage counter even when it fails, so the early return leaks.
+static int stm32_crc_remove(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret = pm_runtime_get_sync(crc->dev);
+
+	if (ret < 0)
+		return ret;
+
+	crc_shutdown(crc);
+	pm_runtime_put(crc->dev);
+	return 0;
+}
+
+// And the paper's Listing 4: breaking out of a device-tree smartloop
+// without releasing the iterator node.
+static int brcmstb_pm_probe(struct platform_device *pdev)
+{
+	struct device_node *dn;
+
+	for_each_matching_node(dn, aon_ctrl_dt_ids) {
+		if (of_device_is_compatible(dn, "brcm,aon"))
+			break;
+	}
+	return 0;
+}
+)c";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace refscan;
+
+  std::string path = "demo.c";
+  std::string code = kDemoCode;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    code = buffer.str();
+    path = argv[1];
+  }
+
+  CheckerEngine engine;  // built-in kernel API knowledge + source discovery
+  const ScanResult result = engine.ScanFileText(path, code);
+
+  std::printf("scanned %zu function(s); %zu refcounting APIs known to the KB\n\n",
+              result.stats.functions, result.stats.discovered_apis);
+  if (result.reports.empty()) {
+    std::printf("no refcounting anti-pattern instances found.\n");
+    return 0;
+  }
+  for (const BugReport& r : result.reports) {
+    std::printf("%s:%u: [P%d %s] %s\n", r.file.c_str(), r.line, r.anti_pattern,
+                std::string(AntiPatternName(r.anti_pattern)).c_str(),
+                std::string(ImpactName(r.impact)).c_str());
+    std::printf("    in %s(): %s\n", r.function.c_str(), r.message.c_str());
+    std::printf("    template: %s\n\n", r.template_path.c_str());
+  }
+  return 0;
+}

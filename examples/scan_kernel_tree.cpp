@@ -1,0 +1,79 @@
+// Scan a full (synthetic) kernel tree with the anti-pattern checkers — the
+// paper's §6 experiment end-to-end: generate the Table-5-calibrated corpus,
+// run all nine checkers, and summarise what was found per anti-pattern with
+// a per-subsystem breakdown.
+//
+//   ./build/examples/scan_kernel_tree [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/templates.h"
+#include "src/corpus/generator.h"
+#include "src/report/table.h"
+#include "src/support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace refscan;
+
+  CorpusOptions options;
+  if (argc > 1) {
+    options.seed = static_cast<uint64_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+
+  std::printf("generating the synthetic kernel tree (seed %llu)...\n",
+              static_cast<unsigned long long>(options.seed));
+  const Corpus corpus = GenerateKernelCorpus(options);
+  std::printf("  %zu files, %llu total lines, %zu planted bugs, %zu planted FP shapes\n\n",
+              corpus.tree.size(), static_cast<unsigned long long>(corpus.tree.LinesUnder("")),
+              corpus.ground_truth.size(), corpus.planted_fps.size());
+
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(corpus.tree);
+  std::printf("scan: %zu files, %zu functions, %zu known/discovered refcounting APIs, "
+              "%zu smartloops\n\n",
+              result.stats.files, result.stats.functions, result.stats.discovered_apis,
+              result.stats.discovered_smart_loops);
+
+  std::map<int, int> per_pattern;
+  std::map<std::string, int> per_subsystem;
+  int true_positives = 0;
+  for (const BugReport& r : result.reports) {
+    per_pattern[r.anti_pattern]++;
+    per_subsystem[SplitKernelPath(r.file).subsystem]++;
+    if (corpus.FindBug(r.file, r.function) != nullptr) {
+      ++true_positives;
+    }
+  }
+
+  Table table("Reports per anti-pattern");
+  table.Header({"Pattern", "Name", "Template", "Reports"},
+               {Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight});
+  for (int p = 1; p <= 9; ++p) {
+    table.Row({StrFormat("P%d", p), std::string(AntiPatternName(p)),
+               AntiPatternTemplate(p), StrFormat("%d", per_pattern[p])});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("per subsystem:");
+  for (const auto& [subsystem, count] : per_subsystem) {
+    std::printf(" %s=%d", subsystem.c_str(), count);
+  }
+  std::printf("\n\nground truth: %d/%zu planted bugs detected; %zu extra reports "
+              "(the planted Listing-5 false-positive shapes).\n",
+              true_positives, corpus.ground_truth.size(),
+              result.reports.size() - static_cast<size_t>(true_positives));
+
+  std::printf("\nfirst five reports:\n");
+  size_t shown = 0;
+  for (const BugReport& r : result.reports) {
+    if (++shown > 5) {
+      break;
+    }
+    std::printf("  %s:%u [P%d] %s\n", r.file.c_str(), r.line, r.anti_pattern,
+                r.message.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Generate patches for every bug found in the synthetic kernel corpus, the
+// way the paper's authors sent a patch for each of the 351 new bugs (§6.4),
+// and verify each patch by re-scanning the patched file.
+//
+//   ./build/examples/suggest_patches [--show N]   (default: show 3 patches)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/fixes.h"
+#include "src/corpus/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace refscan;
+
+  int show = 3;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--show") == 0) {
+      show = std::atoi(argv[i + 1]);
+    }
+  }
+
+  std::printf("scanning the synthetic kernel corpus...\n");
+  const Corpus corpus = GenerateKernelCorpus();
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(corpus.tree);
+  std::printf("  %zu reports\n\n", result.reports.size());
+
+  int mechanical = 0;
+  int manual = 0;
+  int verified = 0;
+  int shown = 0;
+  for (const BugReport& r : result.reports) {
+    const SourceFile* file = corpus.tree.Find(r.file);
+    if (file == nullptr) {
+      continue;
+    }
+    const FixSuggestion fix = SuggestFix(r, *file);
+    if (!fix.available) {
+      ++manual;
+      continue;
+    }
+    ++mechanical;
+
+    // Verify: apply the patch and re-scan the patched file in isolation.
+    const std::string patched = ApplyUnifiedDiff(*file, fix.diff);
+    bool gone = false;
+    if (patched != file->text()) {
+      CheckerEngine recheck;
+      const ScanResult after = recheck.ScanFileText(r.file, patched);
+      gone = true;
+      for (const BugReport& rr : after.reports) {
+        if (rr.function == r.function && rr.anti_pattern == r.anti_pattern) {
+          gone = false;
+        }
+      }
+    }
+    verified += gone ? 1 : 0;
+
+    if (shown < show) {
+      ++shown;
+      std::printf("--------------------------------------------------------------\n");
+      std::printf("[P%d] %s\n", r.anti_pattern, fix.summary.c_str());
+      std::printf("%s\n\n%s\n", fix.explanation.c_str(), fix.diff.c_str());
+    }
+  }
+
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("patches: %d mechanical (%d verified by re-scan), %d need manual placement "
+              "(inter-procedural P6 releases)\n",
+              mechanical, verified, manual);
+  std::printf("paper: a patch was sent for each of the 351 bugs; 240 were applied to mainline.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "src/ast/ast.h"
+
+namespace refscan {
+
+std::string Expr::CalleeName() const {
+  if (kind != Kind::kCall || args.empty() || args[0] == nullptr) {
+    return {};
+  }
+  if (args[0]->kind == Kind::kIdent) {
+    return args[0]->value;
+  }
+  return {};
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kIdent:
+    case Kind::kLiteral:
+    case Kind::kError:
+      return value;
+    case Kind::kCall: {
+      std::string out = args.empty() || args[0] == nullptr ? "?" : args[0]->ToString();
+      out.push_back('(');
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) {
+          out.append(", ");
+        }
+        out.append(args[i] ? args[i]->ToString() : "?");
+      }
+      out.push_back(')');
+      return out;
+    }
+    case Kind::kMember: {
+      std::string out = args.empty() || args[0] == nullptr ? "?" : args[0]->ToString();
+      out.append(arrow ? "->" : ".");
+      out.append(value);
+      return out;
+    }
+    case Kind::kIndex: {
+      std::string out = args.size() > 0 && args[0] ? args[0]->ToString() : "?";
+      out.push_back('[');
+      out.append(args.size() > 1 && args[1] ? args[1]->ToString() : "?");
+      out.push_back(']');
+      return out;
+    }
+    case Kind::kUnary:
+      return value + (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
+    case Kind::kBinary:
+    case Kind::kAssign: {
+      const std::string lhs = args.size() > 0 && args[0] ? args[0]->ToString() : "?";
+      const std::string rhs = args.size() > 1 && args[1] ? args[1]->ToString() : "?";
+      return lhs + " " + value + " " + rhs;
+    }
+    case Kind::kTernary: {
+      const std::string c = args.size() > 0 && args[0] ? args[0]->ToString() : "?";
+      const std::string t = args.size() > 1 && args[1] ? args[1]->ToString() : "?";
+      const std::string e = args.size() > 2 && args[2] ? args[2]->ToString() : "?";
+      return c + " ? " + t + " : " + e;
+    }
+    case Kind::kCast:
+      return "(" + value + ")" + (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
+    case Kind::kInitList: {
+      std::string out = "{";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) {
+          out.append(", ");
+        }
+        out.append(args[i] ? args[i]->ToString() : "?");
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr MakeIdent(std::string name, uint32_t line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIdent;
+  e->value = std::move(name);
+  e->line = line;
+  return e;
+}
+
+const FunctionDef* TranslationUnit::FindFunction(std::string_view name) const {
+  for (const FunctionDef& fn : functions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+void ForEachExpr(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  for (const ExprPtr& child : expr.args) {
+    if (child != nullptr) {
+      ForEachExpr(*child, fn);
+    }
+  }
+}
+
+void ForEachExpr(const Stmt& stmt, const std::function<void(const Expr&)>& fn) {
+  ForEachStmt(stmt, [&fn](const Stmt& s) {
+    for (const Expr* e : {s.expr.get(), s.init.get(), s.incr.get()}) {
+      if (e != nullptr) {
+        ForEachExpr(*e, fn);
+      }
+    }
+  });
+}
+
+void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  for (const Stmt* child : {stmt.body.get(), stmt.else_body.get()}) {
+    if (child != nullptr) {
+      ForEachStmt(*child, fn);
+    }
+  }
+  for (const StmtPtr& child : stmt.stmts) {
+    if (child != nullptr) {
+      ForEachStmt(*child, fn);
+    }
+  }
+}
+
+}  // namespace refscan

@@ -1,0 +1,161 @@
+// AST for the kernel-C subset refscan analyses.
+//
+// The tree is deliberately loose: it keeps exactly the structure the CFG,
+// CPG and checkers need (calls, assignments, member access, control flow,
+// labels, macro loops, struct/global definitions) and flattens everything
+// else into opaque expression text. Nodes carry 1-based source lines; the
+// paper's CPG uses those line numbers to order execution events.
+
+#ifndef REFSCAN_AST_AST_H_
+#define REFSCAN_AST_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace refscan {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kIdent,     // value = identifier name
+    kLiteral,   // value = literal spelling (number, string, char)
+    kCall,      // args[0] = callee, args[1..] = arguments
+    kMember,    // args[0] = base, value = field name, arrow = ('->' vs '.')
+    kIndex,     // args[0] = base, args[1] = index
+    kUnary,     // value = operator ("*", "&", "!", "-", "~", "++", "--")
+    kBinary,    // value = operator, args[0] lhs, args[1] rhs
+    kAssign,    // value = operator ("=", "+=", ...), args[0] lhs, args[1] rhs
+    kTernary,   // args[0] cond, args[1] then, args[2] else
+    kCast,      // value = type text, args[0] = operand
+    kInitList,  // args = elements; designators recorded in `value` per element? (see GlobalVar)
+    kError,     // unparseable fragment; value = raw text (best effort)
+  };
+
+  Kind kind = Kind::kError;
+  uint32_t line = 0;
+  std::string value;
+  bool arrow = false;
+  std::vector<ExprPtr> args;
+
+  // Convenience accessors -----------------------------------------------
+
+  bool IsCall() const { return kind == Kind::kCall; }
+
+  // For kCall with a plain identifier callee, returns the callee name;
+  // otherwise "".
+  std::string CalleeName() const;
+
+  // Renders a compact single-line spelling (diagnostics and template text).
+  std::string ToString() const;
+};
+
+ExprPtr MakeIdent(std::string name, uint32_t line);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kExpr,       // expr
+    kDecl,       // type/name, expr = initializer (may be null)
+    kCompound,   // stmts
+    kIf,         // expr = condition, body = then, else_body = else (may be null)
+    kWhile,      // expr = condition, body
+    kDoWhile,    // expr = condition, body
+    kFor,        // init / expr(condition) / incr, body
+    kMacroLoop,  // expr = the macro invocation (kCall), body; e.g. for_each_child_of_node
+    kSwitch,     // expr = condition, body (compound containing kCase/kDefault labels)
+    kCase,       // expr = case value
+    kDefault,
+    kLabel,      // name = label
+    kGoto,       // name = target label
+    kReturn,     // expr = value (may be null)
+    kBreak,
+    kContinue,
+    kEmpty,
+    kError,      // skipped text
+  };
+
+  Kind kind = Kind::kError;
+  uint32_t line = 0;
+  ExprPtr expr;
+  ExprPtr init;  // kFor
+  ExprPtr incr;  // kFor
+  StmtPtr body;
+  StmtPtr else_body;
+  std::vector<StmtPtr> stmts;  // kCompound
+  std::string name;            // kDecl variable / kLabel / kGoto
+  std::string type;            // kDecl declared type text
+};
+
+struct Param {
+  std::string type;
+  std::string name;
+};
+
+struct FunctionDef {
+  std::string return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // always a kCompound
+  uint32_t line = 0;
+  bool is_static = false;
+};
+
+struct StructField {
+  std::string type;  // flattened type text, e.g. "struct kobject" or "refcount_t"
+  std::string name;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<StructField> fields;
+  uint32_t line = 0;
+};
+
+// A designated initializer entry in a global aggregate, ".probe = foo_probe".
+struct DesignatedInit {
+  std::string field;
+  std::string value;  // identifier text of the initializer
+};
+
+struct GlobalVar {
+  std::string type;  // e.g. "struct platform_driver"
+  std::string name;
+  std::vector<DesignatedInit> inits;
+  uint32_t line = 0;
+};
+
+struct MacroDef {
+  std::string name;
+  std::vector<std::string> params;  // empty for object-like macros
+  std::string body;                 // raw body text, continuations joined
+  uint32_t line = 0;
+};
+
+struct TranslationUnit {
+  std::string path;
+  std::vector<MacroDef> macros;
+  std::vector<StructDef> structs;
+  std::vector<GlobalVar> globals;
+  std::vector<FunctionDef> functions;
+
+  const FunctionDef* FindFunction(std::string_view name) const;
+};
+
+// Visits every expression in a statement tree (pre-order), including
+// conditions, initializers and loop increments.
+void ForEachExpr(const Stmt& stmt, const std::function<void(const Expr&)>& fn);
+void ForEachExpr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+// Visits every statement in the tree (pre-order), including `stmt` itself.
+void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_AST_AST_H_

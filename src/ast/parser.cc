@@ -1,0 +1,1126 @@
+#include "src/ast/parser.h"
+
+#include <cctype>
+
+#include "src/lexer/lexer.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+namespace {
+
+// Tokens that can start/continue a type spelling.
+bool IsTypeKeyword(std::string_view text) {
+  static constexpr std::string_view kTypeWords[] = {
+      "void",   "char",     "short",  "int",      "long",   "float",    "double", "signed",
+      "unsigned", "struct", "union",  "enum",     "const",  "volatile", "static", "extern",
+      "register", "inline", "_Bool",  "_Atomic",  "typeof", "__typeof__",
+  };
+  for (std::string_view w : kTypeWords) {
+    if (text == w) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Identifiers that commonly act as typedef names in kernel code; the parser
+// also uses shape heuristics (ident ident / ident '*' ident), so this list
+// only needs to cover declarations like `u32 x;`.
+bool LooksLikeTypedefName(std::string_view text) {
+  if (text.ends_with("_t")) {
+    return true;
+  }
+  static constexpr std::string_view kNames[] = {"u8",  "u16", "u32", "u64", "s8",
+                                                "s16", "s32", "s64", "bool"};
+  for (std::string_view w : kNames) {
+    if (text == w) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(const SourceFile& file, const ParseOptions& options)
+      : tokens_(Tokenize(file)), cur_(tokens_), options_(options) {
+    unit_.path = file.path();
+  }
+
+  TranslationUnit Parse() {
+    while (!cur_.AtEnd()) {
+      ParseTopLevel();
+    }
+    return std::move(unit_);
+  }
+
+  // Exposed for ParseExpression().
+  ExprPtr ParseFullExpr() { return ParseAssignment(); }
+
+ private:
+  // ---------------------------------------------------------------- tokens
+
+  const Token& Peek(size_t ahead = 0) const { return cur_.Peek(ahead); }
+  const Token& Next() { return cur_.Next(); }
+  bool Eat(std::string_view text) { return cur_.Eat(text); }
+  uint32_t Line() const { return Peek().line; }
+
+  // Skips tokens until (and including) a ';' at brace depth zero, or until a
+  // '}' that would close the current scope (left unconsumed).
+  void SyncToStatementEnd() {
+    int depth = 0;
+    while (!cur_.AtEnd()) {
+      const Token& t = Peek();
+      if (t.Is("{")) {
+        ++depth;
+      } else if (t.Is("}")) {
+        if (depth == 0) {
+          return;
+        }
+        --depth;
+        if (depth == 0) {
+          Next();
+          // A closing brace at depth 0 also ends a statement (e.g. a
+          // compound we failed to parse).
+          if (Peek().Is(";")) {
+            Next();
+          }
+          return;
+        }
+      } else if (t.Is(";") && depth == 0) {
+        Next();
+        return;
+      }
+      Next();
+    }
+  }
+
+  // Skips a balanced token group starting at the current '(' / '{' / '['.
+  void SkipBalanced() {
+    const std::string_view open = Peek().text;
+    std::string_view close;
+    if (open == "(") {
+      close = ")";
+    } else if (open == "{") {
+      close = "}";
+    } else if (open == "[") {
+      close = "]";
+    } else {
+      Next();
+      return;
+    }
+    int depth = 0;
+    while (!cur_.AtEnd()) {
+      const Token& t = Next();
+      if (t.text == open) {
+        ++depth;
+      } else if (t.text == close) {
+        if (--depth == 0) {
+          return;
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- top level
+
+  void ParseTopLevel() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kPreproc)) {
+      ParsePreproc();
+      return;
+    }
+    if (t.Is(";")) {
+      Next();
+      return;
+    }
+    if (t.Is("typedef")) {
+      // typedef ... ; (may contain a struct body)
+      while (!cur_.AtEnd() && !Peek().Is(";")) {
+        if (Peek().Is("{")) {
+          SkipBalanced();
+        } else {
+          Next();
+        }
+      }
+      Eat(";");
+      return;
+    }
+    if ((t.Is("struct") || t.Is("union")) && Peek(1).Is(TokenKind::kIdentifier) &&
+        Peek(2).Is("{")) {
+      ParseStructDef();
+      return;
+    }
+    ParseDeclarationOrFunction();
+  }
+
+  void ParsePreproc() {
+    const Token tok = Next();
+    std::string_view text = tok.text;
+    // Normalise continuations: replace "\\\n" with a space.
+    std::string joined;
+    joined.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
+        joined.push_back(' ');
+        ++i;
+      } else {
+        joined.push_back(text[i]);
+      }
+    }
+    std::string_view body = Trim(joined);
+    if (!body.starts_with("#")) {
+      return;
+    }
+    body.remove_prefix(1);
+    body = Trim(body);
+    if (!body.starts_with("define")) {
+      return;
+    }
+    body.remove_prefix(6);
+    body = Trim(body);
+    // Macro name.
+    size_t i = 0;
+    while (i < body.size() &&
+           (std::isalnum(static_cast<unsigned char>(body[i])) != 0 || body[i] == '_')) {
+      ++i;
+    }
+    if (i == 0) {
+      return;
+    }
+    MacroDef macro;
+    macro.name = std::string(body.substr(0, i));
+    macro.line = tok.line;
+    body.remove_prefix(i);
+    if (!body.empty() && body.front() == '(') {
+      const size_t close = body.find(')');
+      if (close != std::string_view::npos) {
+        for (std::string_view param : Split(body.substr(1, close - 1), ',')) {
+          param = Trim(param);
+          if (!param.empty()) {
+            macro.params.emplace_back(param);
+          }
+        }
+        body.remove_prefix(close + 1);
+      }
+    }
+    macro.body = std::string(Trim(body));
+    unit_.macros.push_back(std::move(macro));
+  }
+
+  void ParseStructDef() {
+    StructDef def;
+    def.line = Line();
+    Next();  // struct / union
+    def.name = std::string(Next().text);
+    if (!Eat("{")) {
+      SyncToStatementEnd();
+      return;
+    }
+    while (!cur_.AtEnd() && !Peek().Is("}")) {
+      ParseStructField(def);
+    }
+    Eat("}");
+    Eat(";");
+    unit_.structs.push_back(std::move(def));
+  }
+
+  void ParseStructField(StructDef& def) {
+    // Gather tokens until ';', tracking nesting; derive name and type.
+    std::vector<Token> field_tokens;
+    int depth = 0;
+    while (!cur_.AtEnd()) {
+      const Token& t = Peek();
+      if (depth == 0 && (t.Is(";") || t.Is("}"))) {
+        break;
+      }
+      if (t.Is("{") || t.Is("(") || t.Is("[")) {
+        ++depth;
+      } else if (t.Is("}") || t.Is(")") || t.Is("]")) {
+        --depth;
+      }
+      field_tokens.push_back(Next());
+    }
+    Eat(";");
+    if (field_tokens.empty()) {
+      if (Peek().Is("}")) {
+        return;
+      }
+      Next();  // safety: never loop without progress
+      return;
+    }
+
+    // Function-pointer field: type (*name)(args)
+    for (size_t i = 0; i + 2 < field_tokens.size(); ++i) {
+      if (field_tokens[i].Is("(") && field_tokens[i + 1].Is("*") &&
+          field_tokens[i + 2].Is(TokenKind::kIdentifier)) {
+        def.fields.push_back(StructField{"fnptr", std::string(field_tokens[i + 2].text)});
+        return;
+      }
+    }
+
+    // Plain field: name is the last identifier before any '[' / ':'.
+    size_t name_index = field_tokens.size();
+    for (size_t i = field_tokens.size(); i-- > 0;) {
+      if (field_tokens[i].Is(TokenKind::kIdentifier)) {
+        name_index = i;
+        break;
+      }
+      if (field_tokens[i].Is("[") || field_tokens[i].Is("]") || field_tokens[i].Is(":") ||
+          field_tokens[i].Is(TokenKind::kNumber)) {
+        continue;
+      }
+      break;
+    }
+    if (name_index == field_tokens.size()) {
+      return;
+    }
+    std::string type;
+    for (size_t i = 0; i < name_index; ++i) {
+      if (!type.empty()) {
+        type.push_back(' ');
+      }
+      type.append(field_tokens[i].text);
+    }
+    def.fields.push_back(StructField{std::move(type), std::string(field_tokens[name_index].text)});
+  }
+
+  // Parses either a function definition or a global variable declaration.
+  void ParseDeclarationOrFunction() {
+    const size_t start_pos = cur_.position();
+    const uint32_t line = Line();
+    bool is_static = false;
+
+    // Type prefix: keywords, struct/union/enum tag, identifiers, '*'.
+    std::string type_text;
+    std::string name;
+    while (!cur_.AtEnd()) {
+      const Token& t = Peek();
+      if (t.Is("static")) {
+        is_static = true;
+        Next();
+        continue;
+      }
+      if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+        if (!type_text.empty()) {
+          type_text.push_back(' ');
+        }
+        type_text.append(t.text);
+        Next();
+        continue;
+      }
+      if (t.Is("*")) {
+        type_text.append("*");
+        Next();
+        continue;
+      }
+      if (t.Is(TokenKind::kIdentifier)) {
+        // Lookahead decides whether this identifier is part of the type or
+        // is the declarator name.
+        const Token& after = Peek(1);
+        if (after.Is(TokenKind::kIdentifier) || after.Is("*")) {
+          if (!type_text.empty()) {
+            type_text.push_back(' ');
+          }
+          type_text.append(t.text);
+          Next();
+          continue;
+        }
+        name = std::string(t.text);
+        Next();
+        break;
+      }
+      break;
+    }
+
+    if (name.empty()) {
+      // Could not find a declarator; resynchronise.
+      if (cur_.position() == start_pos) {
+        Next();
+      }
+      SyncToStatementEnd();
+      return;
+    }
+
+    if (Peek().Is("(")) {
+      ParseFunctionRest(std::move(type_text), std::move(name), line, is_static);
+      return;
+    }
+    ParseGlobalRest(std::move(type_text), std::move(name), line);
+  }
+
+  void ParseFunctionRest(std::string return_type, std::string name, uint32_t line,
+                         bool is_static) {
+    FunctionDef fn;
+    fn.return_type = std::move(return_type);
+    fn.name = std::move(name);
+    fn.line = line;
+    fn.is_static = is_static;
+
+    // Parameters.
+    Eat("(");
+    std::vector<Token> param_tokens;
+    int depth = 1;
+    while (!cur_.AtEnd() && depth > 0) {
+      const Token& t = Peek();
+      if (t.Is("(")) {
+        ++depth;
+      } else if (t.Is(")")) {
+        --depth;
+        if (depth == 0) {
+          Next();
+          break;
+        }
+      }
+      param_tokens.push_back(Next());
+    }
+    fn.params = SplitParams(param_tokens);
+
+    if (Peek().Is("{")) {
+      depth_ = 0;
+      fn.body = ParseCompound();
+      unit_.functions.push_back(std::move(fn));
+      return;
+    }
+    // Forward declaration (or attribute soup): skip to ';'.
+    SyncToStatementEnd();
+  }
+
+  static std::vector<Param> SplitParams(const std::vector<Token>& tokens) {
+    std::vector<Param> params;
+    std::vector<const Token*> current;
+    int depth = 0;
+    auto flush = [&]() {
+      if (current.empty()) {
+        return;
+      }
+      Param p;
+      // Name = last identifier; type = everything else.
+      size_t name_index = current.size();
+      for (size_t i = current.size(); i-- > 0;) {
+        if (current[i]->Is(TokenKind::kIdentifier)) {
+          name_index = i;
+          break;
+        }
+      }
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i == name_index) {
+          continue;
+        }
+        if (!p.type.empty()) {
+          p.type.push_back(' ');
+        }
+        p.type.append(current[i]->text);
+      }
+      if (name_index < current.size()) {
+        p.name = std::string(current[name_index]->text);
+      }
+      // "void" alone is not a parameter.
+      if (!(p.name.empty() && p.type == "void") && !(p.type.empty() && p.name == "void")) {
+        params.push_back(std::move(p));
+      }
+      current.clear();
+    };
+    for (const Token& t : tokens) {
+      if (t.Is("(") || t.Is("[")) {
+        ++depth;
+      } else if (t.Is(")") || t.Is("]")) {
+        --depth;
+      } else if (t.Is(",") && depth == 0) {
+        flush();
+        continue;
+      }
+      current.push_back(&t);
+    }
+    flush();
+    return params;
+  }
+
+  void ParseGlobalRest(std::string type, std::string name, uint32_t line) {
+    GlobalVar var;
+    var.type = std::move(type);
+    var.name = std::move(name);
+    var.line = line;
+
+    // Optional array suffix.
+    while (Peek().Is("[")) {
+      SkipBalanced();
+    }
+
+    if (Eat("=")) {
+      if (Peek().Is("{")) {
+        ParseDesignatedInits(var);
+      } else {
+        // Scalar initializer: skip its tokens.
+        while (!cur_.AtEnd() && !Peek().Is(";") && !Peek().Is(",")) {
+          if (Peek().Is("(") || Peek().Is("{")) {
+            SkipBalanced();
+          } else {
+            Next();
+          }
+        }
+      }
+    }
+    SyncToStatementEnd();
+    unit_.globals.push_back(std::move(var));
+  }
+
+  void ParseDesignatedInits(GlobalVar& var) {
+    Eat("{");
+    int depth = 1;
+    while (!cur_.AtEnd() && depth > 0) {
+      const Token& t = Peek();
+      if (t.Is("{")) {
+        ++depth;
+        Next();
+        continue;
+      }
+      if (t.Is("}")) {
+        --depth;
+        Next();
+        continue;
+      }
+      if (depth == 1 && t.Is(".") && Peek(1).Is(TokenKind::kIdentifier) && Peek(2).Is("=")) {
+        DesignatedInit init;
+        Next();  // .
+        init.field = std::string(Next().text);
+        Next();  // =
+        // Value: first identifier/literal token of the initializer.
+        if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kNumber) ||
+            Peek().Is(TokenKind::kString)) {
+          init.value = std::string(Peek().text);
+        }
+        var.inits.push_back(std::move(init));
+        continue;
+      }
+      Next();
+    }
+  }
+
+  // ------------------------------------------------------------ statements
+
+  StmtPtr MakeStmt(Stmt::Kind kind, uint32_t line) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = line;
+    return s;
+  }
+
+  StmtPtr ParseCompound() {
+    auto s = MakeStmt(Stmt::Kind::kCompound, Line());
+    if (!Eat("{")) {
+      s->kind = Stmt::Kind::kError;
+      SyncToStatementEnd();
+      return s;
+    }
+    while (!cur_.AtEnd() && !Peek().Is("}")) {
+      s->stmts.push_back(ParseStatement());
+    }
+    Eat("}");
+    return s;
+  }
+
+  StmtPtr ParseStatement() {
+    if (++depth_ > options_.max_depth) {
+      --depth_;
+      auto s = MakeStmt(Stmt::Kind::kError, Line());
+      SyncToStatementEnd();
+      return s;
+    }
+    StmtPtr s = ParseStatementInner();
+    --depth_;
+    return s;
+  }
+
+  StmtPtr ParseStatementInner() {
+    const Token& t = Peek();
+    const uint32_t line = t.line;
+
+    if (t.Is(TokenKind::kPreproc)) {
+      Next();
+      return MakeStmt(Stmt::Kind::kEmpty, line);
+    }
+    if (t.Is(";")) {
+      Next();
+      return MakeStmt(Stmt::Kind::kEmpty, line);
+    }
+    if (t.Is("{")) {
+      return ParseCompound();
+    }
+    if (t.Is("if")) {
+      return ParseIf();
+    }
+    if (t.Is("while")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kWhile, line);
+      s->expr = ParseParenExpr();
+      s->body = ParseStatement();
+      return s;
+    }
+    if (t.Is("do")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kDoWhile, line);
+      s->body = ParseStatement();
+      if (Eat("while")) {
+        s->expr = ParseParenExpr();
+      }
+      Eat(";");
+      return s;
+    }
+    if (t.Is("for")) {
+      return ParseFor();
+    }
+    if (t.Is("switch")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kSwitch, line);
+      s->expr = ParseParenExpr();
+      s->body = ParseStatement();
+      return s;
+    }
+    if (t.Is("case")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kCase, line);
+      s->expr = ParseAssignment();
+      Eat(":");
+      return s;
+    }
+    if (t.Is("default")) {
+      Next();
+      Eat(":");
+      return MakeStmt(Stmt::Kind::kDefault, line);
+    }
+    if (t.Is("goto")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kGoto, line);
+      if (Peek().Is(TokenKind::kIdentifier)) {
+        s->name = std::string(Next().text);
+      }
+      Eat(";");
+      return s;
+    }
+    if (t.Is("return")) {
+      Next();
+      auto s = MakeStmt(Stmt::Kind::kReturn, line);
+      if (!Peek().Is(";")) {
+        s->expr = ParseAssignment();
+      }
+      Eat(";");
+      return s;
+    }
+    if (t.Is("break")) {
+      Next();
+      Eat(";");
+      return MakeStmt(Stmt::Kind::kBreak, line);
+    }
+    if (t.Is("continue")) {
+      Next();
+      Eat(";");
+      return MakeStmt(Stmt::Kind::kContinue, line);
+    }
+
+    // Label: identifier ':' (not a ternary — at statement start this is safe).
+    if (t.Is(TokenKind::kIdentifier) && Peek(1).Is(":")) {
+      auto s = MakeStmt(Stmt::Kind::kLabel, line);
+      s->name = std::string(Next().text);
+      Eat(":");
+      return s;
+    }
+
+    // Declaration heuristics.
+    if (LooksLikeDeclaration()) {
+      return ParseDeclaration();
+    }
+
+    // Macro loop: `for_each_xxx(args) body` — an identifier containing
+    // "for_each" invoked at statement level.
+    if (t.Is(TokenKind::kIdentifier) && t.text.find("for_each") != std::string_view::npos &&
+        Peek(1).Is("(")) {
+      auto s = MakeStmt(Stmt::Kind::kMacroLoop, line);
+      s->expr = ParseAssignment();  // parses the call expression
+      if (Peek().Is(";")) {
+        Next();  // degenerate: macro used without a body
+        s->body = MakeStmt(Stmt::Kind::kEmpty, line);
+      } else {
+        s->body = ParseStatement();
+      }
+      return s;
+    }
+
+    // Expression statement.
+    auto s = MakeStmt(Stmt::Kind::kExpr, line);
+    s->expr = ParseCommaExpr();
+    if (s->expr == nullptr || s->expr->kind == Expr::Kind::kError) {
+      s->kind = Stmt::Kind::kError;
+      SyncToStatementEnd();
+      return s;
+    }
+    // A call statement followed by '{' is also a macro loop (covers
+    // list_for_each_entry-style names without "for_each" prefix variants).
+    if (s->expr->IsCall() && Peek().Is("{")) {
+      s->kind = Stmt::Kind::kMacroLoop;
+      s->body = ParseStatement();
+      return s;
+    }
+    if (!Eat(";")) {
+      SyncToStatementEnd();
+    }
+    return s;
+  }
+
+  StmtPtr ParseIf() {
+    const uint32_t line = Line();
+    Next();  // if
+    auto s = MakeStmt(Stmt::Kind::kIf, line);
+    s->expr = ParseParenExpr();
+    s->body = ParseStatement();
+    if (Eat("else")) {
+      s->else_body = ParseStatement();
+    }
+    return s;
+  }
+
+  StmtPtr ParseFor() {
+    const uint32_t line = Line();
+    Next();  // for
+    auto s = MakeStmt(Stmt::Kind::kFor, line);
+    if (!Eat("(")) {
+      s->kind = Stmt::Kind::kError;
+      SyncToStatementEnd();
+      return s;
+    }
+    if (!Peek().Is(";")) {
+      // The init clause may be a declaration (`int i = 0`): skip type tokens.
+      while (Peek().Is(TokenKind::kKeyword) && IsTypeKeyword(Peek().text)) {
+        Next();
+      }
+      s->init = ParseCommaExpr();
+    }
+    Eat(";");
+    if (!Peek().Is(";")) {
+      s->expr = ParseCommaExpr();
+    }
+    Eat(";");
+    if (!Peek().Is(")")) {
+      s->incr = ParseCommaExpr();
+    }
+    Eat(")");
+    s->body = ParseStatement();
+    return s;
+  }
+
+  bool LooksLikeDeclaration() const {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+      return true;
+    }
+    if (!t.Is(TokenKind::kIdentifier)) {
+      return false;
+    }
+    // ident ident  |  ident '*' ident (then '=' ';' ',' '[' or ')')
+    const Token& a = Peek(1);
+    if (a.Is(TokenKind::kIdentifier)) {
+      const Token& b = Peek(2);
+      return b.Is("=") || b.Is(";") || b.Is(",") || b.Is("[");
+    }
+    if (a.Is("*") && Peek(2).Is(TokenKind::kIdentifier)) {
+      const Token& b = Peek(3);
+      if (b.Is("=") || b.Is(";") || b.Is(",") || b.Is("[")) {
+        // `a * b = c;` would be nonsense as an expression; treat as decl.
+        return true;
+      }
+    }
+    return LooksLikeTypedefName(t.text) && (a.Is("*") || a.Is(TokenKind::kIdentifier));
+  }
+
+  StmtPtr ParseDeclaration() {
+    const uint32_t line = Line();
+    std::string type;
+    // Type tokens: keywords, identifiers (while followed by more type-ish
+    // tokens), '*'.
+    while (!cur_.AtEnd()) {
+      const Token& t = Peek();
+      if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+        if (!type.empty()) {
+          type.push_back(' ');
+        }
+        type.append(t.text);
+        Next();
+        continue;
+      }
+      if (t.Is("*")) {
+        type.append("*");
+        Next();
+        continue;
+      }
+      if (t.Is(TokenKind::kIdentifier)) {
+        const Token& after = Peek(1);
+        if (after.Is(TokenKind::kIdentifier) || after.Is("*")) {
+          if (!type.empty()) {
+            type.push_back(' ');
+          }
+          type.append(t.text);
+          Next();
+          continue;
+        }
+        break;  // this identifier is the declarator name
+      }
+      break;
+    }
+
+    // One or more declarators.
+    auto compound = MakeStmt(Stmt::Kind::kCompound, line);
+    bool first = true;
+    while (!cur_.AtEnd()) {
+      // Extra stars bind to the declarator.
+      while (Peek().Is("*")) {
+        Next();
+      }
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        break;
+      }
+      auto decl = MakeStmt(Stmt::Kind::kDecl, Peek().line);
+      decl->type = type;
+      decl->name = std::string(Next().text);
+      while (Peek().Is("[")) {
+        SkipBalanced();
+      }
+      if (Eat("=")) {
+        decl->expr = ParseAssignment();
+      }
+      compound->stmts.push_back(std::move(decl));
+      first = false;
+      if (!Eat(",")) {
+        break;
+      }
+    }
+    if (!Eat(";")) {
+      SyncToStatementEnd();
+    }
+    if (compound->stmts.size() == 1) {
+      return std::move(compound->stmts[0]);
+    }
+    if (compound->stmts.empty()) {
+      compound->kind = first ? Stmt::Kind::kError : Stmt::Kind::kEmpty;
+    }
+    return compound;
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  ExprPtr MakeExpr(Expr::Kind kind, uint32_t line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line;
+    return e;
+  }
+
+  ExprPtr MakeError(uint32_t line) {
+    auto e = MakeExpr(Expr::Kind::kError, line);
+    e->value = std::string(Peek().text);
+    return e;
+  }
+
+  ExprPtr ParseParenExpr() {
+    if (!Eat("(")) {
+      return MakeError(Line());
+    }
+    ExprPtr e = ParseCommaExpr();
+    Eat(")");
+    return e;
+  }
+
+  ExprPtr ParseCommaExpr() {
+    ExprPtr e = ParseAssignment();
+    while (Peek().Is(",")) {
+      const uint32_t line = Next().line;
+      auto comma = MakeExpr(Expr::Kind::kBinary, line);
+      comma->value = ",";
+      comma->args.push_back(std::move(e));
+      comma->args.push_back(ParseAssignment());
+      e = std::move(comma);
+    }
+    return e;
+  }
+
+  ExprPtr ParseAssignment() {
+    ExprPtr lhs = ParseTernary();
+    const Token& t = Peek();
+    static constexpr std::string_view kAssignOps[] = {"=",  "+=", "-=", "*=",  "/=", "%=",
+                                                      "&=", "|=", "^=", "<<=", ">>="};
+    for (std::string_view op : kAssignOps) {
+      if (t.text == op && t.kind == TokenKind::kPunct) {
+        const uint32_t line = Next().line;
+        auto e = MakeExpr(Expr::Kind::kAssign, line);
+        e->value = std::string(op);
+        e->args.push_back(std::move(lhs));
+        e->args.push_back(ParseAssignment());
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseTernary() {
+    ExprPtr cond = ParseBinary(0);
+    if (!Peek().Is("?")) {
+      return cond;
+    }
+    const uint32_t line = Next().line;
+    auto e = MakeExpr(Expr::Kind::kTernary, line);
+    e->args.push_back(std::move(cond));
+    e->args.push_back(ParseCommaExpr());
+    Eat(":");
+    e->args.push_back(ParseAssignment());
+    return e;
+  }
+
+  static int BinaryPrecedence(std::string_view op) {
+    if (op == "*" || op == "/" || op == "%") return 10;
+    if (op == "+" || op == "-") return 9;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "&") return 5;
+    if (op == "^") return 4;
+    if (op == "|") return 3;
+    if (op == "&&") return 2;
+    if (op == "||") return 1;
+    return -1;
+  }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParseUnary();
+    while (true) {
+      const Token& t = Peek();
+      if (!t.Is(TokenKind::kPunct)) {
+        return lhs;
+      }
+      const int prec = BinaryPrecedence(t.text);
+      if (prec < 0 || prec < min_prec) {
+        return lhs;
+      }
+      const std::string op(t.text);
+      const uint32_t line = Next().line;
+      ExprPtr rhs = ParseBinary(prec + 1);
+      auto e = MakeExpr(Expr::Kind::kBinary, line);
+      e->value = op;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kPunct)) {
+      static constexpr std::string_view kUnaryOps[] = {"*", "&", "!", "~", "-", "+", "++", "--"};
+      for (std::string_view op : kUnaryOps) {
+        if (t.text == op) {
+          const uint32_t line = Next().line;
+          auto e = MakeExpr(Expr::Kind::kUnary, line);
+          e->value = std::string(op);
+          e->args.push_back(ParseUnary());
+          return e;
+        }
+      }
+    }
+    if (t.Is("sizeof")) {
+      const uint32_t line = Next().line;
+      auto e = MakeExpr(Expr::Kind::kUnary, line);
+      e->value = "sizeof";
+      if (Peek().Is("(")) {
+        SkipBalanced();
+        e->args.push_back(MakeExpr(Expr::Kind::kLiteral, line));
+      } else {
+        e->args.push_back(ParseUnary());
+      }
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  // Decides whether a parenthesised token run is a cast: contents must be
+  // only type-ish tokens and the next token must start an expression.
+  bool LooksLikeCast() const {
+    if (!Peek().Is("(")) {
+      return false;
+    }
+    size_t i = 1;
+    bool saw_type_word = false;
+    while (true) {
+      const Token& t = Peek(i);
+      if (t.Is(")")) {
+        break;
+      }
+      if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+        saw_type_word = true;
+      } else if (t.Is("*")) {
+        // fine
+      } else if (t.Is(TokenKind::kIdentifier)) {
+        if (!LooksLikeTypedefName(t.text) && !Peek(i + 1).Is("*") && !Peek(i + 1).Is(")")) {
+          return false;
+        }
+        // An identifier is only type-ish when followed by '*' or ')'
+        // *and* a type keyword or typedef-ish spelling is plausible.
+        if (!LooksLikeTypedefName(t.text) && !saw_type_word && !Peek(i + 1).Is("*")) {
+          return false;
+        }
+        saw_type_word = saw_type_word || LooksLikeTypedefName(t.text) || Peek(i + 1).Is("*");
+      } else {
+        return false;
+      }
+      ++i;
+      if (i > 16) {
+        return false;
+      }
+    }
+    if (!saw_type_word) {
+      return false;
+    }
+    // Next token must start an expression.
+    const Token& after = Peek(i + 1);
+    return after.Is(TokenKind::kIdentifier) || after.Is(TokenKind::kNumber) ||
+           after.Is(TokenKind::kString) || after.Is("(") || after.Is("*") || after.Is("&");
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    while (true) {
+      const Token& t = Peek();
+      if (t.Is("(")) {
+        const uint32_t line = Next().line;
+        auto call = MakeExpr(Expr::Kind::kCall, line);
+        call->args.push_back(std::move(e));
+        while (!cur_.AtEnd() && !Peek().Is(")")) {
+          call->args.push_back(ParseAssignment());
+          if (!Eat(",")) {
+            break;
+          }
+        }
+        Eat(")");
+        e = std::move(call);
+        continue;
+      }
+      if (t.Is("[")) {
+        const uint32_t line = Next().line;
+        auto index = MakeExpr(Expr::Kind::kIndex, line);
+        index->args.push_back(std::move(e));
+        index->args.push_back(ParseCommaExpr());
+        Eat("]");
+        e = std::move(index);
+        continue;
+      }
+      if (t.Is(".") || t.Is("->")) {
+        const bool arrow = t.Is("->");
+        const uint32_t line = Next().line;
+        auto member = MakeExpr(Expr::Kind::kMember, line);
+        member->arrow = arrow;
+        member->args.push_back(std::move(e));
+        if (Peek().Is(TokenKind::kIdentifier)) {
+          member->value = std::string(Next().text);
+        }
+        e = std::move(member);
+        continue;
+      }
+      if (t.Is("++") || t.Is("--")) {
+        const uint32_t line = Line();
+        auto post = MakeExpr(Expr::Kind::kUnary, line);
+        post->value = std::string(Next().text);
+        post->args.push_back(std::move(e));
+        e = std::move(post);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    const uint32_t line = t.line;
+
+    if (t.Is(TokenKind::kIdentifier)) {
+      return MakeIdent(std::string(Next().text), line);
+    }
+    if (t.Is(TokenKind::kNumber) || t.Is(TokenKind::kString) || t.Is(TokenKind::kChar)) {
+      auto e = MakeExpr(Expr::Kind::kLiteral, line);
+      e->value = std::string(Next().text);
+      return e;
+    }
+    if (t.Is("(")) {
+      if (LooksLikeCast()) {
+        Next();  // (
+        std::string type;
+        while (!cur_.AtEnd() && !Peek().Is(")")) {
+          if (!type.empty() && !Peek().Is("*")) {
+            type.push_back(' ');
+          }
+          type.append(Next().text);
+        }
+        Eat(")");
+        auto e = MakeExpr(Expr::Kind::kCast, line);
+        e->value = std::move(type);
+        e->args.push_back(ParseUnary());
+        return e;
+      }
+      Next();
+      ExprPtr inner = ParseCommaExpr();
+      Eat(")");
+      return inner;
+    }
+    if (t.Is("{")) {
+      // Compound literal-ish initializer; capture elements loosely.
+      Next();
+      auto e = MakeExpr(Expr::Kind::kInitList, line);
+      while (!cur_.AtEnd() && !Peek().Is("}")) {
+        if (Peek().Is(".")) {
+          Next();  // designator
+          continue;
+        }
+        if (Peek().Is("=")) {
+          Next();
+          continue;
+        }
+        e->args.push_back(ParseAssignment());
+        if (!Eat(",")) {
+          break;
+        }
+      }
+      Eat("}");
+      return e;
+    }
+    // Unparseable: consume one token so the caller makes progress.
+    auto e = MakeError(line);
+    Next();
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  TokenCursor cur_;
+  ParseOptions options_;
+  TranslationUnit unit_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options) {
+  Parser parser(file, options);
+  return parser.Parse();
+}
+
+ExprPtr ParseExpression(std::string_view text) {
+  SourceFile file("<expr>", std::string(text));
+  Parser parser(file, ParseOptions{});
+  return parser.ParseFullExpr();
+}
+
+TranslationUnit ParseSnippet(std::string_view body_text) {
+  std::string wrapped = "void snippet(void)\n{\n";
+  wrapped.append(body_text);
+  wrapped.append("\n}\n");
+  SourceFile file("<snippet>", std::move(wrapped));
+  return ParseFile(file);
+}
+
+}  // namespace refscan

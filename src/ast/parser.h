@@ -1,0 +1,41 @@
+// Tolerant recursive-descent parser for the kernel-C subset.
+//
+// Design goals (mirroring the paper's front end, §6.1):
+//   * Never fail on a file: unparseable regions degrade to kError statements
+//     with statement-level resynchronisation (skip to ';' or a balancing
+//     '}'), so one exotic construct cannot hide the rest of a function.
+//   * No preprocessing: macros are captured as definitions (for smartloop
+//     discovery) and macro *loops* such as `for_each_child_of_node(...) { }`
+//     are recognised syntactically as loop statements.
+//   * Keep what the checkers need — calls, assignments, member access,
+//     control flow, labels/goto, struct fields, designated initializers of
+//     ops structs — and flatten the rest.
+
+#ifndef REFSCAN_AST_PARSER_H_
+#define REFSCAN_AST_PARSER_H_
+
+#include "src/ast/ast.h"
+#include "src/support/source.h"
+
+namespace refscan {
+
+struct ParseOptions {
+  // Statements deeper than this are flattened to kError (stack safety on
+  // adversarial inputs).
+  int max_depth = 200;
+};
+
+// Parses one file into a TranslationUnit. Never throws; always returns a
+// unit (possibly with kError nodes).
+TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options = {});
+
+// Parses a standalone expression (tests and tools).
+ExprPtr ParseExpression(std::string_view text);
+
+// Parses a standalone function body snippet wrapped as `void f() { ... }`
+// and returns the unit (tests and examples).
+TranslationUnit ParseSnippet(std::string_view body_text);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_AST_PARSER_H_

@@ -1,0 +1,120 @@
+#include "src/checkers/engine.h"
+
+#include "src/ast/parser.h"
+
+namespace refscan {
+
+UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,
+                             const KnowledgeBase& kb) {
+  UnitContext uc;
+  uc.file = &file;
+  uc.unit = std::move(unit);
+  for (const FunctionDef& fn : uc.unit.functions) {
+    FunctionContext fc;
+    fc.unit = &uc.unit;
+    fc.fn = &fn;
+    fc.cfg = std::make_unique<Cfg>(BuildCfg(fn));
+    fc.cpg = std::make_unique<Cpg>(BuildCpg(*fc.cfg, kb));
+    uc.functions.push_back(std::move(fc));
+  }
+  return uc;
+}
+
+CheckerEngine::CheckerEngine(KnowledgeBase kb, ScanOptions options)
+    : kb_(std::move(kb)), options_(std::move(options)) {}
+
+ScanResult CheckerEngine::Scan(const SourceTree& tree) {
+  ScanResult result;
+
+  // Pass 1: parse everything and feed the KB (structure parser, API and
+  // smartloop discovery). Discovery must see all units before checking so
+  // that cross-file APIs (a helper defined in one file, used in another)
+  // classify correctly — the paper runs its lexer parsers over the whole
+  // kernel first.
+  std::vector<TranslationUnit> units;
+  units.reserve(tree.size());
+  for (const auto& [path, file] : tree.files()) {
+    units.push_back(ParseFile(file));
+  }
+  if (options_.discover_from_source) {
+    // Two discovery rounds: the first classifies directly-visible APIs, the
+    // second lets wrappers of discovered APIs classify too.
+    for (int round = 0; round < 2; ++round) {
+      for (const TranslationUnit& unit : units) {
+        kb_.DiscoverFromUnit(unit, options_.nesting_threshold);
+      }
+    }
+  }
+  result.stats.discovered_apis = kb_.apis().size();
+  result.stats.discovered_smart_loops = kb_.smart_loops().size();
+  result.stats.refcounted_structs = kb_.refcounted_structs().size();
+
+  // Pass 2: build contexts and run the enabled checkers.
+  std::vector<BugReport> raw;
+  size_t unit_index = 0;
+  for (const auto& [path, file] : tree.files()) {
+    UnitContext uc = BuildUnitContext(file, std::move(units[unit_index++]), kb_);
+    ++result.stats.files;
+    result.stats.functions += uc.functions.size();
+
+    const auto& enabled = options_.enabled_patterns;
+    for (const FunctionContext& fc : uc.functions) {
+      if (enabled.contains(1)) {
+        CheckReturnError(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(2)) {
+        CheckReturnNull(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(3)) {
+        CheckSmartLoopBreak(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(4)) {
+        CheckHiddenApi(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(5)) {
+        CheckErrorHandle(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(7)) {
+        CheckDirectFree(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(8)) {
+        CheckUseAfterDecrease(uc, fc, kb_, options_, raw);
+      }
+      if (enabled.contains(9)) {
+        CheckReferenceEscape(uc, fc, kb_, options_, raw);
+      }
+    }
+    if (enabled.contains(6)) {
+      CheckInterUnpaired(uc, kb_, options_, raw);
+    }
+  }
+
+  result.reports = DeduplicateReports(std::move(raw));
+
+  // Suppression comments: a `refscan: ignore` marker on the reported line
+  // (or the line above it) silences the report — the escape hatch for
+  // intentional patterns the checkers cannot see are safe (the paper's
+  // maintainer-disputed UAD cases, for example).
+  std::erase_if(result.reports, [&tree](const BugReport& r) {
+    const SourceFile* file = tree.Find(r.file);
+    if (file == nullptr) {
+      return false;
+    }
+    for (uint32_t line : {r.line, r.line > 1 ? r.line - 1 : r.line}) {
+      if (file->Line(line).find("refscan: ignore") != std::string_view::npos ||
+          file->Line(line).find("refscan:ignore") != std::string_view::npos) {
+        return true;
+      }
+    }
+    return false;
+  });
+  return result;
+}
+
+ScanResult CheckerEngine::ScanFileText(std::string path, std::string text) {
+  SourceTree tree;
+  tree.Add(std::move(path), std::move(text));
+  return Scan(tree);
+}
+
+}  // namespace refscan

@@ -1,0 +1,125 @@
+// Anti-pattern checker engine (§6.1 "Bug Detection").
+//
+// Pipeline per scan: parse every file of the SourceTree, run KB discovery
+// over all units (structure parser + API/macro classification), then build
+// CFG+CPG per function and run the enabled anti-pattern checkers (P1..P9).
+// Reports are deduplicated one-per-site with the most specific pattern.
+
+#ifndef REFSCAN_CHECKERS_ENGINE_H_
+#define REFSCAN_CHECKERS_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/cfg/cfg.h"
+#include "src/checkers/analysis.h"
+#include "src/checkers/report.h"
+#include "src/cpg/cpg.h"
+#include "src/kb/kb.h"
+#include "src/support/source.h"
+
+namespace refscan {
+
+struct ScanOptions {
+  size_t max_paths_per_function = 512;
+  int nesting_threshold = 3;     // struct-parser nesting depth (§6.1)
+  bool discover_from_source = true;
+  std::set<int> enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  // Precision knobs (the design-choice ablation toggles these):
+  // treat NULL-checked failure branches as acquisition-failed paths.
+  bool prune_null_branches = true;
+  // treat returns / escaping stores / ownership-sink calls as transfers.
+  bool model_ownership_transfer = true;
+};
+
+// Everything the checkers need about one function.
+struct FunctionContext {
+  const TranslationUnit* unit = nullptr;
+  const FunctionDef* fn = nullptr;
+  std::unique_ptr<Cfg> cfg;
+  std::unique_ptr<Cpg> cpg;
+
+  // Lazily-computed acquisition analysis (see analysis.h); checkers share
+  // one computation per function instead of re-enumerating paths. The key
+  // records the option configuration the cache was built under.
+  mutable std::shared_ptr<const AcquisitionAnalysis> acquisition_cache;
+  mutable uint64_t acquisition_cache_key = 0;
+};
+
+// One parsed translation unit plus its function contexts.
+struct UnitContext {
+  const SourceFile* file = nullptr;
+  TranslationUnit unit;
+  std::deque<FunctionContext> functions;
+};
+
+struct ScanStats {
+  size_t files = 0;
+  size_t functions = 0;
+  size_t discovered_apis = 0;
+  size_t discovered_smart_loops = 0;
+  size_t refcounted_structs = 0;
+};
+
+struct ScanResult {
+  std::vector<BugReport> reports;
+  ScanStats stats;
+};
+
+class CheckerEngine {
+ public:
+  explicit CheckerEngine(KnowledgeBase kb = KnowledgeBase::BuiltIn(), ScanOptions options = {});
+
+  // Scans a whole tree (two passes: discovery, then checking).
+  ScanResult Scan(const SourceTree& tree);
+
+  // Scans a single in-memory file (tests / quickstart example).
+  ScanResult ScanFileText(std::string path, std::string text);
+
+  const KnowledgeBase& kb() const { return kb_; }
+
+ private:
+  KnowledgeBase kb_;
+  ScanOptions options_;
+};
+
+// Individual checkers, exposed for unit tests and the ablation bench. Each
+// appends raw (not yet deduplicated) reports.
+void CheckReturnError(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                      const ScanOptions& options, std::vector<BugReport>& out);  // P1
+void CheckReturnNull(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                     const ScanOptions& options, std::vector<BugReport>& out);  // P2
+void CheckSmartLoopBreak(const UnitContext& uc, const FunctionContext& fc,
+                         const KnowledgeBase& kb, const ScanOptions& options,
+                         std::vector<BugReport>& out);  // P3
+void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                    const ScanOptions& options, std::vector<BugReport>& out);  // P4
+void CheckErrorHandle(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                      const ScanOptions& options, std::vector<BugReport>& out);  // P5
+void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
+                        const ScanOptions& options,
+                        std::vector<BugReport>& out);  // P6 (whole-unit)
+void CheckDirectFree(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                     const ScanOptions& options, std::vector<BugReport>& out);  // P7
+void CheckUseAfterDecrease(const UnitContext& uc, const FunctionContext& fc,
+                           const KnowledgeBase& kb, const ScanOptions& options,
+                           std::vector<BugReport>& out);  // P8
+void CheckReferenceEscape(const UnitContext& uc, const FunctionContext& fc,
+                          const KnowledgeBase& kb, const ScanOptions& options,
+                          std::vector<BugReport>& out);  // P9
+
+// Builds the per-unit context (parse already done by caller).
+UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,
+                             const KnowledgeBase& kb);
+
+// Refcounting API family used for inter-unpaired matching (P6): increase and
+// decrease APIs pair only within a family ("of-node", "device", "pm", ...).
+std::string ApiFamily(std::string_view api_name);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CHECKERS_ENGINE_H_

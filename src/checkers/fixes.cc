@@ -1,0 +1,440 @@
+#include "src/checkers/fixes.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "src/checkers/engine.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+std::string PairedDecrementFor(std::string_view api_name) {
+  const std::string name(api_name);
+  if (name == "pm_runtime_get_sync") {
+    return "pm_runtime_put_noidle";  // the canonical fix for the 𝒢_E case
+  }
+  if (name == "kobject_init_and_add" || name.find("kobject") != std::string::npos) {
+    return "kobject_put";
+  }
+  if (name.starts_with("of_") || name.find("for_each") != std::string::npos) {
+    return "of_node_put";
+  }
+  if (name.find("fwnode") != std::string::npos) {
+    return "fwnode_handle_put";
+  }
+  if (name == "get_device" || name.find("find_device") != std::string::npos ||
+      name == "device_initialize") {
+    return "put_device";
+  }
+  if (name == "dev_hold" || name == "ip_dev_find") {
+    return "dev_put";
+  }
+  if (name.find("sock") != std::string::npos) {
+    return "sock_put";
+  }
+  if (name.find("kref") != std::string::npos) {
+    return "kref_put";
+  }
+  if (name == "mdesc_grab") {
+    return "mdesc_release";
+  }
+  if (EndsWithWord(name, "get")) {
+    std::string put = name;
+    put.replace(put.rfind("get"), 3, "put");
+    return put;
+  }
+  return {};
+}
+
+namespace {
+
+// Leading whitespace of a line.
+std::string IndentOf(std::string_view line) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+    ++i;
+  }
+  return std::string(line.substr(0, i));
+}
+
+// One edit against the original file.
+struct Edit {
+  enum class Kind { kInsertAfter, kInsertBefore, kReplace, kDelete };
+  Kind kind = Kind::kInsertAfter;
+  uint32_t line = 0;       // 1-based anchor in the original file
+  std::string text;        // new line content (without newline)
+};
+
+// Renders one or more edits as a unified-diff hunk with up to two lines of
+// context around the edited region.
+std::string RenderDiff(const SourceFile& file, std::vector<Edit> edits) {
+  if (edits.empty()) {
+    return {};
+  }
+  std::sort(edits.begin(), edits.end(), [](const Edit& a, const Edit& b) { return a.line < b.line; });
+  const uint32_t first = edits.front().line > 2 ? edits.front().line - 2 : 1;
+  const uint32_t last = std::min<uint32_t>(edits.back().line + 2, file.line_count());
+
+  std::vector<std::string> old_side;
+  std::vector<std::string> new_side;
+  std::string body;
+  uint32_t old_count = 0;
+  uint32_t new_count = 0;
+
+  for (uint32_t ln = first; ln <= last; ++ln) {
+    const std::string line(file.Line(ln));
+    // All edits anchored here, in submission order: inserts-before, then
+    // the original line (possibly replaced/deleted), then inserts-after.
+    bool replaced = false;
+    bool deleted = false;
+    std::string replacement;
+    for (const Edit& e : edits) {
+      if (e.line == ln && e.kind == Edit::Kind::kInsertBefore) {
+        body += "+" + e.text + "\n";
+        ++new_count;
+      }
+      if (e.line == ln && e.kind == Edit::Kind::kReplace) {
+        replaced = true;
+        replacement = e.text;
+      }
+      if (e.line == ln && e.kind == Edit::Kind::kDelete) {
+        deleted = true;
+      }
+    }
+    if (deleted) {
+      body += "-" + line + "\n";
+      ++old_count;
+    } else if (replaced) {
+      body += "-" + line + "\n";
+      body += "+" + replacement + "\n";
+      ++old_count;
+      ++new_count;
+    } else {
+      body += " " + line + "\n";
+      ++old_count;
+      ++new_count;
+    }
+    for (const Edit& e : edits) {
+      if (e.line == ln && e.kind == Edit::Kind::kInsertAfter) {
+        body += "+" + e.text + "\n";
+        ++new_count;
+      }
+    }
+  }
+
+  std::string out = StrFormat("--- a/%s\n+++ b/%s\n", file.path().c_str(), file.path().c_str());
+  out += StrFormat("@@ -%u,%u +%u,%u @@\n", first, old_count, first, new_count);
+  out += body;
+  return out;
+}
+
+// First line at or after `from` whose trimmed text starts with `prefix`
+// (bounded search); 0 when absent.
+uint32_t FindLineStarting(const SourceFile& file, uint32_t from, std::string_view prefix,
+                          uint32_t limit = 12) {
+  for (uint32_t ln = from; ln <= file.line_count() && ln < from + limit; ++ln) {
+    if (Trim(file.Line(ln)).starts_with(prefix)) {
+      return ln;
+    }
+  }
+  return 0;
+}
+
+// First line at or after `from` containing `needle`; 0 when absent.
+uint32_t FindLineContaining(const SourceFile& file, uint32_t from, std::string_view needle,
+                            uint32_t limit = 12) {
+  for (uint32_t ln = from; ln <= file.line_count() && ln < from + limit; ++ln) {
+    if (file.Line(ln).find(needle) != std::string_view::npos) {
+      return ln;
+    }
+  }
+  return 0;
+}
+
+// Edits that insert `statement` before the return at `ret_line`, adding
+// braces when the return is the single-statement body of a braceless `if`
+// (inserting between `if (...)` and its statement would otherwise change
+// the control flow — a patch any kernel reviewer would bounce).
+std::vector<Edit> InsertBeforeReturn(const SourceFile& file, uint32_t ret_line,
+                                     const std::string& statement) {
+  std::vector<Edit> edits;
+  const std::string_view above = ret_line > 1 ? file.Line(ret_line - 1) : std::string_view();
+  const std::string_view above_trimmed = Trim(above);
+  const bool braceless_if = above_trimmed.starts_with("if ") && !above_trimmed.ends_with("{");
+  if (braceless_if) {
+    edits.push_back({Edit::Kind::kReplace, ret_line - 1, std::string(above) + " {"});
+    edits.push_back({Edit::Kind::kInsertBefore, ret_line, statement});
+    edits.push_back({Edit::Kind::kInsertAfter, ret_line, IndentOf(above) + "}"});
+  } else {
+    edits.push_back({Edit::Kind::kInsertBefore, ret_line, statement});
+  }
+  return edits;
+}
+
+std::string ObjectRootOf(const BugReport& report) {
+  std::string root;
+  for (char c : report.object) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      root.push_back(c);
+    } else {
+      break;
+    }
+  }
+  return root;
+}
+
+}  // namespace
+
+FixSuggestion SuggestFix(const BugReport& report, const SourceFile& file) {
+  FixSuggestion fix;
+  const std::string dec = PairedDecrementFor(report.api);
+  const std::string object = ObjectRootOf(report);
+
+  switch (report.anti_pattern) {
+    case 1:
+    case 5: {
+      // Insert the paired decrement before the error-path return. The
+      // checker records the offending exit when it knows it.
+      uint32_t ret_line = 0;
+      if (report.exit_line > 0 &&
+          Trim(file.Line(report.exit_line)).starts_with("return")) {
+        ret_line = report.exit_line;
+      } else {
+        ret_line = FindLineStarting(file, report.line + 1, "return");
+      }
+      if (ret_line == 0 || dec.empty()) {
+        return fix;
+      }
+      const std::string indent = IndentOf(file.Line(ret_line));
+      fix.available = true;
+      fix.summary = StrFormat("fix reference leak in %s()", report.function.c_str());
+      fix.explanation =
+          StrFormat("%s() leaves a reference held even on the failing path; add the missing "
+                    "%s() before bailing out.",
+                    report.api.c_str(), dec.c_str());
+      fix.diff = RenderDiff(
+          file, InsertBeforeReturn(file, ret_line,
+                                   StrFormat("%s%s(%s);", indent.c_str(), dec.c_str(),
+                                             report.object.c_str())));
+      return fix;
+    }
+
+    case 2: {
+      // Guard the possibly-NULL result before the first dereference.
+      const std::string indent = IndentOf(file.Line(report.line));
+      fix.available = true;
+      fix.summary = StrFormat("fix NULL dereference in %s()", report.function.c_str());
+      fix.explanation = StrFormat("%s() may return NULL; check '%s' before using it.",
+                                  report.api.c_str(), object.c_str());
+      fix.diff = RenderDiff(
+          file, {{Edit::Kind::kInsertAfter, report.line,
+                  StrFormat("%sif (!%s)", indent.c_str(), object.c_str())},
+                 {Edit::Kind::kInsertAfter, report.line,
+                  StrFormat("%s\treturn -ENODEV;", indent.c_str())}});
+      return fix;
+    }
+
+    case 3: {
+      // Release the iterator before leaving the smartloop early.
+      if (dec.empty()) {
+        return fix;
+      }
+      const std::string indent = IndentOf(file.Line(report.line));
+      fix.available = true;
+      fix.summary = StrFormat("fix refcount leak when breaking out of %s", report.api.c_str());
+      fix.explanation = StrFormat(
+          "each %s iteration holds a reference on '%s'; put it before the early exit.",
+          report.api.c_str(), object.c_str());
+      fix.diff = RenderDiff(
+          file, InsertBeforeReturn(file, report.line,
+                                   StrFormat("%s%s(%s);", indent.c_str(), dec.c_str(),
+                                             object.c_str())));
+      return fix;
+    }
+
+    case 4: {
+      if (report.impact == Impact::kUaf) {
+        // Missing increase before a consuming call.
+        const std::string indent = IndentOf(file.Line(report.line));
+        fix.available = true;
+        fix.summary = StrFormat("fix premature put of '%s' in %s()", object.c_str(),
+                                report.function.c_str());
+        fix.explanation = StrFormat(
+            "%s() consumes a reference on '%s' which the caller does not own; take one first.",
+            report.api.c_str(), object.c_str());
+        fix.diff = RenderDiff(file, {{Edit::Kind::kInsertBefore, report.line,
+                                      StrFormat("%sof_node_get(%s);", indent.c_str(),
+                                                object.c_str())}});
+        return fix;
+      }
+      // Missing decrease: insert before the function's last return (the
+      // early NULL-check returns hold no reference), or before the closing
+      // brace of a return-less void function.
+      if (dec.empty()) {
+        return fix;
+      }
+      uint32_t ret_line = 0;
+      uint32_t close_line = 0;
+      for (uint32_t ln = report.line + 1; ln <= file.line_count(); ++ln) {
+        const std::string_view trimmed = Trim(file.Line(ln));
+        if (trimmed.starts_with("return")) {
+          ret_line = ln;
+        }
+        if (trimmed == "}" && IndentOf(file.Line(ln)).empty()) {
+          close_line = ln;
+          break;  // end of function
+        }
+      }
+      if (ret_line == 0) {
+        if (close_line == 0) {
+          return fix;
+        }
+        const std::string body_indent = "\t";
+        fix.available = true;
+        fix.summary = StrFormat("fix refcount leak in %s()", report.function.c_str());
+        fix.explanation =
+            StrFormat("the node from %s() is never released; add %s() when done with it.",
+                      report.api.c_str(), dec.c_str());
+        fix.diff = RenderDiff(file, {{Edit::Kind::kInsertBefore, close_line,
+                                      StrFormat("%s%s(%s);", body_indent.c_str(), dec.c_str(),
+                                                report.object.c_str())}});
+        return fix;
+      }
+      const std::string indent = IndentOf(file.Line(ret_line));
+      fix.available = true;
+      fix.summary = StrFormat("fix refcount leak in %s()", report.function.c_str());
+      fix.explanation =
+          StrFormat("the node from %s() is never released; add %s() when done with it.",
+                    report.api.c_str(), dec.c_str());
+      fix.diff = RenderDiff(
+          file, InsertBeforeReturn(file, ret_line,
+                                   StrFormat("%s%s(%s);", indent.c_str(), dec.c_str(),
+                                             report.object.c_str())));
+      return fix;
+    }
+
+    case 7: {
+      // Replace the kfree with the proper release API.
+      if (dec.empty()) {
+        return fix;
+      }
+      const std::string line(file.Line(report.line));
+      const std::string indent = IndentOf(line);
+      fix.available = true;
+      fix.summary = StrFormat("use %s() instead of kfree in %s()", dec.c_str(),
+                              report.function.c_str());
+      fix.explanation =
+          "freeing a refcounted object directly skips its release callback and leaks the "
+          "resources attached to it.";
+      fix.diff = RenderDiff(file, {{Edit::Kind::kReplace, report.line,
+                                    StrFormat("%s%s(%s);", indent.c_str(), dec.c_str(),
+                                              object.c_str())}});
+      return fix;
+    }
+
+    case 8: {
+      // Move the decrement after the last use of the object.
+      const uint32_t use_line = FindLineContaining(file, report.line + 1, object);
+      if (use_line == 0) {
+        return fix;
+      }
+      const std::string dec_line(file.Line(report.line));
+      fix.available = true;
+      fix.summary = StrFormat("fix use-after-free in %s()", report.function.c_str());
+      fix.explanation = StrFormat(
+          "'%s' is still used after %s() may have freed it; drop the reference last.",
+          object.c_str(), report.api.c_str());
+      fix.diff = RenderDiff(file, {{Edit::Kind::kDelete, report.line, ""},
+                                   {Edit::Kind::kInsertAfter, use_line, dec_line}});
+      return fix;
+    }
+
+    case 9: {
+      // Take a reference around the escape point.
+      const std::string indent = IndentOf(file.Line(report.line));
+      fix.available = true;
+      fix.summary = StrFormat("fix escaped reference in %s()", report.function.c_str());
+      fix.explanation = StrFormat(
+          "'%s' escapes into longer-lived storage without its own reference; take one at the "
+          "escape point.",
+          report.api.c_str());
+      fix.diff = RenderDiff(file, {{Edit::Kind::kInsertAfter, report.line,
+                                    StrFormat("%sof_node_get(%s);", indent.c_str(),
+                                              report.api.c_str())}});
+      return fix;
+    }
+
+    case 6:
+    default:
+      // Inter-procedural: the release belongs in the peer function; writing
+      // that patch needs human placement judgement.
+      fix.available = false;
+      fix.summary = StrFormat("add the missing release for %s() to the paired teardown function",
+                              report.api.c_str());
+      fix.explanation = report.message;
+      return fix;
+  }
+}
+
+std::string ApplyUnifiedDiff(const SourceFile& file, const std::string& diff) {
+  // Parse the (single) hunk header.
+  const size_t at = diff.find("@@ -");
+  if (at == std::string::npos) {
+    return std::string(file.text());
+  }
+  uint32_t old_start = 0;
+  uint32_t old_count = 0;
+  if (std::sscanf(diff.c_str() + at, "@@ -%u,%u", &old_start, &old_count) != 2) {
+    return std::string(file.text());
+  }
+  const size_t body_start = diff.find('\n', at);
+  if (body_start == std::string::npos) {
+    return std::string(file.text());
+  }
+
+  // Rebuild: lines before the hunk, the hunk's +/context lines, lines after.
+  std::string out;
+  for (uint32_t ln = 1; ln < old_start; ++ln) {
+    out.append(file.Line(ln));
+    out.push_back('\n');
+  }
+  uint32_t consumed = 0;  // original lines covered by the hunk
+  for (std::string_view line : Split(std::string_view(diff).substr(body_start + 1), '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    const char tag = line.front();
+    const std::string_view content = line.substr(1);
+    if (tag == ' ') {
+      // Context must match the original; bail out to "no change" otherwise.
+      if (file.Line(old_start + consumed) != content) {
+        return std::string(file.text());
+      }
+      out.append(content);
+      out.push_back('\n');
+      ++consumed;
+    } else if (tag == '-') {
+      if (file.Line(old_start + consumed) != content) {
+        return std::string(file.text());
+      }
+      ++consumed;  // dropped
+    } else if (tag == '+') {
+      out.append(content);
+      out.push_back('\n');
+    } else {
+      break;  // end of hunk body
+    }
+    if (consumed >= old_count && tag != '+') {
+      // Keep reading '+' lines that may follow the last original line.
+    }
+  }
+  for (uint32_t ln = old_start + old_count; ln <= file.line_count(); ++ln) {
+    out.append(file.Line(ln));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace refscan

@@ -1,0 +1,44 @@
+// Patch suggestion generation.
+//
+// The paper's authors sent a patch for every one of the 351 new bugs
+// (§6.4). This module generates those patch hunks mechanically from a
+// BugReport plus the source: where to insert the missing decrement, which
+// call to reorder for a UAD, where to add the increase for an escape, etc.
+// Output is a unified-diff-style hunk against the scanned file.
+
+#ifndef REFSCAN_CHECKERS_FIXES_H_
+#define REFSCAN_CHECKERS_FIXES_H_
+
+#include <string>
+
+#include "src/checkers/report.h"
+#include "src/support/source.h"
+
+namespace refscan {
+
+struct FixSuggestion {
+  bool available = false;   // some patterns need human judgement (P6 peers)
+  std::string summary;      // one-line patch subject, kernel style
+  std::string explanation;  // commit-body style rationale
+  std::string diff;         // unified-diff hunk ("--- a/... +++ b/..." + @@)
+};
+
+// Suggests a patch for `report` given the file it was found in. Returns
+// available=false when no mechanical fix is safe (the caller should write
+// the patch by hand, as for inter-procedural P6 bugs).
+FixSuggestion SuggestFix(const BugReport& report, const SourceFile& file);
+
+// The decrement API paired with an acquiring API ("of_node_put" for any
+// of_* acquirer, "pm_runtime_put_noidle" for pm_runtime_get_sync, ...);
+// empty when unknown.
+std::string PairedDecrementFor(std::string_view api_name);
+
+// Applies a unified-diff hunk produced by SuggestFix back onto the file's
+// text, returning the patched content. Returns the original text unchanged
+// if the hunk does not apply cleanly (context mismatch). This closes the
+// loop: suggest → apply → re-scan → report gone.
+std::string ApplyUnifiedDiff(const SourceFile& file, const std::string& diff);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CHECKERS_FIXES_H_

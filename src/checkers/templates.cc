@@ -1,0 +1,80 @@
+#include "src/checkers/templates.h"
+
+namespace refscan {
+
+std::string RenderStep(const TemplateStep& step) {
+  std::string out = step.context;
+  if (!step.op.empty()) {
+    out.push_back('_');
+    out.append(step.op);
+  }
+  if (!step.detail.empty()) {
+    out.push_back('(');
+    out.append(step.detail);
+    out.push_back(')');
+  }
+  return out;
+}
+
+std::string RenderTemplate(const std::vector<TemplateStep>& steps) {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i != 0) {
+      out.append(" -> ");
+    }
+    out.append(RenderStep(steps[i]));
+  }
+  return out;
+}
+
+std::string AntiPatternTemplate(int anti_pattern) {
+  switch (anti_pattern) {
+    case 1:  // §5.1.3
+      return "F_start -> S_G_E -> B_error -> F_end";
+    case 2:
+      return "F_start -> S_G_N -> S_D_N -> F_end";
+    case 3:  // §5.2.3
+      return "F_start -> M_SL -> S_break -> F_end";
+    case 4:
+      return "F_start -> S_G_H|P_H -> F_end";
+    case 5:  // §5.3.4
+      return "F_start -> S_G -> S_P|B_error -> F_end";
+    case 6:
+      return "F^T_start -> S_G -> F^T_end /\\ F^B_start -> F^B_end";
+    case 7:
+      return "F_start -> S_G -> S_free -> F_end";
+    case 8:  // §5.4.3
+      return "F_start -> S_P(p0) -> S_D(p0) -> F_end";
+    case 9:
+      return "F_start -> S_A_G|O -> F_end";
+    default:
+      return "?";
+  }
+}
+
+std::string_view AntiPatternName(int anti_pattern) {
+  switch (anti_pattern) {
+    case 1:
+      return "Return-Error";
+    case 2:
+      return "Return-NULL";
+    case 3:
+      return "SmartLoop-Break";
+    case 4:
+      return "Hidden-Refcounting";
+    case 5:
+      return "Error-Handle";
+    case 6:
+      return "Inter-Unpaired";
+    case 7:
+      return "Direct-Free";
+    case 8:
+      return "Use-After-Decrease";
+    case 9:
+      return "Reference-Escape";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace refscan

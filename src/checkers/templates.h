@@ -1,0 +1,35 @@
+// Semantic-template rendering (§3.2).
+//
+// The paper describes bugs with operator/context symbols: 𝒢/𝒫 refcount ops,
+// 𝒜 assignment, 𝒟 dereference, ℒ/𝒰 lock/unlock; contexts 𝒮 statement,
+// ℬ basic block, ℱ function, ℳ macro; path arrows →. We render them in
+// ASCII ("F_start -> S_G -> B_error -> F_end") so reports and the Table 1
+// bench are plain-text diffable.
+
+#ifndef REFSCAN_CHECKERS_TEMPLATES_H_
+#define REFSCAN_CHECKERS_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+namespace refscan {
+
+// One element of a semantic template path, e.g. "S_G(pm_runtime_get_sync)".
+struct TemplateStep {
+  std::string context;  // "F_start", "S", "B_error", "M_SL", "F_end", ...
+  std::string op;       // "G", "P", "U.D", "G_E", ... (empty for pure contexts)
+  std::string detail;   // API name or object, rendered in parentheses
+};
+
+std::string RenderStep(const TemplateStep& step);
+std::string RenderTemplate(const std::vector<TemplateStep>& steps);
+
+// The canonical anti-pattern templates (P1..P9) exactly as §5 states them.
+std::string AntiPatternTemplate(int anti_pattern);
+
+// Short human name for each anti-pattern ("Return-Error", "SmartLoop-Break", ...).
+std::string_view AntiPatternName(int anti_pattern);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CHECKERS_TEMPLATES_H_

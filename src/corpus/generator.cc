@@ -1,0 +1,1012 @@
+#include "src/corpus/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/prng.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+namespace {
+
+// ------------------------------------------------------------- name pools
+
+constexpr const char* kDeviceWords[] = {
+    "aon",  "crc",  "pmc",  "dmac", "emac",  "codec", "panel", "tsens", "sata", "qspi",
+    "mbox", "gpc",  "scu",  "smmu", "pwm",   "cpg",   "dsi",   "hdmi",  "lvds", "pcie",
+    "sram", "otp",  "fuse", "wdt",  "rng",   "adc",   "dac",   "canfd", "spdif", "ssi",
+    "vpu",  "mipi", "csi",  "isp",  "venc",  "vdec",  "ddrc",  "noc",   "lpc",  "ec",
+};
+
+constexpr const char* kActionWords[] = {
+    "setup",  "init",   "attach", "parse", "scan",  "configure", "prepare",
+    "bind",   "load",   "enable", "start", "map",   "select",    "detect",
+};
+
+constexpr const char* kPropWords[] = {
+    "clock-frequency", "reg-width",  "interrupt-cells", "dma-channels",
+    "bus-width",       "max-speed",  "phy-mode",        "num-lanes",
+};
+
+constexpr const char* kVendorWords[] = {
+    "acme", "vertex", "nimbus", "orion", "zephyr", "corvid", "basalt", "helix",
+};
+
+// Smartloop invocation shapes: how each macro spells its arguments, given an
+// iterator variable (it) and an auxiliary variable/constant (aux).
+struct LoopShape {
+  const char* name;
+  const char* decl_aux;  // extra declaration line, or nullptr
+  // returns invocation text
+  std::string (*invoke)(const std::string& it, const std::string& aux);
+};
+
+std::string LoopIterFirst(const std::string& it, const std::string& aux) {
+  return StrFormat("(%s, %s)", it.c_str(), aux.c_str());
+}
+std::string LoopIterSecond(const std::string& it, const std::string& aux) {
+  return StrFormat("(%s, %s)", aux.c_str(), it.c_str());
+}
+
+const LoopShape kLoopShapes[] = {
+    {"for_each_matching_node", nullptr, LoopIterFirst},
+    {"for_each_child_of_node", "parent", LoopIterSecond},
+    {"for_each_available_child_of_node", "parent", LoopIterSecond},
+    {"for_each_node_by_name", nullptr, LoopIterFirst},
+    {"for_each_node_by_type", nullptr, LoopIterFirst},
+    {"for_each_compatible_node", nullptr, LoopIterFirst},
+    {"device_for_each_child_node", "dev", LoopIterSecond},
+    {"fwnode_for_each_child_node", "fwnode", LoopIterSecond},
+    {"fwnode_for_each_parent_node", nullptr, LoopIterFirst},
+    {"for_each_cpu_node", nullptr, LoopIterFirst},
+};
+
+const LoopShape* FindLoopShape(std::string_view name) {
+  for (const LoopShape& shape : kLoopShapes) {
+    if (name == shape.name) {
+      return &shape;
+    }
+  }
+  return nullptr;
+}
+
+// Find-like APIs usable for "acquire a node" templates, and whether their
+// first argument is a consumed `from` pointer.
+struct FindShape {
+  const char* name;
+  bool takes_from;      // first arg is a device_node* the API consumes
+  const char* arg_fmt;  // remaining-args format; %s = a compat/name string
+};
+
+const FindShape kFindShapes[] = {
+    {"of_find_compatible_node", true, "NULL, \"%s\""},
+    {"of_find_matching_node", true, "%s_ids"},
+    {"of_find_node_by_name", true, "\"%s\""},
+    {"of_find_node_by_type", true, "\"%s\""},
+    {"of_find_node_by_path", false, "\"/soc/%s\""},
+    {"of_find_node_by_phandle", false, "%s_phandle"},
+    {"of_parse_phandle", false, "@np, \"%s\", 0"},
+    {"of_get_parent", false, "@np"},  // special: single node argument
+    {"of_get_child_by_name", false, "@np, \"%s\""},
+    {"of_graph_get_port_by_id", false, "@np, 1"},
+    {"of_graph_get_port_parent", false, "@np"},
+    {"of_get_node", false, "\"%s\""},
+    {"ip_dev_find", false, "net, %s_addr"},
+};
+
+const FindShape* FindFindShape(std::string_view name) {
+  for (const FindShape& shape : kFindShapes) {
+    if (name == shape.name) {
+      return &shape;
+    }
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------- generator
+
+class ModuleGenerator {
+ public:
+  ModuleGenerator(const ModulePlan& plan, const CorpusOptions& options, Corpus& corpus)
+      : plan_(plan),
+        options_(options),
+        corpus_(corpus),
+        rng_(Xoshiro256pp(options.seed)
+                 .Fork(HashString(plan.subsystem.data(), plan.subsystem.size()) ^
+                       HashString(plan.module.data(), plan.module.size()))) {}
+
+  void Generate() {
+    EmitSupportFile();
+
+    // Interleave bugs with clean functions across files of ~6 bug functions.
+    std::vector<int> bug_kinds;
+    for (const auto& [pattern, count] : plan_.pattern_counts) {
+      for (int i = 0; i < count; ++i) {
+        bug_kinds.push_back(pattern);
+      }
+    }
+    // Deterministic shuffle so patterns spread over files.
+    for (size_t i = bug_kinds.size(); i > 1; --i) {
+      std::swap(bug_kinds[i - 1], bug_kinds[rng_.Below(i)]);
+    }
+
+    int fps_left = options_.plant_false_positives ? plan_.false_positives : 0;
+    // Clean code outnumbers buggy code (as in a real tree): this is what
+    // keeps the checkers' precision honest and gives cross-checking-style
+    // baselines a meaningful majority to vote with.
+    const int clean_total =
+        std::max<int>(options_.min_clean_functions, 2 * static_cast<int>(bug_kinds.size()));
+    int clean_left = clean_total;
+
+    OpenFile();
+    size_t bugs_in_file = 0;
+    for (size_t i = 0; i < bug_kinds.size(); ++i) {
+      EmitBug(bug_kinds[i]);
+      ++bugs_in_file;
+      // Sprinkle clean functions between bugs.
+      if (clean_left > 0 && rng_.Chance(0.5)) {
+        EmitCleanFunction();
+        --clean_left;
+      }
+      if (fps_left > 0 && rng_.Chance(0.3)) {
+        EmitFalsePositive();
+        --fps_left;
+      }
+      if (bugs_in_file >= 6 && i + 1 < bug_kinds.size()) {
+        FlushFile();
+        OpenFile();
+        bugs_in_file = 0;
+      }
+    }
+    while (clean_left-- > 0) {
+      EmitCleanFunction();
+    }
+    while (fps_left-- > 0) {
+      EmitFalsePositive();
+    }
+    FlushFile();
+
+    AssignResponses();
+  }
+
+ private:
+  bool IsHeaderModule() const { return plan_.subsystem == "include"; }
+
+  // ----------------------------------------------------------- name utils
+
+  std::string Pick(const char* const* pool, size_t n) {
+    return pool[rng_.Below(n)];
+  }
+  std::string DeviceWord() { return Pick(kDeviceWords, std::size(kDeviceWords)); }
+  std::string ActionWord() { return Pick(kActionWords, std::size(kActionWords)); }
+  std::string PropWord() { return Pick(kPropWords, std::size(kPropWords)); }
+  std::string VendorWord() { return Pick(kVendorWords, std::size(kVendorWords)); }
+
+  std::string CompatString() { return VendorWord() + "," + DeviceWord(); }
+
+  // Unique function name like "aon_pmc_setup".
+  std::string FreshName(std::string_view stem) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string name = StrFormat("%s_%s_%s", DeviceWord().c_str(), std::string(stem).c_str(),
+                                   ActionWord().c_str());
+      if (used_names_.insert(name).second) {
+        return name;
+      }
+    }
+    std::string name = StrFormat("%s_fn%zu", plan_.module.c_str(), used_names_.size());
+    used_names_.insert(name);
+    return name;
+  }
+
+  // ------------------------------------------------------------ API picks
+
+  // First API in the plan's pool matching `pred`, else `fallback`.
+  template <typename Pred>
+  std::string PickApi(Pred pred, const char* fallback) {
+    std::vector<std::string> candidates;
+    for (const std::string& api : plan_.apis) {
+      if (pred(api)) {
+        candidates.push_back(api);
+      }
+    }
+    if (candidates.empty()) {
+      return fallback;
+    }
+    return candidates[rng_.Below(candidates.size())];
+  }
+
+  std::string PickFindApi() {
+    return PickApi([](const std::string& a) { return FindFindShape(a) != nullptr; },
+                   "of_find_compatible_node");
+  }
+
+  std::string PickConsumingFindApi() {
+    return PickApi(
+        [](const std::string& a) {
+          const FindShape* shape = FindFindShape(a);
+          return shape != nullptr && shape->takes_from;
+        },
+        "of_find_matching_node");
+  }
+
+  std::string PickSmartLoop() {
+    return PickApi([](const std::string& a) { return FindLoopShape(a) != nullptr; },
+                   "for_each_child_of_node");
+  }
+
+  std::string PickDecApi() {
+    return PickApi(
+        [](const std::string& a) {
+          return a == "sock_put" || a == "usb_serial_put" || a == "nvmet_fc_tgt_q_put" ||
+                 a == "kobject_put";
+        },
+        "kobject_put");
+  }
+
+  // ------------------------------------------------------------- file I/O
+
+  void OpenFile() {
+    const char* stems[] = {"core", "setup", "main", "dev", "plat", "common", "board", "bus"};
+    std::string stem = stems[file_count_ % std::size(stems)];
+    if (file_count_ >= static_cast<int>(std::size(stems))) {
+      stem += StrFormat("%d", file_count_);
+    }
+    ++file_count_;
+    const char* ext = IsHeaderModule() ? "h" : "c";
+    path_ = StrFormat("%s/%s/%s-%s.%s", plan_.subsystem.c_str(), plan_.module.c_str(),
+                      DeviceWord().c_str(), stem.c_str(), ext);
+    buffer_ = StrFormat(
+        "// SPDX-License-Identifier: GPL-2.0\n"
+        "// %s %s support (generated corpus)\n"
+        "#include <linux/kernel.h>\n"
+        "#include <linux/of.h>\n"
+        "#include <linux/platform_device.h>\n\n",
+        plan_.module.c_str(), plan_.subsystem.c_str());
+  }
+
+  void FlushFile() {
+    if (!buffer_.empty()) {
+      corpus_.tree.Add(path_, buffer_);
+      buffer_.clear();
+    }
+  }
+
+  void Append(const std::string& text) { buffer_ += text; }
+
+  void RegisterBug(const std::string& fn, int pattern, Impact impact, const std::string& api) {
+    PlantedBug bug;
+    bug.file = path_;
+    bug.function = fn;
+    bug.anti_pattern = pattern == kMissingIncrease ? 4 : pattern;
+    bug.impact = impact;
+    bug.api = api;
+    corpus_.ground_truth.push_back(std::move(bug));
+    module_bug_indices_.push_back(corpus_.ground_truth.size() - 1);
+  }
+
+  const char* FnQualifier() const { return IsHeaderModule() ? "static inline" : "static"; }
+
+  // -------------------------------------------------- acquire-line helper
+
+  // Emits `np = <api>(...)` right-hand side for a find-like API. If the
+  // shape needs a source node (`@np` marker), `src` supplies it.
+  std::string AcquireExpr(const std::string& api, const std::string& src) {
+    const FindShape* shape = FindFindShape(api);
+    std::string args;
+    if (shape == nullptr) {
+      args = StrFormat("\"%s\"", CompatString().c_str());
+    } else if (shape->takes_from) {
+      args = StrFormat("NULL, %s", StrFormat(shape->arg_fmt, DeviceWord().c_str()).c_str());
+    } else {
+      std::string fmt = shape->arg_fmt;
+      if (fmt.find("@np") != std::string::npos) {
+        fmt.replace(fmt.find("@np"), 3, src);
+        if (fmt.find("%s") != std::string::npos) {
+          args = StrFormat(fmt.c_str(), DeviceWord().c_str());
+        } else {
+          args = fmt;
+        }
+      } else {
+        args = StrFormat(fmt.c_str(), DeviceWord().c_str());
+      }
+    }
+    return StrFormat("%s(%s)", api.c_str(), args.c_str());
+  }
+
+  // --------------------------------------------------------- bug emitters
+
+  void EmitBug(int pattern) {
+    switch (pattern) {
+      case 1:
+        EmitBugP1();
+        return;
+      case 2:
+        EmitBugP2();
+        return;
+      case 3:
+        EmitBugP3();
+        return;
+      case 4:
+        EmitBugP4();
+        return;
+      case kMissingIncrease:
+        EmitBugMissingIncrease();
+        return;
+      case 5:
+        EmitBugP5();
+        return;
+      case 6:
+        EmitBugP6();
+        return;
+      case 7:
+        EmitBugP7();
+        return;
+      case 8:
+        EmitBugP8();
+        return;
+      case 9:
+        EmitBugP9();
+        return;
+      default:
+        return;
+    }
+  }
+
+  void EmitBugP1() {
+    const std::string fn = FreshName("pm");
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct %s_priv *priv = platform_get_drvdata(pdev);\n"
+        "\tint ret;\n"
+        "\n"
+        "\tret = pm_runtime_get_sync(priv->dev);\n"
+        "\tif (ret < 0)\n"
+        "\t\treturn ret;\n"  // planted P1: usage count already raised
+        "\t%s_commit(priv);\n"
+        "\tpm_runtime_put(priv->dev);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), plan_.module.c_str(), DeviceWord().c_str()));
+    RegisterBug(fn, 1, Impact::kLeak, "pm_runtime_get_sync");
+  }
+
+  void EmitBugP2() {
+    const std::string fn = FreshName("mdesc");
+    Append(StrFormat(
+        "%s int %s(void)\n"
+        "{\n"
+        "\tstruct mdesc_handle *hp = mdesc_grab();\n"
+        "\tconst char *name = md_get_property(hp->root, \"%s\");\n"  // planted P2
+        "\t%s_record(name);\n"
+        "\tmdesc_release(hp);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), PropWord().c_str(), DeviceWord().c_str()));
+    RegisterBug(fn, 2, Impact::kNpd, "mdesc_grab");
+  }
+
+  void EmitBugP3() {
+    const std::string loop = PickSmartLoop();
+    const LoopShape* shape = FindLoopShape(loop);
+    const std::string fn = FreshName("walk");
+    const std::string it = "np";
+    std::string aux;
+    std::string aux_decl;
+    if (shape->decl_aux != nullptr) {
+      aux = shape->decl_aux;
+      if (aux == "parent") {
+        aux_decl = "\tstruct device_node *parent = pdev->dev.of_node;\n";
+      } else if (aux == "dev") {
+        aux_decl = "\tstruct device *dev = &pdev->dev;\n";
+      } else {
+        aux_decl = "\tstruct fwnode_handle *fwnode = dev_fwnode(&pdev->dev);\n";
+      }
+    } else {
+      aux = StrFormat("%s_ids", DeviceWord().c_str());
+      if (loop == "for_each_node_by_name" || loop == "for_each_node_by_type" ||
+          loop == "for_each_compatible_node") {
+        aux = StrFormat("\"%s\"", DeviceWord().c_str());
+      }
+    }
+    // Three early-exit variants, like the real reports: break, return, goto.
+    const int variant = static_cast<int>(rng_.Below(3));
+    std::string exit_stmt;
+    std::string tail = "\treturn 0;\n";
+    if (variant == 0) {
+      exit_stmt = "\t\t\tbreak;";
+    } else if (variant == 1) {
+      exit_stmt = "\t\t\treturn -ENODEV;";
+    } else {
+      exit_stmt = "\t\t\tgoto err_stop;";
+      tail = "\treturn 0;\nerr_stop:\n\t" + plan_.module + "_halt(pdev);\n\treturn -EIO;\n";
+    }
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *%s;\n"
+        "%s"
+        "\n"
+        "\t%s%s {\n"
+        "\t\tif (of_device_is_compatible(%s, \"%s\"))\n"
+        "%s\n"  // planted P3: iterator reference leaks at the early exit
+        "\t}\n"
+        "%s"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), it.c_str(), aux_decl.c_str(), loop.c_str(),
+        shape->invoke(it, aux).c_str(), it.c_str(), CompatString().c_str(), exit_stmt.c_str(),
+        tail.c_str()));
+    RegisterBug(fn, 3, Impact::kLeak, loop);
+  }
+
+  void EmitBugP4() {
+    const std::string api = PickFindApi();
+    const std::string fn = FreshName("lookup");
+    const bool in_probe_style = rng_.Chance(0.5);
+    const std::string src = "pdev->dev.of_node";
+    if (in_probe_style) {
+      Append(StrFormat(
+          "%s int %s(struct platform_device *pdev)\n"
+          "{\n"
+          "\tstruct device_node *np;\n"
+          "\tu32 val;\n"
+          "\n"
+          "\tnp = %s;\n"
+          "\tif (!np)\n"
+          "\t\treturn -ENODEV;\n"
+          "\tof_property_read_u32(np, \"%s\", &val);\n"
+          "\t%s_apply(pdev, val);\n"
+          "\treturn 0;\n"  // planted P4: missing of_node_put(np)
+          "}\n\n",
+          FnQualifier(), fn.c_str(), AcquireExpr(api, src).c_str(), PropWord().c_str(),
+          DeviceWord().c_str()));
+    } else {
+      Append(StrFormat(
+          "%s void %s(void)\n"
+          "{\n"
+          "\tstruct device_node *np = %s;\n"
+          "\n"
+          "\tif (np)\n"
+          "\t\t%s_configure(np);\n"
+          "}\n\n",  // planted P4: missing of_node_put(np) in the if-body
+          FnQualifier(), fn.c_str(), AcquireExpr(api, "of_root").c_str(), DeviceWord().c_str()));
+    }
+    RegisterBug(fn, 4, Impact::kLeak, api);
+  }
+
+  void EmitBugMissingIncrease() {
+    const std::string api = PickConsumingFindApi();
+    const FindShape* shape = FindFindShape(api);
+    const std::string fn = FreshName("next");
+    std::string rest = StrFormat(shape->arg_fmt, DeviceWord().c_str());
+    Append(StrFormat(
+        "%s struct device_node *%s(struct device_node *from)\n"
+        "{\n"
+        "\tstruct device_node *np;\n"
+        "\n"
+        "\tnp = %s(from, %s);\n"  // planted P4 (missing increase): consumes `from`
+        "\treturn np;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), api.c_str(), rest.c_str()));
+    RegisterBug(fn, kMissingIncrease, Impact::kUaf, api);
+  }
+
+  void EmitBugP5() {
+    const std::string api = PickFindApi();
+    const std::string fn = FreshName("enable");
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *np = %s;\n"
+        "\tint ret;\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tret = %s_prepare(np);\n"
+        "\tif (ret < 0)\n"
+        "\t\treturn ret;\n"  // planted P5: error path misses of_node_put
+        "\t%s_commit(np);\n"
+        "\tof_node_put(np);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), AcquireExpr(api, "pdev->dev.of_node").c_str(),
+        DeviceWord().c_str(), DeviceWord().c_str()));
+    RegisterBug(fn, 5, Impact::kLeak, api);
+  }
+
+  void EmitBugP6() {
+    const std::string api = PickFindApi();
+    const std::string dev = DeviceWord() + "_" + ActionWord();
+    const std::string probe_fn = dev + "_probe";
+    const std::string remove_fn = dev + "_remove";
+    used_names_.insert(probe_fn);
+    used_names_.insert(remove_fn);
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *np = %s;\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tpdev->priv = np;\n"
+        "\treturn 0;\n"
+        "}\n\n"
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\t%s_quiesce(pdev);\n"
+        "\treturn 0;\n"  // planted P6: remove never puts the node from probe
+        "}\n\n"
+        "static struct platform_driver %s_driver = {\n"
+        "\t.probe = %s,\n"
+        "\t.remove = %s,\n"
+        "\t.driver = { .name = \"%s\" },\n"
+        "};\n\n",
+        FnQualifier(), probe_fn.c_str(), AcquireExpr(api, "pdev->dev.of_node").c_str(),
+        FnQualifier(), remove_fn.c_str(), DeviceWord().c_str(), dev.c_str(), probe_fn.c_str(),
+        remove_fn.c_str(), dev.c_str()));
+    RegisterBug(probe_fn, 6, Impact::kLeak, api);
+  }
+
+  void EmitBugP7() {
+    const std::string api = PickFindApi();
+    const std::string fn = FreshName("teardown");
+    Append(StrFormat(
+        "%s void %s(void)\n"
+        "{\n"
+        "\tstruct device_node *np = %s;\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn;\n"
+        "\t%s_flush(np);\n"
+        "\tkfree(np);\n"  // planted P7: direct free bypasses the release hook
+        "}\n\n",
+        FnQualifier(), fn.c_str(), AcquireExpr(api, "of_root").c_str(), DeviceWord().c_str()));
+    RegisterBug(fn, 7, Impact::kLeak, api);
+  }
+
+  void EmitBugP8() {
+    const std::string api = PickDecApi();
+    const std::string fn = FreshName("unhash");
+    if (api == "sock_put") {
+      Append(StrFormat(
+          "%s void %s(struct sock *sk)\n"
+          "{\n"
+          "\tsock_put(sk);\n"
+          "\tsock_prot_inuse_add(sock_net(sk), sk->sk_prot, -1);\n"  // planted P8
+          "}\n\n",
+          FnQualifier(), fn.c_str()));
+    } else if (api == "usb_serial_put") {
+      Append(StrFormat(
+          "%s int %s(struct usb_serial *serial)\n"
+          "{\n"
+          "\t%s_quiesce(serial);\n"
+          "\tusb_serial_put(serial);\n"
+          "\tmutex_unlock(&serial->disc_mutex);\n"  // planted P8
+          "\treturn 0;\n"
+          "}\n\n",
+          FnQualifier(), fn.c_str(), DeviceWord().c_str()));
+    } else if (api == "nvmet_fc_tgt_q_put") {
+      Append(StrFormat(
+          "%s void %s(struct nvmet_fc_tgt_queue *queue)\n"
+          "{\n"
+          "\tnvmet_fc_tgt_q_put(queue);\n"
+          "\t%s_log(queue->qid);\n"  // planted P8
+          "}\n\n",
+          FnQualifier(), fn.c_str(), DeviceWord().c_str()));
+    } else {
+      Append(StrFormat(
+          "%s void %s(struct %s_state *st)\n"
+          "{\n"
+          "\tkobject_put(&st->kobj);\n"
+          "\tst->flags = 0;\n"  // planted P8
+          "}\n\n",
+          FnQualifier(), fn.c_str(), plan_.module.c_str()));
+    }
+    RegisterBug(fn, 8, Impact::kUaf, api);
+  }
+
+  void EmitBugP9() {
+    const std::string fn = FreshName("cache");
+    Append(StrFormat(
+        "%s int %s(struct %s_ctx *ctx)\n"
+        "{\n"
+        "\tstruct device_node *np = of_find_node_by_path(\"/soc/%s\");\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tctx->node = np;\n"  // planted P9: escapes without of_node_get
+        "\t%s_sync(np);\n"
+        "\tof_node_put(np);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), plan_.module.c_str(), DeviceWord().c_str(),
+        DeviceWord().c_str()));
+    RegisterBug(fn, 9, Impact::kUaf, "of_find_node_by_path");
+  }
+
+  // The lpfc Listing-5 shape: flagged by the checkers, proved safe by the
+  // maintainers. Counted as a false positive in Table 4.
+  void EmitFalsePositive() {
+    const std::string fn = FreshName("event");
+    Append(StrFormat(
+        "%s int %s(struct bsg_job *job)\n"
+        "{\n"
+        "\tstruct lpfc_bsg_event *evt;\n"
+        "\n"
+        "\tlist_for_each_entry(evt, &waiters, node) {\n"
+        "\t\tif (evt->reg_id == job->reg_id)\n"
+        "\t\t\tlpfc_bsg_event_ref(evt);\n"
+        "\t}\n"
+        "\tif (list_entry_is_head(evt, &waiters)) {\n"
+        "\t\tevt = %s_event_new(job->reg_id);\n"
+        "\t}\n"
+        "\treturn %s_submit(evt);\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), plan_.module.c_str(), DeviceWord().c_str()));
+    corpus_.planted_fps.push_back(PlantedFalsePositive{path_, fn});
+  }
+
+  // -------------------------------------------------------- clean emitters
+
+  void EmitCleanFunction() {
+    switch (clean_variant_++ % 8) {
+      case 0:
+        EmitCleanFindPut();
+        return;
+      case 1:
+        EmitCleanLoopPutBeforeBreak();
+        return;
+      case 2:
+        EmitCleanGuardedGrab();
+        return;
+      case 3:
+        EmitCleanPmPaired();
+        return;
+      case 4:
+        EmitCleanPlainLogic();
+        return;
+      case 5:
+        EmitCleanEscapeWithGet();
+        return;
+      case 6:
+        EmitCleanProbeRemovePair();
+        return;
+      case 7:
+        EmitCleanDevmManaged();
+        return;
+    }
+  }
+
+  void EmitCleanDevmManaged() {
+    const std::string fn = FreshName("devm");
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *np = of_find_node_by_path(\"/soc/%s\");\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\treturn devm_add_action_or_reset(&pdev->dev, %s_put_node, np);\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), DeviceWord().c_str(), plan_.module.c_str()));
+  }
+
+  void EmitCleanFindPut() {
+    const std::string fn = FreshName("read");
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *np = %s;\n"
+        "\tint ret;\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tret = %s_prepare(np);\n"
+        "\tif (ret < 0)\n"
+        "\t\tgoto out_put;\n"
+        "\t%s_commit(np);\n"
+        "out_put:\n"
+        "\tof_node_put(np);\n"
+        "\treturn ret;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(),
+        AcquireExpr("of_find_compatible_node", "pdev->dev.of_node").c_str(),
+        DeviceWord().c_str(), DeviceWord().c_str()));
+  }
+
+  void EmitCleanLoopPutBeforeBreak() {
+    const std::string fn = FreshName("find");
+    Append(StrFormat(
+        "%s int %s(struct device_node *parent)\n"
+        "{\n"
+        "\tstruct device_node *child;\n"
+        "\n"
+        "\tfor_each_child_of_node(parent, child) {\n"
+        "\t\tif (of_device_is_compatible(child, \"%s\")) {\n"
+        "\t\t\tof_node_put(child);\n"
+        "\t\t\tbreak;\n"
+        "\t\t}\n"
+        "\t}\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), CompatString().c_str()));
+  }
+
+  void EmitCleanGuardedGrab() {
+    const std::string fn = FreshName("probe_md");
+    Append(StrFormat(
+        "%s int %s(void)\n"
+        "{\n"
+        "\tstruct mdesc_handle *hp = mdesc_grab();\n"
+        "\n"
+        "\tif (!hp)\n"
+        "\t\treturn -ENODEV;\n"
+        "\t%s_record(md_get_property(hp->root, \"%s\"));\n"
+        "\tmdesc_release(hp);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), DeviceWord().c_str(), PropWord().c_str()));
+  }
+
+  void EmitCleanPmPaired() {
+    const std::string fn = FreshName("resume");
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tint ret = pm_runtime_get_sync(pdev->dev);\n"
+        "\n"
+        "\tif (ret < 0) {\n"
+        "\t\tpm_runtime_put_noidle(pdev->dev);\n"
+        "\t\treturn ret;\n"
+        "\t}\n"
+        "\t%s_kick(pdev);\n"
+        "\tpm_runtime_put(pdev->dev);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), DeviceWord().c_str()));
+  }
+
+  void EmitCleanPlainLogic() {
+    const std::string fn = FreshName("calc");
+    Append(StrFormat(
+        "%s u32 %s(u32 rate, u32 div)\n"
+        "{\n"
+        "\tu32 out = rate;\n"
+        "\n"
+        "\tif (div > 1)\n"
+        "\t\tout = rate / div;\n"
+        "\tif (out > %llu)\n"
+        "\t\tout = %llu;\n"
+        "\treturn out;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), static_cast<unsigned long long>(1000 + rng_.Below(100000)),
+        static_cast<unsigned long long>(2000 + rng_.Below(200000))));
+  }
+
+  void EmitCleanEscapeWithGet() {
+    const std::string fn = FreshName("adopt");
+    Append(StrFormat(
+        "%s int %s(struct %s_ctx *ctx)\n"
+        "{\n"
+        "\tstruct device_node *np = of_find_node_by_path(\"/soc/%s\");\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tctx->node = np;\n"
+        "\tof_node_get(np);\n"
+        "\t%s_sync(np);\n"
+        "\tof_node_put(np);\n"
+        "\treturn 0;\n"
+        "}\n\n",
+        FnQualifier(), fn.c_str(), plan_.module.c_str(), DeviceWord().c_str(),
+        DeviceWord().c_str()));
+  }
+
+  void EmitCleanProbeRemovePair() {
+    const std::string dev = DeviceWord() + "_" + ActionWord();
+    const std::string probe_fn = dev + "_probe";
+    const std::string remove_fn = dev + "_remove";
+    if (!used_names_.insert(probe_fn).second) {
+      EmitCleanPlainLogic();
+      return;
+    }
+    used_names_.insert(remove_fn);
+    Append(StrFormat(
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tstruct device_node *np = of_find_node_by_path(\"/soc/%s\");\n"
+        "\n"
+        "\tif (!np)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tpdev->priv = np;\n"
+        "\treturn 0;\n"
+        "}\n\n"
+        "%s int %s(struct platform_device *pdev)\n"
+        "{\n"
+        "\tof_node_put(pdev->priv);\n"
+        "\treturn 0;\n"
+        "}\n\n"
+        "static struct platform_driver %s_driver = {\n"
+        "\t.probe = %s,\n"
+        "\t.remove = %s,\n"
+        "};\n\n",
+        FnQualifier(), probe_fn.c_str(), DeviceWord().c_str(), FnQualifier(), remove_fn.c_str(),
+        dev.c_str(), probe_fn.c_str(), remove_fn.c_str()));
+  }
+
+  // Support file: refcounted struct + wrapper APIs + balanced usage, to
+  // exercise KB discovery the way real kernel modules do.
+  void EmitSupportFile() {
+    if (IsHeaderModule()) {
+      return;
+    }
+    const std::string mod = plan_.module;
+    path_ = StrFormat("%s/%s/%s-base.c", plan_.subsystem.c_str(), mod.c_str(), mod.c_str());
+    buffer_ = StrFormat(
+        "// SPDX-License-Identifier: GPL-2.0\n"
+        "// %s base objects (generated corpus)\n"
+        "#include <linux/kernel.h>\n"
+        "#include <linux/of.h>\n"
+        "\n"
+        "struct %s_device {\n"
+        "\tstruct device dev;\n"
+        "\tstruct kref refcnt;\n"
+        "\tint id;\n"
+        "};\n"
+        "\n"
+        "static void %s_device_release(struct kref *ref)\n"
+        "{\n"
+        "\tkfree(container_of(ref, struct %s_device, refcnt));\n"
+        "}\n"
+        "\n"
+        "static struct %s_device *%s_device_get(struct %s_device *mdev)\n"
+        "{\n"
+        "\tif (mdev)\n"
+        "\t\tkref_get(&mdev->refcnt);\n"
+        "\treturn mdev;\n"
+        "}\n"
+        "\n"
+        "static void %s_device_put(struct %s_device *mdev)\n"
+        "{\n"
+        "\tif (mdev)\n"
+        "\t\tkref_put(&mdev->refcnt, %s_device_release);\n"
+        "}\n"
+        "\n"
+        "static int %s_device_rename(struct %s_device *mdev, const char *name)\n"
+        "{\n"
+        "\tstruct %s_device *held = %s_device_get(mdev);\n"
+        "\tint ret;\n"
+        "\n"
+        "\tif (!held)\n"
+        "\t\treturn -ENODEV;\n"
+        "\tret = %s_apply_name(held, name);\n"
+        "\t%s_device_put(held);\n"
+        "\treturn ret;\n"
+        "}\n\n",
+        mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(),
+        mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str(),
+        mod.c_str(), mod.c_str(), mod.c_str(), mod.c_str());
+    FlushFile();
+  }
+
+  // ------------------------------------------------------------ responses
+
+  void AssignResponses() {
+    // Patch rejects go to UAD bugs first (the paper's three rejects were all
+    // disputed UAD reports), then the first `confirmed` remaining bugs are
+    // confirmed, the rest get no response.
+    int rejects = plan_.patch_rejected;
+    for (size_t index : module_bug_indices_) {
+      PlantedBug& bug = corpus_.ground_truth[index];
+      if (rejects > 0 && bug.anti_pattern == 8) {
+        bug.response = MaintainerResponse::kPatchRejected;
+        --rejects;
+      }
+    }
+    int confirm = plan_.no_response ? 0 : plan_.confirmed;
+    for (size_t index : module_bug_indices_) {
+      PlantedBug& bug = corpus_.ground_truth[index];
+      if (bug.response == MaintainerResponse::kPatchRejected) {
+        continue;
+      }
+      if (confirm > 0) {
+        bug.response = MaintainerResponse::kConfirmed;
+        --confirm;
+      } else {
+        bug.response = MaintainerResponse::kNoResponse;
+      }
+    }
+  }
+
+  const ModulePlan& plan_;
+  const CorpusOptions& options_;
+  Corpus& corpus_;
+  Xoshiro256pp rng_;
+  std::set<std::string> used_names_;
+  std::vector<size_t> module_bug_indices_;
+  std::string path_;
+  std::string buffer_;
+  int file_count_ = 0;
+  int clean_variant_ = 0;
+};
+
+}  // namespace
+
+const PlantedBug* Corpus::FindBug(std::string_view file, std::string_view function) const {
+  for (const PlantedBug& bug : ground_truth) {
+    if (bug.file == file && bug.function == function) {
+      return &bug;
+    }
+  }
+  return nullptr;
+}
+
+bool Corpus::IsPlantedFp(std::string_view file, std::string_view function) const {
+  for (const PlantedFalsePositive& fp : planted_fps) {
+    if (fp.file == file && fp.function == function) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// The device-tree core (the paper's Listing 4 shows exactly this code):
+// find-like APIs that internally of_node_get() the returned node and
+// of_node_put() the `from` cursor, plus the smartloop macro definitions.
+// Including it makes KB discovery and the similarity study see the same
+// text the paper's tooling saw in drivers/of/ and include/linux/of.h.
+void EmitOfCore(Corpus& corpus) {
+  corpus.tree.Add("include/linux/of-iterators.h",
+                  "// SPDX-License-Identifier: GPL-2.0\n"
+                  "#define for_each_matching_node(dn, matches) \\\n"
+                  "\tfor (dn = of_find_matching_node(NULL, matches); dn; \\\n"
+                  "\t     dn = of_find_matching_node(dn, matches))\n"
+                  "#define for_each_child_of_node(parent, child) \\\n"
+                  "\tfor (child = of_get_next_child(parent, NULL); child != NULL; \\\n"
+                  "\t     child = of_get_next_child(parent, child))\n");
+  corpus.tree.Add(
+      "drivers/of/base-core.c",
+      "// SPDX-License-Identifier: GPL-2.0\n"
+      "// Device-tree node lookup core (generated corpus)\n"
+      "#include <linux/of.h>\n"
+      "\n"
+      "struct device_node *of_find_matching_node_impl(struct device_node *from,\n"
+      "\t\t\t\t\t       const struct of_device_id *matches)\n"
+      "{\n"
+      "\tstruct device_node *np;\n"
+      "\n"
+      "\tfor_each_of_allnodes_from(from, np) {\n"
+      "\t\tif (of_match_node(matches, np) && of_node_get(np))\n"
+      "\t\t\tbreak;\n"
+      "\t}\n"
+      "\tof_node_put(from);\n"
+      "\treturn np;\n"
+      "}\n"
+      "\n"
+      "struct device_node *of_get_next_child_impl(const struct device_node *node,\n"
+      "\t\t\t\t\t   struct device_node *prev)\n"
+      "{\n"
+      "\tstruct device_node *next = prev ? prev->sibling : node->child;\n"
+      "\n"
+      "\tif (next)\n"
+      "\t\tof_node_get(next);\n"
+      "\tof_node_put(prev);\n"
+      "\treturn next;\n"
+      "}\n");
+}
+
+}  // namespace
+
+Corpus GenerateKernelCorpus(const CorpusOptions& options, const std::vector<ModulePlan>& plan) {
+  Corpus corpus;
+  EmitOfCore(corpus);
+  for (const ModulePlan& module_plan : plan) {
+    ModuleGenerator(module_plan, options, corpus).Generate();
+  }
+  return corpus;
+}
+
+}  // namespace refscan

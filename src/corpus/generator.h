@@ -1,0 +1,74 @@
+// Synthetic kernel-source generator.
+//
+// Produces the SourceTree the checker benches scan, substituting for real
+// Linux kernel releases (DESIGN.md §4). Driver-flavoured C functions are
+// generated per module according to the Table 5 plan: each planted bug is
+// one function exhibiting exactly one anti-pattern instance, surrounded by
+// clean functions (balanced refcounting, guarded derefs, correctly-exiting
+// smartloops) that keep the checkers' precision honest, plus per-module
+// support code (refcounted structs, wrapper APIs, custom smartloop macros)
+// that exercises KB discovery. Known-false-positive shapes (the lpfc
+// Listing-5 case) are planted per Table 4's FP column.
+//
+// A seeded maintainer-response model assigns confirmed / no-response /
+// patch-rejected to every planted bug per the plan, reproducing the paper's
+// patch-committing outcome (240 CFM / 111 NR / 3 PR).
+
+#ifndef REFSCAN_CORPUS_GENERATOR_H_
+#define REFSCAN_CORPUS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/checkers/report.h"
+#include "src/corpus/plan.h"
+#include "src/support/source.h"
+
+namespace refscan {
+
+enum class MaintainerResponse : uint8_t {
+  kConfirmed,     // patch applied to mainline
+  kNoResponse,    // no reply
+  kPatchRejected, // developers disputed the bug (UAD cases)
+};
+
+struct PlantedBug {
+  std::string file;
+  std::string function;
+  int anti_pattern = 0;  // 1..9 (missing-increase recorded as 4)
+  Impact impact = Impact::kLeak;
+  std::string api;
+  MaintainerResponse response = MaintainerResponse::kNoResponse;
+};
+
+struct PlantedFalsePositive {
+  std::string file;
+  std::string function;
+};
+
+struct CorpusOptions {
+  uint64_t seed = 20230701;
+  // Clean (bug-free) functions per module, in addition to the per-module
+  // support file. More clean code = harder precision test + larger KLOC.
+  int min_clean_functions = 4;
+  bool plant_false_positives = true;
+};
+
+struct Corpus {
+  SourceTree tree;
+  std::vector<PlantedBug> ground_truth;
+  std::vector<PlantedFalsePositive> planted_fps;
+
+  // Lookups key on (file, function): generated function names are unique
+  // within a module but may repeat across modules.
+  const PlantedBug* FindBug(std::string_view file, std::string_view function) const;
+  bool IsPlantedFp(std::string_view file, std::string_view function) const;
+};
+
+// Generates the corpus for `plan` (defaults to the full Table 5 plan).
+Corpus GenerateKernelCorpus(const CorpusOptions& options = {},
+                            const std::vector<ModulePlan>& plan = Table5Plan());
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CORPUS_GENERATOR_H_

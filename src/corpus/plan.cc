@@ -1,0 +1,130 @@
+#include "src/corpus/plan.h"
+
+namespace refscan {
+
+int ModulePlan::TotalBugs() const {
+  int n = 0;
+  for (const auto& [pattern, count] : pattern_counts) {
+    n += count;
+  }
+  return n;
+}
+
+const std::vector<ModulePlan>& Table5Plan() {
+  // Transcribed from the paper's Table 5. P4 counts are split between the
+  // missing-decrease flavour (id 4) and the missing-increase flavour
+  // (kMissingIncrease) so that the 16 missing-increase bugs of §5.2.2 are
+  // distributed over the modules with the largest P4 populations.
+  static const std::vector<ModulePlan> kPlan = {
+      // ---- arch (156 bugs, 91 confirmed, 1 FP)
+      {"arch", "arm", {{4, 39}, {kMissingIncrease, 3}, {6, 2}, {7, 2}, {9, 4}},
+       {"of_find_compatible_node", "of_find_matching_node"}, 18, 0, false, 0},
+      {"arch", "microblaze", {{4, 1}}, {"of_find_matching_node"}, 0, 0, true, 0},
+      {"arch", "mips", {{4, 15}, {kMissingIncrease, 2}},
+       {"of_find_compatible_node", "of_find_matching_node"}, 16, 0, false, 0},
+      {"arch", "powerpc", {{3, 8}, {4, 44}, {kMissingIncrease, 4}, {5, 1}, {6, 2}, {8, 1}, {9, 5}},
+       {"of_find_compatible_node", "of_find_node_by_path"}, 55, 0, false, 0},
+      {"arch", "sh", {{4, 1}}, {"of_find_compatible_node"}, 0, 0, true, 0},
+      {"arch", "sparc", {{2, 3}, {3, 4}, {4, 8}, {kMissingIncrease, 1}, {7, 1}, {9, 1}},
+       {"of_find_node_by_name", "for_each_node_by_name"}, 0, 0, true, 1},
+      {"arch", "x86", {{4, 2}}, {"of_find_compatible_node", "of_find_matching_node"}, 0, 0, true,
+       0},
+      {"arch", "xtensa", {{4, 2}}, {"of_find_compatible_node"}, 2, 0, false, 0},
+
+      // ---- drivers (182 bugs, 137 confirmed, 4 FPs)
+      {"drivers", "block", {{2, 1}}, {"mdesc_grab"}, 1, 0, false, 0},
+      {"drivers", "bus", {{3, 1}, {4, 7}}, {"of_find_matching_node", "of_find_node_by_path"}, 4,
+       0, false, 0},
+      {"drivers", "clk", {{4, 35}, {kMissingIncrease, 2}},
+       {"of_get_node", "of_find_matching_node"}, 36, 0, false, 0},
+      {"drivers", "clocksource", {{4, 1}}, {"of_find_compatible_node"}, 0, 0, true, 0},
+      {"drivers", "cpufreq", {{4, 4}}, {"of_find_node_by_name", "of_find_matching_node"}, 4, 0,
+       false, 0},
+      {"drivers", "crypto", {{4, 4}}, {"of_find_compatible_node"}, 4, 0, false, 0},
+      {"drivers", "dma", {{3, 1}, {5, 1}}, {"of_parse_phandle", "for_each_child_of_node"}, 1, 0,
+       false, 0},
+      {"drivers", "edac", {{4, 1}}, {"of_find_compatible_node"}, 0, 0, true, 0},
+      {"drivers", "firmware", {{4, 1}}, {"of_find_compatible_node"}, 0, 0, true, 0},
+      {"drivers", "gpio", {{4, 2}, {6, 1}, {9, 1}}, {"of_get_parent", "of_node_get"}, 2, 0, false,
+       0},
+      {"drivers", "gpu", {{3, 3}, {4, 5}, {5, 3}, {6, 2}, {8, 2}, {9, 2}},
+       {"of_graph_get_port_by_id", "of_get_node"}, 12, 1, false, 1},
+      {"drivers", "hwmon", {{4, 2}}, {"of_find_compatible_node"}, 2, 0, false, 0},
+      {"drivers", "i2c", {{3, 2}}, {"device_for_each_child_node", "for_each_child_of_node"}, 1, 0,
+       false, 0},
+      {"drivers", "iio", {{3, 1}, {4, 1}}, {"device_for_each_child_node", "of_find_node_by_name"},
+       1, 0, false, 0},
+      {"drivers", "input", {{4, 2}}, {"of_find_node_by_path"}, 2, 0, false, 0},
+      {"drivers", "iommu", {{3, 1}}, {"for_each_child_of_node"}, 1, 0, false, 0},
+      {"drivers", "irqchip", {{4, 3}}, {"of_find_matching_node", "of_find_node_by_phandle"}, 0, 0,
+       true, 0},
+      {"drivers", "leds", {{3, 1}}, {"fwnode_for_each_child_node"}, 1, 0, false, 0},
+      {"drivers", "macintosh", {{4, 2}, {6, 1}}, {"of_find_compatible_node", "of_node_get"}, 3, 0,
+       false, 0},
+      {"drivers", "media", {{3, 2}}, {"for_each_compatible_node", "for_each_child_of_node"}, 1, 0,
+       false, 0},
+      {"drivers", "memory", {{3, 4}, {4, 2}}, {"of_find_node_by_name", "for_each_child_of_node"},
+       3, 0, false, 0},
+      {"drivers", "mfd", {{1, 1}}, {"pm_runtime_get_sync"}, 1, 0, false, 0},
+      {"drivers", "mmc", {{3, 3}, {4, 1}}, {"for_each_child_of_node", "of_find_compatible_node"},
+       4, 0, false, 0},
+      {"drivers", "net", {{2, 2}, {3, 5}, {4, 10}, {kMissingIncrease, 2}},
+       {"for_each_child_of_node", "of_find_compatible_node"}, 16, 0, false, 1},
+      {"drivers", "nvme", {{8, 1}}, {"nvmet_fc_tgt_q_put"}, 0, 1, false, 0},
+      {"drivers", "of", {{4, 1}}, {"of_parse_phandle"}, 1, 0, false, 0},
+      {"drivers", "opp", {{9, 2}}, {"of_node_get"}, 2, 0, false, 0},
+      {"drivers", "pci", {{4, 2}, {5, 1}}, {"of_parse_phandle", "of_find_matching_node"}, 1, 0,
+       false, 0},
+      {"drivers", "perf", {{3, 1}}, {"for_each_cpu_node"}, 1, 0, false, 0},
+      {"drivers", "phy", {{3, 1}, {4, 2}}, {"for_each_child_of_node", "of_parse_phandle"}, 1, 0,
+       false, 0},
+      {"drivers", "pinctrl", {{4, 1}}, {"of_find_node_by_phandle"}, 0, 0, true, 0},
+      {"drivers", "platform", {{3, 3}},
+       {"device_for_each_child_node", "fwnode_for_each_child_node"}, 2, 0, false, 0},
+      {"drivers", "powerpc", {{4, 1}}, {"of_find_compatible_node"}, 1, 0, false, 0},
+      {"drivers", "regulator", {{4, 2}}, {"of_find_node_by_name", "of_get_child_by_name"}, 2, 0,
+       false, 0},
+      {"drivers", "sbus", {{4, 2}}, {"of_find_node_by_path"}, 0, 0, true, 0},
+      {"drivers", "soc", {{3, 3}, {4, 7}, {5, 1}, {6, 1}, {9, 1}},
+       {"of_find_compatible_node", "of_get_parent"}, 11, 0, false, 1},
+      {"drivers", "thermal", {{6, 1}, {9, 1}}, {"of_node_get"}, 2, 0, false, 0},
+      {"drivers", "tty", {{2, 1}, {4, 2}, {6, 1}}, {"mdesc_grab", "of_find_node_by_type"}, 3, 0,
+       false, 0},
+      {"drivers", "ufs", {{4, 1}}, {"of_parse_phandle"}, 1, 0, false, 0},
+      {"drivers", "usb", {{4, 5}, {kMissingIncrease, 1}, {8, 1}},
+       {"of_find_node_by_name", "usb_serial_put"}, 7, 0, false, 1},
+      {"drivers", "video", {{4, 3}}, {"of_find_compatible_node", "of_parse_phandle"}, 2, 0, false,
+       0},
+      {"drivers", "w1", {{4, 3}, {5, 1}}, {"of_find_matching_node"}, 0, 0, true, 0},
+
+      // ---- include (2 bugs, 2 confirmed)
+      {"include", "linux", {{4, 2}}, {"of_find_compatible_node"}, 2, 0, false, 0},
+
+      // ---- net (2 bugs, 1 confirmed, 1 patch-reject)
+      {"net", "appletalk", {{4, 1}}, {"dev_hold"}, 1, 0, false, 0},
+      {"net", "ipv4", {{8, 1}}, {"sock_put"}, 0, 1, false, 0},
+
+      // ---- sound (9 bugs, 9 confirmed)
+      {"sound", "soc", {{4, 7}, {kMissingIncrease, 1}, {5, 1}},
+       {"of_find_compatible_node", "of_graph_get_port_parent"}, 9, 0, false, 0},
+  };
+  return kPlan;
+}
+
+PlanTotals ComputePlanTotals(const std::vector<ModulePlan>& plan) {
+  PlanTotals totals;
+  for (const ModulePlan& m : plan) {
+    const int bugs = m.TotalBugs();
+    totals.bugs += bugs;
+    totals.confirmed += m.confirmed;
+    totals.patch_rejected += m.patch_rejected;
+    totals.false_positives += m.false_positives;
+    totals.per_subsystem[m.subsystem] += bugs;
+    for (const auto& [pattern, count] : m.pattern_counts) {
+      totals.per_pattern[pattern == kMissingIncrease ? 4 : pattern] += count;
+    }
+  }
+  return totals;
+}
+
+}  // namespace refscan

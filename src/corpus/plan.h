@@ -1,0 +1,54 @@
+// Corpus generation plan.
+//
+// The plan transcribes the paper's Table 5 (per-module new-bug breakdown):
+// which subsystems/modules carry how many instances of each anti-pattern,
+// which APIs cause them, and how maintainers responded (confirmed /
+// no-response / patch-rejected). The generator (generator.h) turns this
+// plan into a synthetic kernel source tree with those bugs planted, which
+// substitutes for scanning real kernel releases (see DESIGN.md §4).
+
+#ifndef REFSCAN_CORPUS_PLAN_H_
+#define REFSCAN_CORPUS_PLAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace refscan {
+
+// Internal pattern ids: 1..9 are the paper's P1..P9; kMissingIncrease is the
+// missing-increase flavour of P4 (consumed `from` parameter), which the
+// checkers report as P4 with UAF impact (§5.2.2, 16 new bugs).
+inline constexpr int kMissingIncrease = 10;
+
+struct ModulePlan {
+  std::string subsystem;  // "arch", "drivers", ...
+  std::string module;     // "arm", "clk", ...
+  std::map<int, int> pattern_counts;  // pattern id -> planted bug count
+  std::vector<std::string> apis;      // preferred bug-caused APIs (Table 5 col 3)
+  int confirmed = 0;       // bugs confirmed by "maintainers" (0 = none)
+  int patch_rejected = 0;  // bugs whose patch was rejected
+  bool no_response = false;  // true: every patch got no response (Table 5 "NR")
+  int false_positives = 0;   // planted known-FP shapes (Table 4 "#FP")
+
+  int TotalBugs() const;
+};
+
+// The full Table 5 plan (54 modules; totals match Table 4: 351 bugs, 240
+// confirmed, 3 patch-rejects, 5 false positives).
+const std::vector<ModulePlan>& Table5Plan();
+
+// Aggregates for sanity checks / benches.
+struct PlanTotals {
+  int bugs = 0;
+  int confirmed = 0;
+  int patch_rejected = 0;
+  int false_positives = 0;
+  std::map<int, int> per_pattern;          // P1..P9 (kMissingIncrease folded into P4)
+  std::map<std::string, int> per_subsystem;
+};
+PlanTotals ComputePlanTotals(const std::vector<ModulePlan>& plan);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CORPUS_PLAN_H_

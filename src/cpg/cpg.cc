@@ -1,0 +1,521 @@
+#include "src/cpg/cpg.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace refscan {
+
+namespace {
+
+const Expr* StripTransparent(const Expr* e) {
+  while (e != nullptr) {
+    if (e->kind == Expr::Kind::kCast && !e->args.empty()) {
+      e = e->args[0].get();
+      continue;
+    }
+    if (e->kind == Expr::Kind::kUnary && e->value == "&" && !e->args.empty()) {
+      e = e->args[0].get();
+      continue;
+    }
+    break;
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string ObjectSpelling(const Expr& expr) {
+  const Expr* e = StripTransparent(&expr);
+  if (e == nullptr) {
+    return {};
+  }
+  switch (e->kind) {
+    case Expr::Kind::kIdent:
+      return e->value == "NULL" ? std::string() : e->value;
+    case Expr::Kind::kMember: {
+      if (e->args.empty() || e->args[0] == nullptr) {
+        return {};
+      }
+      const std::string base = ObjectSpelling(*e->args[0]);
+      if (base.empty()) {
+        return {};
+      }
+      return base + (e->arrow ? "->" : ".") + e->value;
+    }
+    case Expr::Kind::kUnary:
+      if (e->value == "*" && !e->args.empty() && e->args[0] != nullptr) {
+        const std::string base = ObjectSpelling(*e->args[0]);
+        return base.empty() ? std::string() : "*" + base;
+      }
+      return {};
+    case Expr::Kind::kIndex: {
+      if (e->args.empty() || e->args[0] == nullptr) {
+        return {};
+      }
+      const std::string base = ObjectSpelling(*e->args[0]);
+      return base.empty() ? std::string() : base + "[]";
+    }
+    default:
+      return {};
+  }
+}
+
+std::string ObjectRoot(const Expr& expr) {
+  const Expr* e = StripTransparent(&expr);
+  while (e != nullptr &&
+         (e->kind == Expr::Kind::kMember || e->kind == Expr::Kind::kIndex ||
+          (e->kind == Expr::Kind::kUnary && e->value == "*"))) {
+    e = e->args.empty() ? nullptr : StripTransparent(e->args[0].get());
+  }
+  if (e != nullptr && e->kind == Expr::Kind::kIdent && e->value != "NULL") {
+    return e->value;
+  }
+  return {};
+}
+
+std::string ObjectRootOfSpelling(std::string_view spelling) {
+  size_t i = 0;
+  while (i < spelling.size() && spelling[i] == '*') {
+    ++i;
+  }
+  size_t end = i;
+  while (end < spelling.size() &&
+         (std::isalnum(static_cast<unsigned char>(spelling[end])) != 0 || spelling[end] == '_')) {
+    ++end;
+  }
+  return std::string(spelling.substr(i, end - i));
+}
+
+namespace {
+
+// Walks expressions of one CFG node and emits SemEvents in evaluation order.
+class EventExtractor {
+ public:
+  EventExtractor(const KnowledgeBase& kb, const std::set<std::string>& params,
+                 const std::set<std::string>& locals, std::vector<SemEvent>& out)
+      : kb_(kb), params_(params), locals_(locals), out_(out) {}
+
+  // address_taken: the immediately-enclosing operator is '&', so a member
+  // access does not read memory.
+  void Visit(const Expr& e, uint32_t line, bool address_taken = false) {
+    switch (e.kind) {
+      case Expr::Kind::kAssign:
+        VisitAssign(e, line);
+        return;
+      case Expr::Kind::kCall:
+        VisitCall(e, line);
+        return;
+      case Expr::Kind::kMember: {
+        if (e.arrow && !address_taken && !e.args.empty() && e.args[0] != nullptr) {
+          Emit(SemOp::kDeref, ObjectSpelling(*e.args[0]), line);
+        }
+        if (!e.args.empty() && e.args[0] != nullptr) {
+          // The base of `a->b->c` is itself a deref of `a`.
+          Visit(*e.args[0], line, /*address_taken=*/false);
+        }
+        return;
+      }
+      case Expr::Kind::kUnary: {
+        if (e.args.empty() || e.args[0] == nullptr) {
+          return;
+        }
+        if (e.value == "*" && !address_taken) {
+          Emit(SemOp::kDeref, ObjectSpelling(*e.args[0]), line);
+        }
+        const bool inner_addr = e.value == "&";
+        Visit(*e.args[0], line, inner_addr);
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        if (!e.args.empty() && e.args[0] != nullptr) {
+          if (!address_taken) {
+            Emit(SemOp::kDeref, ObjectSpelling(*e.args[0]), line);
+          }
+          Visit(*e.args[0], line);
+        }
+        if (e.args.size() > 1 && e.args[1] != nullptr) {
+          Visit(*e.args[1], line);
+        }
+        return;
+      }
+      default:
+        for (const ExprPtr& child : e.args) {
+          if (child != nullptr) {
+            Visit(*child, line);
+          }
+        }
+        return;
+    }
+  }
+
+  // Extracts NULL-check events from a branch condition (in addition to the
+  // regular Visit events, which the caller also runs).
+  void VisitCondition(const Expr& e, uint32_t line) {
+    switch (e.kind) {
+      case Expr::Kind::kUnary:
+        if (e.value == "!" && !e.args.empty() && e.args[0] != nullptr) {
+          const std::string obj = ObjectSpelling(*e.args[0]);
+          if (!obj.empty()) {
+            EmitNullCheck(obj, line, /*true_is_null=*/true);
+          }
+        }
+        return;
+      case Expr::Kind::kIdent: {
+        if (e.value != "NULL") {
+          EmitNullCheck(e.value, line, /*true_is_null=*/false);
+        }
+        return;
+      }
+      case Expr::Kind::kMember: {
+        const std::string obj = ObjectSpelling(e);
+        if (!obj.empty()) {
+          EmitNullCheck(obj, line, /*true_is_null=*/false);
+        }
+        return;
+      }
+      case Expr::Kind::kBinary: {
+        if (e.args.size() < 2 || e.args[0] == nullptr || e.args[1] == nullptr) {
+          return;
+        }
+        const bool rhs_null = (e.args[1]->kind == Expr::Kind::kIdent &&
+                               e.args[1]->value == "NULL") ||
+                              (e.args[1]->kind == Expr::Kind::kLiteral && e.args[1]->value == "0");
+        if ((e.value == "==" || e.value == "!=") && rhs_null) {
+          const std::string obj = ObjectSpelling(*e.args[0]);
+          if (!obj.empty()) {
+            EmitNullCheck(obj, line, /*true_is_null=*/e.value == "==");
+          }
+          return;
+        }
+        if (e.value == "&&" || e.value == "||") {
+          VisitCondition(*e.args[0], line);
+          VisitCondition(*e.args[1], line);
+        }
+        return;
+      }
+      case Expr::Kind::kAssign:
+        // `if ((np = of_find_node(...)))` — the assigned object is checked.
+        if (!e.args.empty() && e.args[0] != nullptr) {
+          const std::string obj = ObjectSpelling(*e.args[0]);
+          if (!obj.empty()) {
+            EmitNullCheck(obj, line, /*true_is_null=*/false);
+          }
+        }
+        return;
+      case Expr::Kind::kCall: {
+        // `if (IS_ERR(np))` guards ERR_PTR-returning acquirers the same way
+        // a NULL check guards NULL-returning ones.
+        const std::string callee = e.CalleeName();
+        if ((callee == "IS_ERR" || callee == "IS_ERR_OR_NULL") && e.args.size() > 1 &&
+            e.args[1] != nullptr) {
+          const std::string obj = ObjectSpelling(*e.args[1]);
+          if (!obj.empty()) {
+            EmitNullCheck(obj, line, /*true_is_null=*/true);
+          }
+        }
+        if ((callee == "unlikely" || callee == "likely") && e.args.size() > 1 &&
+            e.args[1] != nullptr) {
+          VisitCondition(*e.args[1], line);
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+ private:
+  void Emit(SemOp op, std::string object, uint32_t line) {
+    if (op == SemOp::kDeref && object.empty()) {
+      return;
+    }
+    SemEvent ev;
+    ev.op = op;
+    ev.object = std::move(object);
+    ev.line = line;
+    out_.push_back(std::move(ev));
+  }
+
+  void EmitNullCheck(std::string object, uint32_t line, bool true_is_null) {
+    SemEvent ev;
+    ev.op = SemOp::kNullCheck;
+    ev.object = std::move(object);
+    ev.line = line;
+    ev.checks_null_true_branch = true_is_null;
+    out_.push_back(std::move(ev));
+  }
+
+  void VisitAssign(const Expr& e, uint32_t line) {
+    if (e.args.size() < 2 || e.args[0] == nullptr || e.args[1] == nullptr) {
+      return;
+    }
+    const Expr& lhs = *e.args[0];
+    const Expr& rhs = *e.args[1];
+
+    // Writing through a pointer lhs dereferences its base.
+    if (lhs.kind == Expr::Kind::kMember && lhs.arrow && !lhs.args.empty() &&
+        lhs.args[0] != nullptr) {
+      Emit(SemOp::kDeref, ObjectSpelling(*lhs.args[0]), line);
+    }
+    if (lhs.kind == Expr::Kind::kUnary && lhs.value == "*" && !lhs.args.empty() &&
+        lhs.args[0] != nullptr) {
+      Emit(SemOp::kDeref, ObjectSpelling(*lhs.args[0]), line);
+    }
+
+    // rhs first (evaluation order does not matter for matching).
+    Visit(rhs, line);
+
+    const std::string lhs_obj = ObjectSpelling(lhs);
+    SemEvent ev;
+    ev.op = SemOp::kAssign;
+    ev.object = lhs_obj;
+    ev.aux = ObjectSpelling(rhs);
+    if (const Expr* rhs_call = StripTransparent(&rhs);
+        rhs_call != nullptr && rhs_call->kind == Expr::Kind::kCall) {
+      // Assignment from a call: the call's own events (e.g. 𝒢 of the
+      // returned object) were emitted by Visit(rhs) with the lhs unknown;
+      // PatchCallResult below rewrites them. Record the call for that.
+      pending_call_result_ = lhs_obj;
+    }
+    ev.line = line;
+    ev.escapes = EscapesScope(lhs);
+    out_.push_back(std::move(ev));
+    PatchCallResult();
+  }
+
+  // An lhs escapes the function when it is a global identifier (not a local
+  // or parameter) or a store through a parameter (out-param / longer-lived
+  // object field).
+  bool EscapesScope(const Expr& lhs) const {
+    const std::string root = ObjectRoot(lhs);
+    if (root.empty()) {
+      return false;
+    }
+    const bool is_param = params_.contains(root);
+    const bool is_local = locals_.contains(root);
+    if (lhs.kind == Expr::Kind::kIdent) {
+      return !is_param && !is_local;  // plain write to a global
+    }
+    // Member/deref store: escapes when rooted in a parameter or a global.
+    if (is_param) {
+      return true;
+    }
+    return !is_local;
+  }
+
+  void VisitCall(const Expr& e, uint32_t line) {
+    const std::string callee = e.CalleeName();
+    const RefApiInfo* api = kb_.FindApi(callee);
+
+    // Visit arguments first (derefs inside argument expressions).
+    for (size_t i = 1; i < e.args.size(); ++i) {
+      if (e.args[i] != nullptr) {
+        Visit(*e.args[i], line, /*address_taken=*/false);
+      }
+    }
+
+    auto arg_object = [&](int index) -> std::string {
+      const size_t slot = static_cast<size_t>(index) + 1;
+      if (index < 0 || slot >= e.args.size() || e.args[slot] == nullptr) {
+        return {};
+      }
+      return ObjectSpelling(*e.args[slot]);
+    };
+
+    if (api != nullptr) {
+      if (api->consumed_param >= 0) {
+        const std::string victim = arg_object(api->consumed_param);
+        if (!victim.empty()) {
+          SemEvent ev;
+          ev.op = SemOp::kDecrease;
+          ev.object = victim;
+          ev.api = api;
+          ev.line = line;
+          out_.push_back(std::move(ev));
+        }
+      }
+      SemEvent ev;
+      ev.op = api->direction == RefDirection::kIncrease ? SemOp::kIncrease : SemOp::kDecrease;
+      ev.api = api;
+      ev.line = line;
+      if (api->returns_object && api->object_param < 0) {
+        // Object is the return value; the enclosing assignment (if any)
+        // patches in the lhs spelling.
+        ev.object.clear();
+        out_.push_back(std::move(ev));
+        unpatched_result_ = static_cast<int>(out_.size()) - 1;
+      } else {
+        ev.object = arg_object(api->object_param);
+        out_.push_back(std::move(ev));
+      }
+      return;
+    }
+
+    if (KnowledgeBase::IsFreeFunction(callee)) {
+      Emit(SemOp::kFree, arg_object(0), line);
+      return;
+    }
+    // Ownership sinks: the callee stores this argument into longer-lived
+    // state, so the caller's reference escapes through the call.
+    if (const int sink_param = kb_.FindOwnershipSink(callee); sink_param >= 0) {
+      const std::string victim = arg_object(sink_param);
+      if (!victim.empty()) {
+        SemEvent ev;
+        ev.op = SemOp::kAssign;
+        ev.object = callee + "()";
+        ev.aux = victim;
+        ev.line = line;
+        ev.escapes = true;
+        out_.push_back(std::move(ev));
+      }
+    }
+    if (KnowledgeBase::IsLockFunction(callee)) {
+      Emit(SemOp::kLock, arg_object(0), line);
+      return;
+    }
+    if (KnowledgeBase::IsUnlockFunction(callee)) {
+      Emit(SemOp::kUnlock, arg_object(0), line);
+      return;
+    }
+  }
+
+  void PatchCallResult() {
+    if (unpatched_result_ >= 0 && !pending_call_result_.empty()) {
+      out_[static_cast<size_t>(unpatched_result_)].object = pending_call_result_;
+    }
+    unpatched_result_ = -1;
+    pending_call_result_.clear();
+  }
+
+  const KnowledgeBase& kb_;
+  const std::set<std::string>& params_;
+  const std::set<std::string>& locals_;
+  std::vector<SemEvent>& out_;
+  int unpatched_result_ = -1;
+  std::string pending_call_result_;
+};
+
+}  // namespace
+
+Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
+  Cpg cpg;
+  cpg.cfg_ = &cfg;
+  cpg.kb_ = &kb;
+  cpg.node_events_.resize(cfg.size());
+
+  const FunctionDef* fn = cfg.function();
+  for (const Param& p : fn->params) {
+    if (!p.name.empty()) {
+      cpg.params_.insert(p.name);
+    }
+  }
+  if (fn->body != nullptr) {
+    ForEachStmt(*fn->body, [&cpg](const Stmt& s) {
+      if (s.kind == Stmt::Kind::kDecl && !s.name.empty()) {
+        cpg.locals_.insert(s.name);
+      }
+    });
+  }
+
+  for (size_t i = 0; i < cfg.size(); ++i) {
+    const CfgNode& node = cfg.node(static_cast<int>(i));
+    std::vector<SemEvent>& events = cpg.node_events_[i];
+    EventExtractor extractor(kb, cpg.params_, cpg.locals_, events);
+
+    if (node.kind == CfgNode::Kind::kLoopHead && node.expr != nullptr &&
+        node.expr->kind == Expr::Kind::kCall) {
+      SemEvent ev;
+      ev.op = SemOp::kLoopHead;
+      ev.line = node.line;
+      ev.loop = kb.FindSmartLoop(node.expr->CalleeName());
+      if (ev.loop != nullptr) {
+        const size_t slot = static_cast<size_t>(ev.loop->iterator_arg) + 1;
+        if (slot < node.expr->args.size() && node.expr->args[slot] != nullptr) {
+          ev.object = ObjectSpelling(*node.expr->args[slot]);
+        }
+      }
+      events.push_back(std::move(ev));
+      // Also extract ordinary events from the head's other arguments
+      // (e.g. a consumed `from` pointer is not modelled for macros).
+      continue;
+    }
+
+    // kDecl initializer: synthesise the assignment into the declared name.
+    if (node.stmt != nullptr && node.stmt->kind == Stmt::Kind::kDecl) {
+      if (node.expr != nullptr) {
+        // `type name = init;` has assignment semantics: visit the
+        // initializer, patch any returns-object refcount event with the
+        // declared name, then record the 𝒜 event.
+        extractor.Visit(*node.expr, node.line);
+        // Patch a pending returns-object event (find-like initializer).
+        for (auto it = events.rbegin(); it != events.rend(); ++it) {
+          if ((it->op == SemOp::kIncrease || it->op == SemOp::kDecrease) && it->object.empty() &&
+          it->api != nullptr && it->api->returns_object && it->api->object_param < 0) {
+            it->object = node.stmt->name;
+            break;
+          }
+        }
+        SemEvent ev;
+        ev.op = SemOp::kAssign;
+        ev.object = node.stmt->name;
+        ev.aux = ObjectSpelling(*node.expr);
+        ev.line = node.line;
+        ev.escapes = false;  // declarations never escape
+        events.push_back(std::move(ev));
+      }
+      continue;
+    }
+
+    if (node.kind == CfgNode::Kind::kCondition && node.expr != nullptr) {
+      extractor.Visit(*node.expr, node.line);
+      extractor.VisitCondition(*node.expr, node.line);
+      continue;
+    }
+
+    if (node.stmt != nullptr && node.stmt->kind == Stmt::Kind::kReturn) {
+      if (node.expr != nullptr) {
+        extractor.Visit(*node.expr, node.line);
+      }
+      SemEvent ev;
+      ev.op = SemOp::kReturn;
+      ev.line = node.line;
+      if (node.expr != nullptr) {
+        ev.object = ObjectSpelling(*node.expr);
+        // `return to_foo(obj)` / `return container_of(obj, ...)` transfers
+        // obj's ownership through the wrapper; record the argument so the
+        // acquisition analysis can see the hand-off.
+        if (ev.object.empty() && node.expr->kind == Expr::Kind::kCall &&
+            node.expr->CalleeName() != "ERR_PTR" && node.expr->CalleeName() != "ERR_CAST") {
+          for (size_t a = 1; a < node.expr->args.size(); ++a) {
+            if (node.expr->args[a] != nullptr) {
+              const std::string spelling = ObjectSpelling(*node.expr->args[a]);
+              if (!spelling.empty()) {
+                ev.aux = spelling;
+                break;
+              }
+            }
+          }
+        }
+      }
+      events.push_back(std::move(ev));
+      continue;
+    }
+
+    if (node.expr != nullptr) {
+      extractor.Visit(*node.expr, node.line);
+    }
+  }
+  return cpg;
+}
+
+std::vector<const SemEvent*> Cpg::EventsAlong(const std::vector<int>& path) const {
+  std::vector<const SemEvent*> out;
+  for (int node : path) {
+    for (const SemEvent& ev : node_events_[static_cast<size_t>(node)]) {
+      out.push_back(&ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace refscan

@@ -1,0 +1,90 @@
+// Code Property Graph: CFG nodes annotated with semantic operator events.
+//
+// This is refscan's equivalent of the paper's JOERN-based CPG (§6.1): for
+// every CFG node we derive the ordered list of semantic events the paper's
+// templates speak about — 𝒢 (increase), 𝒫 (decrease), 𝒜 (assignment),
+// 𝒟 (dereference), ℒ/𝒰 (lock/unlock), free(), NULL-checks, returns and
+// smartloop heads — each bound to a *symbolic object* (the normalised
+// pointer spelling, e.g. "np" or "crc->dev"). The anti-pattern checkers
+// (src/checkers) match template paths over these event sequences.
+
+#ifndef REFSCAN_CPG_CPG_H_
+#define REFSCAN_CPG_CPG_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/cfg/cfg.h"
+#include "src/kb/kb.h"
+
+namespace refscan {
+
+enum class SemOp : uint8_t {
+  kIncrease,   // 𝒢: refcount acquired on `object`
+  kDecrease,   // 𝒫: refcount released on `object`
+  kAssign,     // 𝒜: `object` (lhs) assigned from `aux` (rhs object, may be "")
+  kDeref,      // 𝒟: memory access through `object`
+  kLock,       // ℒ
+  kUnlock,     // 𝒰
+  kFree,       // direct kfree-style deallocation of `object`
+  kNullCheck,  // `object` tested against NULL (either polarity)
+  kReturn,     // function return; `object` = returned identifier if any
+  kLoopHead,   // smartloop head; `object` = iterator variable
+};
+
+struct SemEvent {
+  SemOp op = SemOp::kDeref;
+  std::string object;  // normalised spelling; may be empty when unknown
+  std::string aux;     // kAssign: rhs object spelling
+  uint32_t line = 0;
+
+  const RefApiInfo* api = nullptr;        // kIncrease/kDecrease via an API
+  const SmartLoopInfo* loop = nullptr;    // kLoopHead (null for unknown loops)
+  bool escapes = false;                   // kAssign into a global / out-param
+  bool checks_null_true_branch = false;   // kNullCheck: true branch is the NULL side
+};
+
+// Per-function CPG. Parallel arrays with the Cfg it annotates; the Cfg, the
+// KB and the AST must outlive the Cpg.
+class Cpg {
+ public:
+  const Cfg& cfg() const { return *cfg_; }
+  const KnowledgeBase& kb() const { return *kb_; }
+  const std::vector<SemEvent>& events(int node) const {
+    return node_events_[static_cast<size_t>(node)];
+  }
+  size_t size() const { return node_events_.size(); }
+
+  // Names of this function's parameters / local declarations (escape logic).
+  const std::set<std::string>& params() const { return params_; }
+  const std::set<std::string>& locals() const { return locals_; }
+
+  // Flattened event stream along a CFG path (convenience for checkers).
+  std::vector<const SemEvent*> EventsAlong(const std::vector<int>& path) const;
+
+ private:
+  friend Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb);
+  const Cfg* cfg_ = nullptr;
+  const KnowledgeBase* kb_ = nullptr;
+  std::vector<std::vector<SemEvent>> node_events_;
+  std::set<std::string> params_;
+  std::set<std::string> locals_;
+};
+
+Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb);
+
+// Normalises an expression to its symbolic object spelling: strips casts and
+// address-of, renders identifiers and member chains; returns "" for
+// anything without a stable identity (calls, arithmetic, literals).
+std::string ObjectSpelling(const Expr& expr);
+
+// Root identifier of a member chain ("crc" for "crc->dev.node"), or the
+// identifier itself; "" when not rooted in an identifier.
+std::string ObjectRoot(const Expr& expr);
+std::string ObjectRootOfSpelling(std::string_view spelling);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CPG_CPG_H_

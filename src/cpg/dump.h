@@ -1,0 +1,35 @@
+// Human-readable dumps of the front-end stages (the JOERN-workbench role):
+// token streams, AST shapes, CFG structure and CPG semantic events. Used by
+// `refscan dump` and invaluable when writing custom semantic templates.
+
+#ifndef REFSCAN_CPG_DUMP_H_
+#define REFSCAN_CPG_DUMP_H_
+
+#include <string>
+
+#include "src/ast/ast.h"
+#include "src/support/source.h"
+#include "src/cfg/cfg.h"
+#include "src/cpg/cpg.h"
+
+namespace refscan {
+
+// One line per token: "line kind text".
+std::string DumpTokens(const SourceFile& file);
+
+// Indented AST of a translation unit (functions, statements, expressions).
+std::string DumpAst(const TranslationUnit& unit);
+
+// One line per CFG node: index, kind, line, successor list, flags
+// (error-context, macro-loop membership).
+std::string DumpCfg(const Cfg& cfg);
+
+// One line per semantic event, grouped by CFG node.
+std::string DumpCpg(const Cpg& cpg);
+
+// Short name of a semantic operator ("INC", "DEC", "DEREF", ...).
+std::string_view SemOpName(SemOp op);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CPG_DUMP_H_

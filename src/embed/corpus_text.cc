@@ -1,0 +1,67 @@
+#include "src/embed/corpus_text.h"
+
+#include "src/support/strings.h"
+
+namespace refscan {
+
+std::vector<std::string> TokenizeForEmbedding(std::string_view text) {
+  std::vector<std::string> raw = IdentifierWords(text);
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == "for" && i + 1 < raw.size() && raw[i + 1] == "each") {
+      out.push_back("foreach");
+      ++i;
+      continue;
+    }
+    out.push_back(std::move(raw[i]));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> BuildCommitSentences(const History& history) {
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(history.commits.size());
+  for (const Commit& commit : history.commits) {
+    std::vector<std::string> sentence = TokenizeForEmbedding(commit.subject);
+    for (const std::string& word : TokenizeForEmbedding(commit.body)) {
+      sentence.push_back(word);
+    }
+    for (const DiffEntry& entry : commit.diff) {
+      for (const std::string& word : TokenizeForEmbedding(entry.api)) {
+        sentence.push_back(word);
+      }
+    }
+    if (sentence.size() >= 2) {
+      sentences.push_back(std::move(sentence));
+    }
+  }
+  return sentences;
+}
+
+void AppendSourceSentences(const SourceTree& tree,
+                           std::vector<std::vector<std::string>>& sentences) {
+  // Paragraph granularity (blank-line separated), so the identifiers of a
+  // whole function body share one context window — this is what ties
+  // find-like API names to the get/put calls around them.
+  for (const auto& [path, file] : tree.files()) {
+    std::vector<std::string> sentence;
+    auto flush = [&sentences, &sentence]() {
+      if (sentence.size() >= 2) {
+        sentences.push_back(sentence);
+      }
+      sentence.clear();
+    };
+    for (uint32_t line = 1; line <= file.line_count(); ++line) {
+      const std::vector<std::string> words = TokenizeForEmbedding(file.Line(line));
+      if (words.empty()) {
+        flush();
+        continue;
+      }
+      sentence.insert(sentence.end(), words.begin(), words.end());
+    }
+    flush();
+  }
+}
+
+}  // namespace refscan

@@ -1,0 +1,35 @@
+// Training-text extraction for the similarity study (Table 3).
+//
+// The paper trains word2vec "with more than one million of the historical
+// commit logs, including the code and comment text". We mirror that: one
+// sentence per commit (subject + body + diff API names) plus, optionally,
+// one sentence per source line of a kernel tree. API identifiers are split
+// on '_' so that "of_node_get" contributes {of, node, get}; the common
+// kernel spelling "for_each" is normalised to the single token "foreach"
+// (the keyword the paper's Table 3 uses).
+
+#ifndef REFSCAN_EMBED_CORPUS_TEXT_H_
+#define REFSCAN_EMBED_CORPUS_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/histmine/history.h"
+#include "src/support/source.h"
+
+namespace refscan {
+
+// Tokenizes free text / code into embedding words (lower-case, '_'-split,
+// "for each" collapsed to "foreach").
+std::vector<std::string> TokenizeForEmbedding(std::string_view text);
+
+// One sentence per commit.
+std::vector<std::vector<std::string>> BuildCommitSentences(const History& history);
+
+// Appends one sentence per non-trivial source line.
+void AppendSourceSentences(const SourceTree& tree,
+                           std::vector<std::vector<std::string>>& sentences);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_EMBED_CORPUS_TEXT_H_

@@ -1,0 +1,235 @@
+#include "src/embed/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/prng.h"
+
+namespace refscan {
+
+namespace {
+
+double Sigmoid(double x) {
+  if (x > 8.0) {
+    return 1.0;
+  }
+  if (x < -8.0) {
+    return 0.0;
+  }
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+void Word2Vec::Train(const std::vector<std::vector<std::string>>& sentences,
+                     const EmbedOptions& options) {
+  dim_ = options.dim;
+  vocab_.clear();
+  words_.clear();
+
+  // ---- Vocabulary with frequency cutoff.
+  std::map<std::string, int, std::less<>> counts;
+  for (const auto& sentence : sentences) {
+    for (const std::string& word : sentence) {
+      ++counts[word];
+    }
+  }
+  for (const auto& [word, count] : counts) {
+    if (count >= options.min_count) {
+      vocab_.emplace(word, static_cast<int>(words_.size()));
+      words_.push_back(word);
+    }
+  }
+  const size_t v = words_.size();
+  if (v == 0) {
+    return;
+  }
+
+  // ---- Negative-sampling table (unigram^0.75).
+  std::vector<int> neg_table;
+  {
+    double total = 0;
+    std::vector<double> weights(v);
+    for (size_t i = 0; i < v; ++i) {
+      weights[i] = std::pow(static_cast<double>(counts.at(words_[i])), 0.75);
+      total += weights[i];
+    }
+    const size_t table_size = std::max<size_t>(v * 16, 4096);
+    neg_table.reserve(table_size);
+    size_t i = 0;
+    double cumulative = weights[0] / total;
+    for (size_t t = 0; t < table_size; ++t) {
+      const double frac = (t + 0.5) / table_size;
+      while (frac > cumulative && i + 1 < v) {
+        ++i;
+        cumulative += weights[i] / total;
+      }
+      neg_table.push_back(static_cast<int>(i));
+    }
+  }
+
+  // ---- Parameter init.
+  Xoshiro256pp rng(options.seed);
+  input_.assign(v * static_cast<size_t>(dim_), 0.0f);
+  output_.assign(v * static_cast<size_t>(dim_), 0.0f);
+  for (float& w : input_) {
+    w = static_cast<float>((rng.NextDouble() - 0.5) / dim_);
+  }
+
+  // ---- Sentences as index sequences (OOV dropped).
+  std::vector<std::vector<int>> encoded;
+  size_t total_tokens = 0;
+  for (const auto& sentence : sentences) {
+    std::vector<int> ids;
+    ids.reserve(sentence.size());
+    for (const std::string& word : sentence) {
+      const int id = IndexOf(word);
+      if (id >= 0) {
+        ids.push_back(id);
+      }
+    }
+    if (ids.size() >= 2) {
+      total_tokens += ids.size();
+      encoded.push_back(std::move(ids));
+    }
+  }
+  if (encoded.empty()) {
+    return;
+  }
+
+  // ---- CBOW + negative sampling SGD.
+  std::vector<float> context(static_cast<size_t>(dim_));
+  std::vector<float> grad(static_cast<size_t>(dim_));
+  const double steps_total = static_cast<double>(options.epochs) * total_tokens;
+  double steps_done = 0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& sentence : encoded) {
+      const int n = static_cast<int>(sentence.size());
+      for (int center = 0; center < n; ++center) {
+        const double lr = options.learning_rate *
+                          std::max(0.05, 1.0 - steps_done / (steps_total + 1));
+        ++steps_done;
+
+        const int span = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(options.window)));
+        std::fill(context.begin(), context.end(), 0.0f);
+        int context_words = 0;
+        for (int offset = -span; offset <= span; ++offset) {
+          const int pos = center + offset;
+          if (offset == 0 || pos < 0 || pos >= n) {
+            continue;
+          }
+          const float* wv = &input_[static_cast<size_t>(sentence[static_cast<size_t>(pos)]) *
+                                    static_cast<size_t>(dim_)];
+          for (int d = 0; d < dim_; ++d) {
+            context[static_cast<size_t>(d)] += wv[d];
+          }
+          ++context_words;
+        }
+        if (context_words == 0) {
+          continue;
+        }
+        for (int d = 0; d < dim_; ++d) {
+          context[static_cast<size_t>(d)] /= static_cast<float>(context_words);
+        }
+
+        std::fill(grad.begin(), grad.end(), 0.0f);
+        const int target = sentence[static_cast<size_t>(center)];
+        for (int k = 0; k <= options.negatives; ++k) {
+          int sample = target;
+          double label = 1.0;
+          if (k > 0) {
+            sample = neg_table[rng.Below(neg_table.size())];
+            if (sample == target) {
+              continue;
+            }
+            label = 0.0;
+          }
+          float* ov = &output_[static_cast<size_t>(sample) * static_cast<size_t>(dim_)];
+          double dot = 0;
+          for (int d = 0; d < dim_; ++d) {
+            dot += context[static_cast<size_t>(d)] * ov[d];
+          }
+          const double g = (label - Sigmoid(dot)) * lr;
+          for (int d = 0; d < dim_; ++d) {
+            grad[static_cast<size_t>(d)] += static_cast<float>(g) * ov[d];
+            ov[d] += static_cast<float>(g) * context[static_cast<size_t>(d)];
+          }
+        }
+        // Distribute the context gradient back to each context word.
+        for (int offset = -span; offset <= span; ++offset) {
+          const int pos = center + offset;
+          if (offset == 0 || pos < 0 || pos >= n) {
+            continue;
+          }
+          float* wv = &input_[static_cast<size_t>(sentence[static_cast<size_t>(pos)]) *
+                              static_cast<size_t>(dim_)];
+          for (int d = 0; d < dim_; ++d) {
+            wv[d] += grad[static_cast<size_t>(d)] / static_cast<float>(context_words);
+          }
+        }
+      }
+    }
+  }
+}
+
+int Word2Vec::IndexOf(std::string_view word) const {
+  auto it = vocab_.find(word);
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+bool Word2Vec::Contains(std::string_view word) const {
+  return IndexOf(word) >= 0;
+}
+
+std::vector<float> Word2Vec::Vector(std::string_view word) const {
+  const int id = IndexOf(word);
+  if (id < 0 || dim_ == 0) {
+    return {};
+  }
+  const float* begin = &input_[static_cast<size_t>(id) * static_cast<size_t>(dim_)];
+  return std::vector<float>(begin, begin + dim_);
+}
+
+double Word2Vec::Similarity(std::string_view a, std::string_view b) const {
+  const int ia = IndexOf(a);
+  const int ib = IndexOf(b);
+  if (ia < 0 || ib < 0) {
+    return 0.0;
+  }
+  const float* va = &input_[static_cast<size_t>(ia) * static_cast<size_t>(dim_)];
+  const float* vb = &input_[static_cast<size_t>(ib) * static_cast<size_t>(dim_)];
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (int d = 0; d < dim_; ++d) {
+    dot += static_cast<double>(va[d]) * vb[d];
+    na += static_cast<double>(va[d]) * va[d];
+    nb += static_cast<double>(vb[d]) * vb[d];
+  }
+  if (na <= 0 || nb <= 0) {
+    return 0.0;
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<std::pair<std::string, double>> Word2Vec::MostSimilar(std::string_view word,
+                                                                  size_t k) const {
+  std::vector<std::pair<std::string, double>> out;
+  if (!Contains(word)) {
+    return out;
+  }
+  for (const std::string& candidate : words_) {
+    if (candidate != word) {
+      out.emplace_back(candidate, Similarity(word, candidate));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+}  // namespace refscan

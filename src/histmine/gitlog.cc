@@ -1,0 +1,188 @@
+#include "src/histmine/gitlog.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace refscan {
+
+namespace {
+
+// Block layout:
+//   commit <id>
+//   Release: <name>
+//   File: <path>
+//   Subject: <one line>
+//   Diff: [+|-|~]<api>[!] ...          (+add -delete ~move; '!' = cross-function pairing)
+//   <blank>
+//   <body lines, four-space indented>
+//   <blank>
+
+char OpChar(DiffOp op) {
+  switch (op) {
+    case DiffOp::kAdd:
+      return '+';
+    case DiffOp::kDelete:
+      return '-';
+    case DiffOp::kMove:
+      return '~';
+  }
+  return '?';
+}
+
+int ReleaseIndexByName(std::string_view name) {
+  const auto& timeline = ReleaseTimeline();
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    if (timeline[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string SerializeGitLog(const History& history) {
+  std::string out;
+  out.reserve(history.commits.size() * 200);
+
+  std::set<std::string> emitted;
+  for (const Commit& commit : history.commits) {
+    emitted.insert(commit.id);
+    out += StrFormat("commit %s\n", commit.id.c_str());
+    out += StrFormat("Release: %s\n",
+                     ReleaseTimeline()[static_cast<size_t>(commit.release)].name.c_str());
+    out += StrFormat("File: %s\n", commit.file.c_str());
+    out += StrFormat("Subject: %s\n", commit.subject.c_str());
+    out += "Diff:";
+    for (const DiffEntry& entry : commit.diff) {
+      out += StrFormat(" %c%s%s", OpChar(entry.op), entry.api.c_str(),
+                       entry.same_function ? "" : "!");
+    }
+    out += "\n\n";
+    for (std::string_view line : Split(commit.body, '\n')) {
+      out += StrFormat("    %s\n", std::string(line).c_str());
+    }
+    out += "\n";
+  }
+
+  // Stub entries for referenced-but-absent commits (bug introducers), so a
+  // re-parsed history can still resolve Fixes: targets to releases.
+  for (const auto& [id, release] : history.commit_release) {
+    if (emitted.contains(id)) {
+      continue;
+    }
+    out += StrFormat("commit %s\n", id.c_str());
+    out += StrFormat("Release: %s\n",
+                     ReleaseTimeline()[static_cast<size_t>(release)].name.c_str());
+    out += "File: -\nSubject: (earlier change)\nDiff:\n\n\n";
+  }
+  return out;
+}
+
+History ParseGitLog(std::string_view text) {
+  History history;
+  Commit current;
+  bool in_commit = false;
+  bool is_stub = false;
+  std::string body;
+
+  auto flush = [&]() {
+    if (!in_commit) {
+      return;
+    }
+    while (!body.empty() && body.back() == '\n') {
+      body.pop_back();
+    }
+    current.body = body;
+    // Recover the Fixes: tag from the body.
+    const size_t pos = current.body.find("Fixes: ");
+    if (pos != std::string::npos) {
+      const size_t start = pos + 7;
+      size_t end = start;
+      while (end < current.body.size() &&
+             std::isxdigit(static_cast<unsigned char>(current.body[end])) != 0) {
+        ++end;
+      }
+      current.fixes_tag = current.body.substr(start, end - start);
+    }
+    history.commit_release[current.id] = current.release;
+    if (!is_stub) {
+      history.commits.push_back(std::move(current));
+    }
+    current = Commit();
+    body.clear();
+    in_commit = false;
+    is_stub = false;
+  };
+
+  for (std::string_view raw_line : Split(text, '\n')) {
+    if (raw_line.starts_with("commit ")) {
+      flush();
+      in_commit = true;
+      current.id = std::string(Trim(raw_line.substr(7)));
+      continue;
+    }
+    if (!in_commit) {
+      continue;
+    }
+    if (raw_line.starts_with("Release: ")) {
+      const int index = ReleaseIndexByName(Trim(raw_line.substr(9)));
+      if (index >= 0) {
+        current.release = index;
+        current.year = ReleaseTimeline()[static_cast<size_t>(index)].year;
+      }
+      continue;
+    }
+    if (raw_line.starts_with("File: ")) {
+      const std::string_view path = Trim(raw_line.substr(6));
+      is_stub = path == "-";
+      current.file = std::string(path);
+      continue;
+    }
+    if (raw_line.starts_with("Subject: ")) {
+      current.subject = std::string(raw_line.substr(9));
+      continue;
+    }
+    if (raw_line.starts_with("Diff:")) {
+      for (std::string_view token : SplitWhitespace(raw_line.substr(5))) {
+        if (token.empty()) {
+          continue;
+        }
+        DiffEntry entry;
+        switch (token.front()) {
+          case '+':
+            entry.op = DiffOp::kAdd;
+            break;
+          case '-':
+            entry.op = DiffOp::kDelete;
+            break;
+          case '~':
+            entry.op = DiffOp::kMove;
+            break;
+          default:
+            continue;
+        }
+        token.remove_prefix(1);
+        if (token.ends_with("!")) {
+          entry.same_function = false;
+          token.remove_suffix(1);
+        }
+        entry.api = std::string(token);
+        current.diff.push_back(std::move(entry));
+      }
+      continue;
+    }
+    if (raw_line.starts_with("    ")) {
+      body += std::string(raw_line.substr(4));
+      body += "\n";
+      continue;
+    }
+    // Blank separators are ignored.
+  }
+  flush();
+  return history;
+}
+
+}  // namespace refscan

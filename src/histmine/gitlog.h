@@ -1,0 +1,31 @@
+// Text serialization of commit histories ("refscan log format").
+//
+// A git-log-like plain-text format so histories can be stored, inspected
+// and re-mined without the generator: one block per commit with the fields
+// the miner needs (id, release, file, subject, body incl. Fixes: tags, and
+// a one-line diff summary of the APIs the patch adds/deletes/moves).
+// Round-trips losslessly with GenerateHistory()'s output; a real git log
+// can be converted into this format with a trivial script.
+
+#ifndef REFSCAN_HISTMINE_GITLOG_H_
+#define REFSCAN_HISTMINE_GITLOG_H_
+
+#include <string>
+
+#include "src/histmine/history.h"
+
+namespace refscan {
+
+// Serializes all commits (plus stub entries for bug-introducing commits
+// referenced only by Fixes: tags, so release lookup survives the round
+// trip).
+std::string SerializeGitLog(const History& history);
+
+// Parses the format back into a History. Ground truth is not part of the
+// format (it does not exist for real logs), so `ground_truth` is empty.
+// Unparseable blocks are skipped.
+History ParseGitLog(std::string_view text);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_HISTMINE_GITLOG_H_

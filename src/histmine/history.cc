@@ -1,0 +1,741 @@
+#include <cstdio>
+#include <cstdlib>
+#include "src/histmine/history.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/support/prng.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+double ReleaseTime(const KernelRelease& r) {
+  // Spread each year's releases evenly across the year, in timeline order.
+  static const std::map<std::pair<int, int>, double> kTimes = [] {
+    std::map<std::pair<int, int>, double> times;
+    std::map<int, int> per_year;
+    for (const KernelRelease& rel : ReleaseTimeline()) {
+      ++per_year[rel.year];
+    }
+    std::map<int, int> seen;
+    for (const KernelRelease& rel : ReleaseTimeline()) {
+      times[{rel.major, rel.minor}] = rel.year + (seen[rel.year]++ + 0.5) / per_year[rel.year];
+    }
+    return times;
+  }();
+  const auto it = kTimes.find({r.major, r.minor});
+  return it != kTimes.end() ? it->second : static_cast<double>(r.year);
+}
+
+namespace {
+
+std::vector<KernelRelease> BuildTimeline() {
+  std::vector<KernelRelease> t;
+  auto add = [&t](int major, int minor, int year) {
+    std::string name = major == 2 ? StrFormat("v2.6.%d", minor) : StrFormat("v%d.%d", major, minor);
+    t.push_back(KernelRelease{std::move(name), year, major, minor});
+  };
+  // v2.6.12 (2005) .. v2.6.39 (2011)
+  const int v26_years[] = {2005, 2005, 2005, 2006, 2006, 2006, 2006, 2006, 2007, 2007,
+                           2007, 2007, 2008, 2008, 2008, 2008, 2008, 2009, 2009, 2009,
+                           2009, 2010, 2010, 2010, 2010, 2011, 2011, 2011};
+  for (int i = 0; i < 28; ++i) {
+    add(2, 12 + i, v26_years[i]);
+  }
+  // v3.0 (2011) .. v3.19 (2015)
+  const int v3_years[] = {2011, 2011, 2012, 2012, 2012, 2012, 2012, 2012, 2013, 2013,
+                          2013, 2013, 2013, 2014, 2014, 2014, 2014, 2014, 2014, 2015};
+  for (int i = 0; i < 20; ++i) {
+    add(3, i, v3_years[i]);
+  }
+  // v4.0 (2015) .. v4.20 (2018)
+  const int v4_years[] = {2015, 2015, 2015, 2015, 2016, 2016, 2016, 2016, 2016, 2016, 2017,
+                          2017, 2017, 2017, 2017, 2018, 2018, 2018, 2018, 2018, 2018};
+  for (int i = 0; i < 21; ++i) {
+    add(4, i, v4_years[i]);
+  }
+  // v5.0 (2019) .. v5.19 (2022)
+  const int v5_years[] = {2019, 2019, 2019, 2019, 2019, 2020, 2020, 2020, 2020, 2020,
+                          2020, 2021, 2021, 2021, 2021, 2021, 2022, 2022, 2022, 2022};
+  for (int i = 0; i < 20; ++i) {
+    add(5, i, v5_years[i]);
+  }
+  add(6, 0, 2022);
+  add(6, 1, 2022);
+  return t;
+}
+
+}  // namespace
+
+const std::vector<KernelRelease>& ReleaseTimeline() {
+  static const std::vector<KernelRelease> kTimeline = BuildTimeline();
+  return kTimeline;
+}
+
+int TotalVersionCount() {
+  // 91 mainline releases plus their stable point releases — the paper's
+  // "753 versions of Linux kernels released from 2005 to 2022".
+  return 753;
+}
+
+int FirstReleaseOfMajor(int major) {
+  const auto& timeline = ReleaseTimeline();
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    if (timeline[i].major == major) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const std::map<int, int>& Figure1GrowthTargets() {
+  static const std::map<int, int> kTargets = {
+      {2005, 6},   {2006, 8},   {2007, 10},  {2008, 12},  {2009, 15},  {2010, 18},
+      {2011, 22},  {2012, 26},  {2013, 30},  {2014, 35},  {2015, 40},  {2016, 48},
+      {2017, 55},  {2018, 65},  {2019, 85},  {2020, 140}, {2021, 190}, {2022, 228},
+  };
+  return kTargets;
+}
+
+const std::vector<SubsystemTarget>& Figure2SubsystemTargets() {
+  // Bug counts calibrated to Finding 3 (drivers 56.9%; drivers+net+fs
+  // 82.4%); KLOC figures approximate a v5.x-era tree so that "block" has
+  // the highest density, as the paper reports.
+  static const std::vector<SubsystemTarget> kTargets = {
+      {"drivers", 588, 12000}, {"net", 152, 950},   {"fs", 111, 1250}, {"sound", 54, 900},
+      {"arch", 40, 2900},      {"kernel", 25, 300}, {"block", 18, 65}, {"mm", 15, 140},
+      {"crypto", 12, 110},     {"security", 8, 85}, {"virt", 4, 25},   {"include", 4, 950},
+      {"init", 2, 8},
+  };
+  return kTargets;
+}
+
+namespace {
+
+// Module/file pools per subsystem for plausible paths.
+const std::map<std::string, std::vector<const char*>>& ModulePools() {
+  static const std::map<std::string, std::vector<const char*>> kPools = {
+      {"drivers", {"usb", "net", "gpu", "scsi", "media", "clk", "tty", "iio", "mmc", "soc",
+                   "pci", "spi", "i2c", "hwmon", "input", "thermal", "phy", "regulator"}},
+      {"net", {"ipv4", "ipv6", "core", "sched", "mac80211", "bluetooth", "wireless", "sctp",
+               "tipc", "batman-adv", "appletalk"}},
+      {"fs", {"ext4", "btrfs", "nfs", "cifs", "f2fs", "xfs", "jffs2", "ocfs2", "proc"}},
+      {"sound", {"soc", "pci", "usb", "core", "firewire"}},
+      {"arch", {"arm", "arm64", "powerpc", "mips", "x86", "sparc", "riscv"}},
+      {"kernel", {"sched", "irq", "time", "trace", "events", "bpf"}},
+      {"block", {"partitions", "blk-mq", "bfq", "genhd"}},
+      {"mm", {"slab", "memcg", "hugetlb", "shmem"}},
+      {"crypto", {"asymmetric_keys", "async_tx", "engine"}},
+      {"security", {"selinux", "keys", "tomoyo", "integrity"}},
+      {"virt", {"kvm", "lib"}},
+      {"include", {"linux", "net", "sound"}},
+      {"init", {"main", "initramfs"}},
+  };
+  return kPools;
+}
+
+constexpr const char* kFileWords[] = {"core", "main", "dev", "hub", "port", "queue", "node",
+                                      "table", "ring", "chan", "link", "ctrl"};
+
+constexpr const char* kFnWords[] = {"probe", "init", "open", "bind", "attach", "setup",
+                                    "parse", "scan", "register", "start", "lookup", "create"};
+
+// Refcounting API pairs for bug-fix diffs (all present in the built-in KB,
+// so the level-2 implementation check accepts them).
+struct ApiPair {
+  const char* inc;
+  const char* dec;
+};
+constexpr ApiPair kApiPairs[] = {
+    {"of_node_get", "of_node_put"},   {"kobject_get", "kobject_put"},
+    {"get_device", "put_device"},     {"sock_hold", "sock_put"},
+    {"dev_hold", "dev_put"},          {"kref_get", "kref_put"},
+    {"usb_serial_get", "usb_serial_put"},
+    {"pm_runtime_get_sync", "pm_runtime_put"},
+    {"fwnode_handle_get", "fwnode_handle_put"},
+};
+
+// Keyword-bearing API names that are NOT refcounting APIs: the level-1
+// keyword filter matches them, the level-2 implementation check rejects
+// them (the paper's 792 filtered-out candidates).
+constexpr const char* kDecoyApis[] = {
+    "regmap_get_format",    "clk_get_rate_hw",     "irq_get_trigger_type",
+    "dma_release_channel",  "gpio_get_direction",  "led_put_pattern",
+    "snd_ctl_hold_cards",   "mtd_release_master",  "pci_get_cap_offset",
+    "rtc_get_alarm_mode",   "hid_grab_report",     "tty_put_char_slow",
+    "mux_take_control",     "edac_release_layers", "phy_get_stats_page",
+    "watchdog_put_timeout", "nvme_get_log_page",   "scsi_release_tags",
+};
+
+constexpr const char* kNoiseSubjects[] = {
+    "clean up whitespace and comments",
+    "convert to devm allocation helpers",
+    "update maintainers entry",
+    "simplify error message formatting",
+    "add device tree binding documentation",
+    "switch to new gpio descriptor interface",
+    "remove dead code after refactor",
+    "improve probe deferral logging",
+    "constify ops tables",
+    "use BIT macro for register fields",
+    "fix spelling mistakes in comments",
+    "add missing include guards",
+    "refactor interrupt handling path",
+    "support new hardware revision",
+    "tune default watermark values",
+    "document unhold semantics for the legacy buffer api",
+    "retain firmware blob across suspend cycles",
+    "parse optional properties during probe",
+    "iterate cpus with for_each_possible_cpu when rebuilding masks",
+    "use for_each_set_bit to walk the irq status word",
+    "switch to for_each_online_cpu in the hotplug path",
+    "simplify the list walk with for_each_entry over pending work",
+};
+
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(const HistoryOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  History Build() {
+    PlanBugs();
+    EmitBugCommits();
+    EmitDecoys();
+    EmitWrongFixPairs();
+    EmitNoise();
+    FinalizeOrder();
+    return std::move(history_);
+  }
+
+ private:
+  // ------------------------------------------------------------ utilities
+
+  std::string FreshId() {
+    std::string id;
+    id.reserve(12);
+    for (int i = 0; i < 12; ++i) {
+      id.push_back("0123456789abcdef"[rng_.Below(16)]);
+    }
+    if (!used_ids_.insert(id).second) {
+      return FreshId();
+    }
+    return id;
+  }
+
+  template <typename T, size_t N>
+  const T& Pick(const T (&pool)[N]) {
+    return pool[rng_.Below(N)];
+  }
+
+  std::string RandomPath(const std::string& subsystem) {
+    const auto& pool = ModulePools().at(subsystem);
+    const char* module = pool[rng_.Below(pool.size())];
+    return StrFormat("%s/%s/%s.c", subsystem.c_str(), module, Pick(kFileWords));
+  }
+
+  // A release index whose year matches, constrained to major series if
+  // `major` > 0 (-1: any).
+  int ReleaseForYear(int year, int major = -1) {
+    const auto& timeline = ReleaseTimeline();
+    std::vector<int> matches;
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      if (timeline[i].year == year && (major <= 0 || timeline[i].major == major)) {
+        matches.push_back(static_cast<int>(i));
+      }
+    }
+    if (matches.empty()) {
+      // Nearest release of that year regardless of major.
+      for (size_t i = 0; i < timeline.size(); ++i) {
+        if (timeline[i].year == year) {
+          matches.push_back(static_cast<int>(i));
+        }
+      }
+    }
+    return matches[rng_.Below(matches.size())];
+  }
+
+  // A release of `major` whose fractional time lies in [tlo, thi].
+  int ReleaseWithTimeIn(int major, double tlo, double thi) {
+    const auto& timeline = ReleaseTimeline();
+    std::vector<int> matches;
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      const double t = ReleaseTime(timeline[i]);
+      if (timeline[i].major == major && t >= tlo && t <= thi) {
+        matches.push_back(static_cast<int>(i));
+      }
+    }
+    if (matches.empty()) {
+      fprintf(stderr, "ReleaseWithTimeIn(%d, %f, %f) empty\n", major, tlo, thi);
+      abort();
+    }
+    return matches[rng_.Below(matches.size())];
+  }
+
+  // Any release of a major series whose year is within [lo, hi].
+  int ReleaseInMajor(int major, int year_lo, int year_hi) {
+    const auto& timeline = ReleaseTimeline();
+    std::vector<int> matches;
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      if (timeline[i].major == major && timeline[i].year >= year_lo &&
+          timeline[i].year <= year_hi) {
+        matches.push_back(static_cast<int>(i));
+      }
+    }
+    assert(!matches.empty());
+    return matches[rng_.Below(matches.size())];
+  }
+
+  // --------------------------------------------------------- bug planning
+
+  struct BugPlan {
+    HistBugKind kind;
+    bool is_uad = false;
+    bool is_leak = true;
+    std::string subsystem;
+    int fixed_release = 0;
+    int introduced_release = -1;  // -1: untagged
+  };
+
+  void PlanBugs() {
+    // Kind population — Table 2 counts over 1,033.
+    struct KindCount {
+      HistBugKind kind;
+      int count;
+      bool leak;
+    };
+    const KindCount kKinds[] = {
+        {HistBugKind::kMissingDecIntra, 590, true}, {HistBugKind::kMissingDecInter, 104, true},
+        {HistBugKind::kLeakOther, 47, true},        {HistBugKind::kMisplacedDec, 119, false},
+        {HistBugKind::kMisplacedInc, 25, false},    {HistBugKind::kMissingIncIntra, 53, false},
+        {HistBugKind::kMissingIncInter, 21, false}, {HistBugKind::kUafOther, 74, false},
+    };
+    for (const KindCount& kc : kKinds) {
+      for (int i = 0; i < kc.count; ++i) {
+        BugPlan plan;
+        plan.kind = kc.kind;
+        plan.is_leak = kc.leak;
+        plans_.push_back(plan);
+      }
+    }
+    // 94 of the 119 misplaced-decrease bugs are UAD (Finding 2).
+    int uad = 94;
+    for (BugPlan& plan : plans_) {
+      if (plan.kind == HistBugKind::kMisplacedDec && uad > 0) {
+        plan.is_uad = true;
+        --uad;
+      }
+    }
+    Shuffle(plans_);
+
+    // Subsystems — Figure 2 counts.
+    std::vector<std::string> subsystems;
+    for (const SubsystemTarget& target : Figure2SubsystemTargets()) {
+      for (int i = 0; i < target.bugs; ++i) {
+        subsystems.push_back(target.name);
+      }
+    }
+    Shuffle(subsystems);
+    for (size_t i = 0; i < plans_.size(); ++i) {
+      plans_[i].subsystem = subsystems[i];
+    }
+
+    AssignLifetimes();
+  }
+
+  void AssignLifetimes() {
+    // Fixed-year pool, ascending (Figure 1 targets).
+    std::vector<int> years;
+    for (const auto& [year, count] : Figure1GrowthTargets()) {
+      for (int i = 0; i < count; ++i) {
+        years.push_back(year);
+      }
+    }
+    std::sort(years.begin(), years.end());
+
+    // Partition indices: leak-kind vs UAF-kind bugs (group A needs 7 UAF).
+    std::vector<size_t> order(plans_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    Shuffle(order);
+
+    std::vector<size_t> group_a;  // 23 ancient: v2.6 -> v5.x/v6.x
+    std::vector<size_t> group_b;  // 80: v3.x -> v5.x
+    std::vector<size_t> group_c;  // 135: v4.x -> v5.x
+    std::vector<size_t> group_d;  // 189: within v5.x
+    std::vector<size_t> group_e;  // 140: tagged, fixed in the v4.x era
+    std::vector<size_t> untagged;
+
+    // Group A first: exactly 7 UAF + 16 leak members (Finding 4's "7 UAF
+    // among the long-lived bugs").
+    int a_uaf = 7;
+    int a_leak = 16;
+    std::vector<size_t> rest;
+    for (size_t index : order) {
+      const bool leak = plans_[index].is_leak;
+      if (!leak && a_uaf > 0) {
+        group_a.push_back(index);
+        --a_uaf;
+      } else if (leak && a_leak > 0) {
+        group_a.push_back(index);
+        --a_leak;
+      } else {
+        rest.push_back(index);
+      }
+    }
+    // Remaining quota groups in order.
+    size_t cursor = 0;
+    auto take = [&](std::vector<size_t>& group, size_t n) {
+      while (group.size() < n && cursor < rest.size()) {
+        group.push_back(rest[cursor++]);
+      }
+    };
+    take(group_b, 80);
+    take(group_c, 135);
+    take(group_d, 189);
+    take(group_e, 140);
+    while (cursor < rest.size()) {
+      untagged.push_back(rest[cursor++]);
+    }
+
+    // Year pools: ascending years; untagged take the earliest, group E the
+    // v4-era years, groups A-D the v5/v6-era years (Fixes tags are a modern
+    // convention, which also matches the real history).
+    std::vector<int> years_2019plus;
+    std::vector<int> years_2015_2018;
+    std::vector<int> years_early;
+    for (int year : years) {
+      if (year >= 2019) {
+        years_2019plus.push_back(year);
+      } else if (year >= 2015) {
+        years_2015_2018.push_back(year);
+      } else {
+        years_early.push_back(year);
+      }
+    }
+    Shuffle(years_2019plus);
+    Shuffle(years_2015_2018);
+
+    auto pop = [](std::vector<int>& pool) {
+      const int year = pool.back();
+      pool.pop_back();
+      return year;
+    };
+
+    // Group A: v2.6 intro, >= 2019 fix; the first 19 get lifetime > 10y.
+    // Put the 7 UAF members first so all of them land in the >10y subset
+    // (Finding 4: 19 bugs over ten years "including 7 UAF").
+    std::stable_partition(group_a.begin(), group_a.end(),
+                          [this](size_t index) { return !plans_[index].is_leak; });
+    for (size_t i = 0; i < group_a.size(); ++i) {
+      BugPlan& plan = plans_[group_a[i]];
+      const int fix_year = pop(years_2019plus);
+      plan.fixed_release = ReleaseForYear(fix_year);
+      if (i < 19) {
+        // intro year <= fix - 11 (v2.6.12..v2.6.27 are 2005-2008).
+        plan.introduced_release = ReleaseInMajor(2, 2005, std::min(2008, fix_year - 11));
+      } else {
+        plan.introduced_release = ReleaseInMajor(2, 2011, 2011);  // 8-10y, not > 10
+        if (fix_year > 2020) {
+          // Keep the lifetime at or below ten years.
+          plan.fixed_release = ReleaseForYear(2019 + static_cast<int>(i) % 2);
+        }
+      }
+    }
+    // Group B: v3.x -> v5.x, lifetime in (1, 10].
+    for (size_t index : group_b) {
+      BugPlan& plan = plans_[index];
+      const int fix_year = pop(years_2019plus);
+      plan.fixed_release = ReleaseForYear(fix_year, 5);
+      plan.introduced_release = ReleaseInMajor(3, std::max(2011, fix_year - 9), 2015);
+    }
+    // Group C: v4.x -> v5.x (always > 1 year in practice).
+    for (size_t index : group_c) {
+      BugPlan& plan = plans_[index];
+      const int fix_year = pop(years_2019plus);
+      plan.fixed_release = ReleaseForYear(fix_year, 5);
+      plan.introduced_release = ReleaseInMajor(4, 2015, std::min(2018, fix_year - 2));
+    }
+    // Group D: within v5.x; 51 long (>1y), the rest short.
+    int d_long_left = 51;
+    for (size_t i = 0; i < group_d.size(); ++i) {
+      BugPlan& plan = plans_[group_d[i]];
+      const int fix_year = pop(years_2019plus);
+      plan.fixed_release = ReleaseForYear(fix_year, fix_year >= 2022 && rng_.Chance(0.2) ? 6 : 5);
+      const double fix_time = ReleaseTime(ReleaseTimeline()[plan.fixed_release]);
+      const double v5_first = ReleaseTime(ReleaseTimeline()[FirstReleaseOfMajor(5)]);
+      if (d_long_left > 0 && fix_time - 1.05 >= v5_first) {
+        --d_long_left;
+        plan.introduced_release = ReleaseWithTimeIn(5, v5_first, fix_time - 1.05);
+      } else {
+        plan.introduced_release =
+            ReleaseWithTimeIn(5, std::max(v5_first, fix_time - 0.9), fix_time);
+        if (plan.introduced_release > plan.fixed_release) {
+          plan.introduced_release = plan.fixed_release;
+        }
+      }
+    }
+    // Group E: tagged, fixed in the v4 era, introduced in v3 (> 1 year).
+    for (size_t index : group_e) {
+      BugPlan& plan = plans_[index];
+      const int fix_year = pop(years_2015_2018);
+      plan.fixed_release = ReleaseForYear(fix_year, 4);
+      plan.introduced_release = ReleaseInMajor(3, std::max(2011, fix_year - 9), fix_year - 2);
+    }
+    // Untagged: earliest years plus whatever is left.
+    std::vector<int> leftover = years_early;
+    leftover.insert(leftover.end(), years_2015_2018.begin(), years_2015_2018.end());
+    leftover.insert(leftover.end(), years_2019plus.begin(), years_2019plus.end());
+    Shuffle(leftover);
+    size_t y = 0;
+    for (size_t index : untagged) {
+      BugPlan& plan = plans_[index];
+      plan.fixed_release = ReleaseForYear(leftover[y++]);
+      plan.introduced_release = -1;
+    }
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng_.Below(i)]);
+    }
+  }
+
+  // --------------------------------------------------------- commit text
+
+  void EmitBugCommits() {
+    for (const BugPlan& plan : plans_) {
+      Commit commit;
+      commit.id = FreshId();
+      commit.release = plan.fixed_release;
+      commit.year = ReleaseTimeline()[plan.fixed_release].year;
+      commit.file = RandomPath(plan.subsystem);
+      const ApiPair& pair = Pick(kApiPairs);
+      const std::string fn = StrFormat("%s_%s", Pick(kFileWords), Pick(kFnWords));
+
+      switch (plan.kind) {
+        case HistBugKind::kMissingDecIntra: {
+          commit.subject = StrFormat("%s: fix reference count leak in %s",
+                                     plan.subsystem.c_str(), fn.c_str());
+          // Body phrasings cover the vocabulary the similarity study
+          // (Table 3) measures: find-like APIs, smartloop walks, and the
+          // grab/drop/retain/decrease verb family.
+          switch (rng_.Below(4)) {
+            case 0:
+              commit.body = StrFormat(
+                  "Add the missing %s() before returning from the error path.", pair.dec);
+              break;
+            case 1:
+              commit.body = StrFormat(
+                  "The helper of_find_compatible_node() does a get on the returned node; "
+                  "decrease the refcount with %s() on the error path.",
+                  pair.dec);
+              break;
+            case 2:
+              commit.body = StrFormat(
+                  "When we break out of the for_each_child_of_node() walk, drop the "
+                  "reference with %s().",
+                  pair.dec);
+              break;
+            default:
+              commit.body = StrFormat(
+                  "Grab and release must stay balanced: call %s() before the early return.",
+                  pair.dec);
+              break;
+          }
+          commit.diff.push_back({DiffOp::kAdd, pair.dec, true});
+          break;
+        }
+        case HistBugKind::kMissingDecInter:
+          commit.subject =
+              StrFormat("%s: fix memory leak on %s teardown", plan.subsystem.c_str(), fn.c_str());
+          commit.body = StrFormat(
+              "The reference taken in %s() is never dropped; call %s() from the release hook.",
+              fn.c_str(), pair.dec);
+          commit.diff.push_back({DiffOp::kAdd, pair.dec, false});
+          break;
+        case HistBugKind::kLeakOther:
+          commit.subject =
+              StrFormat("%s: fix memory leak in %s", plan.subsystem.c_str(), fn.c_str());
+          commit.body = StrFormat(
+              "Use %s() instead of kfree so the attached resources are released as well.",
+              pair.dec);
+          commit.diff.push_back({DiffOp::kAdd, pair.dec, true});
+          break;
+        case HistBugKind::kMisplacedDec:
+          commit.subject =
+              StrFormat("%s: fix use-after-free in %s", plan.subsystem.c_str(), fn.c_str());
+          commit.body =
+              plan.is_uad
+                  ? StrFormat("The object is still accessed after dropping the reference; move "
+                              "%s() after the last use.",
+                              pair.dec)
+                  : StrFormat("Move %s() out of the locked section to the correct place.",
+                              pair.dec);
+          commit.diff.push_back({DiffOp::kMove, pair.dec, true});
+          break;
+        case HistBugKind::kMisplacedInc:
+          commit.subject =
+              StrFormat("%s: fix use-after-free in %s", plan.subsystem.c_str(), fn.c_str());
+          commit.body = StrFormat("Take the reference with %s() before publishing the pointer.",
+                                  pair.inc);
+          commit.diff.push_back({DiffOp::kMove, pair.inc, true});
+          break;
+        case HistBugKind::kMissingIncIntra:
+          commit.subject =
+              StrFormat("%s: fix use-after-free in %s", plan.subsystem.c_str(), fn.c_str());
+          commit.body =
+              rng_.Chance(0.5)
+                  ? StrFormat("Add the missing %s() for the stored reference.", pair.inc)
+                  : StrFormat("Increase the refcount by calling %s() so the open path can "
+                              "retain the object.",
+                              pair.inc);
+          commit.diff.push_back({DiffOp::kAdd, pair.inc, true});
+          break;
+        case HistBugKind::kMissingIncInter:
+          commit.subject =
+              StrFormat("%s: fix uaf in %s path", plan.subsystem.c_str(), fn.c_str());
+          commit.body = StrFormat("%s() must take a reference with %s() for its peer to drop.",
+                                  fn.c_str(), pair.inc);
+          commit.diff.push_back({DiffOp::kAdd, pair.inc, false});
+          break;
+        case HistBugKind::kUafOther:
+          commit.subject =
+              StrFormat("%s: fix use-after-free in %s", plan.subsystem.c_str(), fn.c_str());
+          commit.body = "Rework the reference handling across the retry loop.";
+          commit.diff.push_back({DiffOp::kAdd, pair.inc, true});
+          commit.diff.push_back({DiffOp::kAdd, pair.dec, true});
+          break;
+      }
+
+      HistBug bug;
+      bug.kind = plan.kind;
+      bug.is_uad = plan.is_uad;
+      bug.is_leak = plan.is_leak;
+      bug.subsystem = plan.subsystem;
+      bug.fix_commit = commit.id;
+      bug.fixed_release = plan.fixed_release;
+      bug.introduced_release = plan.introduced_release;
+
+      if (plan.introduced_release >= 0) {
+        // Synthesise the bug-introducing commit id and record its release.
+        const std::string intro_id = FreshId();
+        history_.commit_release[intro_id] = plan.introduced_release;
+        commit.fixes_tag = intro_id;
+        commit.body += StrFormat("\n\nFixes: %s (\"%s\")", intro_id.c_str(),
+                                 commit.subject.c_str());
+      }
+
+      history_.commit_release[commit.id] = commit.release;
+      history_.ground_truth.push_back(std::move(bug));
+      history_.commits.push_back(std::move(commit));
+    }
+  }
+
+  void EmitDecoys() {
+    // 780 keyword-bearing non-refcounting commits (level-1 passes, level-2
+    // rejects): 1,825 candidates - 1,033 bugs - 12 wrong fixes.
+    for (int i = 0; i < 780; ++i) {
+      Commit commit;
+      commit.id = FreshId();
+      commit.release = static_cast<int>(rng_.Below(ReleaseTimeline().size()));
+      commit.year = ReleaseTimeline()[commit.release].year;
+      const SubsystemTarget& target =
+          Figure2SubsystemTargets()[rng_.Below(Figure2SubsystemTargets().size())];
+      commit.file = RandomPath(target.name);
+      commit.subject = StrFormat("%s: %s", target.name.c_str(), Pick(kNoiseSubjects));
+      commit.body = "No functional change intended.";
+      const DiffOp ops[] = {DiffOp::kAdd, DiffOp::kDelete, DiffOp::kMove};
+      commit.diff.push_back({ops[rng_.Below(3)], Pick(kDecoyApis), true});
+      history_.commit_release[commit.id] = commit.release;
+      history_.commits.push_back(std::move(commit));
+    }
+  }
+
+  void EmitWrongFixPairs() {
+    // 12 wrong "fixes" (they pass both filter levels) each later corrected
+    // by a commit whose Fixes: tag names them — the dcb4b8ad/0a96fa64 case.
+    for (int i = 0; i < 12; ++i) {
+      const ApiPair& pair = Pick(kApiPairs);
+      const std::string fn = StrFormat("%s_%s", Pick(kFileWords), Pick(kFnWords));
+
+      Commit wrong;
+      wrong.id = FreshId();
+      wrong.release = ReleaseInMajor(5, 2019, 2021);
+      wrong.year = ReleaseTimeline()[wrong.release].year;
+      wrong.file = RandomPath("drivers");
+      wrong.subject = StrFormat("drivers: fix memory leak in %s", fn.c_str());
+      wrong.body = StrFormat("Add a \"missing\" %s() on the error path.", pair.dec);
+      wrong.diff.push_back({DiffOp::kAdd, pair.dec, true});
+      history_.commit_release[wrong.id] = wrong.release;
+
+      Commit revert;
+      revert.id = FreshId();
+      revert.release = std::min<int>(wrong.release + 1 + static_cast<int>(rng_.Below(4)),
+                                     static_cast<int>(ReleaseTimeline().size()) - 1);
+      revert.year = ReleaseTimeline()[revert.release].year;
+      revert.file = wrong.file;
+      revert.subject = StrFormat("drivers: fix improper handling of refcount in %s", fn.c_str());
+      revert.body = StrFormat(
+          "The previous patch added an extra decrement causing a premature free.\n\n"
+          "Fixes: %s (\"%s\")",
+          wrong.id.c_str(), wrong.subject.c_str());
+      // The corrective patch restructures the function; its diff summary
+      // carries no refcounting API so it is not itself a candidate.
+      revert.diff.push_back({DiffOp::kMove, fn.c_str(), true});
+      revert.fixes_tag = wrong.id;
+      history_.commit_release[revert.id] = revert.release;
+
+      history_.commits.push_back(std::move(wrong));
+      history_.commits.push_back(std::move(revert));
+    }
+  }
+
+  void EmitNoise() {
+    for (int i = 0; i < options_.noise_commits; ++i) {
+      Commit commit;
+      commit.id = FreshId();
+      commit.release = static_cast<int>(rng_.Below(ReleaseTimeline().size()));
+      commit.year = ReleaseTimeline()[commit.release].year;
+      const SubsystemTarget& target =
+          Figure2SubsystemTargets()[rng_.Below(Figure2SubsystemTargets().size())];
+      commit.file = RandomPath(target.name);
+      commit.subject = StrFormat("%s: %s", target.name.c_str(), Pick(kNoiseSubjects));
+      commit.body = "Signed-off-by: A Developer <dev@example.org>";
+      history_.commit_release[commit.id] = commit.release;
+      history_.commits.push_back(std::move(commit));
+    }
+  }
+
+  void FinalizeOrder() {
+    // Chronological order with a stable deterministic tiebreak.
+    std::stable_sort(history_.commits.begin(), history_.commits.end(),
+                     [](const Commit& a, const Commit& b) { return a.release < b.release; });
+  }
+
+  HistoryOptions options_;
+  Xoshiro256pp rng_;
+  History history_;
+  std::vector<BugPlan> plans_;
+  std::set<std::string> used_ids_;
+};
+
+}  // namespace
+
+const Commit* History::FindCommit(std::string_view id) const {
+  for (const Commit& commit : commits) {
+    if (commit.id == id) {
+      return &commit;
+    }
+  }
+  return nullptr;
+}
+
+History GenerateHistory(const HistoryOptions& options) {
+  return HistoryBuilder(options).Build();
+}
+
+}  // namespace refscan

@@ -1,0 +1,128 @@
+// Kernel commit-history model and synthesiser.
+//
+// Substitutes for the ~1M-commit Linux git history the paper mined (§3.1).
+// The generator synthesises a commit stream over the real release timeline
+// (v2.6.12/2005 → v6.1/2022) containing:
+//
+//   * 1,033 refcounting bug-fix commits whose attributes (bug kind,
+//     security impact, subsystem, fixed release, Fixes-tag lifetime) are
+//     drawn to match the paper's reported marginals — Table 2, Figures 1-3,
+//     Findings 1-5;
+//   * 780 keyword decoys: commits whose diffs touch get/put-named APIs that
+//     are *not* refcounting APIs (they pass the level-1 keyword filter and
+//     are rejected by the level-2 implementation check);
+//   * 12 wrong-fix commits, each later reverted by a commit carrying a
+//     `Fixes:` tag naming it (the commit-dcb4b8ad case, removed by the
+//     miner's FP filter) — 1,033 + 780 + 12 = 1,825 level-1 candidates;
+//   * plain noise commits with no refcounting keywords at all.
+//
+// The miner (miner.h) then *recovers* the dataset exactly the way the paper
+// describes; nothing downstream reads the ground truth except the tests.
+
+#ifndef REFSCAN_HISTMINE_HISTORY_H_
+#define REFSCAN_HISTMINE_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace refscan {
+
+// One kernel release in the timeline (major series boundaries matter for
+// Figure 3's cross-release spans).
+struct KernelRelease {
+  std::string name;  // "v2.6.12", "v4.9", ...
+  int year = 0;
+  int major = 0;  // 2 (v2.6.x), 3, 4, 5, 6
+  int minor = 0;
+};
+
+// The release timeline 2005..2022 (91 mainline releases; the paper's "753
+// versions" count includes stable point releases of these mainlines).
+const std::vector<KernelRelease>& ReleaseTimeline();
+
+// Fractional release date (year + in-year fraction); lifetime arithmetic
+// uses differences of these.
+double ReleaseTime(const KernelRelease& release);
+
+// Number of versions the dataset covers including stable point releases.
+int TotalVersionCount();
+
+// Index of the first release of a major series (-1 if absent).
+int FirstReleaseOfMajor(int major);
+
+enum class DiffOp : uint8_t { kAdd, kDelete, kMove };
+
+struct DiffEntry {
+  DiffOp op = DiffOp::kAdd;
+  std::string api;           // API name touched by the patch
+  bool same_function = true; // pairing added in the same function as its peer
+};
+
+struct Commit {
+  std::string id;  // 12 hex chars
+  int release = 0; // index into ReleaseTimeline()
+  int year = 0;
+  std::string file;     // "drivers/usb/serial/console.c"
+  std::string subject;  // first line
+  std::string body;     // free text (keywords mined from subject+body)
+  std::vector<DiffEntry> diff;
+  std::string fixes_tag;  // target commit id, or ""
+};
+
+// Ground-truth bug kinds, matching Table 2's taxonomy.
+enum class HistBugKind : uint8_t {
+  kMissingDecIntra,  // 1.1 intra-unpaired (57.1%)
+  kMissingDecInter,  // 1.2 inter-unpaired (10.1%)
+  kLeakOther,        // 2. others (4.5%)
+  kMisplacedDec,     // 3.1 misplacing-decreasing (11.5%, UAD subset 9.1%)
+  kMisplacedInc,     // 3.2 misplacing-increasing (2.4%)
+  kMissingIncIntra,  // 4(5).1 missing-increasing intra (5.1%)
+  kMissingIncInter,  // 4(5).2 missing-increasing inter (2.1%)
+  kUafOther,         // 5. others (7.2% - missing-inc share)
+};
+
+struct HistBug {
+  HistBugKind kind = HistBugKind::kMissingDecIntra;
+  bool is_uad = false;     // use-after-decrease subset of kMisplacedDec
+  bool is_leak = true;     // security impact (vs UAF)
+  std::string subsystem;
+  std::string fix_commit;  // id of the fixing commit
+  int fixed_release = 0;
+  int introduced_release = -1;  // -1: no Fixes tag (466 of 1,033)
+};
+
+struct HistoryOptions {
+  uint64_t seed = 20051117;
+  // Plain-noise commits in addition to the calibrated population. The real
+  // history has ~1M commits; the default keeps test runtime sane while the
+  // benches can raise it.
+  int noise_commits = 20000;
+};
+
+struct History {
+  std::vector<Commit> commits;            // shuffled chronological stream
+  std::vector<HistBug> ground_truth;      // the 1,033 planted bugs
+  std::map<std::string, int> commit_release;  // every id (incl. bug-introducing ones)
+
+  const Commit* FindCommit(std::string_view id) const;
+};
+
+History GenerateHistory(const HistoryOptions& options = {});
+
+// Fixed-year counts used to calibrate Figure 1 (sums to 1,033).
+const std::map<int, int>& Figure1GrowthTargets();
+
+// Subsystem bug-count targets used for Figure 2's left chart (sums to 1,033)
+// and approximate subsystem sizes in KLOC for the density chart (right).
+struct SubsystemTarget {
+  std::string name;
+  int bugs = 0;
+  double kloc = 0;
+};
+const std::vector<SubsystemTarget>& Figure2SubsystemTargets();
+
+}  // namespace refscan
+
+#endif  // REFSCAN_HISTMINE_HISTORY_H_

@@ -1,0 +1,162 @@
+#include "src/histmine/miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/source.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+bool Level1KeywordMatch(std::string_view api_name) {
+  for (const std::string& word : IncreaseKeywords()) {
+    if (ContainsIdentifierWord(api_name, word)) {
+      return true;
+    }
+  }
+  for (const std::string& word : DecreaseKeywords()) {
+    if (ContainsIdentifierWord(api_name, word)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// The refcounting APIs a commit's diff touches, split by direction.
+struct DiffApis {
+  std::vector<const DiffEntry*> inc;
+  std::vector<const DiffEntry*> dec;
+};
+
+DiffApis RefcountApisInDiff(const Commit& commit, const KnowledgeBase& kb) {
+  DiffApis apis;
+  for (const DiffEntry& entry : commit.diff) {
+    const RefApiInfo* api = kb.FindApi(entry.api);
+    if (api == nullptr) {
+      continue;
+    }
+    if (api->direction == RefDirection::kIncrease) {
+      apis.inc.push_back(&entry);
+    } else {
+      apis.dec.push_back(&entry);
+    }
+  }
+  return apis;
+}
+
+bool MessageContains(const Commit& commit, std::string_view needle) {
+  const std::string lower_subject = ToLower(commit.subject);
+  const std::string lower_body = ToLower(commit.body);
+  return lower_subject.find(needle) != std::string::npos ||
+         lower_body.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+MinedBug ClassifyBugCommit(const Commit& commit, const History& history,
+                           const KnowledgeBase& kb) {
+  MinedBug bug;
+  bug.commit = &commit;
+  bug.subsystem = SplitKernelPath(commit.file).subsystem;
+  bug.fixed_release = commit.release;
+
+  if (!commit.fixes_tag.empty()) {
+    auto it = history.commit_release.find(commit.fixes_tag);
+    if (it != history.commit_release.end()) {
+      bug.introduced_release = it->second;
+    }
+  }
+
+  // Security impact from the patch description keywords (§4.1).
+  const bool mentions_uaf = MessageContains(commit, "use-after-free") ||
+                            MessageContains(commit, "uaf") ||
+                            MessageContains(commit, "premature free");
+  const bool mentions_leak = MessageContains(commit, "leak");
+  bug.is_leak = mentions_leak || !mentions_uaf;
+
+  // Taxonomy from the diff shape (§4.1's classification).
+  const DiffApis apis = RefcountApisInDiff(commit, kb);
+  const bool adds_dec = !apis.dec.empty() &&
+                        std::any_of(apis.dec.begin(), apis.dec.end(),
+                                    [](const DiffEntry* e) { return e->op == DiffOp::kAdd; });
+  const bool adds_inc = !apis.inc.empty() &&
+                        std::any_of(apis.inc.begin(), apis.inc.end(),
+                                    [](const DiffEntry* e) { return e->op == DiffOp::kAdd; });
+  const bool moves_dec = std::any_of(apis.dec.begin(), apis.dec.end(),
+                                     [](const DiffEntry* e) { return e->op == DiffOp::kMove; });
+  const bool moves_inc = std::any_of(apis.inc.begin(), apis.inc.end(),
+                                     [](const DiffEntry* e) { return e->op == DiffOp::kMove; });
+
+  if (adds_dec && adds_inc) {
+    bug.kind = HistBugKind::kUafOther;
+  } else if (moves_dec) {
+    bug.kind = HistBugKind::kMisplacedDec;
+    bug.is_uad = MessageContains(commit, "after dropping the reference");
+  } else if (moves_inc) {
+    bug.kind = HistBugKind::kMisplacedInc;
+  } else if (adds_dec) {
+    if (MessageContains(commit, "kfree")) {
+      bug.kind = HistBugKind::kLeakOther;  // direct-free style fix
+    } else {
+      const bool same_function = apis.dec.front()->same_function;
+      bug.kind = same_function ? HistBugKind::kMissingDecIntra : HistBugKind::kMissingDecInter;
+    }
+  } else if (adds_inc) {
+    const bool same_function = apis.inc.front()->same_function;
+    bug.kind = same_function ? HistBugKind::kMissingIncIntra : HistBugKind::kMissingIncInter;
+  } else {
+    // Deleted-only refcounting APIs: treat as "others" by impact.
+    bug.kind = bug.is_leak ? HistBugKind::kLeakOther : HistBugKind::kUafOther;
+  }
+  return bug;
+}
+
+MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb) {
+  MiningResult result;
+  result.total_commits = history.commits.size();
+
+  // Level 1: keyword filter over diff API names.
+  for (const Commit& commit : history.commits) {
+    for (const DiffEntry& entry : commit.diff) {
+      if (Level1KeywordMatch(entry.api)) {
+        result.level1_candidates.push_back(&commit);
+        break;
+      }
+    }
+  }
+
+  // Level 2: the touched API must be a confirmed refcounting API.
+  for (const Commit* commit : result.level1_candidates) {
+    bool confirmed = false;
+    for (const DiffEntry& entry : commit->diff) {
+      if (kb.FindApi(entry.api) != nullptr) {
+        confirmed = true;
+        break;
+      }
+    }
+    if (confirmed) {
+      result.level2_candidates.push_back(commit);
+    }
+  }
+
+  // FP removal: a candidate named by another commit's Fixes: tag was itself
+  // a wrong fix — drop it.
+  std::set<std::string> fixes_targets;
+  for (const Commit& commit : history.commits) {
+    if (!commit.fixes_tag.empty()) {
+      fixes_targets.insert(commit.fixes_tag);
+    }
+  }
+  for (const Commit* commit : result.level2_candidates) {
+    if (fixes_targets.contains(commit->id)) {
+      result.removed_as_wrong_fix.push_back(commit);
+      continue;
+    }
+    result.dataset.push_back(ClassifyBugCommit(*commit, history, kb));
+  }
+  return result;
+}
+
+}  // namespace refscan

@@ -1,0 +1,57 @@
+// Refcounting-bug dataset miner (§3.1's two-level filtering method).
+//
+//   Level 1 — keyword filter: keep commits whose diffs add/delete/move APIs
+//     whose names contain refcounting keywords ("get", "take", "hold",
+//     "grab" / "put", "drop", "unhold", "release", ...).
+//   Level 2 — implementation check: keep only commits touching APIs the
+//     knowledge base confirms are refcounting APIs (the paper inspected the
+//     API implementations; our KB plays that role).
+//   FP removal — drop any candidate whose commit id appears as the `Fixes:`
+//     target of another commit (the wrong-fix/revert case, §3.1).
+//
+// The surviving commits are then classified into the Table 2 taxonomy from
+// their diffs and messages (standing in for the paper's manual analysis of
+// patch descriptions), yielding the dataset the statistics module consumes.
+
+#ifndef REFSCAN_HISTMINE_MINER_H_
+#define REFSCAN_HISTMINE_MINER_H_
+
+#include <vector>
+
+#include "src/histmine/history.h"
+#include "src/kb/kb.h"
+
+namespace refscan {
+
+// One classified dataset entry (a mined refcounting bug).
+struct MinedBug {
+  const Commit* commit = nullptr;
+  HistBugKind kind = HistBugKind::kMissingDecIntra;
+  bool is_uad = false;
+  bool is_leak = true;
+  std::string subsystem;
+  int fixed_release = 0;
+  int introduced_release = -1;  // -1 when the commit has no Fixes: tag
+};
+
+struct MiningResult {
+  size_t total_commits = 0;
+  std::vector<const Commit*> level1_candidates;
+  std::vector<const Commit*> level2_candidates;
+  std::vector<const Commit*> removed_as_wrong_fix;
+  std::vector<MinedBug> dataset;  // final classified bugs
+};
+
+// True if `api_name` contains a refcounting keyword as an identifier word.
+bool Level1KeywordMatch(std::string_view api_name);
+
+// Runs the full pipeline over `history`.
+MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb);
+
+// Classifies one confirmed bug-fix commit into the Table 2 taxonomy.
+MinedBug ClassifyBugCommit(const Commit& commit, const History& history,
+                           const KnowledgeBase& kb);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_HISTMINE_MINER_H_

@@ -1,0 +1,75 @@
+#include "src/kb/deviations.h"
+
+#include <algorithm>
+
+#include "src/ast/parser.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+std::string_view DeviationKindName(DeviationKind kind) {
+  switch (kind) {
+    case DeviationKind::kReturnError:
+      return "Return-Error";
+    case DeviationKind::kReturnNull:
+      return "Return-NULL";
+  }
+  return "?";
+}
+
+std::vector<DeviationReport> DetectDeviations(const SourceTree& tree, KnowledgeBase kb) {
+  std::vector<TranslationUnit> units;
+  units.reserve(tree.size());
+  for (const auto& [path, file] : tree.files()) {
+    units.push_back(ParseFile(file));
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (const TranslationUnit& unit : units) {
+      kb.DiscoverFromUnit(unit);
+    }
+  }
+
+  std::vector<DeviationReport> reports;
+  for (const TranslationUnit& unit : units) {
+    for (const FunctionDef& fn : unit.functions) {
+      const RefApiInfo* api = kb.FindApi(fn.name);
+      if (api == nullptr || api->direction != RefDirection::kIncrease) {
+        continue;
+      }
+      auto base = [&](DeviationKind kind) {
+        DeviationReport report;
+        report.kind = kind;
+        report.api = fn.name;
+        report.file = unit.path;
+        report.line = fn.line;
+        report.hidden = api->hidden;
+        return report;
+      };
+      if (api->returns_error) {
+        DeviationReport report = base(DeviationKind::kReturnError);
+        report.note = StrFormat(
+            "%s() raises the refcount before it can fail; every caller must decrement on "
+            "*all* paths, including the error path",
+            fn.name.c_str());
+        reports.push_back(std::move(report));
+      }
+      if (api->may_return_null) {
+        DeviationReport report = base(DeviationKind::kReturnNull);
+        report.note = StrFormat("%s() hands back the object pointer, which may be NULL; "
+                                "callers must check before dereferencing",
+                                fn.name.c_str());
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const DeviationReport& a, const DeviationReport& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              return a.line < b.line;
+            });
+  return reports;
+}
+
+}  // namespace refscan

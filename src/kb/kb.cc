@@ -1,0 +1,518 @@
+#include "src/kb/kb.h"
+
+#include <algorithm>
+
+#include "src/cfg/cfg.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+
+namespace {
+
+// Direct refcounter field types (the paper's "basic structures", §5).
+bool IsRefcounterFieldType(std::string_view type, std::string_view field_name) {
+  if (type.find("refcount_t") != std::string_view::npos ||
+      type.find("kref") != std::string_view::npos ||
+      type.find("kobject") != std::string_view::npos) {
+    return true;
+  }
+  if (type.find("atomic_t") != std::string_view::npos ||
+      type.find("atomic_long_t") != std::string_view::npos) {
+    const std::string lower = ToLower(field_name);
+    return lower.find("ref") != std::string::npos || lower.find("cnt") != std::string::npos ||
+           lower.find("count") != std::string::npos || lower.find("users") != std::string::npos;
+  }
+  return false;
+}
+
+// Extracts "X" from a field type like "struct X" / "const struct X".
+std::string StructTag(std::string_view type) {
+  const auto words = SplitWhitespace(type);
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    if (words[i] == "struct" || words[i] == "union") {
+      std::string tag(words[i + 1]);
+      while (!tag.empty() && tag.back() == '*') {
+        tag.pop_back();
+      }
+      return tag;
+    }
+  }
+  return {};
+}
+
+bool TypeIsPointer(std::string_view type) {
+  return type.find('*') != std::string_view::npos;
+}
+
+}  // namespace
+
+const std::vector<std::string>& IncreaseKeywords() {
+  static const std::vector<std::string> kWords = {"get",  "take",   "hold", "grab",
+                                                  "retain", "acquire", "inc",  "ref"};
+  return kWords;
+}
+
+const std::vector<std::string>& DecreaseKeywords() {
+  static const std::vector<std::string> kWords = {"put",  "drop", "unhold", "release",
+                                                  "dec",  "unref"};
+  return kWords;
+}
+
+bool NameSoundsLikeRefcounting(std::string_view name) {
+  for (const std::string& w : IncreaseKeywords()) {
+    if (ContainsIdentifierWord(name, w)) {
+      return true;
+    }
+  }
+  for (const std::string& w : DecreaseKeywords()) {
+    if (ContainsIdentifierWord(name, w)) {
+      return true;
+    }
+  }
+  return ContainsIdentifierWord(name, "refcount");
+}
+
+const std::vector<std::pair<std::string, std::string>>& PairedOpsFields() {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"probe", "remove"},      // platform_driver
+      {"probe", "disconnect"},  // usb_driver
+      {"open", "release"},      // file_operations
+      {"connect", "shutdown"},  // proto_ops
+      {"bind", "unbind"},       // component ops
+      {"attach", "detach"},
+  };
+  return kPairs;
+}
+
+std::string PairedReleaseWord(std::string_view acquire_word) {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"register", "unregister"}, {"create", "destroy"}, {"init", "uninit"},
+      {"init", "exit"},           {"open", "close"},     {"start", "stop"},
+      {"add", "del"},             {"alloc", "free"},     {"enable", "disable"},
+      {"attach", "detach"},       {"probe", "remove"},
+  };
+  for (const auto& [a, r] : kPairs) {
+    if (acquire_word == a) {
+      return r;
+    }
+  }
+  return {};
+}
+
+bool KnowledgeBase::IsFreeFunction(std::string_view name) {
+  static constexpr std::string_view kFrees[] = {"kfree",      "vfree",  "kvfree", "kzfree",
+                                                "devm_kfree", "kmem_cache_free"};
+  for (std::string_view f : kFrees) {
+    if (name == f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KnowledgeBase::IsLockFunction(std::string_view name) {
+  static constexpr std::string_view kLocks[] = {
+      "mutex_lock",         "spin_lock",    "spin_lock_irq", "spin_lock_irqsave",
+      "spin_lock_bh",       "read_lock",    "write_lock",    "down",
+      "down_read",          "down_write",   "raw_spin_lock", "mutex_lock_interruptible",
+  };
+  for (std::string_view f : kLocks) {
+    if (name == f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KnowledgeBase::IsUnlockFunction(std::string_view name) {
+  static constexpr std::string_view kUnlocks[] = {
+      "mutex_unlock", "spin_unlock", "spin_unlock_irq",  "spin_unlock_irqrestore",
+      "spin_unlock_bh", "read_unlock", "write_unlock",   "up",
+      "up_read",      "up_write",    "raw_spin_unlock",
+  };
+  for (std::string_view f : kUnlocks) {
+    if (name == f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void KnowledgeBase::AddApi(RefApiInfo info) {
+  apis_.insert_or_assign(info.name, std::move(info));
+}
+
+void KnowledgeBase::AddSmartLoop(SmartLoopInfo info) {
+  smart_loops_.insert_or_assign(info.name, std::move(info));
+}
+
+void KnowledgeBase::AddRefcountedStruct(std::string name) {
+  refcounted_structs_.insert(std::move(name));
+}
+
+const RefApiInfo* KnowledgeBase::FindApi(std::string_view name) const {
+  auto it = apis_.find(name);
+  if (it != apis_.end()) {
+    return &it->second;
+  }
+  // Kernel-internal "__" variants share the public API's behaviour
+  // (__of_find_matching_node, __pm_runtime_get_sync, ...).
+  while (name.starts_with("_")) {
+    name.remove_prefix(1);
+  }
+  it = apis_.find(name);
+  return it == apis_.end() ? nullptr : &it->second;
+}
+
+const SmartLoopInfo* KnowledgeBase::FindSmartLoop(std::string_view name) const {
+  auto it = smart_loops_.find(name);
+  return it == smart_loops_.end() ? nullptr : &it->second;
+}
+
+bool KnowledgeBase::IsRefcountedStruct(std::string_view struct_name) const {
+  return refcounted_structs_.find(struct_name) != refcounted_structs_.end();
+}
+
+KnowledgeBase KnowledgeBase::BuiltIn() {
+  KnowledgeBase kb;
+
+  auto add = [&kb](RefApiInfo info) { kb.apis_.insert_or_assign(info.name, std::move(info)); };
+
+  constexpr auto kInc = RefDirection::kIncrease;
+  constexpr auto kDec = RefDirection::kDecrease;
+
+  // ----- General refcounting APIs (§5 "General Refcounting APIs").
+  for (const char* name : {"refcount_inc", "kref_get", "kobject_get", "atomic_inc"}) {
+    add({.name = name, .direction = kInc, .category = ApiCategory::kGeneral});
+  }
+  for (const char* name : {"refcount_dec", "kref_put", "kobject_put", "atomic_dec",
+                           "refcount_dec_and_test"}) {
+    add({.name = name, .direction = kDec, .category = ApiCategory::kGeneral});
+  }
+
+  // ----- Specific (typed wrapper) APIs.
+  add({.name = "get_device", .direction = kInc, .category = ApiCategory::kSpecific,
+       .returns_object = true});
+  add({.name = "put_device", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "of_node_get", .direction = kInc, .category = ApiCategory::kSpecific,
+       .returns_object = true});
+  add({.name = "of_node_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "dev_hold", .direction = kInc, .category = ApiCategory::kSpecific});
+  add({.name = "dev_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "sock_hold", .direction = kInc, .category = ApiCategory::kSpecific});
+  add({.name = "sock_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "usb_serial_get", .direction = kInc, .category = ApiCategory::kSpecific});
+  add({.name = "usb_serial_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "fwnode_handle_get", .direction = kInc, .category = ApiCategory::kSpecific,
+       .returns_object = true});
+  add({.name = "fwnode_handle_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "pm_runtime_put", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "pm_runtime_put_sync", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "pm_runtime_put_noidle", .direction = kDec, .category = ApiCategory::kSpecific});
+  add({.name = "lpfc_bsg_event_ref", .direction = kInc, .category = ApiCategory::kSpecific});
+
+  // ----- Return-Error deviants (𝒢_E, §5.1.1 / Table 6 "ID Return-Error").
+  add({.name = "pm_runtime_get_sync", .direction = kInc, .category = ApiCategory::kSpecific,
+       .returns_error = true});
+  add({.name = "kobject_init_and_add", .direction = kInc, .category = ApiCategory::kSpecific,
+       .returns_error = true});
+
+  // ----- Return-NULL deviants (𝒢_N, §5.1.2 / Table 6 "ID Return-NULL").
+  add({.name = "mdesc_grab", .direction = kInc, .category = ApiCategory::kSpecific,
+       .may_return_null = true, .returns_object = true, .object_param = -1});
+  add({.name = "amdgpu_device_ip_init", .direction = kInc, .category = ApiCategory::kSpecific,
+       .may_return_null = true, .returns_object = true, .object_param = -1});
+
+  // ----- Refcounting-embedded, hidden APIs (Table 6 "H Inc./Dec.-Hidden").
+  auto embedded = [&](const char* name, int consumed = -1) {
+    add({.name = name, .direction = kInc, .category = ApiCategory::kEmbedded,
+         .returns_object = true, .object_param = -1, .consumed_param = consumed,
+         .hidden = true});
+  };
+  embedded("of_find_compatible_node", 0);
+  embedded("of_find_matching_node", 0);
+  embedded("of_find_node_by_name", 0);
+  embedded("of_find_node_by_path");
+  embedded("of_find_node_by_phandle");
+  embedded("of_find_node_by_type", 0);
+  embedded("of_parse_phandle");
+  embedded("of_get_parent");
+  embedded("of_get_child_by_name");
+  embedded("of_get_next_child", 0);
+  embedded("of_graph_get_port_by_id");
+  embedded("of_graph_get_port_parent");
+  embedded("of_get_node");
+  embedded("bus_find_device");
+  embedded("class_find_device");
+  embedded("device_initialize");
+  embedded("ip_dev_find");
+  embedded("afs_alloc_read");
+  embedded("perf_cpu_map__new");
+  embedded("setup_find_cpu_node");
+  embedded("gfs2_glock_nq_init");
+  embedded("tipc_node_find");
+  embedded("sockfd_lookup");
+  embedded("fc_rport_lookup");
+  embedded("rxrpc_lookup_peer");
+  embedded("lookup_bdev");
+  embedded("tcp_ulp_find_autoload");
+  embedded("ipv4_neigh_lookup");
+  embedded("mpol_shared_policy_lookup");
+  embedded("usb_anchor_urb");
+  embedded("tomoyo_mount_acl");
+  embedded("nvmet_fc_tgt_q_get");
+  add({.name = "nvmet_fc_tgt_q_put", .direction = kDec, .category = ApiCategory::kSpecific});
+
+  // The embedded APIs that *sound* like refcounting keep hidden=false where
+  // the keyword really is the dominant meaning; of_get_* keep hidden=true
+  // per the paper (developers read them as pointer accessors).
+  // (Handled above: all of_* embedded entries stay hidden.)
+
+  // ----- Smartloops (ℳ_SL, Table 6 "H Complete-Hidden").
+  auto loop = [&](const char* name, const char* api) {
+    kb.smart_loops_.insert_or_assign(name,
+                                     SmartLoopInfo{name, /*iterator_arg=*/0, api});
+  };
+  loop("for_each_matching_node", "of_find_matching_node");
+  loop("for_each_child_of_node", "of_get_next_child");
+  loop("for_each_available_child_of_node", "of_get_next_available_child");
+  loop("for_each_endpoint_of_node", "of_graph_get_next_endpoint");
+  loop("for_each_node_by_name", "of_find_node_by_name");
+  loop("for_each_node_by_type", "of_find_node_by_type");
+  loop("for_each_compatible_node", "of_find_compatible_node");
+  loop("device_for_each_child_node", "fwnode_get_next_child_node");
+  loop("fwnode_for_each_parent_node", "fwnode_get_parent");
+  loop("fwnode_for_each_child_node", "fwnode_get_next_child_node");
+  loop("for_each_cpu_node", "setup_find_cpu_node");
+
+  // Iterator arg positions that differ from 0.
+  kb.smart_loops_.at("for_each_child_of_node").iterator_arg = 1;
+  kb.smart_loops_.at("for_each_available_child_of_node").iterator_arg = 1;
+  kb.smart_loops_.at("device_for_each_child_node").iterator_arg = 1;
+  kb.smart_loops_.at("fwnode_for_each_child_node").iterator_arg = 1;
+
+  // ----- Built-in ownership sinks: registering a release callback hands
+  // the reference to the devres machinery (devm_add_action(dev, fn, data)
+  // — the data argument, index 2 — will be released by fn at teardown).
+  kb.ownership_sinks_.insert_or_assign("devm_add_action", 2);
+  kb.ownership_sinks_.insert_or_assign("devm_add_action_or_reset", 2);
+
+  // ----- Refcounted base structures.
+  for (const char* s : {"kref", "kobject", "device", "device_node", "sock", "net_device",
+                        "usb_serial", "fwnode_handle", "nvmem_device"}) {
+    kb.refcounted_structs_.insert(s);
+  }
+
+  return kb;
+}
+
+void KnowledgeBase::DiscoverFromUnit(const TranslationUnit& unit, int nesting_threshold) {
+  DiscoverStructs(unit, nesting_threshold);
+  DiscoverFunctions(unit);
+  DiscoverMacros(unit);
+  DiscoverOwnershipSinks(unit);
+}
+
+int KnowledgeBase::FindOwnershipSink(std::string_view function_name) const {
+  auto it = ownership_sinks_.find(function_name);
+  return it == ownership_sinks_.end() ? -1 : it->second;
+}
+
+void KnowledgeBase::AddOwnershipSink(std::string name, int param_index) {
+  ownership_sinks_.insert_or_assign(std::move(name), param_index);
+}
+
+void KnowledgeBase::DiscoverOwnershipSinks(const TranslationUnit& unit) {
+  for (const FunctionDef& fn : unit.functions) {
+    if (fn.body == nullptr || ownership_sinks_.contains(fn.name)) {
+      continue;
+    }
+    // Local declarations: stores rooted in them do not escape.
+    std::set<std::string> locals;
+    ForEachStmt(*fn.body, [&locals](const Stmt& st) {
+      if (st.kind == Stmt::Kind::kDecl && !st.name.empty()) {
+        locals.insert(st.name);
+      }
+    });
+    // A sink assigns a parameter (bare identifier rhs) into a member chain
+    // rooted outside the function's locals.
+    ForEachExpr(*fn.body, [&](const Expr& e) {
+      if (e.kind != Expr::Kind::kAssign || e.args.size() < 2 || e.args[0] == nullptr ||
+          e.args[1] == nullptr) {
+        return;
+      }
+      const Expr& lhs = *e.args[0];
+      const Expr& rhs = *e.args[1];
+      if (rhs.kind != Expr::Kind::kIdent || lhs.kind != Expr::Kind::kMember) {
+        return;
+      }
+      // Find which parameter the rhs names.
+      int param_index = -1;
+      for (size_t p = 0; p < fn.params.size(); ++p) {
+        if (fn.params[p].name == rhs.value) {
+          param_index = static_cast<int>(p);
+        }
+      }
+      if (param_index < 0) {
+        return;
+      }
+      // lhs root must be non-local (a global or another parameter).
+      const Expr* root = &lhs;
+      while (root->kind == Expr::Kind::kMember && !root->args.empty() &&
+             root->args[0] != nullptr) {
+        root = root->args[0].get();
+      }
+      if (root->kind != Expr::Kind::kIdent || locals.contains(root->value) ||
+          root->value == rhs.value) {
+        return;
+      }
+      ownership_sinks_.insert_or_assign(fn.name, param_index);
+    });
+  }
+}
+
+void KnowledgeBase::DiscoverStructs(const TranslationUnit& unit, int nesting_threshold) {
+  // Level 0: direct refcounter fields. Levels 1..threshold: a field whose
+  // struct type was classified in a *previous* level (per-level snapshot so
+  // one pass advances nesting depth by exactly one).
+  for (int level = 0; level <= nesting_threshold; ++level) {
+    std::set<std::string> added;
+    for (const StructDef& def : unit.structs) {
+      if (refcounted_structs_.contains(def.name)) {
+        continue;
+      }
+      for (const StructField& field : def.fields) {
+        const bool direct = level == 0 && IsRefcounterFieldType(field.type, field.name);
+        const bool nested = level > 0 && !StructTag(field.type).empty() &&
+                            refcounted_structs_.contains(StructTag(field.type));
+        if (direct || nested) {
+          added.insert(def.name);
+          break;
+        }
+      }
+    }
+    if (level > 0 && added.empty()) {
+      break;
+    }
+    refcounted_structs_.insert(added.begin(), added.end());
+  }
+}
+
+void KnowledgeBase::DiscoverFunctions(const TranslationUnit& unit) {
+  for (const FunctionDef& fn : unit.functions) {
+    if (fn.body == nullptr || apis_.contains(fn.name)) {
+      continue;
+    }
+
+    // Find refcounting operations inside the body: calls to known APIs, or
+    // inc/dec of a refcounter member (`refcount_inc(&x->refcnt)` is a call;
+    // `x->refcnt++` is a unary op on a member).
+    bool increases = false;
+    bool decreases = false;
+    bool has_return_null = false;
+    bool has_error_return = false;
+    int consumed_param = -1;
+
+    ForEachStmt(*fn.body, [&](const Stmt& s) {
+      if (s.kind == Stmt::Kind::kReturn && s.expr != nullptr) {
+        if (s.expr->kind == Expr::Kind::kIdent && s.expr->value == "NULL") {
+          has_return_null = true;
+        }
+        if (ReturnsErrorCode(s)) {
+          has_error_return = true;
+        }
+      }
+    });
+
+    ForEachExpr(*fn.body, [&](const Expr& e) {
+      if (e.kind == Expr::Kind::kCall) {
+        const RefApiInfo* callee = FindApi(e.CalleeName());
+        if (callee != nullptr) {
+          if (callee->direction == RefDirection::kIncrease) {
+            increases = true;
+          } else {
+            decreases = true;
+            // Does this decrement hit one of our parameters? (of_find_*(from))
+            if (e.args.size() > 1 && e.args[1] != nullptr &&
+                e.args[1]->kind == Expr::Kind::kIdent) {
+              for (size_t p = 0; p < fn.params.size(); ++p) {
+                if (fn.params[p].name == e.args[1]->value) {
+                  consumed_param = static_cast<int>(p);
+                }
+              }
+            }
+          }
+        }
+      }
+      if (e.kind == Expr::Kind::kUnary && (e.value == "++" || e.value == "--") &&
+          !e.args.empty() && e.args[0] != nullptr && e.args[0]->kind == Expr::Kind::kMember) {
+        const std::string lower = ToLower(e.args[0]->value);
+        if (lower.find("ref") != std::string::npos || lower.find("count") != std::string::npos) {
+          (e.value == "++" ? increases : decreases) = true;
+        }
+      }
+    });
+
+    if (!increases && !decreases) {
+      continue;
+    }
+
+    RefApiInfo info;
+    info.name = fn.name;
+    // A function that both increases (the returned node) and decreases (the
+    // `from` argument) is the find-like shape; classify by its primary
+    // effect: the increase it hands to the caller.
+    info.direction = increases ? RefDirection::kIncrease : RefDirection::kDecrease;
+    info.hidden = !NameSoundsLikeRefcounting(fn.name);
+    info.category = info.hidden ? ApiCategory::kEmbedded : ApiCategory::kSpecific;
+    info.returns_object = TypeIsPointer(fn.return_type);
+    info.object_param = info.returns_object ? -1 : 0;
+    info.may_return_null = info.returns_object && has_return_null &&
+                           info.direction == RefDirection::kIncrease;
+    info.returns_error = !info.returns_object && has_error_return &&
+                         info.direction == RefDirection::kIncrease;
+    info.consumed_param = increases ? consumed_param : -1;
+    apis_.insert_or_assign(info.name, std::move(info));
+  }
+}
+
+void KnowledgeBase::DiscoverMacros(const TranslationUnit& unit) {
+  for (const MacroDef& macro : unit.macros) {
+    if (macro.params.empty() || smart_loops_.contains(macro.name)) {
+      continue;
+    }
+    if (macro.body.find("for") == std::string::npos) {
+      continue;
+    }
+    // The macro is a smartloop if its body invokes a refcounting API
+    // (typically an embedded find-like one).
+    std::string embedded;
+    for (const auto& [name, info] : apis_) {
+      if (macro.body.find(name + "(") != std::string::npos) {
+        embedded = name;
+        break;
+      }
+    }
+    if (embedded.empty()) {
+      continue;
+    }
+    SmartLoopInfo loop;
+    loop.name = macro.name;
+    loop.embedded_api = embedded;
+    // The iterator is the macro parameter assigned from the embedded API:
+    // "dn = of_find_matching_node(...)". Fall back to parameter 0.
+    loop.iterator_arg = 0;
+    for (size_t p = 0; p < macro.params.size(); ++p) {
+      const std::string pattern = macro.params[p] + " = " + embedded;
+      const std::string tight = macro.params[p] + "=" + embedded;
+      if (macro.body.find(pattern) != std::string::npos ||
+          macro.body.find(tight) != std::string::npos) {
+        loop.iterator_arg = static_cast<int>(p);
+        break;
+      }
+    }
+    smart_loops_.insert_or_assign(loop.name, std::move(loop));
+  }
+}
+
+}  // namespace refscan

@@ -1,0 +1,140 @@
+// Refcounting knowledge base.
+//
+// Mirrors the paper's lexer-parsing stage (§6.1): it knows which APIs
+// increase (𝒢) or decrease (𝒫) refcounters, which of them deviate from the
+// standard contract (return-error 𝒢_E, return-NULL 𝒢_N — §5.1), which are
+// "hidden" behind non-refcount-sounding names (𝒢_H/𝒫_H — §5.2), and which
+// macros are smartloops (ℳ_SL). Two sources feed it:
+//
+//   1. A built-in catalogue of real Linux kernel APIs transcribed from the
+//      paper's Appendix A (Table 6) plus the general/specific APIs of §5.
+//   2. Discovery from source: the structure parser marks structs carrying a
+//      refcounter (directly or nested up to a threshold), then functions
+//      that operate those refcounters — or wrap known refcounting APIs —
+//      are classified as refcounting APIs themselves, with their deviation
+//      flags inferred from their bodies. Macros whose bodies loop over a
+//      refcounting-embedded API become smartloops.
+
+#ifndef REFSCAN_KB_KB_H_
+#define REFSCAN_KB_KB_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/ast.h"
+
+namespace refscan {
+
+enum class RefDirection : uint8_t { kIncrease, kDecrease };
+
+// The paper's three API categories (§5).
+enum class ApiCategory : uint8_t {
+  kGeneral,   // refcount_inc / kref_put / kobject_get ...
+  kSpecific,  // of_node_get / dev_hold: typed wrappers over general APIs
+  kEmbedded,  // find-like APIs whose main job is not refcounting
+};
+
+struct RefApiInfo {
+  std::string name;
+  RefDirection direction = RefDirection::kIncrease;
+  ApiCategory category = ApiCategory::kGeneral;
+
+  // Deviations (§5.1).
+  bool returns_error = false;    // 𝒢_E: increments even when returning an error
+  bool may_return_null = false;  // 𝒢_N: returns the object pointer, possibly NULL
+
+  // Shape.
+  bool returns_object = false;  // the acquired object is the return value
+  int object_param = 0;         // 0-based index of the object parameter; -1 if retval-only
+  int consumed_param = -1;      // param whose refcount this API *decreases* (of_find_*(from))
+
+  // 𝒢_H/𝒫_H: none of the refcounting keywords appear in the name, or the
+  // name's dominant meaning is unrelated (find/parse/...). §5.2.
+  bool hidden = false;
+};
+
+struct SmartLoopInfo {
+  std::string name;          // e.g. for_each_matching_node
+  int iterator_arg = 0;      // 0-based macro argument holding the iterated object
+  std::string embedded_api;  // the refcounting-embedded API invoked per iteration
+};
+
+// Keyword sets the paper uses for two-level commit filtering and for the
+// hiddenness classification (§3.1, Table 3).
+const std::vector<std::string>& IncreaseKeywords();  // get, take, hold, grab, ...
+const std::vector<std::string>& DecreaseKeywords();  // put, drop, unhold, release, ...
+
+// True if any refcounting keyword occurs as an identifier word in `name`.
+bool NameSoundsLikeRefcounting(std::string_view name);
+
+// Inter-paired callback fields of kernel ops structs (§5.3.2): acquire-side
+// field first ("probe"), release-side second ("remove").
+const std::vector<std::pair<std::string, std::string>>& PairedOpsFields();
+
+// Name-based function pairs (register/unregister, create/destroy, ...);
+// returns the release-side word for an acquire-side word, or "" if none.
+std::string PairedReleaseWord(std::string_view acquire_word);
+
+class KnowledgeBase {
+ public:
+  // The catalogue transcribed from the paper (Appendix A + §5 examples).
+  static KnowledgeBase BuiltIn();
+
+  // Lookup ------------------------------------------------------------
+  const RefApiInfo* FindApi(std::string_view name) const;
+  const SmartLoopInfo* FindSmartLoop(std::string_view name) const;
+  bool IsRefcountedStruct(std::string_view struct_name) const;
+
+  // Classification helpers --------------------------------------------
+  static bool IsFreeFunction(std::string_view name);    // kfree, vfree, ...
+  static bool IsLockFunction(std::string_view name);    // mutex_lock, spin_lock, ...
+  static bool IsUnlockFunction(std::string_view name);  // mutex_unlock, ...
+
+  // Ownership sinks: functions that store one of their pointer parameters
+  // into longer-lived state (a global or another parameter's field).
+  // Passing an acquired reference to a sink transfers ownership — the
+  // inter-procedural half of escape reasoning (§5.4.2). Returns the 0-based
+  // parameter index consumed, or -1.
+  int FindOwnershipSink(std::string_view function_name) const;
+
+  // Registration -------------------------------------------------------
+  void AddApi(RefApiInfo info);
+  void AddSmartLoop(SmartLoopInfo info);
+  void AddRefcountedStruct(std::string name);
+  void AddOwnershipSink(std::string name, int param_index);
+
+  // Discovery from source (§6.1 "Lexer Parsing"). Safe to call repeatedly
+  // (e.g. once per translation unit); runs a bounded nesting fixpoint for
+  // struct classification and then classifies functions and macros.
+  void DiscoverFromUnit(const TranslationUnit& unit, int nesting_threshold = 3);
+
+  // Accessors for reporting.
+  const std::map<std::string, RefApiInfo, std::less<>>& apis() const { return apis_; }
+  const std::map<std::string, SmartLoopInfo, std::less<>>& smart_loops() const {
+    return smart_loops_;
+  }
+  const std::set<std::string, std::less<>>& refcounted_structs() const {
+    return refcounted_structs_;
+  }
+  const std::map<std::string, int, std::less<>>& ownership_sinks() const {
+    return ownership_sinks_;
+  }
+
+ private:
+  void DiscoverStructs(const TranslationUnit& unit, int nesting_threshold);
+  void DiscoverFunctions(const TranslationUnit& unit);
+  void DiscoverMacros(const TranslationUnit& unit);
+  void DiscoverOwnershipSinks(const TranslationUnit& unit);
+
+  std::map<std::string, RefApiInfo, std::less<>> apis_;
+  std::map<std::string, SmartLoopInfo, std::less<>> smart_loops_;
+  std::set<std::string, std::less<>> refcounted_structs_;
+  std::map<std::string, int, std::less<>> ownership_sinks_;
+};
+
+}  // namespace refscan
+
+#endif  // REFSCAN_KB_KB_H_

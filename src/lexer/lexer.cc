@@ -1,0 +1,180 @@
+#include "src/lexer/lexer.h"
+
+#include <cctype>
+#include <string_view>
+#include <unordered_set>
+
+namespace refscan {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest-match-first per leading character.
+// Only operators that matter for parsing are listed; anything else falls
+// back to a single-character token.
+std::string_view MatchPunct(std::string_view rest) {
+  static constexpr std::string_view kThree[] = {"<<=", ">>=", "..."};
+  static constexpr std::string_view kTwo[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==",
+                                              "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+                                              "&=", "^=", "|=", "##"};
+  for (std::string_view p : kThree) {
+    if (rest.starts_with(p)) {
+      return p;
+    }
+  }
+  for (std::string_view p : kTwo) {
+    if (rest.starts_with(p)) {
+      return p;
+    }
+  }
+  return rest.substr(0, 1);
+}
+
+}  // namespace
+
+bool IsCKeyword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "auto",     "break",    "case",     "char",   "const",    "continue", "default",
+      "do",       "double",   "else",     "enum",   "extern",   "float",    "for",
+      "goto",     "if",       "inline",   "int",    "long",     "register", "restrict",
+      "return",   "short",    "signed",   "sizeof", "static",   "struct",   "switch",
+      "typedef",  "union",    "unsigned", "void",   "volatile", "while",    "_Bool",
+      "_Atomic",  "__inline", "__asm__",  "asm",    "typeof",   "__typeof__",
+  };
+  return kKeywords.contains(word);
+}
+
+std::vector<Token> Tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  const std::string_view text = file.text();
+  size_t i = 0;
+  const size_t n = text.size();
+  bool at_line_start = true;  // only a line-leading '#' starts a directive
+
+  auto make = [&](TokenKind kind, size_t start, size_t end) {
+    tokens.push_back(Token{kind, text.substr(start, end - start), file.LineAt(start)});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+
+    // Preprocessor directive: from a line-leading '#' to the first newline
+    // not preceded by a backslash continuation.
+    if (c == '#' && at_line_start) {
+      const size_t start = i;
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (i > start && text[i - 1] == '\\') {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      make(TokenKind::kPreproc, start, i);
+      continue;
+    }
+    at_line_start = false;
+
+    // String literal (escapes honoured; unterminated strings end at newline).
+    if (c == '"') {
+      const size_t start = i++;
+      while (i < n && text[i] != '"' && text[i] != '\n') {
+        i += (text[i] == '\\' && i + 1 < n) ? 2 : 1;
+      }
+      if (i < n && text[i] == '"') {
+        ++i;
+      }
+      make(TokenKind::kString, start, i);
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      const size_t start = i++;
+      while (i < n && text[i] != '\'' && text[i] != '\n') {
+        i += (text[i] == '\\' && i + 1 < n) ? 2 : 1;
+      }
+      if (i < n && text[i] == '\'') {
+        ++i;
+      }
+      make(TokenKind::kChar, start, i);
+      continue;
+    }
+
+    // Number: ints, hex, floats, suffixes — consumed loosely as one blob.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0)) {
+      const size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = text[i];
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if ((d == '+' || d == '-') && (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                                              text[i - 1] == 'p' || text[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      make(TokenKind::kNumber, start, i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      const std::string_view word = text.substr(start, i - start);
+      make(IsCKeyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier, start, i);
+      continue;
+    }
+
+    // Punctuation (or any stray byte).
+    const std::string_view p = MatchPunct(text.substr(i));
+    make(TokenKind::kPunct, i, i + p.size());
+    i += p.size();
+  }
+
+  tokens.push_back(Token{TokenKind::kEof, std::string_view(), file.LineAt(n)});
+  return tokens;
+}
+
+}  // namespace refscan

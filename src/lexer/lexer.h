@@ -1,0 +1,92 @@
+// Tolerant C tokenizer (the paper's PLY lexer-parsing layer).
+//
+// Produces a flat token vector over one source file. Comments are skipped
+// (line-accurately), preprocessor directives are captured as single tokens
+// spanning continuation lines (the KB's smartloop-macro discovery consumes
+// these), and everything else becomes identifier / keyword / number /
+// string / char-literal / punctuation tokens. Tokens are string_views into
+// the SourceFile buffer, so the file must outlive the tokens.
+//
+// The lexer never fails: unknown bytes become single-character punctuation
+// tokens, matching the paper's need to digest all kernel code without the
+// full set of compilation flags ("Why not LLVM", §6.1).
+
+#ifndef REFSCAN_LEXER_LEXER_H_
+#define REFSCAN_LEXER_LEXER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace refscan {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kPreproc,  // whole directive including continuation lines, e.g. "#define foo(x) ..."
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string_view text;
+  uint32_t line = 0;  // 1-based line of the token's first character
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent(std::string_view s) const { return kind == TokenKind::kIdentifier && text == s; }
+};
+
+// Tokenizes `file`; the trailing token is always kEof.
+std::vector<Token> Tokenize(const SourceFile& file);
+
+// True for C keywords (C11 plus common kernel storage specifiers).
+bool IsCKeyword(std::string_view word);
+
+// Cursor over a token vector with lookahead; shared by the AST parser and
+// the KB's macro scanner.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const std::vector<Token>& tokens) : tokens_(&tokens) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_->size() ? (*tokens_)[i] : tokens_->back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_->size()) {
+      ++pos_;
+    } else {
+      pos_ = tokens_->size() - 1;
+    }
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  // Consumes the next token if it matches `text`.
+  bool Eat(std::string_view text) {
+    if (Peek().text == text && Peek().kind != TokenKind::kEof) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  size_t position() const { return pos_; }
+  void set_position(size_t pos) { pos_ = pos < tokens_->size() ? pos : tokens_->size() - 1; }
+
+ private:
+  const std::vector<Token>* tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace refscan
+
+#endif  // REFSCAN_LEXER_LEXER_H_

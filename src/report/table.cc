@@ -1,0 +1,147 @@
+#include "src/report/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/strings.h"
+
+namespace refscan {
+
+Table& Table::Header(std::vector<std::string> cells, std::vector<Align> aligns) {
+  header_ = std::move(cells);
+  aligns_ = std::move(aligns);
+  aligns_.resize(header_.size(), Align::kLeft);
+  return *this;
+}
+
+Table& Table::Row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(RowEntry{false, std::move(cells)});
+  return *this;
+}
+
+Table& Table::Separator() {
+  rows_.push_back(RowEntry{true, {}});
+  return *this;
+}
+
+std::string Table::Render() const {
+  const size_t ncols = header_.size();
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < ncols; ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const RowEntry& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < ncols && c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      line.append(widths[c] + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const size_t pad = widths[c] - cell.size();
+      line.push_back(' ');
+      if (aligns_[c] == Align::kRight) {
+        line.append(pad, ' ');
+        line.append(cell);
+      } else {
+        line.append(cell);
+        line.append(pad, ' ');
+      }
+      line.append(" |");
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out.append(title_).append("\n");
+  }
+  out.append(rule());
+  out.append(render_row(header_));
+  out.append(rule());
+  for (const RowEntry& row : rows_) {
+    out.append(row.separator ? rule() : render_row(row.cells));
+  }
+  out.append(rule());
+  return out;
+}
+
+std::string BarChart(const std::string& title,
+                     const std::vector<std::pair<std::string, double>>& data, int width) {
+  double max_value = 0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : data) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  if (!title.empty()) {
+    out.append(title).append("\n");
+  }
+  for (const auto& [label, value] : data) {
+    const int bar =
+        max_value > 0 ? static_cast<int>(std::lround(value / max_value * width)) : 0;
+    out.append(StrFormat("  %-*s |%s %.6g\n", static_cast<int>(label_width), label.c_str(),
+                         std::string(static_cast<size_t>(bar), '#').c_str(), value));
+  }
+  return out;
+}
+
+std::string SeriesChart(const std::string& title, const std::vector<std::pair<int, double>>& data,
+                        int height) {
+  std::string out;
+  if (!title.empty()) {
+    out.append(title).append("\n");
+  }
+  if (data.empty() || height < 2) {
+    return out;
+  }
+  double max_value = 0;
+  for (const auto& [x, y] : data) {
+    max_value = std::max(max_value, y);
+  }
+  if (max_value <= 0) {
+    max_value = 1;
+  }
+  const size_t ncols = data.size();
+  std::vector<std::string> grid(static_cast<size_t>(height), std::string(ncols, ' '));
+  for (size_t c = 0; c < ncols; ++c) {
+    int level = static_cast<int>(std::lround(data[c].second / max_value * (height - 1)));
+    level = std::clamp(level, 0, height - 1);
+    for (int r = 0; r <= level; ++r) {
+      grid[static_cast<size_t>(height - 1 - r)][c] = (r == level) ? '*' : '|';
+    }
+  }
+  for (int r = 0; r < height; ++r) {
+    const double axis = max_value * (height - 1 - r) / (height - 1);
+    out.append(StrFormat("  %8.1f |%s\n", axis, grid[static_cast<size_t>(r)].c_str()));
+  }
+  out.append(StrFormat("  %8s +%s\n", "", std::string(ncols, '-').c_str()));
+  // X-axis labels: first, middle, last.
+  out.append(StrFormat("  %8s  first=%d mid=%d last=%d\n", "", data.front().first,
+                       data[ncols / 2].first, data.back().first));
+  return out;
+}
+
+std::string Pct(double fraction) {
+  return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+}  // namespace refscan

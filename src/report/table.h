@@ -1,0 +1,61 @@
+// ASCII table renderer.
+//
+// Every bench binary prints its paper-table reproduction through this
+// renderer so that `bench_output.txt` is diffable run-to-run. Cells are
+// strings; columns auto-size; alignment is per-column.
+
+#ifndef REFSCAN_REPORT_TABLE_H_
+#define REFSCAN_REPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace refscan {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header row and per-column alignment (alignments may be shorter
+  // than the header; missing entries default to left).
+  Table& Header(std::vector<std::string> cells, std::vector<Align> aligns = {});
+
+  // Appends one data row. Rows shorter than the header are padded with "".
+  Table& Row(std::vector<std::string> cells);
+
+  // Appends a horizontal separator between row groups.
+  Table& Separator();
+
+  // Renders the table, including the title line.
+  std::string Render() const;
+
+ private:
+  struct RowEntry {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<RowEntry> rows_;
+};
+
+// Renders a horizontal ASCII bar chart: one row per (label, value), bars
+// scaled to `width` characters, with the numeric value appended.
+std::string BarChart(const std::string& title,
+                     const std::vector<std::pair<std::string, double>>& data, int width = 50);
+
+// Renders a simple line/series chart on a character grid for (x, y) points
+// with integer x buckets — used for the Figure 1 growth trend.
+std::string SeriesChart(const std::string& title, const std::vector<std::pair<int, double>>& data,
+                        int height = 12);
+
+// Formats a double as a percentage with one decimal ("71.7%").
+std::string Pct(double fraction);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_REPORT_TABLE_H_

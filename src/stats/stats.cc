@@ -1,0 +1,120 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+
+namespace refscan {
+
+int Taxonomy::MissingDec() const {
+  int n = 0;
+  for (HistBugKind kind : {HistBugKind::kMissingDecIntra, HistBugKind::kMissingDecInter}) {
+    auto it = per_kind.find(kind);
+    n += it != per_kind.end() ? it->second : 0;
+  }
+  return n;
+}
+
+int Taxonomy::MissingInc() const {
+  int n = 0;
+  for (HistBugKind kind : {HistBugKind::kMissingIncIntra, HistBugKind::kMissingIncInter}) {
+    auto it = per_kind.find(kind);
+    n += it != per_kind.end() ? it->second : 0;
+  }
+  return n;
+}
+
+Taxonomy TaxonomyBreakdown(const std::vector<MinedBug>& dataset) {
+  Taxonomy taxonomy;
+  taxonomy.total = static_cast<int>(dataset.size());
+  for (const MinedBug& bug : dataset) {
+    (bug.is_leak ? taxonomy.leak : taxonomy.uaf)++;
+    taxonomy.per_kind[bug.kind]++;
+    taxonomy.uad += bug.is_uad ? 1 : 0;
+  }
+  return taxonomy;
+}
+
+std::map<int, int> GrowthTrend(const std::vector<MinedBug>& dataset) {
+  std::map<int, int> per_year;
+  const auto& timeline = ReleaseTimeline();
+  for (const MinedBug& bug : dataset) {
+    per_year[timeline[static_cast<size_t>(bug.fixed_release)].year]++;
+  }
+  return per_year;
+}
+
+std::vector<SubsystemStats> SubsystemBreakdown(const std::vector<MinedBug>& dataset) {
+  std::map<std::string, int> counts;
+  for (const MinedBug& bug : dataset) {
+    counts[bug.subsystem]++;
+  }
+  std::vector<SubsystemStats> out;
+  for (const SubsystemTarget& target : Figure2SubsystemTargets()) {
+    SubsystemStats stats;
+    stats.name = target.name;
+    stats.kloc = target.kloc;
+    auto it = counts.find(target.name);
+    stats.bugs = it != counts.end() ? it->second : 0;
+    stats.density = target.kloc > 0 ? stats.bugs / target.kloc : 0;
+    counts.erase(target.name);
+    out.push_back(std::move(stats));
+  }
+  // Subsystems outside the size table (should not happen with the
+  // generator, but a real tree may differ).
+  for (const auto& [name, bugs] : counts) {
+    out.push_back(SubsystemStats{name, bugs, 0, 0});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SubsystemStats& a, const SubsystemStats& b) { return a.bugs > b.bugs; });
+  return out;
+}
+
+LifetimeStats LifetimeAnalysis(const std::vector<MinedBug>& dataset) {
+  LifetimeStats stats;
+  stats.total = static_cast<int>(dataset.size());
+  const auto& timeline = ReleaseTimeline();
+  for (const MinedBug& bug : dataset) {
+    if (bug.introduced_release < 0) {
+      continue;
+    }
+    ++stats.with_fixes_tag;
+    const KernelRelease& intro = timeline[static_cast<size_t>(bug.introduced_release)];
+    const KernelRelease& fixed = timeline[static_cast<size_t>(bug.fixed_release)];
+    const double lifetime = ReleaseTime(fixed) - ReleaseTime(intro);
+    if (lifetime > 1.0) {
+      ++stats.over_one_year;
+    }
+    if (lifetime > 10.0) {
+      ++stats.over_ten_years;
+      if (!bug.is_leak) {
+        ++stats.over_ten_years_uaf;
+      }
+    }
+    if (intro.major == 2 && fixed.major >= 5) {
+      ++stats.ancient_to_modern;
+    }
+    if (intro.major == 4 && fixed.major == 5) {
+      ++stats.span_v4_to_v5;
+    }
+    if (intro.major == 3 && fixed.major == 5) {
+      ++stats.span_v3_to_v5;
+    }
+    if (intro.major == 5 && fixed.major == 5) {
+      ++stats.within_v5;
+    }
+    stats.spans.emplace_back(bug.introduced_release, bug.fixed_release);
+  }
+  std::sort(stats.spans.begin(), stats.spans.end());
+  int total_infected = 0;
+  for (const auto& [intro, fixed] : stats.spans) {
+    const int infected = fixed - intro + 1;
+    total_infected += infected;
+    stats.max_releases_infected = std::max(stats.max_releases_infected, infected);
+  }
+  if (!stats.spans.empty()) {
+    stats.mean_releases_infected = static_cast<double>(total_infected) /
+                                   static_cast<double>(stats.spans.size());
+  }
+  return stats;
+}
+
+}  // namespace refscan

@@ -1,0 +1,71 @@
+// Dataset statistics (§4 "General Findings").
+//
+// Everything here is computed from the *mined* dataset (histmine/miner.h),
+// not from generator ground truth: the calibration lives in the history
+// generator, the analysis pipeline is honest. Each function corresponds to
+// one paper artifact:
+//
+//   TaxonomyBreakdown   — Table 2 / Findings 1-2 (impacts + bug kinds)
+//   GrowthTrend         — Figure 1 (bugs per year, 2005-2022)
+//   SubsystemBreakdown  — Figure 2 (counts per subsystem + density per KLOC)
+//   LifetimeAnalysis    — Figure 3 / Findings 4-5 (latent periods, spans)
+
+#ifndef REFSCAN_STATS_STATS_H_
+#define REFSCAN_STATS_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/histmine/miner.h"
+
+namespace refscan {
+
+struct Taxonomy {
+  int total = 0;
+  int leak = 0;  // Finding 1: 741 / 71.7%
+  int uaf = 0;   // Finding 2: 292 / 28.3%
+  std::map<HistBugKind, int> per_kind;
+  int uad = 0;   // subset of kMisplacedDec (94 / 9.1%)
+
+  double Fraction(int count) const { return total > 0 ? static_cast<double>(count) / total : 0; }
+  int MissingDec() const;  // intra + inter
+  int MissingInc() const;
+};
+Taxonomy TaxonomyBreakdown(const std::vector<MinedBug>& dataset);
+
+// Figure 1: number of bugs fixed per year.
+std::map<int, int> GrowthTrend(const std::vector<MinedBug>& dataset);
+
+struct SubsystemStats {
+  std::string name;
+  int bugs = 0;
+  double kloc = 0;     // from the subsystem-size table
+  double density = 0;  // bugs per KLOC
+};
+// Sorted by bug count descending. KLOC sizes come from
+// Figure2SubsystemTargets() (standing in for `wc -l` over a real tree).
+std::vector<SubsystemStats> SubsystemBreakdown(const std::vector<MinedBug>& dataset);
+
+struct LifetimeStats {
+  int total = 0;             // dataset size
+  int with_fixes_tag = 0;    // 567 in the paper
+  int over_one_year = 0;     // Finding 4: 429 (75.7% of tagged)
+  int over_ten_years = 0;    // Finding 4: 19
+  int over_ten_years_uaf = 0;  // Finding 4: 7 of the 19 lead to UAF
+  int ancient_to_modern = 0;   // Finding 5: 23 from v2.6 to v5.x/v6.x
+  int span_v4_to_v5 = 0;       // ~135
+  int span_v3_to_v5 = 0;       // ~80
+  int within_v5 = 0;           // ~189 introduced and fixed in v5.x
+  std::vector<std::pair<int, int>> spans;  // (introduced, fixed) release pairs (Figure 3)
+
+  // "How many kernels a refcounting bug can infect" (§4.3): number of
+  // mainline releases each tagged bug shipped in, averaged / maximum.
+  double mean_releases_infected = 0;
+  int max_releases_infected = 0;
+};
+LifetimeStats LifetimeAnalysis(const std::vector<MinedBug>& dataset);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_STATS_STATS_H_

@@ -1,0 +1,83 @@
+#include "src/support/fs.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace refscan {
+
+namespace fs = std::filesystem;
+
+SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
+                                  std::vector<std::string>* errors) {
+  SourceTree tree;
+  std::error_code ec;
+  const fs::path root_path(root);
+  if (!fs::exists(root_path, ec)) {
+    if (errors != nullptr) {
+      errors->push_back(root + ": does not exist");
+    }
+    return tree;
+  }
+
+  auto skip_dir = [&options](const fs::path& dir) {
+    const std::string name = dir.filename().string();
+    for (const std::string& skip : options.skip_dirs) {
+      if (name == skip) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  fs::recursive_directory_iterator it(root_path, fs::directory_options::skip_permission_denied,
+                                      ec);
+  const fs::recursive_directory_iterator end;
+  while (it != end) {
+    const fs::directory_entry& entry = *it;
+    if (entry.is_directory(ec)) {
+      if (skip_dir(entry.path())) {
+        it.disable_recursion_pending();
+      }
+      it.increment(ec);
+      continue;
+    }
+    if (!entry.is_regular_file(ec)) {
+      it.increment(ec);
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    bool wanted = false;
+    for (const std::string& e : options.extensions) {
+      wanted |= ext == e;
+    }
+    if (!wanted) {
+      it.increment(ec);
+      continue;
+    }
+    if (options.max_file_bytes > 0) {
+      const auto size = entry.file_size(ec);
+      if (!ec && size > options.max_file_bytes) {
+        it.increment(ec);
+        continue;
+      }
+    }
+
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      if (errors != nullptr) {
+        errors->push_back(entry.path().string() + ": unreadable");
+      }
+      it.increment(ec);
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string relative = fs::relative(entry.path(), root_path, ec).generic_string();
+    tree.Add(relative.empty() ? entry.path().generic_string() : relative, buffer.str());
+    it.increment(ec);
+  }
+  return tree;
+}
+
+}  // namespace refscan

@@ -1,0 +1,33 @@
+// Filesystem loading for on-disk source trees.
+//
+// The synthetic corpus lives in memory; this adapter lets the same engine
+// scan a real checkout (e.g. an actual kernel tree) from disk.
+
+#ifndef REFSCAN_SUPPORT_FS_H_
+#define REFSCAN_SUPPORT_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace refscan {
+
+struct LoadOptions {
+  // File extensions to load (C sources and headers by default).
+  std::vector<std::string> extensions = {".c", ".h"};
+  // Skip files larger than this (generated headers etc.); 0 = no limit.
+  size_t max_file_bytes = 4 * 1024 * 1024;
+  // Directory names skipped entirely at any depth.
+  std::vector<std::string> skip_dirs = {".git", "build", "Documentation"};
+};
+
+// Recursively loads matching files under `root` into a SourceTree keyed by
+// root-relative paths. Unreadable files are skipped; the error list (if
+// non-null) collects their paths.
+SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options = {},
+                                  std::vector<std::string>* errors = nullptr);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_SUPPORT_FS_H_

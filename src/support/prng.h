@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation for refscan.
+//
+// Every stochastic component in the project (corpus generation, history
+// synthesis, embedding initialization, sampling) draws from these generators
+// so that a fixed seed reproduces every table and figure bit-for-bit.
+//
+// Two generators are provided:
+//   * SplitMix64 — used to expand a single 64-bit seed into independent
+//     streams (also used standalone for cheap hashing-style mixing).
+//   * Xoshiro256pp — the main workhorse generator (xoshiro256++ by Blackman
+//     and Vigna), seeded via SplitMix64 per the authors' recommendation.
+
+#ifndef REFSCAN_SUPPORT_PRNG_H_
+#define REFSCAN_SUPPORT_PRNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace refscan {
+
+// SplitMix64: tiny, fast, passes BigCrush; ideal as a seed expander.
+class SplitMix64 {
+ public:
+  using result_type = uint64_t;
+
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr uint64_t operator()() { return Next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256++ 1.0. All-purpose generator with 256 bits of state.
+class Xoshiro256pp {
+ public:
+  using result_type = uint64_t;
+
+  explicit constexpr Xoshiro256pp(uint64_t seed) : state_{} { Reseed(seed); }
+
+  constexpr void Reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  constexpr uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr uint64_t operator()() { return Next(); }
+
+  // Uniform integer in [0, bound). bound == 0 returns 0.
+  // Lemire's multiply-shift rejection method, debiased.
+  constexpr uint64_t Below(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  constexpr int64_t Range(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Below(span));
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  constexpr bool Chance(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return NextDouble() < p;
+  }
+
+  // Derive an independent child stream; mixing in `salt` lets callers create
+  // per-item streams that are stable regardless of draw order elsewhere.
+  constexpr Xoshiro256pp Fork(uint64_t salt) const {
+    SplitMix64 sm(state_[0] ^ (state_[3] + 0x632be59bd9b4e019ULL * (salt + 1)));
+    return Xoshiro256pp(sm.Next());
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Stable 64-bit hash of a byte string (FNV-1a). Used to derive deterministic
+// per-name randomness (e.g. per-module corpus streams keyed by module name).
+constexpr uint64_t HashString(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace refscan
+
+#endif  // REFSCAN_SUPPORT_PRNG_H_

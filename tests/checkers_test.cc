@@ -1,0 +1,605 @@
+// Tests for the nine anti-pattern checkers (P1..P9), built around the
+// paper's own listings:
+//   Listing 1 — __nvmem_device_get missing put on the error path
+//   Listing 2 — usb_console_setup UAD through mutex_unlock
+//   Listing 3 — stm32_crc_remove pm_runtime_get_sync return-error leak
+//   Listing 4 — brcmstb_pm_probe smartloop break leak
+//   Listing 5 — lpfc conditional-ref false positive
+//   Listing 6 — ping_unhash UAD patch-reject
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "src/ast/parser.h"
+#include "src/checkers/engine.h"
+#include "src/checkers/templates.h"
+#include "src/support/source.h"
+
+namespace refscan {
+namespace {
+
+struct Scanned {
+  const UnitContext* uc;
+  std::vector<BugReport> reports;
+};
+
+// Runs the full engine over one file.
+std::vector<BugReport> ScanText(std::string text) {
+  CheckerEngine engine;
+  return engine.ScanFileText("drivers/test/t.c", std::move(text)).reports;
+}
+
+int CountPattern(const std::vector<BugReport>& reports, int pattern) {
+  int n = 0;
+  for (const BugReport& r : reports) {
+    n += r.anti_pattern == pattern ? 1 : 0;
+  }
+  return n;
+}
+
+const BugReport* FindPattern(const std::vector<BugReport>& reports, int pattern) {
+  for (const BugReport& r : reports) {
+    if (r.anti_pattern == pattern) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- P1
+
+TEST(CheckerP1Test, Listing3ReturnErrorLeak) {
+  const auto reports = ScanText(
+      "static int stm32_crc_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct stm32_crc *crc = platform_get_drvdata(pdev);\n"
+      "  int ret = pm_runtime_get_sync(crc->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"  // *BUG*: decrement missed
+      "  crc_shutdown(crc);\n"
+      "  pm_runtime_put_noidle(crc->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kLeak);
+  EXPECT_EQ(r->api, "pm_runtime_get_sync");
+  EXPECT_EQ(r->function, "stm32_crc_remove");
+}
+
+TEST(CheckerP1Test, PairedOnAllPathsIsClean) {
+  const auto reports = ScanText(
+      "static int good_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct stm32_crc *crc = platform_get_drvdata(pdev);\n"
+      "  int ret = pm_runtime_get_sync(crc->dev);\n"
+      "  if (ret < 0) {\n"
+      "    pm_runtime_put_noidle(crc->dev);\n"
+      "    return ret;\n"
+      "  }\n"
+      "  crc_shutdown(crc);\n"
+      "  pm_runtime_put(crc->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 1), 0);
+  EXPECT_EQ(CountPattern(reports, 5), 0);
+}
+
+// ---------------------------------------------------------------- P2
+
+TEST(CheckerP2Test, ReturnNullDerefWithoutCheck) {
+  const auto reports = ScanText(
+      "static int vio_init(void)\n"
+      "{\n"
+      "  struct mdesc_handle *hp = mdesc_grab();\n"
+      "  parse_node(hp->root);\n"  // *BUG*: hp may be NULL
+      "  mdesc_release(hp);\n"
+      "  return 0;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 2);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kNpd);
+  EXPECT_EQ(r->api, "mdesc_grab");
+}
+
+TEST(CheckerP2Test, NullCheckedIsClean) {
+  const auto reports = ScanText(
+      "static int vio_init(void)\n"
+      "{\n"
+      "  struct mdesc_handle *hp = mdesc_grab();\n"
+      "  if (!hp)\n"
+      "    return -ENODEV;\n"
+      "  parse_node(hp->root);\n"
+      "  mdesc_release(hp);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 2), 0);
+}
+
+// ---------------------------------------------------------------- P3
+
+TEST(CheckerP3Test, Listing4SmartLoopBreakLeak) {
+  const auto reports = ScanText(
+      "static int brcmstb_pm_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *dn;\n"
+      "  for_each_matching_node(dn, aon_ctrl_dt_ids) {\n"
+      "    if (of_device_is_compatible(dn, \"brcm\"))\n"
+      "      break;\n"  // *BUG*: dn's reference leaks
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 3);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kLeak);
+  EXPECT_EQ(r->api, "for_each_matching_node");
+  EXPECT_EQ(r->object, "dn");
+}
+
+TEST(CheckerP3Test, PutBeforeBreakIsClean) {
+  const auto reports = ScanText(
+      "static int good_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *dn;\n"
+      "  for_each_matching_node(dn, ids) {\n"
+      "    if (of_device_is_compatible(dn, \"brcm\")) {\n"
+      "      of_node_put(dn);\n"
+      "      break;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 3), 0);
+}
+
+TEST(CheckerP3Test, ReturnInsideSmartLoopAlsoLeaks) {
+  const auto reports = ScanText(
+      "static int probe_ret(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *child;\n"
+      "  for_each_child_of_node(parent_node(pdev), child) {\n"
+      "    if (bad(child))\n"
+      "      return -EINVAL;\n"  // *BUG*: child leaks
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_GE(CountPattern(reports, 3), 1);
+}
+
+TEST(CheckerP3Test, NonRefcountingLoopIsIgnored) {
+  const auto reports = ScanText(
+      "static void walk(struct list_head *head)\n"
+      "{\n"
+      "  list_for_each_entry(evt, head, node) {\n"
+      "    if (match(evt))\n"
+      "      break;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 3), 0);
+}
+
+// ---------------------------------------------------------------- P4
+
+TEST(CheckerP4Test, HiddenFindNeverReleased) {
+  const auto reports = ScanText(
+      "static int setup_clock(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_compatible_node(NULL, NULL, \"fixed-clock\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  read_rate(np);\n"
+      "  return 0;\n"  // *BUG*: np never put on any path
+      "}\n");
+  const BugReport* r = FindPattern(reports, 4);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kLeak);
+  EXPECT_EQ(r->api, "of_find_compatible_node");
+}
+
+TEST(CheckerP4Test, ReleasedOnAllPathsIsClean) {
+  const auto reports = ScanText(
+      "static int setup_clock(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_compatible_node(NULL, NULL, \"fixed-clock\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  read_rate(np);\n"
+      "  of_node_put(np);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 4), 0);
+}
+
+TEST(CheckerP4Test, ReturnedObjectIsOwnershipTransfer) {
+  const auto reports = ScanText(
+      "static struct device_node *lookup(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  return np;\n"  // caller owns the reference: not a bug
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 4), 0);
+}
+
+TEST(CheckerP4Test, MissingIncreaseOnConsumedParameter) {
+  const auto reports = ScanText(
+      "static struct device_node *next_for(struct device_node *from)\n"
+      "{\n"
+      "  struct device_node *np = of_find_matching_node(from, ids);\n"  // consumes `from`
+      "  return np;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 4);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kUaf);
+  EXPECT_EQ(r->object, "from");
+}
+
+TEST(CheckerP4Test, IncreaseBeforeConsumptionIsClean) {
+  const auto reports = ScanText(
+      "static struct device_node *next_for(struct device_node *from)\n"
+      "{\n"
+      "  of_node_get(from);\n"
+      "  struct device_node *np = of_find_matching_node(from, ids);\n"
+      "  return np;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 4), 0);
+}
+
+// ---------------------------------------------------------------- P5
+
+TEST(CheckerP5Test, Listing1ErrorPathMissesRelease) {
+  const auto reports = ScanText(
+      "struct nvmem_device *__nvmem_device_get(void *data)\n"
+      "{\n"
+      "  struct device *dev = bus_find_device(nvmem_bus_type, NULL, data, match);\n"
+      "  if (!dev)\n"
+      "    return ERR_PTR(-ENOENT);\n"
+      "  if (probe_lock(dev) < 0)\n"
+      "    return ERR_PTR(-EBUSY);\n"  // *BUG*: dev's reference leaks
+      "  return to_nvmem(dev);\n"
+      "}\n");
+  // The !dev early-return is fine (nothing acquired); the -EBUSY path leaks.
+  const BugReport* r = FindPattern(reports, 5);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kLeak);
+  EXPECT_EQ(r->api, "bus_find_device");
+}
+
+TEST(CheckerP5Test, ErrorPathWithReleaseIsClean) {
+  const auto reports = ScanText(
+      "struct nvmem_device *__nvmem_device_get(void *data)\n"
+      "{\n"
+      "  struct device *dev = bus_find_device(nvmem_bus_type, NULL, data, match);\n"
+      "  if (!dev)\n"
+      "    return ERR_PTR(-ENOENT);\n"
+      "  if (probe_lock(dev) < 0) {\n"
+      "    put_device(dev);\n"
+      "    return ERR_PTR(-EBUSY);\n"
+      "  }\n"
+      "  return to_nvmem(dev);\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 5), 0);
+}
+
+TEST(CheckerP5Test, Listing5ConditionalRefReassignIsReported) {
+  // The lpfc false-positive shape from §6.4: the checkers *do* report it —
+  // exactly as the paper's did (it was later proved safe by the developers).
+  const auto reports = ScanText(
+      "static int lpfc_bsg_get_event(struct bsg_job *job)\n"
+      "{\n"
+      "  struct lpfc_bsg_event *evt;\n"
+      "  list_for_each_entry(evt, waiters, node) {\n"
+      "    if (evt->reg_id == req_id)\n"
+      "      lpfc_bsg_event_ref(evt);\n"
+      "  }\n"
+      "  if (list_end(evt)) {\n"
+      "    evt = lpfc_bsg_event_new(req_id);\n"
+      "  }\n"
+      "  return use(evt);\n"
+      "}\n");
+  EXPECT_GE(CountPattern(reports, 5), 1);
+}
+
+// ---------------------------------------------------------------- P6
+
+TEST(CheckerP6Test, ProbeAcquiresRemoveNeverReleases) {
+  const auto reports = ScanText(
+      "static int foo_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc/foo\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  pdev->priv = np;\n"  // stored for later: ownership moves to the device
+      "  return 0;\n"
+      "}\n"
+      "static int foo_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  stop_hw(pdev);\n"
+      "  return 0;\n"  // *BUG*: never puts the node acquired in probe
+      "}\n"
+      "static struct platform_driver foo_driver = {\n"
+      "  .probe = foo_probe,\n"
+      "  .remove = foo_remove,\n"
+      "};\n");
+  const BugReport* r = FindPattern(reports, 6);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->function, "foo_probe");
+  EXPECT_EQ(r->impact, Impact::kLeak);
+}
+
+TEST(CheckerP6Test, RemoveWithReleaseIsClean) {
+  const auto reports = ScanText(
+      "static int foo_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc/foo\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  pdev->priv = np;\n"
+      "  return 0;\n"
+      "}\n"
+      "static int foo_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  of_node_put(pdev->priv);\n"
+      "  return 0;\n"
+      "}\n"
+      "static struct platform_driver foo_driver = {\n"
+      "  .probe = foo_probe,\n"
+      "  .remove = foo_remove,\n"
+      "};\n");
+  EXPECT_EQ(CountPattern(reports, 6), 0);
+}
+
+TEST(CheckerP6Test, NamePairedRegisterUnregister) {
+  const auto reports = ScanText(
+      "int foo_register(struct foo *f)\n"
+      "{\n"
+      "  f->np = of_get_parent(f->base);\n"
+      "  return 0;\n"
+      "}\n"
+      "void foo_unregister(struct foo *f)\n"
+      "{\n"
+      "  detach(f);\n"  // *BUG*: missing of_node_put(f->np)
+      "}\n");
+  EXPECT_GE(CountPattern(reports, 6), 1);
+}
+
+// ---------------------------------------------------------------- P7
+
+TEST(CheckerP7Test, DirectFreeOfRefcountedObject) {
+  const auto reports = ScanText(
+      "static void teardown(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  if (!np)\n"
+      "    return;\n"
+      "  kfree(np);\n"  // *BUG*: bypasses the release callback
+      "}\n");
+  const BugReport* r = FindPattern(reports, 7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kLeak);
+}
+
+TEST(CheckerP7Test, ReleaseInsteadOfFreeIsClean) {
+  const auto reports = ScanText(
+      "static void teardown(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  if (!np)\n"
+      "    return;\n"
+      "  of_node_put(np);\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 7), 0);
+}
+
+// ---------------------------------------------------------------- P8
+
+TEST(CheckerP8Test, Listing2UnlockAfterPut) {
+  const auto reports = ScanText(
+      "static int usb_console_setup(struct console *co)\n"
+      "{\n"
+      "  struct usb_serial *serial = usb_serial_get_by_index(co->index);\n"
+      "  configure(serial);\n"
+      "  usb_serial_put(serial);\n"
+      "  mutex_unlock(&serial->disc_mutex);\n"  // *BUG*: UAD through unlock
+      "  return 0;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 8);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kUaf);
+  EXPECT_EQ(r->api, "usb_serial_put");
+}
+
+TEST(CheckerP8Test, Listing6MemberUseAfterSockPut) {
+  const auto reports = ScanText(
+      "void ping_unhash(struct sock *sk)\n"
+      "{\n"
+      "  sock_put(sk);\n"
+      "  isk->inet_num = 0;\n"
+      "  sock_prot_inuse_add(sock_net(sk), sk->sk_prot, -1);\n"  // *BUG*: UAD
+      "}\n");
+  const BugReport* r = FindPattern(reports, 8);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->api, "sock_put");
+  EXPECT_EQ(r->object, "sk");
+}
+
+TEST(CheckerP8Test, UnlockBeforePutIsClean) {
+  const auto reports = ScanText(
+      "static int usb_console_setup(struct console *co)\n"
+      "{\n"
+      "  struct usb_serial *serial = usb_serial_get_by_index(co->index);\n"
+      "  configure(serial);\n"
+      "  mutex_unlock(&serial->disc_mutex);\n"
+      "  usb_serial_put(serial);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 8), 0);
+}
+
+TEST(CheckerP8Test, ReacquiredBetweenIsClean) {
+  const auto reports = ScanText(
+      "void shuffle(struct sock *sk)\n"
+      "{\n"
+      "  sock_put(sk);\n"
+      "  sock_hold(sk);\n"
+      "  touch(sk->sk_prot);\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 8), 0);
+}
+
+// ---------------------------------------------------------------- P9
+
+TEST(CheckerP9Test, EscapeWithoutIncreaseThenDrop) {
+  const auto reports = ScanText(
+      "static int cache_node(struct ctx *ctx)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  ctx->cached = np;\n"  // *BUG*: escapes without an increase...
+      "  init_from(np);\n"
+      "  of_node_put(np);\n"   // ...then the only reference is dropped
+      "  return 0;\n"
+      "}\n");
+  const BugReport* r = FindPattern(reports, 9);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->impact, Impact::kUaf);
+  EXPECT_EQ(r->object, "ctx->cached");
+}
+
+TEST(CheckerP9Test, IncreaseAroundEscapeIsClean) {
+  const auto reports = ScanText(
+      "static int cache_node(struct ctx *ctx)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  ctx->cached = np;\n"
+      "  of_node_get(np);\n"  // correct idiom: increase around the escape
+      "  init_from(np);\n"
+      "  of_node_put(np);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 9), 0);
+}
+
+TEST(CheckerP9Test, EscapeWithoutLaterDropIsOwnershipMove) {
+  const auto reports = ScanText(
+      "static int cache_node(struct ctx *ctx)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/soc\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  ctx->cached = np;\n"  // reference moves into ctx: fine
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 9), 0);
+}
+
+// ------------------------------------------------------------ engine
+
+TEST(EngineTest, CleanDriverProducesNoReports) {
+  const auto reports = ScanText(
+      "static int tidy_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = of_find_compatible_node(NULL, NULL, \"acme,tidy\");\n"
+      "  int ret;\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  ret = enable_clocks(np);\n"
+      "  if (ret < 0)\n"
+      "    goto out_put;\n"
+      "  configure(np);\n"
+      "out_put:\n"
+      "  of_node_put(np);\n"
+      "  return ret;\n"
+      "}\n");
+  EXPECT_TRUE(reports.empty()) << reports.size() << " unexpected reports, first: "
+                               << (reports.empty() ? "" : reports[0].message);
+}
+
+TEST(EngineTest, DeduplicationKeepsMostSpecificPattern) {
+  // pm_runtime_get_sync unpaired error path could match P1; it must not
+  // *also* surface as P5 for the same site.
+  const auto reports = ScanText(
+      "static int dup_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"
+      "  pm_runtime_put(pdev->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 1), 1);
+  EXPECT_EQ(CountPattern(reports, 5), 0);
+}
+
+TEST(EngineTest, StatsPopulated) {
+  CheckerEngine engine;
+  const ScanResult result = engine.ScanFileText(
+      "drivers/x/y.c", "void f(void) { }\nvoid g(void) { }\n");
+  EXPECT_EQ(result.stats.files, 1u);
+  EXPECT_EQ(result.stats.functions, 2u);
+  EXPECT_GT(result.stats.discovered_apis, 0u);
+}
+
+TEST(EngineTest, DisabledPatternDoesNotFire) {
+  ScanOptions options;
+  options.enabled_patterns = {1, 2, 4, 5, 6, 7, 8, 9};  // P3 off
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+  const auto result = engine.ScanFileText(
+      "drivers/t/t.c",
+      "static int p(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *dn;\n"
+      "  for_each_matching_node(dn, ids) {\n"
+      "    if (match(dn))\n"
+      "      break;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(result.reports, 3), 0);
+}
+
+TEST(TemplatesTest, AntiPatternTemplatesRender) {
+  for (int p = 1; p <= 9; ++p) {
+    EXPECT_NE(AntiPatternTemplate(p), "?");
+    EXPECT_NE(AntiPatternName(p), "Unknown");
+  }
+  EXPECT_EQ(AntiPatternTemplate(1), "F_start -> S_G_E -> B_error -> F_end");
+  EXPECT_EQ(AntiPatternTemplate(8), "F_start -> S_P(p0) -> S_D(p0) -> F_end");
+}
+
+TEST(TemplatesTest, RenderTemplateSteps) {
+  const std::string out = RenderTemplate({
+      {"F_start", "", ""},
+      {"S", "G", "bus_find_device"},
+      {"B_error", "", ""},
+      {"F_end", "", ""},
+  });
+  EXPECT_EQ(out, "F_start -> S_G(bus_find_device) -> B_error -> F_end");
+}
+
+TEST(ReportTest, DeduplicateKeepsLowestPattern) {
+  BugReport a;
+  a.anti_pattern = 5;
+  a.file = "f.c";
+  a.function = "fn";
+  a.line = 10;
+  a.object = "np";
+  BugReport b = a;
+  b.anti_pattern = 1;
+  auto out = DeduplicateReports({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].anti_pattern, 1);
+}
+
+TEST(ReportTest, ImpactNames) {
+  EXPECT_EQ(ImpactName(Impact::kLeak), "Leak");
+  EXPECT_EQ(ImpactName(Impact::kUaf), "UAF");
+  EXPECT_EQ(ImpactName(Impact::kNpd), "NPD");
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,60 @@
+// Property sweep over corpus seeds: for ANY generation seed, the scan
+// invariants must hold — every planted bug detected, nothing spurious
+// beyond the planted FP shapes, impacts consistent. This is the strongest
+// guard against generator/checker co-drift.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+
+namespace refscan {
+namespace {
+
+class CorpusSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusSeedTest, ScanInvariantsHoldForAnySeed) {
+  CorpusOptions options;
+  options.seed = GetParam();
+  const Corpus corpus = GenerateKernelCorpus(options);
+  ASSERT_EQ(corpus.ground_truth.size(), 351u);
+
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(corpus.tree);
+
+  std::set<std::pair<std::string, std::string>> reported;
+  int spurious = 0;
+  for (const BugReport& r : result.reports) {
+    reported.emplace(r.file, r.function);
+    if (corpus.FindBug(r.file, r.function) == nullptr &&
+        !corpus.IsPlantedFp(r.file, r.function)) {
+      ++spurious;
+      if (spurious <= 3) {
+        ADD_FAILURE() << "seed " << options.seed << " spurious: " << r.file << " "
+                      << r.function << " P" << r.anti_pattern << " " << r.message;
+      }
+    }
+  }
+  EXPECT_EQ(spurious, 0);
+
+  int missed = 0;
+  for (const PlantedBug& bug : corpus.ground_truth) {
+    if (!reported.contains({bug.file, bug.function})) {
+      ++missed;
+      if (missed <= 3) {
+        ADD_FAILURE() << "seed " << options.seed << " missed: " << bug.file << " "
+                      << bug.function << " P" << bug.anti_pattern << " api=" << bug.api;
+      }
+    }
+  }
+  EXPECT_EQ(missed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedTest,
+                         ::testing::Values(1, 7, 42, 1234, 99991, 20230701, 0xdeadbeef,
+                                           0xfeedface));
+
+}  // namespace
+}  // namespace refscan

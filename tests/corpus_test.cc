@@ -1,0 +1,217 @@
+// Tests for the synthetic kernel corpus: plan calibration against the
+// paper's Table 4/5 totals, generation determinism, and the end-to-end
+// ground-truth self-check (every planted bug is detected; detections beyond
+// the plan are only the planted false-positive shapes).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+#include "src/corpus/plan.h"
+
+namespace refscan {
+namespace {
+
+TEST(PlanTest, TotalsMatchTable4) {
+  const PlanTotals totals = ComputePlanTotals(Table5Plan());
+  EXPECT_EQ(totals.bugs, 351);
+  EXPECT_EQ(totals.confirmed, 240);
+  EXPECT_EQ(totals.patch_rejected, 3);
+  EXPECT_EQ(totals.false_positives, 5);
+  EXPECT_EQ(totals.per_subsystem.at("arch"), 156);
+  EXPECT_EQ(totals.per_subsystem.at("drivers"), 182);
+  EXPECT_EQ(totals.per_subsystem.at("include"), 2);
+  EXPECT_EQ(totals.per_subsystem.at("net"), 2);
+  EXPECT_EQ(totals.per_subsystem.at("sound"), 9);
+}
+
+TEST(PlanTest, PatternTotalsMatchTable5) {
+  const PlanTotals totals = ComputePlanTotals(Table5Plan());
+  EXPECT_EQ(totals.per_pattern.at(1), 1);
+  EXPECT_EQ(totals.per_pattern.at(2), 7);   // NPD bugs (§6.3: 7 NPD)
+  EXPECT_EQ(totals.per_pattern.at(4), 253);
+  EXPECT_EQ(totals.per_pattern.at(9), 17);  // §7: 17 escape bugs
+}
+
+TEST(CorpusTest, GroundTruthMatchesPlan) {
+  const Corpus corpus = GenerateKernelCorpus();
+  EXPECT_EQ(corpus.ground_truth.size(), 351u);
+  EXPECT_EQ(corpus.planted_fps.size(), 5u);
+
+  std::map<std::string, int> per_subsystem;
+  int confirmed = 0;
+  int rejected = 0;
+  int no_response = 0;
+  for (const PlantedBug& bug : corpus.ground_truth) {
+    per_subsystem[SplitKernelPath(bug.file).subsystem]++;
+    switch (bug.response) {
+      case MaintainerResponse::kConfirmed:
+        ++confirmed;
+        break;
+      case MaintainerResponse::kPatchRejected:
+        ++rejected;
+        break;
+      case MaintainerResponse::kNoResponse:
+        ++no_response;
+        break;
+    }
+  }
+  EXPECT_EQ(per_subsystem["arch"], 156);
+  EXPECT_EQ(per_subsystem["drivers"], 182);
+  EXPECT_EQ(confirmed, 240);
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(no_response, 108);  // 351 - 240 - 3
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const Corpus a = GenerateKernelCorpus();
+  const Corpus b = GenerateKernelCorpus();
+  ASSERT_EQ(a.tree.size(), b.tree.size());
+  for (const auto& [path, file] : a.tree.files()) {
+    const SourceFile* other = b.tree.Find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(file.text(), other->text()) << path;
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusOptions options;
+  options.seed = 12345;
+  const Corpus a = GenerateKernelCorpus();
+  const Corpus b = GenerateKernelCorpus(options);
+  bool any_difference = a.tree.size() != b.tree.size();
+  for (const auto& [path, file] : a.tree.files()) {
+    const SourceFile* other = b.tree.Find(path);
+    if (other == nullptr || other->text() != file.text()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CorpusTest, TreeShapeIsKernelLike) {
+  const Corpus corpus = GenerateKernelCorpus();
+  EXPECT_GT(corpus.tree.size(), 60u);  // 54 modules, several files each
+  EXPECT_GT(corpus.tree.LinesUnder("drivers/"), 2000u);
+  EXPECT_GT(corpus.tree.LinesUnder("arch/"), 1000u);
+  // Header-module bugs live in .h files.
+  bool include_header = false;
+  for (const auto& [path, file] : corpus.tree.files()) {
+    if (path.starts_with("include/linux/") && path.ends_with(".h")) {
+      include_header = true;
+    }
+  }
+  EXPECT_TRUE(include_header);
+}
+
+// The central self-check: scanning the corpus finds every planted bug with
+// the right anti-pattern, and everything else it reports is a planted FP.
+class CorpusScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(GenerateKernelCorpus());
+    CheckerEngine engine;
+    result_ = new ScanResult(engine.Scan(corpus_->tree));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete result_;
+    corpus_ = nullptr;
+    result_ = nullptr;
+  }
+  static Corpus* corpus_;
+  static ScanResult* result_;
+};
+
+Corpus* CorpusScanTest::corpus_ = nullptr;
+ScanResult* CorpusScanTest::result_ = nullptr;
+
+TEST_F(CorpusScanTest, EveryPlantedBugIsDetected) {
+  std::set<std::pair<std::string, std::string>> reported_functions;
+  for (const BugReport& r : result_->reports) {
+    reported_functions.emplace(r.file, r.function);
+  }
+  int missed = 0;
+  for (const PlantedBug& bug : corpus_->ground_truth) {
+    if (!reported_functions.contains({bug.file, bug.function})) {
+      ++missed;
+      ADD_FAILURE() << "missed planted bug: " << bug.file << " " << bug.function << " P"
+                    << bug.anti_pattern << " api=" << bug.api;
+      if (missed > 10) {
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(missed, 0);
+}
+
+TEST_F(CorpusScanTest, NoSpuriousReportsBeyondPlantedFps) {
+  int spurious = 0;
+  for (const BugReport& r : result_->reports) {
+    if (corpus_->FindBug(r.file, r.function) == nullptr && !corpus_->IsPlantedFp(r.file, r.function)) {
+      ++spurious;
+      ADD_FAILURE() << "spurious report: " << r.file << " " << r.function << " P"
+                    << r.anti_pattern << " " << r.message;
+      if (spurious > 10) {
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(spurious, 0);
+}
+
+TEST_F(CorpusScanTest, PlantedFpsAreReportedAsThePaperFound) {
+  // The five Listing-5 shapes must be *reported* (they were the paper's
+  // false positives — the checkers did flag them).
+  for (const PlantedFalsePositive& fp : corpus_->planted_fps) {
+    bool reported = false;
+    for (const BugReport& r : result_->reports) {
+      reported |= r.file == fp.file && r.function == fp.function;
+    }
+    EXPECT_TRUE(reported) << "planted FP shape not flagged: " << fp.function;
+  }
+}
+
+TEST_F(CorpusScanTest, DetectedPatternsMatchGroundTruth) {
+  int mismatched = 0;
+  for (const BugReport& r : result_->reports) {
+    const PlantedBug* bug = corpus_->FindBug(r.file, r.function);
+    if (bug == nullptr) {
+      continue;
+    }
+    if (bug->anti_pattern != r.anti_pattern) {
+      ++mismatched;
+      if (mismatched <= 10) {
+        ADD_FAILURE() << r.function << ": planted P" << bug->anti_pattern << " detected as P"
+                      << r.anti_pattern;
+      }
+    }
+  }
+  EXPECT_EQ(mismatched, 0);
+}
+
+TEST_F(CorpusScanTest, ImpactsMatchGroundTruth) {
+  for (const BugReport& r : result_->reports) {
+    const PlantedBug* bug = corpus_->FindBug(r.file, r.function);
+    if (bug != nullptr && bug->anti_pattern == r.anti_pattern) {
+      EXPECT_EQ(static_cast<int>(r.impact), static_cast<int>(bug->impact))
+          << r.function << " P" << r.anti_pattern;
+    }
+  }
+}
+
+TEST_F(CorpusScanTest, ReportTotalsMatchTable4Shape) {
+  // 351 planted + 5 FP shapes; each planted bug should yield exactly one
+  // report per (file, function) site after deduplication, so 356 total.
+  std::set<std::pair<std::string, std::string>> functions;
+  for (const BugReport& r : result_->reports) {
+    functions.emplace(r.file, r.function);
+  }
+  EXPECT_EQ(functions.size(), 356u);
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,171 @@
+// Tests for the word2vec CBOW implementation and the training-text builder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/embed/corpus_text.h"
+#include "src/embed/word2vec.h"
+#include "src/histmine/history.h"
+
+namespace refscan {
+namespace {
+
+// Tiny synthetic corpus with a crisp co-occurrence structure: {cat, dog}
+// share contexts; {bolt, nut} share different contexts.
+std::vector<std::vector<std::string>> ToyCorpus() {
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 300; ++i) {
+    sentences.push_back({"the", "cat", "chased", "the", "mouse", "fast"});
+    sentences.push_back({"the", "dog", "chased", "the", "mouse", "fast"});
+    sentences.push_back({"tighten", "the", "bolt", "with", "a", "wrench"});
+    sentences.push_back({"tighten", "the", "nut", "with", "a", "wrench"});
+  }
+  return sentences;
+}
+
+TEST(Word2VecTest, LearnsCoOccurrenceStructure) {
+  Word2Vec model;
+  EmbedOptions options;
+  options.epochs = 3;
+  model.Train(ToyCorpus(), options);
+  EXPECT_TRUE(model.Contains("cat"));
+  EXPECT_TRUE(model.Contains("bolt"));
+  const double same_context = model.Similarity("cat", "dog");
+  const double cross_context = model.Similarity("cat", "bolt");
+  EXPECT_GT(same_context, cross_context);
+  EXPECT_GT(model.Similarity("bolt", "nut"), model.Similarity("bolt", "mouse"));
+}
+
+TEST(Word2VecTest, SimilarityProperties) {
+  Word2Vec model;
+  model.Train(ToyCorpus());
+  // Symmetry, self-similarity, range.
+  EXPECT_DOUBLE_EQ(model.Similarity("cat", "dog"), model.Similarity("dog", "cat"));
+  EXPECT_NEAR(model.Similarity("cat", "cat"), 1.0, 1e-9);
+  for (const char* a : {"cat", "dog", "bolt", "nut", "mouse"}) {
+    for (const char* b : {"cat", "dog", "bolt", "nut", "mouse"}) {
+      const double s = model.Similarity(a, b);
+      EXPECT_GE(s, -1.0 - 1e-9);
+      EXPECT_LE(s, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Word2VecTest, OovYieldsZero) {
+  Word2Vec model;
+  model.Train(ToyCorpus());
+  EXPECT_FALSE(model.Contains("zebra"));
+  EXPECT_DOUBLE_EQ(model.Similarity("zebra", "cat"), 0.0);
+  EXPECT_TRUE(model.Vector("zebra").empty());
+  EXPECT_TRUE(model.MostSimilar("zebra").empty());
+}
+
+TEST(Word2VecTest, MinCountDropsRareWords) {
+  auto sentences = ToyCorpus();
+  sentences.push_back({"hapax", "legomenon"});
+  Word2Vec model;
+  EmbedOptions options;
+  options.min_count = 2;
+  options.epochs = 1;
+  model.Train(sentences, options);
+  EXPECT_FALSE(model.Contains("hapax"));
+}
+
+TEST(Word2VecTest, DeterministicTraining) {
+  Word2Vec a;
+  Word2Vec b;
+  a.Train(ToyCorpus());
+  b.Train(ToyCorpus());
+  EXPECT_DOUBLE_EQ(a.Similarity("cat", "dog"), b.Similarity("cat", "dog"));
+  EXPECT_EQ(a.Vector("cat"), b.Vector("cat"));
+}
+
+TEST(Word2VecTest, MostSimilarRanksNeighbourFirst) {
+  Word2Vec model;
+  model.Train(ToyCorpus());
+  const auto neighbours = model.MostSimilar("cat", 3);
+  ASSERT_FALSE(neighbours.empty());
+  // "dog" should be the closest non-identical word.
+  EXPECT_EQ(neighbours[0].first, "dog");
+}
+
+TEST(Word2VecTest, EmptyCorpusIsSafe) {
+  Word2Vec model;
+  model.Train({});
+  EXPECT_EQ(model.vocab_size(), 0u);
+  EXPECT_DOUBLE_EQ(model.Similarity("a", "b"), 0.0);
+}
+
+TEST(TokenizeForEmbeddingTest, SplitsAndNormalises) {
+  const auto tokens = TokenizeForEmbedding("for_each_child_of_node(np, child)");
+  const std::vector<std::string> expected = {"foreach", "child", "of", "node", "np", "child"};
+  EXPECT_EQ(tokens, expected);
+  const auto api = TokenizeForEmbedding("of_node_get");
+  const std::vector<std::string> expected_api = {"of", "node", "get"};
+  EXPECT_EQ(api, expected_api);
+}
+
+TEST(CommitSentencesTest, CoversTable3Vocabulary) {
+  HistoryOptions options;
+  options.noise_commits = 3000;
+  const History history = GenerateHistory(options);
+  const auto sentences = BuildCommitSentences(history);
+  EXPECT_GT(sentences.size(), 1000u);
+
+  std::map<std::string, int> counts;
+  for (const auto& sentence : sentences) {
+    for (const std::string& word : sentence) {
+      ++counts[word];
+    }
+  }
+  // Every Table 3 row/column keyword must appear in the training text.
+  for (const char* word : {"refcount", "increase", "get", "hold", "grab", "retain", "decrease",
+                           "put", "unhold", "drop", "release", "foreach", "find", "parse",
+                           "open", "probe", "register"}) {
+    EXPECT_GE(counts[word], 2) << word;
+  }
+}
+
+TEST(CommitSentencesTest, Table3ShapeHolds) {
+  // Train on the synthetic history and verify the headline shape of
+  // Table 3: "find" is far more similar to "get"/"put" than "foreach" is to
+  // "refcount", because find-like APIs co-occur with get/put tokens.
+  HistoryOptions options;
+  options.noise_commits = 4000;
+  const History history = GenerateHistory(options);
+  Word2Vec model;
+  EmbedOptions embed;
+  embed.epochs = 4;
+  model.Train(BuildCommitSentences(history), embed);
+
+  ASSERT_TRUE(model.Contains("find"));
+  ASSERT_TRUE(model.Contains("get"));
+  ASSERT_TRUE(model.Contains("put"));
+  ASSERT_TRUE(model.Contains("foreach"));
+  ASSERT_TRUE(model.Contains("refcount"));
+
+  const double find_get = model.Similarity("find", "get");
+  const double foreach_refcount = model.Similarity("foreach", "refcount");
+  EXPECT_GT(find_get, foreach_refcount);
+  // "unhold" barely occurs: its similarity to anything should be small.
+  if (model.Contains("unhold")) {
+    EXPECT_LT(std::abs(model.Similarity("unhold", "find")), 0.9);
+  }
+}
+
+TEST(SourceSentencesTest, ParagraphGranularity) {
+  SourceTree tree;
+  tree.Add("a.c", "of_node_get(np);\nof_node_put(np);\n\nsecond_block(x);\n");
+  std::vector<std::vector<std::string>> sentences;
+  AppendSourceSentences(tree, sentences);
+  ASSERT_EQ(sentences.size(), 2u);  // blank line splits the paragraphs
+  const std::vector<std::string> expected = {"of", "node", "get", "np",
+                                             "of", "node", "put", "np"};
+  EXPECT_EQ(sentences[0], expected);
+  const std::vector<std::string> expected2 = {"second", "block", "x"};
+  EXPECT_EQ(sentences[1], expected2);
+}
+
+}  // namespace
+}  // namespace refscan

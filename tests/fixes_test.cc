@@ -1,0 +1,225 @@
+// Tests for patch-suggestion generation (the paper's §6.4 patch workflow).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/fixes.h"
+
+namespace refscan {
+namespace {
+
+struct Scanned {
+  SourceTree tree;
+  std::vector<BugReport> reports;
+};
+
+Scanned Scan(std::string text) {
+  Scanned out;
+  out.tree.Add("drivers/t/t.c", std::move(text));
+  CheckerEngine engine;
+  out.reports = engine.Scan(out.tree).reports;
+  return out;
+}
+
+FixSuggestion FixFor(const Scanned& scanned, int pattern) {
+  for (const BugReport& r : scanned.reports) {
+    if (r.anti_pattern == pattern) {
+      return SuggestFix(r, *scanned.tree.Find(r.file));
+    }
+  }
+  ADD_FAILURE() << "no report with pattern P" << pattern;
+  return {};
+}
+
+TEST(PairedDecrementTest, KnownPairs) {
+  EXPECT_EQ(PairedDecrementFor("pm_runtime_get_sync"), "pm_runtime_put_noidle");
+  EXPECT_EQ(PairedDecrementFor("of_find_compatible_node"), "of_node_put");
+  EXPECT_EQ(PairedDecrementFor("of_get_parent"), "of_node_put");
+  EXPECT_EQ(PairedDecrementFor("for_each_matching_node"), "of_node_put");
+  EXPECT_EQ(PairedDecrementFor("bus_find_device"), "put_device");
+  EXPECT_EQ(PairedDecrementFor("kobject_init_and_add"), "kobject_put");
+  EXPECT_EQ(PairedDecrementFor("mdesc_grab"), "mdesc_release");
+  EXPECT_EQ(PairedDecrementFor("usb_serial_get"), "usb_serial_put");
+  EXPECT_EQ(PairedDecrementFor("sock_hold"), "sock_put");
+  EXPECT_EQ(PairedDecrementFor("dev_hold"), "dev_put");
+}
+
+TEST(FixTest, P1InsertsPutBeforeErrorReturn) {
+  const Scanned scanned = Scan(
+      "static int remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"
+      "  pm_runtime_put(pdev->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 1);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("+    pm_runtime_put_noidle(pdev->dev);"), std::string::npos)
+      << fix.diff;
+  EXPECT_NE(fix.diff.find("--- a/drivers/t/t.c"), std::string::npos);
+  EXPECT_NE(fix.diff.find("@@"), std::string::npos);
+}
+
+TEST(FixTest, P2InsertsNullCheck) {
+  const Scanned scanned = Scan(
+      "static int init(void)\n"
+      "{\n"
+      "  struct mdesc_handle *hp = mdesc_grab();\n"
+      "  use(hp->root);\n"
+      "  return 0;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 2);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("+  if (!hp)"), std::string::npos) << fix.diff;
+  EXPECT_NE(fix.diff.find("return -ENODEV;"), std::string::npos);
+}
+
+TEST(FixTest, P3InsertsPutBeforeBreak) {
+  const Scanned scanned = Scan(
+      "static int probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *dn;\n"
+      "  for_each_matching_node(dn, ids) {\n"
+      "    if (match(dn))\n"
+      "      break;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 3);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("of_node_put(dn);"), std::string::npos) << fix.diff;
+  // The insertion must come before the break line in the hunk.
+  EXPECT_LT(fix.diff.find("of_node_put(dn);"), fix.diff.find("break;"));
+}
+
+TEST(FixTest, P4LeakInsertsPutBeforeReturn) {
+  const Scanned scanned = Scan(
+      "static int setup(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_compatible_node(NULL, NULL, \"x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  use(np);\n"
+      "  return 0;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 4);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("of_node_put(np);"), std::string::npos) << fix.diff;
+}
+
+TEST(FixTest, P4MissingIncreaseInsertsGet) {
+  const Scanned scanned = Scan(
+      "static struct device_node *next(struct device_node *from)\n"
+      "{\n"
+      "  struct device_node *np = of_find_matching_node(from, ids);\n"
+      "  return np;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 4);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("+  of_node_get(from);"), std::string::npos) << fix.diff;
+}
+
+TEST(FixTest, P7ReplacesKfree) {
+  const Scanned scanned = Scan(
+      "static void teardown(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return;\n"
+      "  kfree(np);\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 7);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("-  kfree(np);"), std::string::npos) << fix.diff;
+  EXPECT_NE(fix.diff.find("+  of_node_put(np);"), std::string::npos);
+}
+
+TEST(FixTest, P8MovesPutAfterLastUse) {
+  const Scanned scanned = Scan(
+      "void unhash(struct sock *sk)\n"
+      "{\n"
+      "  sock_put(sk);\n"
+      "  account(sk->sk_prot, -1);\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 8);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("-  sock_put(sk);"), std::string::npos) << fix.diff;
+  // Re-inserted after the use line.
+  EXPECT_LT(fix.diff.find("account(sk->sk_prot"), fix.diff.find("+  sock_put(sk);"));
+}
+
+TEST(FixTest, P9InsertsGetAtEscape) {
+  const Scanned scanned = Scan(
+      "static int cache(struct ctx *ctx)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  ctx->node = np;\n"
+      "  touch(np);\n"
+      "  of_node_put(np);\n"
+      "  return 0;\n"
+      "}\n");
+  const FixSuggestion fix = FixFor(scanned, 9);
+  ASSERT_TRUE(fix.available);
+  EXPECT_NE(fix.diff.find("+  of_node_get(np);"), std::string::npos) << fix.diff;
+}
+
+TEST(FixTest, P6HasNoMechanicalFix) {
+  const Scanned scanned = Scan(
+      "static int foo_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  pdev->priv = np;\n"
+      "  return 0;\n"
+      "}\n"
+      "static int foo_remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  return 0;\n"
+      "}\n"
+      "static struct platform_driver d = { .probe = foo_probe, .remove = foo_remove };\n");
+  const FixSuggestion fix = FixFor(scanned, 6);
+  EXPECT_FALSE(fix.available);
+  EXPECT_FALSE(fix.summary.empty());
+}
+
+// Property sweep: every fix suggested for the paper-listing bugs renders a
+// structurally valid unified hunk.
+TEST(FixTest, DiffsAreWellFormed) {
+  const Scanned scanned = Scan(
+      "static int remove(struct platform_device *pdev)\n"
+      "{\n"
+      "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"
+      "  pm_runtime_put(pdev->dev);\n"
+      "  return 0;\n"
+      "}\n"
+      "static void teardown(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return;\n"
+      "  kfree(np);\n"
+      "}\n");
+  for (const BugReport& r : scanned.reports) {
+    const FixSuggestion fix = SuggestFix(r, *scanned.tree.Find(r.file));
+    if (!fix.available) {
+      continue;
+    }
+    EXPECT_TRUE(fix.diff.starts_with("--- a/")) << fix.diff;
+    EXPECT_NE(fix.diff.find("+++ b/"), std::string::npos);
+    EXPECT_NE(fix.diff.find("@@ -"), std::string::npos);
+    // Exactly one added or changed line minimum.
+    EXPECT_NE(fix.diff.find("\n+"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,231 @@
+// Tests for the commit-history generator, the two-level mining pipeline and
+// the dataset statistics (Findings 1-5, Figures 1-3, Table 2).
+
+#include <gtest/gtest.h>
+
+#include "src/histmine/history.h"
+#include "src/histmine/miner.h"
+#include "src/kb/kb.h"
+#include "src/stats/stats.h"
+
+namespace refscan {
+namespace {
+
+// Shared fixture: generate + mine once (the dominant cost).
+class MiningTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HistoryOptions options;
+    options.noise_commits = 5000;  // keep unit tests fast
+    history_ = new History(GenerateHistory(options));
+    kb_ = new KnowledgeBase(KnowledgeBase::BuiltIn());
+    result_ = new MiningResult(MineRefcountBugs(*history_, *kb_));
+  }
+  static void TearDownTestSuite() {
+    delete history_;
+    delete kb_;
+    delete result_;
+    history_ = nullptr;
+    kb_ = nullptr;
+    result_ = nullptr;
+  }
+  static History* history_;
+  static KnowledgeBase* kb_;
+  static MiningResult* result_;
+};
+
+History* MiningTest::history_ = nullptr;
+KnowledgeBase* MiningTest::kb_ = nullptr;
+MiningResult* MiningTest::result_ = nullptr;
+
+TEST(TimelineTest, CoversPaperRange) {
+  const auto& timeline = ReleaseTimeline();
+  EXPECT_EQ(timeline.size(), 91u);
+  EXPECT_EQ(timeline.front().name, "v2.6.12");
+  EXPECT_EQ(timeline.front().year, 2005);
+  EXPECT_EQ(timeline.back().name, "v6.1");
+  EXPECT_EQ(timeline.back().year, 2022);
+  EXPECT_EQ(TotalVersionCount(), 753);
+  // Monotone time.
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GT(ReleaseTime(timeline[i]), ReleaseTime(timeline[i - 1])) << timeline[i].name;
+  }
+  EXPECT_EQ(FirstReleaseOfMajor(3), 28);
+  EXPECT_EQ(FirstReleaseOfMajor(9), -1);
+}
+
+TEST(TimelineTest, CalibrationTablesSum) {
+  int growth = 0;
+  for (const auto& [year, count] : Figure1GrowthTargets()) {
+    growth += count;
+  }
+  EXPECT_EQ(growth, 1033);
+  int subsystem_bugs = 0;
+  for (const SubsystemTarget& target : Figure2SubsystemTargets()) {
+    subsystem_bugs += target.bugs;
+  }
+  EXPECT_EQ(subsystem_bugs, 1033);
+}
+
+TEST(Level1KeywordTest, Matches) {
+  EXPECT_TRUE(Level1KeywordMatch("of_node_put"));
+  EXPECT_TRUE(Level1KeywordMatch("kref_get"));
+  EXPECT_TRUE(Level1KeywordMatch("mux_take_control"));
+  EXPECT_TRUE(Level1KeywordMatch("dma_release_channel"));
+  EXPECT_FALSE(Level1KeywordMatch("queue_register"));
+  EXPECT_FALSE(Level1KeywordMatch("spi_transfer_one"));
+}
+
+TEST_F(MiningTest, GeneratorPlantsExactPopulation) {
+  EXPECT_EQ(history_->ground_truth.size(), 1033u);
+  EXPECT_GT(history_->commits.size(), 1033u + 780u + 24u);
+  // Commits are release-ordered.
+  for (size_t i = 1; i < history_->commits.size(); ++i) {
+    EXPECT_LE(history_->commits[i - 1].release, history_->commits[i].release);
+  }
+}
+
+TEST_F(MiningTest, TwoLevelFilteringMatchesPaperCounts) {
+  // §3.1: 1,825 candidates from level-1; 1,033 bugs after level-2 + FP
+  // removal; 12 wrong fixes dropped via Fixes: tags.
+  EXPECT_EQ(result_->level1_candidates.size(), 1825u);
+  EXPECT_EQ(result_->level2_candidates.size(), 1045u);
+  EXPECT_EQ(result_->removed_as_wrong_fix.size(), 12u);
+  EXPECT_EQ(result_->dataset.size(), 1033u);
+}
+
+TEST_F(MiningTest, MinedDatasetMatchesGroundTruthCommits) {
+  std::set<std::string> truth_ids;
+  for (const HistBug& bug : history_->ground_truth) {
+    truth_ids.insert(bug.fix_commit);
+  }
+  for (const MinedBug& bug : result_->dataset) {
+    EXPECT_TRUE(truth_ids.contains(bug.commit->id))
+        << "mined a non-bug commit: " << bug.commit->subject;
+  }
+}
+
+TEST_F(MiningTest, ClassificationMatchesGroundTruthKinds) {
+  std::map<std::string, const HistBug*> truth;
+  for (const HistBug& bug : history_->ground_truth) {
+    truth[bug.fix_commit] = &bug;
+  }
+  int mismatches = 0;
+  for (const MinedBug& bug : result_->dataset) {
+    const HistBug* expected = truth.at(bug.commit->id);
+    if (bug.kind != expected->kind || bug.is_uad != expected->is_uad ||
+        bug.is_leak != expected->is_leak) {
+      ++mismatches;
+      if (mismatches < 5) {
+        ADD_FAILURE() << bug.commit->subject << ": kind " << static_cast<int>(bug.kind) << " vs "
+                      << static_cast<int>(expected->kind);
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST_F(MiningTest, Table2TaxonomyMatchesPaper) {
+  const Taxonomy taxonomy = TaxonomyBreakdown(result_->dataset);
+  EXPECT_EQ(taxonomy.total, 1033);
+  EXPECT_EQ(taxonomy.leak, 741);  // 71.7%
+  EXPECT_EQ(taxonomy.uaf, 292);   // 28.3%
+  EXPECT_EQ(taxonomy.MissingDec(), 694);
+  EXPECT_EQ(taxonomy.per_kind.at(HistBugKind::kMissingDecIntra), 590);
+  EXPECT_EQ(taxonomy.per_kind.at(HistBugKind::kMissingDecInter), 104);
+  EXPECT_EQ(taxonomy.per_kind.at(HistBugKind::kMisplacedDec), 119);
+  EXPECT_EQ(taxonomy.uad, 94);  // 9.1%
+  EXPECT_EQ(taxonomy.per_kind.at(HistBugKind::kMisplacedInc), 25);
+  EXPECT_EQ(taxonomy.MissingInc(), 74);
+  EXPECT_NEAR(taxonomy.Fraction(taxonomy.leak), 0.717, 0.005);
+  EXPECT_NEAR(taxonomy.Fraction(taxonomy.per_kind.at(HistBugKind::kMissingDecIntra)), 0.571,
+              0.005);
+}
+
+TEST_F(MiningTest, Figure1GrowthMatchesTargets) {
+  const std::map<int, int> trend = GrowthTrend(result_->dataset);
+  int total = 0;
+  for (const auto& [year, target] : Figure1GrowthTargets()) {
+    auto it = trend.find(year);
+    const int measured = it != trend.end() ? it->second : 0;
+    EXPECT_NEAR(measured, target, 6) << "year " << year;
+    total += measured;
+  }
+  EXPECT_EQ(total, 1033);
+  // Monotone-ish growth: 2022 >> 2005.
+  EXPECT_GT(trend.at(2022), 10 * trend.at(2005));
+}
+
+TEST_F(MiningTest, Figure2DistributionMatchesFinding3) {
+  const auto breakdown = SubsystemBreakdown(result_->dataset);
+  ASSERT_FALSE(breakdown.empty());
+  EXPECT_EQ(breakdown[0].name, "drivers");
+  EXPECT_EQ(breakdown[0].bugs, 588);  // 56.9%
+  int top3 = breakdown[0].bugs + breakdown[1].bugs + breakdown[2].bugs;
+  EXPECT_EQ(top3, 851);  // 82.4% in drivers+net+fs
+  // Density: block is the most bug-dense subsystem (Finding 3 discussion).
+  const SubsystemStats* block = nullptr;
+  double max_density = 0;
+  for (const SubsystemStats& s : breakdown) {
+    max_density = std::max(max_density, s.density);
+    if (s.name == "block") {
+      block = &s;
+    }
+  }
+  ASSERT_NE(block, nullptr);
+  EXPECT_DOUBLE_EQ(block->density, max_density);
+  EXPECT_EQ(block->bugs, 18);
+}
+
+TEST_F(MiningTest, LifetimesMatchFindings4And5) {
+  const LifetimeStats stats = LifetimeAnalysis(result_->dataset);
+  EXPECT_EQ(stats.total, 1033);
+  EXPECT_EQ(stats.with_fixes_tag, 567);
+  EXPECT_EQ(stats.over_one_year, 429);  // 75.7% of tagged
+  EXPECT_EQ(stats.over_ten_years, 19);
+  EXPECT_EQ(stats.over_ten_years_uaf, 7);
+  EXPECT_EQ(stats.ancient_to_modern, 23);
+  EXPECT_NEAR(stats.span_v4_to_v5, 135, 1);
+  EXPECT_NEAR(stats.span_v3_to_v5, 80, 1);
+  EXPECT_NEAR(stats.within_v5, 189, 41);  // some v5-era fixes land in v6.0/v6.1
+  EXPECT_EQ(stats.spans.size(), 567u);
+}
+
+TEST_F(MiningTest, DeterministicGeneration) {
+  HistoryOptions options;
+  options.noise_commits = 100;
+  const History a = GenerateHistory(options);
+  const History b = GenerateHistory(options);
+  ASSERT_EQ(a.commits.size(), b.commits.size());
+  for (size_t i = 0; i < a.commits.size(); ++i) {
+    EXPECT_EQ(a.commits[i].id, b.commits[i].id);
+    EXPECT_EQ(a.commits[i].subject, b.commits[i].subject);
+  }
+}
+
+TEST(HistoryTest, FindCommit) {
+  HistoryOptions options;
+  options.noise_commits = 10;
+  const History history = GenerateHistory(options);
+  ASSERT_FALSE(history.commits.empty());
+  const Commit& first = history.commits.front();
+  EXPECT_EQ(history.FindCommit(first.id), &first);
+  EXPECT_EQ(history.FindCommit("nope"), nullptr);
+}
+
+// Property sweep: different noise sizes never change the mined dataset.
+class NoiseInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoiseInvarianceTest, NoiseDoesNotPerturbDataset) {
+  HistoryOptions options;
+  options.noise_commits = GetParam();
+  const History history = GenerateHistory(options);
+  const MiningResult result = MineRefcountBugs(history, KnowledgeBase::BuiltIn());
+  EXPECT_EQ(result.level1_candidates.size(), 1825u);
+  EXPECT_EQ(result.dataset.size(), 1033u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSizes, NoiseInvarianceTest, ::testing::Values(0, 100, 2000, 10000));
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,225 @@
+// Cross-module integration tests: the full suggest→apply→re-scan loop, the
+// corpus↔engine↔table aggregation consistency used by the Table 4/5
+// benches, and a history↔stats↔report pipeline smoke test.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/fixes.h"
+#include "src/corpus/generator.h"
+#include "src/histmine/gitlog.h"
+#include "src/histmine/miner.h"
+#include "src/report/table.h"
+#include "src/stats/stats.h"
+
+namespace refscan {
+namespace {
+
+// ------------------------------------------------ suggest → apply → rescan
+
+// For every fixable pattern, the suggested patch must eliminate the report
+// without introducing a new one.
+class FixLoopTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixLoopTest, AppliedFixSilencesTheChecker) {
+  const std::string code = GetParam();
+  SourceTree tree;
+  tree.Add("drivers/t/t.c", code);
+  CheckerEngine engine;
+  const ScanResult before = engine.Scan(tree);
+  ASSERT_EQ(before.reports.size(), 1u) << "test input must contain exactly one bug";
+
+  const BugReport& report = before.reports[0];
+  const SourceFile* file = tree.Find(report.file);
+  ASSERT_NE(file, nullptr);
+  const FixSuggestion fix = SuggestFix(report, *file);
+  ASSERT_TRUE(fix.available) << "P" << report.anti_pattern;
+
+  const std::string patched = ApplyUnifiedDiff(*file, fix.diff);
+  ASSERT_NE(patched, file->text()) << "diff did not apply:\n" << fix.diff;
+
+  CheckerEngine engine2;
+  const ScanResult after = engine2.ScanFileText("drivers/t/t.c", patched);
+  EXPECT_TRUE(after.reports.empty())
+      << "fix for P" << report.anti_pattern << " left a report: "
+      << (after.reports.empty() ? "" : after.reports[0].message) << "\npatched code:\n"
+      << patched;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, FixLoopTest,
+    ::testing::Values(
+        // P1: return-error
+        "static int p1(struct platform_device *pdev)\n"
+        "{\n"
+        "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+        "  if (ret < 0)\n"
+        "    return ret;\n"
+        "  pm_runtime_put(pdev->dev);\n"
+        "  return 0;\n"
+        "}\n",
+        // P2: return-NULL
+        "static int p2(void)\n"
+        "{\n"
+        "  struct mdesc_handle *hp = mdesc_grab();\n"
+        "  use(hp->root);\n"
+        "  mdesc_release(hp);\n"
+        "  return 0;\n"
+        "}\n",
+        // P3: smartloop break
+        "static int p3(struct platform_device *pdev)\n"
+        "{\n"
+        "  struct device_node *dn;\n"
+        "  for_each_matching_node(dn, ids) {\n"
+        "    if (match(dn))\n"
+        "      break;\n"
+        "  }\n"
+        "  return 0;\n"
+        "}\n",
+        // P4: hidden find, never released
+        "static int p4(void)\n"
+        "{\n"
+        "  struct device_node *np = of_find_compatible_node(NULL, NULL, \"x\");\n"
+        "  if (!np)\n"
+        "    return -ENODEV;\n"
+        "  use(np);\n"
+        "  return 0;\n"
+        "}\n",
+        // P5: error path misses the put
+        "static int p5(struct platform_device *pdev)\n"
+        "{\n"
+        "  struct device_node *np = of_parse_phandle(pdev->dev.of_node, \"x\", 0);\n"
+        "  int ret;\n"
+        "  if (!np)\n"
+        "    return -ENODEV;\n"
+        "  ret = prepare(np);\n"
+        "  if (ret < 0)\n"
+        "    return ret;\n"
+        "  commit(np);\n"
+        "  of_node_put(np);\n"
+        "  return 0;\n"
+        "}\n",
+        // P7: direct free
+        "static void p7(void)\n"
+        "{\n"
+        "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+        "  if (!np)\n"
+        "    return;\n"
+        "  kfree(np);\n"
+        "}\n",
+        // P8: use after decrease
+        "void p8(struct sock *sk)\n"
+        "{\n"
+        "  sock_put(sk);\n"
+        "  account(sk->sk_prot, -1);\n"
+        "}\n",
+        // P9: escape without increase
+        "static int p9(struct ctx *ctx)\n"
+        "{\n"
+        "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+        "  if (!np)\n"
+        "    return -ENODEV;\n"
+        "  ctx->node = np;\n"
+        "  touch(np);\n"
+        "  of_node_put(np);\n"
+        "  return 0;\n"
+        "}\n"));
+
+// --------------------------------------------- corpus → engine → tabling
+
+TEST(PipelineTest, Table4AggregationConsistency) {
+  // The per-subsystem aggregation used by the Table 4 bench must account
+  // for every report exactly once and reconcile with ground truth.
+  const Corpus corpus = GenerateKernelCorpus();
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(corpus.tree);
+
+  std::map<std::string, int> per_subsystem;
+  int matched = 0;
+  int fp_shapes = 0;
+  for (const BugReport& r : result.reports) {
+    per_subsystem[SplitKernelPath(r.file).subsystem]++;
+    if (corpus.FindBug(r.file, r.function) != nullptr) {
+      ++matched;
+    } else if (corpus.IsPlantedFp(r.file, r.function)) {
+      ++fp_shapes;
+    }
+  }
+  EXPECT_EQ(matched + fp_shapes, static_cast<int>(result.reports.size()));
+  EXPECT_EQ(matched, 351);
+  EXPECT_EQ(fp_shapes, 5);
+
+  int sum = 0;
+  for (const auto& [subsystem, count] : per_subsystem) {
+    sum += count;
+  }
+  EXPECT_EQ(sum, static_cast<int>(result.reports.size()));
+}
+
+TEST(PipelineTest, ScanIsDeterministic) {
+  const Corpus corpus = GenerateKernelCorpus();
+  CheckerEngine a;
+  CheckerEngine b;
+  const ScanResult ra = a.Scan(corpus.tree);
+  const ScanResult rb = b.Scan(corpus.tree);
+  ASSERT_EQ(ra.reports.size(), rb.reports.size());
+  for (size_t i = 0; i < ra.reports.size(); ++i) {
+    EXPECT_EQ(ra.reports[i].Key(), rb.reports[i].Key());
+    EXPECT_EQ(ra.reports[i].anti_pattern, rb.reports[i].anti_pattern);
+  }
+}
+
+// ------------------------------------- history → gitlog → miner → stats
+
+TEST(PipelineTest, SerializedHistoryYieldsIdenticalFindings) {
+  HistoryOptions options;
+  options.noise_commits = 2000;
+  const History original = GenerateHistory(options);
+  const History parsed = ParseGitLog(SerializeGitLog(original));
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+
+  const Taxonomy a = TaxonomyBreakdown(MineRefcountBugs(original, kb).dataset);
+  const Taxonomy b = TaxonomyBreakdown(MineRefcountBugs(parsed, kb).dataset);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.leak, b.leak);
+  EXPECT_EQ(a.uad, b.uad);
+
+  const LifetimeStats la = LifetimeAnalysis(MineRefcountBugs(original, kb).dataset);
+  const LifetimeStats lb = LifetimeAnalysis(MineRefcountBugs(parsed, kb).dataset);
+  EXPECT_EQ(la.with_fixes_tag, lb.with_fixes_tag);
+  EXPECT_EQ(la.over_one_year, lb.over_one_year);
+  EXPECT_EQ(la.over_ten_years, lb.over_ten_years);
+  EXPECT_EQ(la.ancient_to_modern, lb.ancient_to_modern);
+}
+
+// ------------------------------------------------- report rendering
+
+TEST(PipelineTest, TableRenderingOfScanOutput) {
+  // The report module must digest real scan output without surprises
+  // (long messages, empty cells).
+  CheckerEngine engine;
+  const ScanResult result = engine.ScanFileText(
+      "drivers/t/t.c",
+      "static int p(struct platform_device *pdev)\n"
+      "{\n"
+      "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"
+      "  pm_runtime_put(pdev->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  Table table("reports");
+  table.Header({"File", "Line", "P", "Message"});
+  for (const BugReport& r : result.reports) {
+    table.Row({r.file, std::to_string(r.line), std::to_string(r.anti_pattern), r.message});
+  }
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("drivers/t/t.c"), std::string::npos);
+  EXPECT_NE(out.find("pm_runtime_get_sync"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,191 @@
+// Unit tests for the C tokenizer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/lexer/lexer.h"
+#include "src/support/source.h"
+
+namespace refscan {
+namespace {
+
+std::vector<Token> Lex(std::string text) {
+  static std::vector<SourceFile> keep_alive;  // tokens view into file text
+  keep_alive.emplace_back("t.c", std::move(text));
+  return Tokenize(keep_alive.back());
+}
+
+TEST(LexerTest, BasicTokens) {
+  const auto toks = Lex("int x = 42;");
+  ASSERT_EQ(toks.size(), 6u);  // int x = 42 ; EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[4].text, ";");
+  EXPECT_EQ(toks[5].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, LineNumbersAreAccurate) {
+  const auto toks = Lex("a\nb\n\nc\n");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].line, 4u);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const auto toks = Lex("a // comment with words\nb");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2u);
+}
+
+TEST(LexerTest, BlockCommentsSkippedAcrossLines) {
+  const auto toks = Lex("a /* multi\nline\ncomment */ b");
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentConsumesRest) {
+  const auto toks = Lex("a /* never closed");
+  ASSERT_EQ(toks.size(), 2u);  // a, EOF
+  EXPECT_EQ(toks[0].text, "a");
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  const auto toks = Lex(R"(x = "str \"quoted\" end";)");
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[2].text, R"("str \"quoted\" end")");
+}
+
+TEST(LexerTest, CharLiterals) {
+  const auto toks = Lex("c = '\\n';");
+  EXPECT_EQ(toks[2].kind, TokenKind::kChar);
+}
+
+TEST(LexerTest, PreprocDirectiveIsOneToken) {
+  const auto toks = Lex("#include <linux/of.h>\nint x;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreproc);
+  EXPECT_EQ(toks[0].text, "#include <linux/of.h>");
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(LexerTest, PreprocContinuationLines) {
+  const auto toks = Lex("#define for_each_x(dn) \\\n  for (dn = first(); dn; dn = next(dn))\nint y;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreproc);
+  EXPECT_NE(toks[0].text.find("next(dn)"), std::string::npos);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, HashInsideLineIsNotPreproc) {
+  const auto toks = Lex("a # b");
+  EXPECT_EQ(toks[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[1].text, "#");
+}
+
+TEST(LexerTest, MultiCharPunctuators) {
+  const auto toks = Lex("a->b <<= c == d && e;");
+  EXPECT_EQ(toks[1].text, "->");
+  EXPECT_EQ(toks[3].text, "<<=");
+  EXPECT_EQ(toks[5].text, "==");
+  EXPECT_EQ(toks[7].text, "&&");
+}
+
+TEST(LexerTest, HexAndSuffixedNumbers) {
+  const auto toks = Lex("0xFFUL + 1e-3 + .5f");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[0].text, "0xFFUL");
+  EXPECT_EQ(toks[2].text, "1e-3");
+  EXPECT_EQ(toks[4].text, ".5f");
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  EXPECT_TRUE(IsCKeyword("return"));
+  EXPECT_TRUE(IsCKeyword("struct"));
+  EXPECT_FALSE(IsCKeyword("kref_get"));
+  const auto toks = Lex("return kref_get;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, StrayBytesBecomePunct) {
+  const auto toks = Lex("a @ b $ c");
+  EXPECT_EQ(toks[1].text, "@");
+  EXPECT_EQ(toks[3].text, "$");
+}
+
+TEST(TokenCursorTest, PeekNextEat) {
+  const auto toks = Lex("a b c");
+  TokenCursor cur(toks);
+  EXPECT_EQ(cur.Peek().text, "a");
+  EXPECT_EQ(cur.Peek(1).text, "b");
+  EXPECT_TRUE(cur.Eat("a"));
+  EXPECT_FALSE(cur.Eat("x"));
+  EXPECT_EQ(cur.Next().text, "b");
+  EXPECT_EQ(cur.Next().text, "c");
+  EXPECT_TRUE(cur.AtEnd());
+  // Next() at EOF is safe and stays at EOF.
+  EXPECT_EQ(cur.Next().kind, TokenKind::kEof);
+  EXPECT_EQ(cur.Peek().kind, TokenKind::kEof);
+}
+
+TEST(TokenCursorTest, PeekBeyondEndReturnsEof) {
+  const auto toks = Lex("a");
+  TokenCursor cur(toks);
+  EXPECT_EQ(cur.Peek(100).kind, TokenKind::kEof);
+}
+
+// Property sweep: tokenizing any prefix of a real-looking source never
+// produces tokens that extend past the buffer, and lines are monotone.
+class LexerPrefixTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LexerPrefixTest, TokensStayInBoundsAndOrdered) {
+  const std::string source =
+      "#define for_each_child_of_node(p, c) \\\n"
+      "  for (c = of_get_next_child(p, NULL); c; c = of_get_next_child(p, c))\n"
+      "static int foo_probe(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = pdev->dev.of_node; /* get node */\n"
+      "  if (!np) return -EINVAL;\n"
+      "  // walk children\n"
+      "  for_each_child_of_node(np, child) { use(child); }\n"
+      "  return 0;\n"
+      "}\n";
+  const size_t len = std::min(GetParam(), source.size());
+  SourceFile file("p.c", source.substr(0, len));
+  const auto toks = Tokenize(file);
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks.back().kind, TokenKind::kEof);
+  uint32_t last_line = 0;
+  for (const Token& t : toks) {
+    EXPECT_GE(t.line, last_line);
+    last_line = t.line;
+    if (t.kind != TokenKind::kEof) {
+      // Token text must be a view into the file buffer.
+      const char* begin = file.text().data();
+      const char* end = begin + file.text().size();
+      EXPECT_GE(t.text.data(), begin);
+      EXPECT_LE(t.text.data() + t.text.size(), end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, LexerPrefixTest,
+                         ::testing::Values(0, 1, 5, 17, 42, 77, 120, 200, 320, 10000));
+
+}  // namespace
+}  // namespace refscan

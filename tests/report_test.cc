@@ -1,0 +1,84 @@
+// Unit tests for the ASCII table / chart renderers.
+
+#include <gtest/gtest.h>
+
+#include "src/report/table.h"
+
+namespace refscan {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Table X. Demo");
+  t.Header({"Name", "Count"}, {Align::kLeft, Align::kRight});
+  t.Row({"drivers", "588"});
+  t.Row({"net", "152"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Table X. Demo"), std::string::npos);
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("588 |"), std::string::npos);
+  // Right alignment: count column ends right before the separator.
+  EXPECT_NE(out.find("|   588 |"), std::string::npos) << out;
+}
+
+TEST(TableTest, PadsShortRows) {
+  Table t("");
+  t.Header({"A", "B", "C"});
+  t.Row({"x"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorProducesRule) {
+  Table t("");
+  t.Header({"A"});
+  t.Row({"1"});
+  t.Separator();
+  t.Row({"2"});
+  const std::string out = t.Render();
+  // 5 rules: top, under header, separator, bottom... count '+---' lines.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(BarChartTest, ScalesToMax) {
+  const std::string out = BarChart("chart", {{"a", 10.0}, {"b", 5.0}, {"c", 0.0}}, 10);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full bar for max
+  EXPECT_NE(out.find("#####"), std::string::npos);       // half bar
+}
+
+TEST(BarChartTest, EmptyDataDoesNotCrash) {
+  const std::string out = BarChart("empty", {}, 10);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(SeriesChartTest, RendersGrid) {
+  std::vector<std::pair<int, double>> data;
+  for (int year = 2005; year <= 2022; ++year) {
+    data.emplace_back(year, static_cast<double>(year - 2004));
+  }
+  const std::string out = SeriesChart("growth", data, 8);
+  EXPECT_NE(out.find("growth"), std::string::npos);
+  EXPECT_NE(out.find("first=2005"), std::string::npos);
+  EXPECT_NE(out.find("last=2022"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(SeriesChartTest, EmptyData) {
+  const std::string out = SeriesChart("t", {}, 8);
+  EXPECT_EQ(out, "t\n");
+}
+
+TEST(PctTest, Formats) {
+  EXPECT_EQ(Pct(0.717), "71.7%");
+  EXPECT_EQ(Pct(0.0), "0.0%");
+  EXPECT_EQ(Pct(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,122 @@
+// Robustness features for scanning real kernel trees: IS_ERR guards,
+// underscore-prefixed internal API variants, unlikely() wrappers, and the
+// JSON report serialization.
+
+#include <gtest/gtest.h>
+
+#include "src/checkers/engine.h"
+
+namespace refscan {
+namespace {
+
+std::vector<BugReport> ScanText(std::string text) {
+  CheckerEngine engine;
+  return engine.ScanFileText("drivers/t/t.c", std::move(text)).reports;
+}
+
+TEST(IsErrGuardTest, GuardedErrPtrPathIsNotALeak) {
+  const auto reports = ScanText(
+      "static int f(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (IS_ERR(np))\n"
+      "    return PTR_ERR(np);\n"
+      "  use(np);\n"
+      "  of_node_put(np);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(reports.empty()) << (reports.empty() ? "" : reports[0].message);
+}
+
+TEST(IsErrGuardTest, UnlikelyWrappedNullCheckRecognised) {
+  const auto reports = ScanText(
+      "static int f(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (unlikely(!np))\n"
+      "    return -ENODEV;\n"
+      "  use(np);\n"
+      "  of_node_put(np);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(reports.empty()) << (reports.empty() ? "" : reports[0].message);
+}
+
+TEST(UnderscoreAliasTest, InternalVariantsShareKbEntries) {
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const RefApiInfo* internal = kb.FindApi("__of_find_matching_node");
+  ASSERT_NE(internal, nullptr);
+  EXPECT_EQ(internal->name, "of_find_matching_node");
+  EXPECT_NE(kb.FindApi("__pm_runtime_get_sync"), nullptr);
+  EXPECT_EQ(kb.FindApi("__totally_unknown"), nullptr);
+}
+
+TEST(UnderscoreAliasTest, InternalVariantDetectedByCheckers) {
+  const auto reports = ScanText(
+      "static int f(void)\n"
+      "{\n"
+      "  struct device_node *np = __of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  use(np);\n"
+      "  return 0;\n"  // *BUG*: leak through the internal variant
+      "}\n");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].anti_pattern, 4);
+}
+
+TEST(AttributeMacroTest, KernelSectionAttributesParse) {
+  // __init / __exit / __must_check between storage class and name.
+  const auto reports = ScanText(
+      "static int __init late_setup(void)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  use(np);\n"
+      "  return 0;\n"  // *BUG*
+      "}\n");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].function, "late_setup");
+}
+
+TEST(JsonOutputTest, WellFormedAndComplete) {
+  const auto reports = ScanText(
+      "static int f(struct platform_device *pdev)\n"
+      "{\n"
+      "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+      "  if (ret < 0)\n"
+      "    return ret;\n"
+      "  pm_runtime_put(pdev->dev);\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string json = ReportsToJson(reports);
+  EXPECT_NE(json.find("\"anti_pattern\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"impact\": \"Leak\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"drivers/t/t.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"api\": \"pm_runtime_get_sync\""), std::string::npos);
+  EXPECT_NE(json.find("\"exit_line\": 5"), std::string::npos);
+  // Balanced brackets/braces (poor man's well-formedness).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonOutputTest, EscapesSpecialCharacters) {
+  BugReport r;
+  r.anti_pattern = 4;
+  r.file = "a\"b\\c.c";
+  r.message = "line1\nline2\ttabbed";
+  const std::string json = ReportsToJson({r});
+  EXPECT_NE(json.find("a\\\"b\\\\c.c"), std::string::npos) << json;
+  EXPECT_NE(json.find("line1\\nline2\\ttabbed"), std::string::npos);
+}
+
+TEST(JsonOutputTest, EmptyListIsEmptyArray) {
+  EXPECT_EQ(ReportsToJson({}), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace refscan

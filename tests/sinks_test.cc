@@ -1,0 +1,123 @@
+// Tests for inter-procedural ownership-sink inference: a callee that stores
+// a parameter into longer-lived state takes ownership of the reference, so
+// passing an acquired object to it is a transfer (not a leak) — and
+// dropping the reference afterwards is an escape bug (P9 through a call).
+
+#include <gtest/gtest.h>
+
+#include "src/ast/parser.h"
+#include "src/checkers/engine.h"
+
+namespace refscan {
+namespace {
+
+std::vector<BugReport> ScanText(std::string text) {
+  CheckerEngine engine;
+  return engine.ScanFileText("drivers/t/t.c", std::move(text)).reports;
+}
+
+int CountPattern(const std::vector<BugReport>& reports, int pattern) {
+  int n = 0;
+  for (const BugReport& r : reports) {
+    n += r.anti_pattern == pattern ? 1 : 0;
+  }
+  return n;
+}
+
+constexpr const char* kSinkDefinition =
+    "static void card_adopt_node(struct card *card, struct device_node *np)\n"
+    "{\n"
+    "  card->np = np;\n"  // stores its parameter: an ownership sink
+    "}\n";
+
+TEST(SinkDiscoveryTest, ParamStoreIsRecognised) {
+  SourceFile file("t.c", kSinkDefinition);
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  kb.DiscoverFromUnit(ParseFile(file));
+  EXPECT_EQ(kb.FindOwnershipSink("card_adopt_node"), 1);  // param index 1 = np
+  EXPECT_EQ(kb.FindOwnershipSink("unknown_fn"), -1);
+}
+
+TEST(SinkDiscoveryTest, LocalStoreIsNotASink) {
+  SourceFile file("t.c",
+                  "static void stash_locally(struct device_node *np)\n"
+                  "{\n"
+                  "  struct walk_state st;\n"
+                  "  st.node = np;\n"  // local: dies with the frame
+                  "}\n");
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  kb.DiscoverFromUnit(ParseFile(file));
+  EXPECT_EQ(kb.FindOwnershipSink("stash_locally"), -1);
+}
+
+TEST(SinkDiscoveryTest, GlobalStoreIsASink) {
+  SourceFile file("t.c",
+                  "static void publish(struct device_node *np)\n"
+                  "{\n"
+                  "  g_state.root = np;\n"
+                  "}\n");
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  kb.DiscoverFromUnit(ParseFile(file));
+  EXPECT_EQ(kb.FindOwnershipSink("publish"), 0);
+}
+
+TEST(SinkTransferTest, PassingAcquiredObjectToSinkIsNotALeak) {
+  const auto reports = ScanText(std::string(kSinkDefinition) +
+                                "static int probe_one(struct card *card)\n"
+                                "{\n"
+                                "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+                                "  if (!np)\n"
+                                "    return -ENODEV;\n"
+                                "  card_adopt_node(card, np);\n"  // ownership moves into card
+                                "  return 0;\n"
+                                "}\n");
+  EXPECT_EQ(CountPattern(reports, 4), 0) << (reports.empty() ? "" : reports[0].message);
+}
+
+TEST(SinkTransferTest, DropAfterSinkHandOffIsP9) {
+  const auto reports = ScanText(std::string(kSinkDefinition) +
+                                "static int probe_one(struct card *card)\n"
+                                "{\n"
+                                "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+                                "  if (!np)\n"
+                                "    return -ENODEV;\n"
+                                "  card_adopt_node(card, np);\n"  // card holds np now...
+                                "  of_node_put(np);\n"            // ...but the only ref is dropped
+                                "  return 0;\n"
+                                "}\n");
+  EXPECT_EQ(CountPattern(reports, 9), 1);
+}
+
+TEST(SinkTransferTest, NonSinkCallDoesNotTransfer) {
+  const auto reports = ScanText(
+      "static int probe_one(struct card *card)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  card_log_node(card, np);\n"  // unknown callee: no transfer assumed
+      "  return 0;\n"                 // *BUG*: still a leak
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 4), 1);
+}
+
+TEST(BuiltInSinkTest, DevmReleaseCallbackIsATransfer) {
+  // devm_add_action_or_reset(dev, fn, data) hands `data` to the devres
+  // machinery; the registered callback releases it at teardown.
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  EXPECT_EQ(kb.FindOwnershipSink("devm_add_action_or_reset"), 2);
+  EXPECT_EQ(kb.FindOwnershipSink("devm_add_action"), 2);
+
+  const auto reports = ScanText(
+      "static int probe_devm(struct platform_device *pdev)\n"
+      "{\n"
+      "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+      "  if (!np)\n"
+      "    return -ENODEV;\n"
+      "  return devm_add_action_or_reset(&pdev->dev, put_node_cb, np);\n"
+      "}\n");
+  EXPECT_TRUE(reports.empty()) << (reports.empty() ? "" : reports[0].message);
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,147 @@
+// Direct unit tests for the statistics module over hand-built datasets
+// (histmine_test covers the full mined-pipeline path; these pin down the
+// arithmetic on controlled inputs).
+
+#include <gtest/gtest.h>
+
+#include "src/stats/stats.h"
+
+namespace refscan {
+namespace {
+
+MinedBug Bug(HistBugKind kind, bool leak, const char* subsystem, int fixed_release,
+             int introduced_release = -1, bool uad = false) {
+  MinedBug bug;
+  bug.kind = kind;
+  bug.is_leak = leak;
+  bug.is_uad = uad;
+  bug.subsystem = subsystem;
+  bug.fixed_release = fixed_release;
+  bug.introduced_release = introduced_release;
+  return bug;
+}
+
+TEST(TaxonomyTest, CountsAndFractions) {
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 80),
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 80),
+      Bug(HistBugKind::kMissingDecInter, true, "net", 80),
+      Bug(HistBugKind::kMisplacedDec, false, "fs", 80, -1, true),
+      Bug(HistBugKind::kMissingIncIntra, false, "drivers", 80),
+  };
+  const Taxonomy tax = TaxonomyBreakdown(dataset);
+  EXPECT_EQ(tax.total, 5);
+  EXPECT_EQ(tax.leak, 3);
+  EXPECT_EQ(tax.uaf, 2);
+  EXPECT_EQ(tax.uad, 1);
+  EXPECT_EQ(tax.MissingDec(), 3);
+  EXPECT_EQ(tax.MissingInc(), 1);
+  EXPECT_DOUBLE_EQ(tax.Fraction(tax.leak), 0.6);
+  EXPECT_DOUBLE_EQ(Taxonomy{}.Fraction(3), 0.0);  // empty dataset: no division
+}
+
+TEST(GrowthTrendTest, CountsByFixedYear) {
+  const auto& timeline = ReleaseTimeline();
+  // Release 0 is v2.6.12 (2005); the last release is v6.1 (2022).
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 0),
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 0),
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers",
+          static_cast<int>(timeline.size()) - 1),
+  };
+  const auto trend = GrowthTrend(dataset);
+  EXPECT_EQ(trend.at(2005), 2);
+  EXPECT_EQ(trend.at(2022), 1);
+  EXPECT_EQ(trend.size(), 2u);
+}
+
+TEST(SubsystemBreakdownTest, SortsAndComputesDensity) {
+  std::vector<MinedBug> dataset;
+  for (int i = 0; i < 10; ++i) {
+    dataset.push_back(Bug(HistBugKind::kMissingDecIntra, true, "drivers", 80));
+  }
+  for (int i = 0; i < 3; ++i) {
+    dataset.push_back(Bug(HistBugKind::kMissingDecIntra, true, "block", 80));
+  }
+  const auto breakdown = SubsystemBreakdown(dataset);
+  ASSERT_GE(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].name, "drivers");
+  EXPECT_EQ(breakdown[0].bugs, 10);
+  // block: 3 bugs / 65 KLOC — far denser than drivers' 10 / 12000.
+  const SubsystemStats* block = nullptr;
+  for (const SubsystemStats& s : breakdown) {
+    if (s.name == "block") {
+      block = &s;
+    }
+  }
+  ASSERT_NE(block, nullptr);
+  EXPECT_NEAR(block->density, 3.0 / 65.0, 1e-9);
+  EXPECT_GT(block->density, breakdown[0].density);
+}
+
+TEST(SubsystemBreakdownTest, UnknownSubsystemStillListed) {
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "staging", 80),
+  };
+  const auto breakdown = SubsystemBreakdown(dataset);
+  bool found = false;
+  for (const SubsystemStats& s : breakdown) {
+    if (s.name == "staging") {
+      found = true;
+      EXPECT_EQ(s.bugs, 1);
+      EXPECT_DOUBLE_EQ(s.density, 0.0);  // no size data
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LifetimeTest, UntaggedBugsAreExcluded) {
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 80, -1),
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 80, 10),
+  };
+  const LifetimeStats stats = LifetimeAnalysis(dataset);
+  EXPECT_EQ(stats.total, 2);
+  EXPECT_EQ(stats.with_fixes_tag, 1);
+  EXPECT_EQ(stats.spans.size(), 1u);
+}
+
+TEST(LifetimeTest, SpanClassification) {
+  const int v26 = FirstReleaseOfMajor(2);
+  const int v3 = FirstReleaseOfMajor(3);
+  const int v4 = FirstReleaseOfMajor(4);
+  const int v5 = FirstReleaseOfMajor(5);
+  const int v6 = FirstReleaseOfMajor(6);
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", v5 + 3, v26),       // ancient
+      Bug(HistBugKind::kMisplacedDec, false, "drivers", v5 + 5, v26 + 1),     // ancient + UAF
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", v5 + 2, v3),        // v3 -> v5
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", v5 + 2, v4),        // v4 -> v5
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", v5 + 4, v5),        // within v5
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", v6, v5),            // v5 -> v6
+  };
+  const LifetimeStats stats = LifetimeAnalysis(dataset);
+  EXPECT_EQ(stats.ancient_to_modern, 2);
+  EXPECT_EQ(stats.span_v3_to_v5, 1);
+  EXPECT_EQ(stats.span_v4_to_v5, 1);
+  EXPECT_EQ(stats.within_v5, 1);
+  // The two ancient bugs lived ~14 years: both > 10y, one UAF.
+  EXPECT_EQ(stats.over_ten_years, 2);
+  EXPECT_EQ(stats.over_ten_years_uaf, 1);
+  EXPECT_GE(stats.max_releases_infected, v5 + 3 - v26 + 1);
+  EXPECT_GT(stats.mean_releases_infected, 1.0);
+}
+
+TEST(LifetimeTest, OneYearBoundaryUsesFractionalTime) {
+  const auto& timeline = ReleaseTimeline();
+  // Two adjacent releases are well under a year apart.
+  std::vector<MinedBug> dataset = {
+      Bug(HistBugKind::kMissingDecIntra, true, "drivers", 5, 4),
+  };
+  (void)timeline;
+  const LifetimeStats stats = LifetimeAnalysis(dataset);
+  EXPECT_EQ(stats.over_one_year, 0);
+}
+
+}  // namespace
+}  // namespace refscan

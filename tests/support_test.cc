@@ -1,0 +1,247 @@
+// Unit tests for src/support: PRNG determinism, string utilities, source
+// buffers and kernel-path splitting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/support/prng.h"
+#include "src/support/source.h"
+#include "src/support/strings.h"
+
+namespace refscan {
+namespace {
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 0 from the SplitMix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.Next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256ppTest, DeterministicForSeed) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xoshiro256ppTest, DifferentSeedsDiverge) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256ppTest, BelowStaysInRange) {
+  Xoshiro256pp rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(Xoshiro256ppTest, RangeInclusive) {
+  Xoshiro256pp rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 500 draws
+}
+
+TEST(Xoshiro256ppTest, NextDoubleInUnitInterval) {
+  Xoshiro256pp rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256ppTest, ChanceExtremes) {
+  Xoshiro256pp rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Xoshiro256ppTest, ForkIndependentOfParentDraws) {
+  // Forking with the same salt from the same state must give equal streams.
+  Xoshiro256pp parent(99);
+  Xoshiro256pp c1 = parent.Fork(5);
+  Xoshiro256pp c2 = parent.Fork(5);
+  EXPECT_EQ(c1.Next(), c2.Next());
+  Xoshiro256pp c3 = parent.Fork(6);
+  EXPECT_NE(c1.Next(), c3.Next());
+}
+
+TEST(HashStringTest, StableAndSensitive) {
+  constexpr uint64_t h1 = HashString("drivers/usb", 11);
+  constexpr uint64_t h2 = HashString("drivers/usb", 11);
+  constexpr uint64_t h3 = HashString("drivers/usc", 11);
+  static_assert(h1 == h2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  const auto parts = SplitWhitespace("  foo\t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLowerTest, Ascii) {
+  EXPECT_EQ(ToLower("Use-After-Free"), "use-after-free");
+}
+
+TEST(IdentifierWordsTest, SplitsOnUnderscoresAndPunct) {
+  const auto words = IdentifierWords("of_node_get(np)->kref");
+  const std::vector<std::string> expected = {"of", "node", "get", "np", "kref"};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(ContainsIdentifierWordTest, MatchesApiKeywords) {
+  EXPECT_TRUE(ContainsIdentifierWord("bus_find_device", "find"));
+  EXPECT_TRUE(ContainsIdentifierWord("of_node_get", "get"));
+  EXPECT_FALSE(ContainsIdentifierWord("forget_me", "get"));
+  EXPECT_FALSE(ContainsIdentifierWord("target", "get"));
+}
+
+TEST(EndsWithWordTest, IdentifierBoundaries) {
+  EXPECT_TRUE(EndsWithWord("usb_serial_put", "put"));
+  EXPECT_TRUE(EndsWithWord("put", "put"));
+  EXPECT_FALSE(EndsWithWord("output", "put"));
+  EXPECT_FALSE(EndsWithWord("input", "put"));
+  EXPECT_TRUE(EndsWithWord("kref_get", "get"));
+}
+
+TEST(StartsWithWordTest, IdentifierBoundaries) {
+  EXPECT_TRUE(StartsWithWord("get_device", "get"));
+  EXPECT_FALSE(StartsWithWord("getter_device", "get"));
+  EXPECT_TRUE(StartsWithWord("get", "get"));
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.1f%%", 71.66), "71.7%");
+}
+
+TEST(SourceFileTest, LineAtMapsOffsets) {
+  SourceFile file("a.c", "one\ntwo\nthree\n");
+  EXPECT_EQ(file.LineAt(0), 1u);
+  EXPECT_EQ(file.LineAt(3), 1u);
+  EXPECT_EQ(file.LineAt(4), 2u);
+  EXPECT_EQ(file.LineAt(8), 3u);
+  EXPECT_EQ(file.LineAt(1000), 3u);
+  EXPECT_EQ(file.line_count(), 3u);
+}
+
+TEST(SourceFileTest, LineTextExtraction) {
+  SourceFile file("a.c", "one\ntwo\nthree");
+  EXPECT_EQ(file.Line(1), "one");
+  EXPECT_EQ(file.Line(2), "two");
+  EXPECT_EQ(file.Line(3), "three");
+  EXPECT_EQ(file.Line(0), "");
+  EXPECT_EQ(file.Line(4), "");
+}
+
+TEST(SourceFileTest, EmptyFile) {
+  SourceFile file("e.c", "");
+  EXPECT_EQ(file.LineAt(0), 1u);
+  EXPECT_EQ(file.line_count(), 1u);
+}
+
+TEST(SourceTreeTest, AddFindAndLinesUnder) {
+  SourceTree tree;
+  tree.Add("drivers/usb/serial.c", "a\nb\nc\n");
+  tree.Add("drivers/net/eth.c", "x\ny\n");
+  tree.Add("fs/ext4/inode.c", "z\n");
+  ASSERT_NE(tree.Find("drivers/usb/serial.c"), nullptr);
+  EXPECT_EQ(tree.Find("nope.c"), nullptr);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.LinesUnder("drivers/"), 5u);
+  EXPECT_EQ(tree.LinesUnder("fs/"), 1u);
+  EXPECT_EQ(tree.LinesUnder(""), 6u);
+}
+
+TEST(SourceTreeTest, AddReplacesExisting) {
+  SourceTree tree;
+  tree.Add("a.c", "1\n2\n");
+  tree.Add("a.c", "1\n");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Find("a.c")->line_count(), 1u);
+}
+
+TEST(SplitKernelPathTest, SubsystemAndModule) {
+  const PathParts p1 = SplitKernelPath("drivers/usb/serial/console.c");
+  EXPECT_EQ(p1.subsystem, "drivers");
+  EXPECT_EQ(p1.module, "usb");
+  const PathParts p2 = SplitKernelPath("init/main.c");
+  EXPECT_EQ(p2.subsystem, "init");
+  EXPECT_EQ(p2.module, "");
+  const PathParts p3 = SplitKernelPath("Makefile");
+  EXPECT_EQ(p3.subsystem, "Makefile");
+  EXPECT_EQ(p3.module, "");
+}
+
+// Property sweep: Below(bound) is roughly uniform for several bounds.
+class PrngUniformityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrngUniformityTest, BelowIsApproximatelyUniform) {
+  const uint64_t bound = GetParam();
+  Xoshiro256pp rng(123 + bound);
+  std::vector<int> counts(bound, 0);
+  const int draws = static_cast<int>(2000 * bound);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.Below(bound)];
+  }
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], 2000, 2000 * 0.25) << "bound=" << bound << " value=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PrngUniformityTest, ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace refscan

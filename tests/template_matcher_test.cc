@@ -1,0 +1,205 @@
+// Tests for the semantic-template matching DSL.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/checkers/template_matcher.h"
+
+namespace refscan {
+namespace {
+
+std::vector<BugReport> RunTemplate(const std::string& tmpl_text, std::string code) {
+  const auto tmpl = ParseTemplate(tmpl_text);
+  EXPECT_TRUE(tmpl.has_value()) << tmpl_text;
+  if (!tmpl.has_value()) {
+    return {};
+  }
+  SourceTree tree;
+  tree.Add("drivers/t/t.c", std::move(code));
+  return RunTemplateChecker(*tmpl, tree);
+}
+
+// -------------------------------------------------------------- parsing
+
+TEST(TemplateParseTest, ParsesCanonicalTemplates) {
+  for (const char* text : {
+           "F_start -> S_G_E -> B_error -> F_end",
+           "F_start -> S_P(p0) -> S_D(p0) -> F_end",
+           "F_start -> M_SL -> S_ret -> F_end",
+           "F_start -> S_G -> S_free -> F_end",
+           "F_start -> S_A_GO(p0) -> S_P(p0) -> F_end",
+           "S_G(of_node_get) -> !S_P -> F_end",
+       }) {
+    EXPECT_TRUE(ParseTemplate(text).has_value()) << text;
+  }
+}
+
+TEST(TemplateParseTest, StepDetails) {
+  const auto tmpl = ParseTemplate("F_start -> !S_P(p0) -> S_G_N(p0) -> F_end");
+  ASSERT_TRUE(tmpl.has_value());
+  ASSERT_EQ(tmpl->steps.size(), 4u);
+  EXPECT_EQ(tmpl->steps[0].what, MatchStep::What::kFunctionStart);
+  EXPECT_TRUE(tmpl->steps[1].negated);
+  EXPECT_EQ(tmpl->steps[1].what, MatchStep::What::kDecrease);
+  EXPECT_TRUE(tmpl->steps[1].wants_p0);
+  EXPECT_TRUE(tmpl->steps[2].require_returns_null);
+}
+
+TEST(TemplateParseTest, ApiFilterVsP0) {
+  const auto tmpl = ParseTemplate("S_G(kref_get) -> S_P(p0)");
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_EQ(tmpl->steps[0].api_filter, "kref_get");
+  EXPECT_FALSE(tmpl->steps[0].wants_p0);
+  EXPECT_TRUE(tmpl->steps[1].wants_p0);
+}
+
+TEST(TemplateParseTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTemplate("").has_value());
+  EXPECT_FALSE(ParseTemplate("S_X -> F_end").has_value());
+  EXPECT_FALSE(ParseTemplate("S_G( -> F_end").has_value());
+  EXPECT_FALSE(ParseTemplate("wibble").has_value());
+}
+
+// ------------------------------------------------------------- matching
+
+constexpr const char* kUadCode =
+    "void ping_unhash(struct sock *sk)\n"
+    "{\n"
+    "  sock_put(sk);\n"
+    "  touch(sk->sk_prot);\n"
+    "}\n";
+
+TEST(TemplateMatchTest, Listing2TemplateMatchesUad) {
+  const auto reports = RunTemplate("F_start -> S_P(p0) -> S_D(p0) -> F_end", kUadCode);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].function, "ping_unhash");
+  EXPECT_EQ(reports[0].object, "sk");
+  EXPECT_EQ(reports[0].line, 3u);
+  EXPECT_EQ(reports[0].exit_line, 4u);
+}
+
+TEST(TemplateMatchTest, P0UnificationRejectsDifferentObjects) {
+  const auto reports = RunTemplate("F_start -> S_P(p0) -> S_D(p0) -> F_end",
+                           "void ok(struct sock *sk, struct dev *d)\n"
+                           "{\n"
+                           "  sock_put(sk);\n"
+                           "  touch(d->stats);\n"  // different object: no match
+                           "}\n");
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(TemplateMatchTest, NegationForbidsInterveningEvent) {
+  // "increase with no decrease before function end" — the essence of a
+  // leak checker in one line.
+  const char* tmpl = "F_start -> S_G(p0) -> !S_P(p0) -> F_end";
+  const auto leaky = RunTemplate(tmpl,
+                         "void leak(struct device_node *np)\n"
+                         "{\n"
+                         "  of_node_get(np);\n"
+                         "}\n");
+  EXPECT_EQ(leaky.size(), 1u);
+
+  const auto clean = RunTemplate(tmpl,
+                         "void balanced(struct device_node *np)\n"
+                         "{\n"
+                         "  of_node_get(np);\n"
+                         "  of_node_put(np);\n"
+                         "}\n");
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(TemplateMatchTest, ErrorRegionStep) {
+  const char* tmpl = "F_start -> S_G_E(p0) -> !S_P(p0) -> B_error -> F_end";
+  const auto reports = RunTemplate(tmpl,
+                           "static int r(struct platform_device *pdev)\n"
+                           "{\n"
+                           "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+                           "  if (ret < 0)\n"
+                           "    return ret;\n"
+                           "  pm_runtime_put(pdev->dev);\n"
+                           "  return 0;\n"
+                           "}\n");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].api, "pm_runtime_get_sync");
+}
+
+TEST(TemplateMatchTest, ErrorRegionAbsentMeansNoMatch) {
+  const char* tmpl = "F_start -> S_G_E -> B_error -> F_end";
+  const auto reports = RunTemplate(tmpl,
+                           "static void r(struct platform_device *pdev)\n"
+                           "{\n"
+                           "  pm_runtime_get_sync(pdev->dev);\n"
+                           "  pm_runtime_put(pdev->dev);\n"
+                           "}\n");
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(TemplateMatchTest, SmartLoopStep) {
+  const auto reports = RunTemplate("F_start -> M_SL -> S_ret -> F_end",
+                           "static int w(struct device_node *parent)\n"
+                           "{\n"
+                           "  struct device_node *child;\n"
+                           "  for_each_child_of_node(parent, child) {\n"
+                           "    if (bad(child))\n"
+                           "      return -EINVAL;\n"
+                           "  }\n"
+                           "  return 0;\n"
+                           "}\n");
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+TEST(TemplateMatchTest, ApiFilterRestrictsMatches) {
+  const char* code =
+      "void two(struct device_node *np, struct sock *sk)\n"
+      "{\n"
+      "  of_node_get(np);\n"
+      "  sock_hold(sk);\n"
+      "}\n";
+  EXPECT_EQ(RunTemplate("S_G(sock_hold) -> F_end", code).size(), 1u);
+  EXPECT_EQ(RunTemplate("S_G(kref_get) -> F_end", code).size(), 0u);
+}
+
+TEST(TemplateMatchTest, FreeStep) {
+  const auto reports = RunTemplate("F_start -> S_G(p0) -> S_free(p0) -> F_end",
+                           "static void t(void)\n"
+                           "{\n"
+                           "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+                           "  kfree(np);\n"
+                           "}\n");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].object, "np");
+}
+
+TEST(TemplateMatchTest, EscapeAssignStep) {
+  const auto reports = RunTemplate("F_start -> S_G(p0) -> S_A_GO(p0) -> S_P(p0) -> F_end",
+                           "static int c(struct ctx *ctx)\n"
+                           "{\n"
+                           "  struct device_node *np = of_find_node_by_path(\"/x\");\n"
+                           "  ctx->node = np;\n"
+                           "  of_node_put(np);\n"
+                           "  return 0;\n"
+                           "}\n");
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+TEST(TemplateMatchTest, LockUnlockSteps) {
+  const auto reports = RunTemplate("S_L -> S_P(p0) -> S_U -> F_end",
+                           "static void d(struct usb_serial *serial)\n"
+                           "{\n"
+                           "  mutex_lock(&serial->disc_mutex);\n"
+                           "  usb_serial_put(serial);\n"
+                           "  mutex_unlock(&serial->disc_mutex);\n"
+                           "}\n");
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+TEST(TemplateMatchTest, ReportCarriesTemplateSource) {
+  const auto reports = RunTemplate("F_start -> S_P(p0) -> S_D(p0) -> F_end", kUadCode);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].template_path, "F_start -> S_P(p0) -> S_D(p0) -> F_end");
+  EXPECT_EQ(reports[0].anti_pattern, 0);
+}
+
+}  // namespace
+}  // namespace refscan

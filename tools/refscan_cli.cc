@@ -1,0 +1,205 @@
+// refscan — command-line front end.
+//
+//   refscan scan <dir> [--fix] [--no-discovery]   scan a C tree on disk
+//   refscan match <dir> "<template>"              run a custom semantic template
+//   refscan dump <file.c> [tokens|ast|cfg|cpg]    inspect front-end stages
+//   refscan deviations <dir>                      find deviant refcounting APIs
+//   refscan demo                                  scan the built-in synthetic kernel corpus
+//
+// Exit code: number of bug reports, capped at 125 (0 = clean).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/checkers/engine.h"
+#include "src/checkers/fixes.h"
+#include "src/checkers/template_matcher.h"
+#include "src/checkers/templates.h"
+#include "src/ast/parser.h"
+#include "src/corpus/generator.h"
+#include "src/cpg/dump.h"
+#include "src/kb/deviations.h"
+#include "src/support/fs.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  refscan scan <dir> [--fix] [--json] [--no-discovery]\n"
+               "  refscan match <dir> \"<template>\"   e.g. \"F_start -> S_P(p0) -> S_D(p0) -> F_end\"\n"
+               "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
+               "  refscan deviations <dir>\n"
+               "  refscan demo\n");
+  return 2;
+}
+
+int RunScan(const refscan::SourceTree& tree, bool print_fixes, bool discovery,
+            bool json = false) {
+  using namespace refscan;
+  ScanOptions options;
+  options.discover_from_source = discovery;
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+  const ScanResult result = engine.Scan(tree);
+
+  if (json) {
+    std::printf("%s", ReportsToJson(result.reports).c_str());
+    return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
+  }
+
+  std::printf("scanned %zu files, %zu functions (%zu refcounting APIs known, "
+              "%zu smartloops)\n\n",
+              result.stats.files, result.stats.functions, result.stats.discovered_apis,
+              result.stats.discovered_smart_loops);
+
+  for (const BugReport& r : result.reports) {
+    std::printf("%s:%u: [P%d %s/%s] %s\n", r.file.c_str(), r.line, r.anti_pattern,
+                std::string(AntiPatternName(r.anti_pattern)).c_str(),
+                std::string(ImpactName(r.impact)).c_str(), r.message.c_str());
+    std::printf("    function: %s   template: %s\n", r.function.c_str(),
+                r.template_path.c_str());
+    if (print_fixes) {
+      const SourceFile* file = tree.Find(r.file);
+      if (file != nullptr) {
+        const FixSuggestion fix = SuggestFix(r, *file);
+        if (fix.available) {
+          std::printf("    suggested patch: %s\n%s", fix.summary.c_str(), fix.diff.c_str());
+        } else {
+          std::printf("    (no mechanical fix: %s)\n", fix.summary.c_str());
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu report(s).\n", result.reports.size());
+  return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace refscan;
+
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+
+  if (command == "demo") {
+    std::printf("generating the synthetic kernel corpus and scanning it...\n\n");
+    const Corpus corpus = GenerateKernelCorpus();
+    return RunScan(corpus.tree, /*print_fixes=*/false, /*discovery=*/true) > 0 ? 1 : 0;
+  }
+
+  if (command == "match") {
+    if (argc < 4) {
+      return Usage();
+    }
+    const auto tmpl = ParseTemplate(argv[3]);
+    if (!tmpl.has_value()) {
+      std::fprintf(stderr, "cannot parse template: %s\n", argv[3]);
+      return 2;
+    }
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2]);
+    if (tree.size() == 0) {
+      std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
+      return 2;
+    }
+    const auto reports = RunTemplateChecker(*tmpl, tree);
+    for (const BugReport& r : reports) {
+      std::printf("%s:%u: [template] %s in %s() (object '%s')\n", r.file.c_str(), r.line,
+                  r.template_path.c_str(), r.function.c_str(), r.object.c_str());
+    }
+    std::printf("%zu match(es).\n", reports.size());
+    return static_cast<int>(std::min<size_t>(reports.size(), 125));
+  }
+
+  if (command == "dump") {
+    if (argc < 3) {
+      return Usage();
+    }
+    std::vector<std::string> errors;
+    LoadOptions load;
+    load.skip_dirs.clear();
+    // Load the single file via its parent directory, then find it.
+    std::FILE* f = std::fopen(argv[2], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::string text;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      text.append(buffer, n);
+    }
+    std::fclose(f);
+    const SourceFile file(argv[2], std::move(text));
+    const std::string stage = argc > 3 ? argv[3] : "cpg";
+    if (stage == "tokens") {
+      std::printf("%s", DumpTokens(file).c_str());
+      return 0;
+    }
+    const TranslationUnit unit = ParseFile(file);
+    if (stage == "ast") {
+      std::printf("%s", DumpAst(unit).c_str());
+      return 0;
+    }
+    KnowledgeBase kb = KnowledgeBase::BuiltIn();
+    kb.DiscoverFromUnit(unit);
+    kb.DiscoverFromUnit(unit);
+    for (const FunctionDef& fn : unit.functions) {
+      const Cfg cfg = BuildCfg(fn);
+      if (stage == "cfg") {
+        std::printf("%s\n", DumpCfg(cfg).c_str());
+        continue;
+      }
+      const Cpg cpg = BuildCpg(cfg, kb);
+      std::printf("== %s ==\n%s\n", fn.name.c_str(), DumpCpg(cpg).c_str());
+    }
+    return 0;
+  }
+
+  if (command == "scan" || command == "deviations") {
+    if (argc < 3) {
+      return Usage();
+    }
+    bool print_fixes = false;
+    bool discovery = true;
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fix") == 0) {
+        print_fixes = true;
+      } else if (std::strcmp(argv[i], "--no-discovery") == 0) {
+        discovery = false;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        return Usage();
+      }
+    }
+    std::vector<std::string> errors;
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], LoadOptions{}, &errors);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    }
+    if (tree.size() == 0) {
+      std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
+      return 2;
+    }
+    if (command == "deviations") {
+      const auto reports = DetectDeviations(tree);
+      for (const DeviationReport& r : reports) {
+        std::printf("%s:%u: [%s%s] %s\n", r.file.c_str(), r.line,
+                    std::string(DeviationKindName(r.kind)).c_str(), r.hidden ? ", hidden" : "",
+                    r.note.c_str());
+      }
+      std::printf("%zu deviant API(s).\n", reports.size());
+      return reports.empty() ? 0 : 1;
+    }
+    return RunScan(tree, print_fixes, discovery, json);
+  }
+
+  return Usage();
+}
