@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_growth_trend.dir/fig1_growth_trend.cc.o"
+  "CMakeFiles/fig1_growth_trend.dir/fig1_growth_trend.cc.o.d"
+  "fig1_growth_trend"
+  "fig1_growth_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_growth_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_distribution.dir/fig2_distribution.cc.o"
+  "CMakeFiles/fig2_distribution.dir/fig2_distribution.cc.o.d"
+  "fig2_distribution"
+  "fig2_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lifetimes.dir/fig3_lifetimes.cc.o"
+  "CMakeFiles/fig3_lifetimes.dir/fig3_lifetimes.cc.o.d"
+  "fig3_lifetimes"
+  "fig3_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

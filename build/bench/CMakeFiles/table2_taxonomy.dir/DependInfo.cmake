@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_taxonomy.cc" "bench/CMakeFiles/table2_taxonomy.dir/table2_taxonomy.cc.o" "gcc" "bench/CMakeFiles/table2_taxonomy.dir/table2_taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/histmine/CMakeFiles/refscan_histmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/refscan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/refscan_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/refscan_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/refscan_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/refscan_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/refscan_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/refscan_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_taxonomy.dir/table2_taxonomy.cc.o"
+  "CMakeFiles/table2_taxonomy.dir/table2_taxonomy.cc.o.d"
+  "table2_taxonomy"
+  "table2_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_similarity.dir/table3_similarity.cc.o"
+  "CMakeFiles/table3_similarity.dir/table3_similarity.cc.o.d"
+  "table3_similarity"
+  "table3_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

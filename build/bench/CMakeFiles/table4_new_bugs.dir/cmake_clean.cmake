@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_new_bugs.dir/table4_new_bugs.cc.o"
+  "CMakeFiles/table4_new_bugs.dir/table4_new_bugs.cc.o.d"
+  "table4_new_bugs"
+  "table4_new_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_new_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

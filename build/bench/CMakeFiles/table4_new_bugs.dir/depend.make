@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_new_bugs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_module_details.dir/table5_module_details.cc.o"
+  "CMakeFiles/table5_module_details.dir/table5_module_details.cc.o.d"
+  "table5_module_details"
+  "table5_module_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_module_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_module_details.
+# This may be replaced when dependencies are built.

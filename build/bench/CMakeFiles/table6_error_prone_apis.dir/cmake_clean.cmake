@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_error_prone_apis.dir/table6_error_prone_apis.cc.o"
+  "CMakeFiles/table6_error_prone_apis.dir/table6_error_prone_apis.cc.o.d"
+  "table6_error_prone_apis"
+  "table6_error_prone_apis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_error_prone_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_error_prone_apis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_history.dir/mine_history.cpp.o"
+  "CMakeFiles/mine_history.dir/mine_history.cpp.o.d"
+  "mine_history"
+  "mine_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_kernel_tree.dir/scan_kernel_tree.cpp.o"
+  "CMakeFiles/scan_kernel_tree.dir/scan_kernel_tree.cpp.o.d"
+  "scan_kernel_tree"
+  "scan_kernel_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_kernel_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

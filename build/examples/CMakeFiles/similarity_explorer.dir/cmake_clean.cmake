@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_explorer.dir/similarity_explorer.cpp.o"
+  "CMakeFiles/similarity_explorer.dir/similarity_explorer.cpp.o.d"
+  "similarity_explorer"
+  "similarity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggest_patches.dir/suggest_patches.cpp.o"
+  "CMakeFiles/suggest_patches.dir/suggest_patches.cpp.o.d"
+  "suggest_patches"
+  "suggest_patches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggest_patches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("report")
+subdirs("lexer")
+subdirs("ast")
+subdirs("cfg")
+subdirs("kb")
+subdirs("cpg")
+subdirs("checkers")
+subdirs("corpus")
+subdirs("histmine")
+subdirs("stats")
+subdirs("embed")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_ast.dir/ast.cc.o"
+  "CMakeFiles/refscan_ast.dir/ast.cc.o.d"
+  "CMakeFiles/refscan_ast.dir/parser.cc.o"
+  "CMakeFiles/refscan_ast.dir/parser.cc.o.d"
+  "librefscan_ast.a"
+  "librefscan_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

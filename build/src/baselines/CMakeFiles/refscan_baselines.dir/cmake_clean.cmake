@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_baselines.dir/baselines.cc.o"
+  "CMakeFiles/refscan_baselines.dir/baselines.cc.o.d"
+  "librefscan_baselines.a"
+  "librefscan_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librefscan_baselines.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_cfg.dir/cfg.cc.o"
+  "CMakeFiles/refscan_cfg.dir/cfg.cc.o.d"
+  "librefscan_cfg.a"
+  "librefscan_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

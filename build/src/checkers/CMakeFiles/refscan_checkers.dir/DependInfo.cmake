@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkers/checkers.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/checkers.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/checkers.cc.o.d"
+  "/root/repo/src/checkers/engine.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/engine.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/engine.cc.o.d"
+  "/root/repo/src/checkers/fixes.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/fixes.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/fixes.cc.o.d"
+  "/root/repo/src/checkers/report.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/report.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/report.cc.o.d"
+  "/root/repo/src/checkers/template_matcher.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/template_matcher.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/template_matcher.cc.o.d"
+  "/root/repo/src/checkers/templates.cc" "src/checkers/CMakeFiles/refscan_checkers.dir/templates.cc.o" "gcc" "src/checkers/CMakeFiles/refscan_checkers.dir/templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpg/CMakeFiles/refscan_cpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/refscan_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/refscan_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/refscan_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/refscan_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/refscan_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/refscan_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_checkers.dir/checkers.cc.o"
+  "CMakeFiles/refscan_checkers.dir/checkers.cc.o.d"
+  "CMakeFiles/refscan_checkers.dir/engine.cc.o"
+  "CMakeFiles/refscan_checkers.dir/engine.cc.o.d"
+  "CMakeFiles/refscan_checkers.dir/fixes.cc.o"
+  "CMakeFiles/refscan_checkers.dir/fixes.cc.o.d"
+  "CMakeFiles/refscan_checkers.dir/report.cc.o"
+  "CMakeFiles/refscan_checkers.dir/report.cc.o.d"
+  "CMakeFiles/refscan_checkers.dir/template_matcher.cc.o"
+  "CMakeFiles/refscan_checkers.dir/template_matcher.cc.o.d"
+  "CMakeFiles/refscan_checkers.dir/templates.cc.o"
+  "CMakeFiles/refscan_checkers.dir/templates.cc.o.d"
+  "librefscan_checkers.a"
+  "librefscan_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_corpus.dir/generator.cc.o"
+  "CMakeFiles/refscan_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/refscan_corpus.dir/plan.cc.o"
+  "CMakeFiles/refscan_corpus.dir/plan.cc.o.d"
+  "librefscan_corpus.a"
+  "librefscan_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_cpg.dir/cpg.cc.o"
+  "CMakeFiles/refscan_cpg.dir/cpg.cc.o.d"
+  "CMakeFiles/refscan_cpg.dir/dump.cc.o"
+  "CMakeFiles/refscan_cpg.dir/dump.cc.o.d"
+  "librefscan_cpg.a"
+  "librefscan_cpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_cpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_embed.dir/corpus_text.cc.o"
+  "CMakeFiles/refscan_embed.dir/corpus_text.cc.o.d"
+  "CMakeFiles/refscan_embed.dir/word2vec.cc.o"
+  "CMakeFiles/refscan_embed.dir/word2vec.cc.o.d"
+  "librefscan_embed.a"
+  "librefscan_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

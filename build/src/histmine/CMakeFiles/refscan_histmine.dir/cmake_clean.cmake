@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_histmine.dir/gitlog.cc.o"
+  "CMakeFiles/refscan_histmine.dir/gitlog.cc.o.d"
+  "CMakeFiles/refscan_histmine.dir/history.cc.o"
+  "CMakeFiles/refscan_histmine.dir/history.cc.o.d"
+  "CMakeFiles/refscan_histmine.dir/miner.cc.o"
+  "CMakeFiles/refscan_histmine.dir/miner.cc.o.d"
+  "librefscan_histmine.a"
+  "librefscan_histmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_histmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_kb.dir/deviations.cc.o"
+  "CMakeFiles/refscan_kb.dir/deviations.cc.o.d"
+  "CMakeFiles/refscan_kb.dir/kb.cc.o"
+  "CMakeFiles/refscan_kb.dir/kb.cc.o.d"
+  "librefscan_kb.a"
+  "librefscan_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

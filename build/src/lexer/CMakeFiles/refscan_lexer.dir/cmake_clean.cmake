@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_lexer.dir/lexer.cc.o"
+  "CMakeFiles/refscan_lexer.dir/lexer.cc.o.d"
+  "librefscan_lexer.a"
+  "librefscan_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

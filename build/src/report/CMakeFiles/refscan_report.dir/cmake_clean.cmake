@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_report.dir/table.cc.o"
+  "CMakeFiles/refscan_report.dir/table.cc.o.d"
+  "librefscan_report.a"
+  "librefscan_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_stats.dir/stats.cc.o"
+  "CMakeFiles/refscan_stats.dir/stats.cc.o.d"
+  "librefscan_stats.a"
+  "librefscan_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan_support.dir/fs.cc.o"
+  "CMakeFiles/refscan_support.dir/fs.cc.o.d"
+  "CMakeFiles/refscan_support.dir/source.cc.o"
+  "CMakeFiles/refscan_support.dir/source.cc.o.d"
+  "CMakeFiles/refscan_support.dir/strings.cc.o"
+  "CMakeFiles/refscan_support.dir/strings.cc.o.d"
+  "librefscan_support.a"
+  "librefscan_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

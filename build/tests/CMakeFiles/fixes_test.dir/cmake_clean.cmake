@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixes_test.dir/fixes_test.cc.o"
+  "CMakeFiles/fixes_test.dir/fixes_test.cc.o.d"
+  "fixes_test"
+  "fixes_test.pdb"
+  "fixes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

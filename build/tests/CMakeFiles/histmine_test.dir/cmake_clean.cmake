@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histmine_test.dir/histmine_test.cc.o"
+  "CMakeFiles/histmine_test.dir/histmine_test.cc.o.d"
+  "histmine_test"
+  "histmine_test.pdb"
+  "histmine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histmine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

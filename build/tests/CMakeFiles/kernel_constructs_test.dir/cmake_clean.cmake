@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_constructs_test.dir/kernel_constructs_test.cc.o"
+  "CMakeFiles/kernel_constructs_test.dir/kernel_constructs_test.cc.o.d"
+  "kernel_constructs_test"
+  "kernel_constructs_test.pdb"
+  "kernel_constructs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_constructs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

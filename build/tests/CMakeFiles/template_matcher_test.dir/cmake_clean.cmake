@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_matcher_test.dir/template_matcher_test.cc.o"
+  "CMakeFiles/template_matcher_test.dir/template_matcher_test.cc.o.d"
+  "template_matcher_test"
+  "template_matcher_test.pdb"
+  "template_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refscan.dir/refscan_cli.cc.o"
+  "CMakeFiles/refscan.dir/refscan_cli.cc.o.d"
+  "refscan"
+  "refscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
