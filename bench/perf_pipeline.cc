@@ -78,6 +78,29 @@ void BM_FullTreeScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTreeScan)->Unit(benchmark::kMillisecond);
 
+// The threaded scan at 1/2/4/8 workers — BM_FullTreeScan's pipeline with
+// ScanOptions::jobs set. Real time (not per-thread CPU time) is the number
+// that shows the fan-out paying off; compare against BM_FullTreeScan to get
+// the speedup curve (acceptance target: >= 2x at 4 threads on >= 4 cores).
+void BM_FullTreeScanParallel(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  ScanOptions options;
+  options.jobs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+}
+BENCHMARK(BM_FullTreeScanParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MineHistory(benchmark::State& state) {
   HistoryOptions options;
   options.noise_commits = static_cast<int>(state.range(0));

@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
               "counting stable releases)\n\n",
               history.commits.size(), ReleaseTimeline().size(), TotalVersionCount());
 
-  const MiningResult result = MineRefcountBugs(history, KnowledgeBase::BuiltIn());
+  // jobs=0: fan the per-commit filtering/classification out over every
+  // hardware thread (the mined dataset is identical at any thread count).
+  const MiningResult result = MineRefcountBugs(history, KnowledgeBase::BuiltIn(), /*jobs=*/0);
 
   Table pipeline("Two-level filtering pipeline (§3.1)");
   pipeline.Header({"Stage", "Paper", "Measured"}, {Align::kLeft, Align::kRight, Align::kRight});

@@ -3,7 +3,10 @@
 // run all nine checkers, and summarise what was found per anti-pattern with
 // a per-subsystem breakdown.
 //
-//   ./build/examples/scan_kernel_tree [seed]
+//   ./build/examples/scan_kernel_tree [seed] [jobs]
+//
+// `jobs` is the scan parallelism (0 = one thread per hardware thread, the
+// default); the report list is identical at every thread count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +17,7 @@
 #include "src/corpus/generator.h"
 #include "src/report/table.h"
 #include "src/support/strings.h"
+#include "src/support/threadpool.h"
 
 int main(int argc, char** argv) {
   using namespace refscan;
@@ -21,6 +25,10 @@ int main(int argc, char** argv) {
   CorpusOptions options;
   if (argc > 1) {
     options.seed = static_cast<uint64_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+  size_t jobs = 0;  // all hardware threads
+  if (argc > 2) {
+    jobs = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
   }
 
   std::printf("generating the synthetic kernel tree (seed %llu)...\n",
@@ -30,12 +38,14 @@ int main(int argc, char** argv) {
               corpus.tree.size(), static_cast<unsigned long long>(corpus.tree.LinesUnder("")),
               corpus.ground_truth.size(), corpus.planted_fps.size());
 
-  CheckerEngine engine;
+  ScanOptions scan_options;
+  scan_options.jobs = jobs;
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), scan_options);
   const ScanResult result = engine.Scan(corpus.tree);
-  std::printf("scan: %zu files, %zu functions, %zu known/discovered refcounting APIs, "
-              "%zu smartloops\n\n",
-              result.stats.files, result.stats.functions, result.stats.discovered_apis,
-              result.stats.discovered_smart_loops);
+  std::printf("scan (%zu threads): %zu files, %zu functions, %zu known/discovered "
+              "refcounting APIs, %zu smartloops\n\n",
+              ThreadPool::ResolveJobs(jobs), result.stats.files, result.stats.functions,
+              result.stats.discovered_apis, result.stats.discovered_smart_loops);
 
   std::map<int, int> per_pattern;
   std::map<std::string, int> per_subsystem;

@@ -1,6 +1,7 @@
 #include "src/checkers/engine.h"
 
 #include "src/ast/parser.h"
+#include "src/support/threadpool.h"
 
 namespace refscan {
 
@@ -23,19 +24,81 @@ UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,
 CheckerEngine::CheckerEngine(KnowledgeBase kb, ScanOptions options)
     : kb_(std::move(kb)), options_(std::move(options)) {}
 
+namespace {
+
+// Stage-3 work for one file: build the contexts and run every enabled
+// checker, appending raw reports to this file's shard. Each worker owns its
+// shard exclusively, and reads the (now immutable) KB concurrently.
+struct FileShard {
+  std::vector<BugReport> raw;
+  size_t functions = 0;
+};
+
+FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const KnowledgeBase& kb,
+                       const ScanOptions& options) {
+  FileShard shard;
+  const UnitContext uc = BuildUnitContext(file, std::move(unit), kb);
+  shard.functions = uc.functions.size();
+
+  const auto& enabled = options.enabled_patterns;
+  for (const FunctionContext& fc : uc.functions) {
+    if (enabled.contains(1)) {
+      CheckReturnError(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(2)) {
+      CheckReturnNull(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(3)) {
+      CheckSmartLoopBreak(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(4)) {
+      CheckHiddenApi(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(5)) {
+      CheckErrorHandle(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(7)) {
+      CheckDirectFree(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(8)) {
+      CheckUseAfterDecrease(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(9)) {
+      CheckReferenceEscape(uc, fc, kb, options, shard.raw);
+    }
+  }
+  if (enabled.contains(6)) {
+    CheckInterUnpaired(uc, kb, options, shard.raw);
+  }
+  return shard;
+}
+
+}  // namespace
+
 ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   ScanResult result;
 
-  // Pass 1: parse everything and feed the KB (structure parser, API and
-  // smartloop discovery). Discovery must see all units before checking so
-  // that cross-file APIs (a helper defined in one file, used in another)
-  // classify correctly — the paper runs its lexer parsers over the whole
-  // kernel first.
-  std::vector<TranslationUnit> units;
-  units.reserve(tree.size());
+  // Files in path order: index i is the fan-out key for both parallel
+  // stages, so merge order never depends on thread scheduling.
+  std::vector<const SourceFile*> files;
+  files.reserve(tree.size());
   for (const auto& [path, file] : tree.files()) {
-    units.push_back(ParseFile(file));
+    files.push_back(&file);
   }
+
+  ThreadPool pool(options_.jobs);
+
+  // Stage 1: parse everything (parallel — each file parses independently).
+  std::vector<TranslationUnit> units =
+      ParallelMap(pool, files.size(), [&](size_t i) { return ParseFile(*files[i]); });
+
+  // Stage 2: feed the KB (structure parser, API and smartloop discovery).
+  // Discovery must see all units before checking so that cross-file APIs (a
+  // helper defined in one file, used in another) classify correctly — the
+  // paper runs its lexer parsers over the whole kernel first. This is the
+  // serial merge barrier: discovery mutates the KB and the second round
+  // depends on what the first one found, so parallelising it would change
+  // results. It is also cheap next to parsing and checking.
   if (options_.discover_from_source) {
     // Two discovery rounds: the first classifies directly-visible APIs, the
     // second lets wrappers of discovered APIs classify too.
@@ -49,44 +112,23 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   result.stats.discovered_smart_loops = kb_.smart_loops().size();
   result.stats.refcounted_structs = kb_.refcounted_structs().size();
 
-  // Pass 2: build contexts and run the enabled checkers.
-  std::vector<BugReport> raw;
-  size_t unit_index = 0;
-  for (const auto& [path, file] : tree.files()) {
-    UnitContext uc = BuildUnitContext(file, std::move(units[unit_index++]), kb_);
-    ++result.stats.files;
-    result.stats.functions += uc.functions.size();
+  // Stage 3: build contexts and run the enabled checkers (parallel — the
+  // KB is read-only from here on; KnowledgeBase lookups are const and safe
+  // for concurrent readers). Each file gets its own shard.
+  const KnowledgeBase& kb = kb_;
+  std::vector<FileShard> shards = ParallelMap(pool, files.size(), [&](size_t i) {
+    return CheckOneFile(*files[i], std::move(units[i]), kb, options_);
+  });
 
-    const auto& enabled = options_.enabled_patterns;
-    for (const FunctionContext& fc : uc.functions) {
-      if (enabled.contains(1)) {
-        CheckReturnError(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(2)) {
-        CheckReturnNull(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(3)) {
-        CheckSmartLoopBreak(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(4)) {
-        CheckHiddenApi(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(5)) {
-        CheckErrorHandle(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(7)) {
-        CheckDirectFree(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(8)) {
-        CheckUseAfterDecrease(uc, fc, kb_, options_, raw);
-      }
-      if (enabled.contains(9)) {
-        CheckReferenceEscape(uc, fc, kb_, options_, raw);
-      }
-    }
-    if (enabled.contains(6)) {
-      CheckInterUnpaired(uc, kb_, options_, raw);
-    }
+  // Merge the shards in file order: the concatenation equals what the old
+  // single-threaded loop produced, so DeduplicateReports (whose tie-breaks
+  // are first-seen-wins) yields byte-identical output at any thread count.
+  std::vector<BugReport> raw;
+  result.stats.files = files.size();
+  for (FileShard& shard : shards) {
+    result.stats.functions += shard.functions;
+    raw.insert(raw.end(), std::make_move_iterator(shard.raw.begin()),
+               std::make_move_iterator(shard.raw.end()));
   }
 
   result.reports = DeduplicateReports(std::move(raw));
@@ -100,7 +142,11 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     if (file == nullptr) {
       return false;
     }
-    for (uint32_t line : {r.line, r.line > 1 ? r.line - 1 : r.line}) {
+    std::vector<uint32_t> probe_lines = {r.line};
+    if (r.line > 1) {
+      probe_lines.push_back(r.line - 1);  // only when distinct: line 1 has no line above
+    }
+    for (uint32_t line : probe_lines) {
       if (file->Line(line).find("refscan: ignore") != std::string_view::npos ||
           file->Line(line).find("refscan:ignore") != std::string_view::npos) {
         return true;

@@ -1,9 +1,16 @@
 // Anti-pattern checker engine (§6.1 "Bug Detection").
 //
-// Pipeline per scan: parse every file of the SourceTree, run KB discovery
-// over all units (structure parser + API/macro classification), then build
-// CFG+CPG per function and run the enabled anti-pattern checkers (P1..P9).
-// Reports are deduplicated one-per-site with the most specific pattern.
+// Pipeline per scan, three stages:
+//   1. parse every file of the SourceTree            (parallel over files)
+//   2. KB discovery over all units (structure parser
+//      + API/macro classification, two rounds)       (serial merge barrier)
+//   3. build CFG+CPG per function and run the
+//      enabled anti-pattern checkers (P1..P9)        (parallel over files)
+// Stage 2 stays serial because discovery mutates the knowledge base and is
+// order-sensitive (wrappers classify off APIs found in the first round);
+// after it the KB is read-only and shared by every stage-3 worker. Reports
+// are deduplicated one-per-site with the most specific pattern, and are
+// byte-identical at every `ScanOptions::jobs` value.
 
 #ifndef REFSCAN_CHECKERS_ENGINE_H_
 #define REFSCAN_CHECKERS_ENGINE_H_
@@ -28,6 +35,11 @@ struct ScanOptions {
   int nesting_threshold = 3;     // struct-parser nesting depth (§6.1)
   bool discover_from_source = true;
   std::set<int> enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  // Worker threads for the parallel scan stages (parse, context build +
+  // checking). 0 = one per hardware thread; 1 = fully serial. Reports are
+  // identical at every thread count (see engine.cc).
+  size_t jobs = 1;
 
   // Precision knobs (the design-choice ablation toggles these):
   // treat NULL-checked failure branches as acquisition-failed paths.

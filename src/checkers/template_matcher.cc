@@ -6,6 +6,7 @@
 #include "src/ast/parser.h"
 #include "src/cpg/cpg.h"
 #include "src/support/strings.h"
+#include "src/support/threadpool.h"
 
 namespace refscan {
 
@@ -349,11 +350,18 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
 
 std::vector<BugReport> RunTemplateChecker(const SemanticTemplate& tmpl, const SourceTree& tree,
                                           KnowledgeBase kb, const ScanOptions& options) {
-  std::vector<TranslationUnit> units;
-  units.reserve(tree.size());
+  // Same three-stage shape as CheckerEngine::Scan: parallel parse, serial
+  // discovery barrier, parallel per-file matching with shards merged in
+  // file order for deterministic output.
+  std::vector<const SourceFile*> files;
+  files.reserve(tree.size());
   for (const auto& [path, file] : tree.files()) {
-    units.push_back(ParseFile(file));
+    files.push_back(&file);
   }
+
+  ThreadPool pool(options.jobs);
+  std::vector<TranslationUnit> units =
+      ParallelMap(pool, files.size(), [&](size_t i) { return ParseFile(*files[i]); });
   if (options.discover_from_source) {
     for (int round = 0; round < 2; ++round) {
       for (const TranslationUnit& unit : units) {
@@ -362,26 +370,34 @@ std::vector<BugReport> RunTemplateChecker(const SemanticTemplate& tmpl, const So
     }
   }
 
+  const KnowledgeBase& frozen_kb = kb;
+  std::vector<std::vector<BugReport>> shards =
+      ParallelMap(pool, files.size(), [&](size_t i) {
+        std::vector<BugReport> shard;
+        const UnitContext uc = BuildUnitContext(*files[i], std::move(units[i]), frozen_kb);
+        for (const FunctionContext& fc : uc.functions) {
+          for (const TemplateMatch& m : MatchTemplate(tmpl, fc, options)) {
+            BugReport r;
+            r.anti_pattern = 0;  // custom template
+            r.impact = Impact::kLeak;
+            r.file = uc.unit.path;
+            r.function = fc.fn->name;
+            r.line = m.line;
+            r.exit_line = m.last_line;
+            r.object = m.object;
+            r.api = m.api;
+            r.template_path = tmpl.source;
+            r.message = StrFormat("custom template matched: %s", tmpl.source.c_str());
+            shard.push_back(std::move(r));
+          }
+        }
+        return shard;
+      });
+
   std::vector<BugReport> reports;
-  size_t index = 0;
-  for (const auto& [path, file] : tree.files()) {
-    UnitContext uc = BuildUnitContext(file, std::move(units[index++]), kb);
-    for (const FunctionContext& fc : uc.functions) {
-      for (const TemplateMatch& m : MatchTemplate(tmpl, fc, options)) {
-        BugReport r;
-        r.anti_pattern = 0;  // custom template
-        r.impact = Impact::kLeak;
-        r.file = uc.unit.path;
-        r.function = fc.fn->name;
-        r.line = m.line;
-        r.exit_line = m.last_line;
-        r.object = m.object;
-        r.api = m.api;
-        r.template_path = tmpl.source;
-        r.message = StrFormat("custom template matched: %s", tmpl.source.c_str());
-        reports.push_back(std::move(r));
-      }
-    }
+  for (std::vector<BugReport>& shard : shards) {
+    reports.insert(reports.end(), std::make_move_iterator(shard.begin()),
+                   std::make_move_iterator(shard.end()));
   }
   return DeduplicateReports(std::move(reports));
 }

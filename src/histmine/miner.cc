@@ -5,6 +5,7 @@
 
 #include "src/support/source.h"
 #include "src/support/strings.h"
+#include "src/support/threadpool.h"
 
 namespace refscan {
 
@@ -113,31 +114,44 @@ MinedBug ClassifyBugCommit(const Commit& commit, const History& history,
   return bug;
 }
 
-MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb) {
+MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb, size_t jobs) {
   MiningResult result;
   result.total_commits = history.commits.size();
 
-  // Level 1: keyword filter over diff API names.
-  for (const Commit& commit : history.commits) {
-    for (const DiffEntry& entry : commit.diff) {
-      if (Level1KeywordMatch(entry.api)) {
-        result.level1_candidates.push_back(&commit);
-        break;
-      }
+  ThreadPool pool(jobs);
+
+  // Level 1: keyword filter over diff API names. The per-commit verdicts
+  // are computed in parallel and collected serially in commit order, so the
+  // candidate list is identical at any thread count.
+  const std::vector<char> level1_hits =
+      ParallelMap(pool, history.commits.size(), [&](size_t i) -> char {
+        for (const DiffEntry& entry : history.commits[i].diff) {
+          if (Level1KeywordMatch(entry.api)) {
+            return 1;
+          }
+        }
+        return 0;
+      });
+  for (size_t i = 0; i < history.commits.size(); ++i) {
+    if (level1_hits[i] != 0) {
+      result.level1_candidates.push_back(&history.commits[i]);
     }
   }
 
-  // Level 2: the touched API must be a confirmed refcounting API.
-  for (const Commit* commit : result.level1_candidates) {
-    bool confirmed = false;
-    for (const DiffEntry& entry : commit->diff) {
-      if (kb.FindApi(entry.api) != nullptr) {
-        confirmed = true;
-        break;
-      }
-    }
-    if (confirmed) {
-      result.level2_candidates.push_back(commit);
+  // Level 2: the touched API must be a confirmed refcounting API. The KB is
+  // read-only here, so concurrent FindApi lookups are safe.
+  const std::vector<char> level2_hits =
+      ParallelMap(pool, result.level1_candidates.size(), [&](size_t i) -> char {
+        for (const DiffEntry& entry : result.level1_candidates[i]->diff) {
+          if (kb.FindApi(entry.api) != nullptr) {
+            return 1;
+          }
+        }
+        return 0;
+      });
+  for (size_t i = 0; i < result.level1_candidates.size(); ++i) {
+    if (level2_hits[i] != 0) {
+      result.level2_candidates.push_back(result.level1_candidates[i]);
     }
   }
 
@@ -149,13 +163,19 @@ MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb) {
       fixes_targets.insert(commit.fixes_tag);
     }
   }
+  std::vector<const Commit*> surviving;
   for (const Commit* commit : result.level2_candidates) {
     if (fixes_targets.contains(commit->id)) {
       result.removed_as_wrong_fix.push_back(commit);
       continue;
     }
-    result.dataset.push_back(ClassifyBugCommit(*commit, history, kb));
+    surviving.push_back(commit);
   }
+
+  // Classification is pure per commit; fan it out and keep commit order.
+  result.dataset = ParallelMap(pool, surviving.size(), [&](size_t i) {
+    return ClassifyBugCommit(*surviving[i], history, kb);
+  });
   return result;
 }
 

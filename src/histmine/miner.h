@@ -45,8 +45,11 @@ struct MiningResult {
 // True if `api_name` contains a refcounting keyword as an identifier word.
 bool Level1KeywordMatch(std::string_view api_name);
 
-// Runs the full pipeline over `history`.
-MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb);
+// Runs the full pipeline over `history`. `jobs` fans the per-commit work
+// (level-1 keyword matching, taxonomy classification) out over a thread
+// pool — 0 = one per hardware thread; results are identical at every
+// thread count because per-commit verdicts merge back in commit order.
+MiningResult MineRefcountBugs(const History& history, const KnowledgeBase& kb, size_t jobs = 1);
 
 // Classifies one confirmed bug-fix commit into the Table 2 taxonomy.
 MinedBug ClassifyBugCommit(const Commit& commit, const History& history,

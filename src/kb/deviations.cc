@@ -4,6 +4,7 @@
 
 #include "src/ast/parser.h"
 #include "src/support/strings.h"
+#include "src/support/threadpool.h"
 
 namespace refscan {
 
@@ -17,12 +18,19 @@ std::string_view DeviationKindName(DeviationKind kind) {
   return "?";
 }
 
-std::vector<DeviationReport> DetectDeviations(const SourceTree& tree, KnowledgeBase kb) {
-  std::vector<TranslationUnit> units;
-  units.reserve(tree.size());
+std::vector<DeviationReport> DetectDeviations(const SourceTree& tree, KnowledgeBase kb,
+                                              size_t jobs) {
+  // Parsing dominates here; fan it out. Discovery and the report walk stay
+  // serial (discovery mutates the KB, the walk is trivial), and the final
+  // sort makes the output order thread-count-independent anyway.
+  std::vector<const SourceFile*> files;
+  files.reserve(tree.size());
   for (const auto& [path, file] : tree.files()) {
-    units.push_back(ParseFile(file));
+    files.push_back(&file);
   }
+  ThreadPool pool(jobs);
+  std::vector<TranslationUnit> units =
+      ParallelMap(pool, files.size(), [&](size_t i) { return ParseFile(*files[i]); });
   for (int round = 0; round < 2; ++round) {
     for (const TranslationUnit& unit : units) {
       kb.DiscoverFromUnit(unit);

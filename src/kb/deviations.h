@@ -37,9 +37,12 @@ struct DeviationReport {
 // Parses + discovers over `tree`, then reports every API *defined in the
 // tree* whose implementation carries a deviation flag. Already-catalogued
 // deviants (the built-in Table 6 entries) are reported too when the tree
-// contains their definitions.
+// contains their definitions. `jobs` fans the parse stage out over a
+// thread pool (0 = one per hardware thread); the report list is identical
+// at every thread count.
 std::vector<DeviationReport> DetectDeviations(const SourceTree& tree,
-                                              KnowledgeBase kb = KnowledgeBase::BuiltIn());
+                                              KnowledgeBase kb = KnowledgeBase::BuiltIn(),
+                                              size_t jobs = 1);
 
 }  // namespace refscan
 

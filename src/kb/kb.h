@@ -78,6 +78,13 @@ const std::vector<std::pair<std::string, std::string>>& PairedOpsFields();
 // returns the release-side word for an acquire-side word, or "" if none.
 std::string PairedReleaseWord(std::string_view acquire_word);
 
+// Thread-safety: the const lookup surface (FindApi / FindSmartLoop /
+// IsRefcountedStruct / FindOwnershipSink and the accessors) never mutates,
+// caches, or lazily initialises anything, so any number of threads may read
+// one KnowledgeBase concurrently — the parallel checking stage relies on
+// this. Registration and discovery mutate the maps and must be externally
+// serialised against all readers (the scan engine runs discovery behind a
+// merge barrier, before the first concurrent reader starts).
 class KnowledgeBase {
  public:
   // The catalogue transcribed from the paper (Appendix A + §5 examples).

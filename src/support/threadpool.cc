@@ -1,0 +1,179 @@
+#include "src/support/threadpool.h"
+
+#include <algorithm>
+
+namespace refscan {
+
+size_t ThreadPool::ResolveJobs(size_t jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return jobs;
+}
+
+ThreadPool::ThreadPool(size_t parallelism) : parallelism_(ResolveJobs(parallelism)) {
+  const size_t background = parallelism_ - 1;
+  workers_.reserve(background);
+  for (size_t i = 0; i < background; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(background);
+  for (size_t i = 0; i < background; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  const size_t target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  // `ready_` is the wait predicate: bumping it under the wake mutex means a
+  // worker that scanned the queues empty a moment ago cannot slip into
+  // wait() and miss this task.
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++ready_;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::NextTask(size_t self) {
+  const size_t n = workers_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) {
+      continue;
+    }
+    std::function<void()> task;
+    if (k == 0) {
+      // Own queue: LIFO keeps the most recently pushed (cache-hot) task.
+      task = std::move(victim.queue.back());
+      victim.queue.pop_back();
+    } else {
+      // Steal: FIFO takes the oldest task, the one its owner is furthest
+      // from reaching.
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+    }
+    {
+      // victim.mutex -> wake_mutex_ is the one allowed nesting order.
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      --ready_;
+    }
+    return task;
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task = NextTask(self);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [this] { return stopping_ || ready_ > 0; });
+      if (stopping_ && ready_ == 0) {
+        return;
+      }
+      continue;
+    }
+    task();
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Empty critical section: a WaitIdle caller between its predicate
+      // check and blocking holds the mutex, so the notify lands after it
+      // blocks instead of being lost.
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+      }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return inflight_.load(std::memory_order_acquire) == 0; });
+}
+
+namespace {
+
+// Shared coordination block for one ParallelFor batch. Helper tasks hold it
+// through a shared_ptr, so the synchronisation state stays valid for as
+// long as any helper can still touch it.
+struct ForBatch {
+  std::atomic<size_t> cursor{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  size_t finished_helpers = 0;
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  const size_t count = end - begin;
+  const size_t lanes = std::min(pool.parallelism(), count);
+  if (lanes <= 1) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<ForBatch>();
+  batch->cursor.store(begin, std::memory_order_relaxed);
+  // Iterations are claimed one at a time from the shared cursor, so a few
+  // expensive items cannot serialise the batch behind one lane. `fn` is
+  // captured by reference: ParallelFor does not return before every helper
+  // has finished, so the reference cannot dangle.
+  const auto drain = [batch, end, &fn] {
+    for (size_t i; (i = batch->cursor.fetch_add(1, std::memory_order_relaxed)) < end;) {
+      fn(i);
+    }
+  };
+
+  const size_t helpers = lanes - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([batch, drain] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        ++batch->finished_helpers;
+      }
+      batch->done_cv.notify_one();
+    });
+  }
+
+  drain();  // the calling thread is a worker too
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->finished_helpers == helpers; });
+}
+
+}  // namespace refscan

@@ -1,15 +1,19 @@
 // refscan — command-line front end.
 //
-//   refscan scan <dir> [--fix] [--no-discovery]   scan a C tree on disk
-//   refscan match <dir> "<template>"              run a custom semantic template
+//   refscan scan <dir> [--fix] [--no-discovery] [--jobs N]  scan a C tree on disk
+//   refscan match <dir> "<template>" [--jobs N]   run a custom semantic template
 //   refscan dump <file.c> [tokens|ast|cfg|cpg]    inspect front-end stages
-//   refscan deviations <dir>                      find deviant refcounting APIs
-//   refscan demo                                  scan the built-in synthetic kernel corpus
+//   refscan deviations <dir> [--jobs N]           find deviant refcounting APIs
+//   refscan demo [--jobs N] [--emit <dir>]        scan the built-in synthetic kernel corpus
 //
+// --jobs/-j N picks the scan parallelism (0 = one thread per hardware
+// thread, the default); reports are identical at every thread count.
 // Exit code: number of bug reports, capped at 125 (0 = clean).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "src/checkers/engine.h"
@@ -27,23 +31,71 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  refscan scan <dir> [--fix] [--json] [--no-discovery]\n"
-               "  refscan match <dir> \"<template>\"   e.g. \"F_start -> S_P(p0) -> S_D(p0) -> F_end\"\n"
+               "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--jobs N]\n"
+               "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
+               "-> S_D(p0) -> F_end\"\n"
                "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
-               "  refscan deviations <dir>\n"
-               "  refscan demo\n");
+               "  refscan deviations <dir> [--jobs N]\n"
+               "  refscan demo [--jobs N] [--emit <dir>]\n"
+               "\n"
+               "  --jobs/-j N   scan threads (0 = all hardware threads, the default);\n"
+               "                output is identical at every thread count\n");
   return 2;
 }
 
-int RunScan(const refscan::SourceTree& tree, bool print_fixes, bool discovery,
-            bool json = false) {
+// Shared flag state across the subcommands.
+struct CliFlags {
+  bool print_fixes = false;
+  bool discovery = true;
+  bool json = false;
+  size_t jobs = 0;  // 0 = hardware concurrency
+  std::string emit_dir;
+};
+
+// Parses flags from argv[first..); returns false on an unknown flag or a
+// missing/garbled flag argument.
+bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fix") == 0) {
+      flags.print_fixes = true;
+    } else if (std::strcmp(argv[i], "--no-discovery") == 0) {
+      flags.discovery = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a number\n", argv[i]);
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "bad thread count: %s\n", argv[i]);
+        return false;
+      }
+      flags.jobs = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--emit needs a directory\n");
+        return false;
+      }
+      flags.emit_dir = argv[++i];
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
   using namespace refscan;
   ScanOptions options;
-  options.discover_from_source = discovery;
+  options.discover_from_source = flags.discovery;
+  options.jobs = flags.jobs;
   CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
   const ScanResult result = engine.Scan(tree);
 
-  if (json) {
+  if (flags.json) {
     std::printf("%s", ReportsToJson(result.reports).c_str());
     return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
   }
@@ -59,7 +111,7 @@ int RunScan(const refscan::SourceTree& tree, bool print_fixes, bool discovery,
                 std::string(ImpactName(r.impact)).c_str(), r.message.c_str());
     std::printf("    function: %s   template: %s\n", r.function.c_str(),
                 r.template_path.c_str());
-    if (print_fixes) {
+    if (flags.print_fixes) {
       const SourceFile* file = tree.Find(r.file);
       if (file != nullptr) {
         const FixSuggestion fix = SuggestFix(r, *file);
@@ -76,6 +128,32 @@ int RunScan(const refscan::SourceTree& tree, bool print_fixes, bool discovery,
   return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
 }
 
+// Writes every corpus file under `dir` so an on-disk `refscan scan` (or any
+// external tool) can chew on the synthetic tree. Returns false on I/O error.
+bool EmitTree(const refscan::SourceTree& tree, const std::string& dir) {
+  namespace stdfs = std::filesystem;
+  std::error_code ec;
+  for (const auto& [path, file] : tree.files()) {
+    const stdfs::path target = stdfs::path(dir) / path;
+    stdfs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", target.parent_path().c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+    std::FILE* out = std::fopen(target.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", target.c_str());
+      return false;
+    }
+    const std::string_view text = file.text();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  }
+  std::printf("emitted %zu files under %s\n", tree.size(), dir.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,13 +165,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
 
   if (command == "demo") {
+    CliFlags flags;
+    if (!ParseFlags(argc, argv, 2, flags)) {
+      return Usage();
+    }
     std::printf("generating the synthetic kernel corpus and scanning it...\n\n");
     const Corpus corpus = GenerateKernelCorpus();
-    return RunScan(corpus.tree, /*print_fixes=*/false, /*discovery=*/true) > 0 ? 1 : 0;
+    if (!flags.emit_dir.empty() && !EmitTree(corpus.tree, flags.emit_dir)) {
+      return 2;
+    }
+    return RunScan(corpus.tree, flags) > 0 ? 1 : 0;
   }
 
   if (command == "match") {
     if (argc < 4) {
+      return Usage();
+    }
+    CliFlags flags;
+    if (!ParseFlags(argc, argv, 4, flags)) {
       return Usage();
     }
     const auto tmpl = ParseTemplate(argv[3]);
@@ -106,7 +195,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
       return 2;
     }
-    const auto reports = RunTemplateChecker(*tmpl, tree);
+    ScanOptions options;
+    options.jobs = flags.jobs;
+    const auto reports = RunTemplateChecker(*tmpl, tree, KnowledgeBase::BuiltIn(), options);
     for (const BugReport& r : reports) {
       std::printf("%s:%u: [template] %s in %s() (object '%s')\n", r.file.c_str(), r.line,
                   r.template_path.c_str(), r.function.c_str(), r.object.c_str());
@@ -119,10 +210,6 @@ int main(int argc, char** argv) {
     if (argc < 3) {
       return Usage();
     }
-    std::vector<std::string> errors;
-    LoadOptions load;
-    load.skip_dirs.clear();
-    // Load the single file via its parent directory, then find it.
     std::FILE* f = std::fopen(argv[2], "rb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", argv[2]);
@@ -165,19 +252,9 @@ int main(int argc, char** argv) {
     if (argc < 3) {
       return Usage();
     }
-    bool print_fixes = false;
-    bool discovery = true;
-    bool json = false;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--fix") == 0) {
-        print_fixes = true;
-      } else if (std::strcmp(argv[i], "--no-discovery") == 0) {
-        discovery = false;
-      } else if (std::strcmp(argv[i], "--json") == 0) {
-        json = true;
-      } else {
-        return Usage();
-      }
+    CliFlags flags;
+    if (!ParseFlags(argc, argv, 3, flags)) {
+      return Usage();
     }
     std::vector<std::string> errors;
     const SourceTree tree = LoadSourceTreeFromDisk(argv[2], LoadOptions{}, &errors);
@@ -189,7 +266,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (command == "deviations") {
-      const auto reports = DetectDeviations(tree);
+      const auto reports = DetectDeviations(tree, KnowledgeBase::BuiltIn(), flags.jobs);
       for (const DeviationReport& r : reports) {
         std::printf("%s:%u: [%s%s] %s\n", r.file.c_str(), r.line,
                     std::string(DeviationKindName(r.kind)).c_str(), r.hidden ? ", hidden" : "",
@@ -198,7 +275,7 @@ int main(int argc, char** argv) {
       std::printf("%zu deviant API(s).\n", reports.size());
       return reports.empty() ? 0 : 1;
     }
-    return RunScan(tree, print_fixes, discovery, json);
+    return RunScan(tree, flags);
   }
 
   return Usage();
