@@ -78,12 +78,14 @@ int main() {
       const char* name;
       bool prune_null;
       bool transfers;
+      bool interprocedural;
     };
     const Config kConfigs[] = {
-        {"full engine", true, true},
-        {"no NULL-branch pruning", false, true},
-        {"no ownership-transfer modelling", true, false},
-        {"neither (naive matcher)", false, false},
+        {"full engine", true, true, false},
+        {"+ interprocedural summaries", true, true, true},
+        {"no NULL-branch pruning", false, true, false},
+        {"no ownership-transfer modelling", true, false, false},
+        {"neither (naive matcher)", false, false, false},
     };
     Table knobs("Design-choice ablation (precision features off one at a time)");
     knobs.Header({"Configuration", "Reports", "TP funcs", "FPs", "Precision"},
@@ -92,6 +94,7 @@ int main() {
       ScanOptions options;
       options.prune_null_branches = config.prune_null;
       options.model_ownership_transfer = config.transfers;
+      options.interprocedural = config.interprocedural;
       CheckerEngine ablated(KnowledgeBase::BuiltIn(), options);
       const ScanResult result = ablated.Scan(corpus.tree);
       std::set<std::pair<std::string, std::string>> hits;
@@ -110,6 +113,55 @@ int main() {
                  StrFormat("%zu", hits.size()), StrFormat("%d", fps), Pct(precision)});
     }
     std::printf("%s\n", knobs.Render().c_str());
+  }
+
+  // ---- Detection vs wrapper depth: the corpus variant that buries the
+  // acquire/release APIs under 2 and 3 layers of helper functions. Depth 2
+  // is reachable by two-round discovery for the transfer-shaped patterns;
+  // depth 3 (and the 𝒢_E/deref-dependent P1/P8 at any depth) needs the
+  // interprocedural summary stage.
+  {
+    CorpusOptions wrapper_options;
+    wrapper_options.wrapper_chain_depths = {2, 3};
+    const Corpus wrapped = GenerateKernelCorpus(wrapper_options);
+
+    Table depth("Detection vs wrapper depth (interprocedural summaries off/on)");
+    depth.Header({"Depth", "Planted", "Detected (off)", "Detected (on)", "Recall (on)"},
+                 {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    for (const bool interprocedural : {false, true}) {
+      ScanOptions options;
+      options.interprocedural = interprocedural;
+      CheckerEngine scanner(KnowledgeBase::BuiltIn(), options);
+      const ScanResult result = scanner.Scan(wrapped.tree);
+      std::map<int, std::pair<int, int>> by_depth;  // depth -> {planted, detected}
+      for (const PlantedBug& bug : wrapped.ground_truth) {
+        if (bug.wrapper_depth < 2) {
+          continue;
+        }
+        by_depth[bug.wrapper_depth].first++;
+        for (const BugReport& r : result.reports) {
+          if (r.file == bug.file && r.function == bug.function &&
+              r.anti_pattern == bug.anti_pattern) {
+            by_depth[bug.wrapper_depth].second++;
+            break;
+          }
+        }
+      }
+      static std::map<int, int> detected_off;
+      if (!interprocedural) {
+        for (const auto& [d, counts] : by_depth) {
+          detected_off[d] = counts.second;
+        }
+        continue;
+      }
+      for (const auto& [d, counts] : by_depth) {
+        depth.Row({StrFormat("%d wrappers", d), StrFormat("%d", counts.first),
+                   StrFormat("%d", detected_off[d]), StrFormat("%d", counts.second),
+                   counts.first > 0 ? Pct(static_cast<double>(counts.second) / counts.first)
+                                    : "-"});
+      }
+    }
+    std::printf("%s\n", depth.Render().c_str());
   }
 
   // ---- Baselines.

@@ -12,7 +12,9 @@
 #include "src/embed/corpus_text.h"
 #include "src/embed/word2vec.h"
 #include "src/histmine/miner.h"
+#include "src/ipa/summary.h"
 #include "src/lexer/lexer.h"
+#include "src/support/threadpool.h"
 
 namespace refscan {
 namespace {
@@ -98,6 +100,57 @@ BENCHMARK(BM_FullTreeScanParallel)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Stage 2.5 in isolation: call graph + bottom-up summary propagation over
+// the whole corpus (parse and discovery excluded), at 1 and 4 workers.
+void BM_SummaryComputation(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  static const auto* parsed = [] {
+    auto* units = new std::vector<TranslationUnit>();
+    for (const auto& [path, file] : corpus->tree.files()) {
+      units->push_back(ParseFile(file));
+    }
+    return units;
+  }();
+  std::vector<const TranslationUnit*> ptrs;
+  for (const TranslationUnit& unit : *parsed) {
+    ptrs.push_back(&unit);
+  }
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    KnowledgeBase kb = KnowledgeBase::BuiltIn();
+    for (const TranslationUnit& unit : *parsed) {
+      kb.DiscoverFromUnit(unit);
+    }
+    benchmark::DoNotOptimize(ComputeSummaries(ptrs, kb, SummaryOptions{}, pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(parsed->size()));
+}
+BENCHMARK(BM_SummaryComputation)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Full scan with the interprocedural stage toggled, at 1 and 4 workers —
+// quantifies the summary stage's overhead on top of BM_FullTreeScanParallel.
+void BM_FullTreeScanInterprocedural(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  ScanOptions options;
+  options.interprocedural = state.range(0) != 0;
+  options.jobs = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+}
+BENCHMARK(BM_FullTreeScanInterprocedural)
+    ->ArgsProduct({{0, 1}, {1, 4}})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/kb/kb.h"
@@ -41,9 +42,20 @@ struct AcqSite {
 // Keyed by "line:object:api" so one site aggregates across paths.
 using AcquisitionAnalysis = std::map<std::string, AcqSite>;
 
-// Computes (or returns the cached) analysis for `fc`.
-const AcquisitionAnalysis& AnalyzeAcquisitions(const FunctionContext& fc,
-                                               const ScanOptions& options);
+// One immutable cache generation: the option key and the analysis built
+// under it, published together behind a single atomic pointer swap on the
+// FunctionContext. Readers either see a whole generation or none.
+struct AcquisitionCache {
+  uint64_t key = 0;
+  AcquisitionAnalysis analysis;
+};
+
+// Computes (or returns the cached) analysis for `fc`. The returned pointer
+// shares ownership with the cache generation it came from, so it stays
+// valid even if a racing caller with different options swaps in a newer
+// generation.
+std::shared_ptr<const AcquisitionAnalysis> AnalyzeAcquisitions(const FunctionContext& fc,
+                                                               const ScanOptions& options);
 
 }  // namespace refscan
 

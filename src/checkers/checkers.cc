@@ -6,8 +6,10 @@
 // across every enumerated path; the other checkers do focused per-path
 // matching. See engine.h for the public entry points.
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "src/checkers/engine.h"
@@ -195,20 +197,29 @@ AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options
 
 }  // namespace
 
-const AcquisitionAnalysis& AnalyzeAcquisitions(const FunctionContext& fc,
-                                               const ScanOptions& options) {
+std::shared_ptr<const AcquisitionAnalysis> AnalyzeAcquisitions(const FunctionContext& fc,
+                                                               const ScanOptions& options) {
   // The cache is valid only for one option configuration; engines construct
   // fresh contexts per scan, so a mismatch only occurs when a caller mixes
-  // configurations on one context — recompute in that case.
+  // configurations on one context — recompute in that case. Key and
+  // analysis live in one immutable generation swapped atomically, so racing
+  // readers with different options never observe a torn key/analysis pair;
+  // the worst case is a redundant recompute, never a wrong result.
   const uint64_t key = (options.prune_null_branches ? 1u : 0u) |
                        (options.model_ownership_transfer ? 2u : 0u) |
                        (static_cast<uint64_t>(options.max_paths_per_function) << 2);
-  if (fc.acquisition_cache == nullptr || fc.acquisition_cache_key != key) {
-    fc.acquisition_cache =
-        std::make_shared<const AcquisitionAnalysis>(ComputeAcquisitions(fc, options));
-    fc.acquisition_cache_key = key;
+  std::shared_ptr<const AcquisitionCache> cached =
+      std::atomic_load_explicit(&fc.acquisition_cache, std::memory_order_acquire);
+  if (cached == nullptr || cached->key != key) {
+    auto fresh = std::make_shared<AcquisitionCache>();
+    fresh->key = key;
+    fresh->analysis = ComputeAcquisitions(fc, options);
+    cached = std::move(fresh);
+    std::atomic_store_explicit(&fc.acquisition_cache, cached, std::memory_order_release);
   }
-  return *fc.acquisition_cache;
+  // Aliasing constructor: the returned pointer keeps the whole generation
+  // alive for as long as the caller holds it.
+  return std::shared_ptr<const AcquisitionAnalysis>(cached, &cached->analysis);
 }
 
 namespace {
@@ -231,7 +242,8 @@ BugReport BaseReport(const UnitContext& uc, const FunctionContext& fc, int patte
 
 void CheckReturnError(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                       const ScanOptions& options, std::vector<BugReport>& out) {
-  for (const auto& [key, site] : AnalyzeAcquisitions(fc, options)) {
+  const auto analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : *analysis) {
     if (site.api->returns_error && site.unpaired_error_path) {
       BugReport r = BaseReport(uc, fc, 1, Impact::kLeak, site.line);
       r.exit_line = site.error_exit_line;
@@ -351,7 +363,8 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
                     const ScanOptions& options, std::vector<BugReport>& out) {
   // Missing decrease: the developer never pairs the hidden acquisition on
   // any path (§5.2.2 "in any potential execution path").
-  for (const auto& [key, site] : AnalyzeAcquisitions(fc, options)) {
+  const auto analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : *analysis) {
     if (site.api->hidden && !site.paired_somewhere && !site.transferred && site.unpaired_path &&
         !site.freed_direct) {
       BugReport r = BaseReport(uc, fc, 4, Impact::kLeak, site.line);
@@ -405,7 +418,8 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
 
 void CheckErrorHandle(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                       const ScanOptions& options, std::vector<BugReport>& out) {
-  for (const auto& [key, site] : AnalyzeAcquisitions(fc, options)) {
+  const auto analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : *analysis) {
     if (site.api->returns_error) {
       continue;  // P1's territory
     }
@@ -559,7 +573,8 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
       continue;
     }
     const std::set<std::string> released = DecreaseFamilies(*rel);
-    for (const auto& [key, site] : AnalyzeAcquisitions(*acq, options)) {
+    const auto analysis = AnalyzeAcquisitions(*acq, options);
+    for (const auto& [key, site] : *analysis) {
       if (site.paired_somewhere || site.freed_direct) {
         continue;  // locally balanced (or a P7 case)
       }
@@ -592,7 +607,8 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
 
 void CheckDirectFree(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                      const ScanOptions& options, std::vector<BugReport>& out) {
-  for (const auto& [key, site] : AnalyzeAcquisitions(fc, options)) {
+  const auto analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : *analysis) {
     if (site.freed_direct) {
       BugReport r = BaseReport(uc, fc, 7, Impact::kLeak, site.free_line);
       r.api = site.api->name;

@@ -1,6 +1,9 @@
 #include "src/checkers/engine.h"
 
+#include <charconv>
+
 #include "src/ast/parser.h"
+#include "src/ipa/summary.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -108,6 +111,23 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       }
     }
   }
+  // Stage 2.5: interprocedural ref-delta summaries (src/ipa). Bottom-up
+  // over the call-graph SCCs, parallel within a level; registration into
+  // the still-mutable KB is serial in call-graph node order, so the KB the
+  // checkers read is identical at every `jobs` value. After this the KB
+  // freezes, exactly as without summaries.
+  if (options_.interprocedural) {
+    std::vector<const TranslationUnit*> unit_ptrs;
+    unit_ptrs.reserve(units.size());
+    for (const TranslationUnit& unit : units) {
+      unit_ptrs.push_back(&unit);
+    }
+    SummaryOptions sopts;
+    sopts.max_paths_per_function = options_.max_paths_per_function;
+    const SummaryResult summaries = ComputeSummaries(unit_ptrs, kb_, sopts, pool);
+    result.stats.summarized_functions = summaries.summaries.size();
+  }
+
   result.stats.discovered_apis = kb_.apis().size();
   result.stats.discovered_smart_loops = kb_.smart_loops().size();
   result.stats.refcounted_structs = kb_.refcounted_structs().size();
@@ -161,6 +181,29 @@ ScanResult CheckerEngine::ScanFileText(std::string path, std::string text) {
   SourceTree tree;
   tree.Add(std::move(path), std::move(text));
   return Scan(tree);
+}
+
+bool ParsePatternList(std::string_view text, std::set<int>& out) {
+  std::set<int> parsed;
+  while (!text.empty()) {
+    const size_t comma = text.find(',');
+    const std::string_view item = text.substr(0, comma);
+    int value = 0;
+    const auto [ptr, ec] = std::from_chars(item.data(), item.data() + item.size(), value);
+    if (ec != std::errc() || ptr != item.data() + item.size() || value < 1 || value > 9) {
+      return false;
+    }
+    parsed.insert(value);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(comma + 1);
+  }
+  if (parsed.empty()) {
+    return false;
+  }
+  out = std::move(parsed);
+  return true;
 }
 
 }  // namespace refscan

@@ -46,7 +46,16 @@ struct ScanOptions {
   bool prune_null_branches = true;
   // treat returns / escaping stores / ownership-sink calls as transfers.
   bool model_ownership_transfer = true;
+  // stage 2.5: compute interprocedural ref-delta summaries bottom-up over
+  // the call graph and fold them into the KB before checking, so the
+  // checkers fire through wrapper chains (src/ipa). Off by default — the
+  // intraprocedural pipeline is the paper's baseline.
+  bool interprocedural = false;
 };
+
+// Parses a `--patterns` list ("1,4,8") into `out`. Returns false (leaving
+// `out` untouched) on empty lists, non-numeric entries, or ids outside 1..9.
+bool ParsePatternList(std::string_view text, std::set<int>& out);
 
 // Everything the checkers need about one function.
 struct FunctionContext {
@@ -56,10 +65,12 @@ struct FunctionContext {
   std::unique_ptr<Cpg> cpg;
 
   // Lazily-computed acquisition analysis (see analysis.h); checkers share
-  // one computation per function instead of re-enumerating paths. The key
-  // records the option configuration the cache was built under.
-  mutable std::shared_ptr<const AcquisitionAnalysis> acquisition_cache;
-  mutable uint64_t acquisition_cache_key = 0;
+  // one computation per function instead of re-enumerating paths. The
+  // cached key and analysis travel in one immutable struct behind a single
+  // atomically-swapped pointer, so a reader can never pair a fresh key with
+  // a stale analysis (or vice versa) when checkers race on the same
+  // function.
+  mutable std::shared_ptr<const AcquisitionCache> acquisition_cache;
 };
 
 // One parsed translation unit plus its function contexts.
@@ -75,6 +86,7 @@ struct ScanStats {
   size_t discovered_apis = 0;
   size_t discovered_smart_loops = 0;
   size_t refcounted_structs = 0;
+  size_t summarized_functions = 0;  // stage 2.5 (0 when interprocedural off)
 };
 
 struct ScanResult {

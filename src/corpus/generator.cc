@@ -1,6 +1,7 @@
 #include "src/corpus/generator.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
 
 #include "src/support/prng.h"
@@ -166,6 +167,12 @@ class ModuleGenerator {
       EmitFalsePositive();
     }
     FlushFile();
+
+    for (const int depth : options_.wrapper_chain_depths) {
+      if (depth >= 2 && !IsHeaderModule()) {
+        EmitWrapperChainFile(depth);
+      }
+    }
 
     AssignResponses();
   }
@@ -645,6 +652,201 @@ class ModuleGenerator {
         "}\n\n",
         FnQualifier(), fn.c_str(), plan_.module.c_str(), DeviceWord().c_str()));
     corpus_.planted_fps.push_back(PlantedFalsePositive{path_, fn});
+  }
+
+  // ------------------------------------------------- wrapper-chain variants
+  //
+  // One extra file per requested depth: P1/P4/P5/P8/P9 anti-patterns whose
+  // acquire/release APIs sit under `depth` layers of trivial helpers.
+  // Helpers are emitted outermost-first, so one discovery round only
+  // classifies the innermost helper and the two-round pass stops at depth
+  // 2 — depth 3 needs the interprocedural summary stage. The P1 𝒢_E flag
+  // and the P8 helper-deref fact are summary-only at every depth: neither
+  // is visible to the textual classifier.
+
+  // Identifier prefix unique across the whole tree (helper names are global
+  // in the KB even though the functions are static).
+  std::string ChainBase(int depth) const {
+    std::string base = plan_.subsystem + "_" + plan_.module;
+    for (char& c : base) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) {
+        c = '_';
+      }
+    }
+    return base + StrFormat("_d%d", depth);
+  }
+
+  void RegisterWrapperBug(const std::string& fn, int pattern, Impact impact,
+                          const std::string& api, int depth) {
+    RegisterBug(fn, pattern, impact, api);
+    corpus_.ground_truth.back().wrapper_depth = depth;
+  }
+
+  // Helpers `<base>_<stem>1 .. <stem><depth>`, outermost first; helper i
+  // forwards its parameter to helper i+1 and the innermost runs `leaf`.
+  void EmitForwardChain(const std::string& base, const char* stem, int depth,
+                        const char* return_type, const char* param, const char* arg,
+                        const std::string& leaf) {
+    for (int i = 1; i <= depth; ++i) {
+      const std::string name = StrFormat("%s_%s%d", base.c_str(), stem, i);
+      used_names_.insert(name);
+      const std::string inner =
+          i == depth ? leaf : StrFormat("%s_%s%d(%s)", base.c_str(), stem, i + 1, arg);
+      if (return_type != nullptr) {
+        Append(StrFormat("%s %s %s(%s)\n{\n\treturn %s;\n}\n\n", FnQualifier(), return_type,
+                         name.c_str(), param, inner.c_str()));
+      } else {
+        Append(StrFormat("%s void %s(%s)\n{\n\t%s;\n}\n\n", FnQualifier(), name.c_str(), param,
+                         inner.c_str()));
+      }
+    }
+  }
+
+  // Find-style helpers: each stores the inner result in a local and returns
+  // it (the shape the textual wrapper classifier recognises).
+  void EmitFindChain(const std::string& base, int depth, const std::string& leaf) {
+    for (int i = 1; i <= depth; ++i) {
+      const std::string name = StrFormat("%s_scan%d", base.c_str(), i);
+      used_names_.insert(name);
+      const std::string inner =
+          i == depth ? leaf : StrFormat("%s_scan%d()", base.c_str(), i + 1);
+      Append(StrFormat(
+          "%s struct device_node *%s(void)\n"
+          "{\n"
+          "\tstruct device_node *np = %s;\n"
+          "\n"
+          "\treturn np;\n"
+          "}\n\n",
+          FnQualifier(), name.c_str(), inner.c_str()));
+    }
+  }
+
+  void EmitWrapperChainFile(int depth) {
+    const std::string base = ChainBase(depth);
+    OpenFile();
+
+    // P1: the increment-on-error deviation buried under int wrappers. The
+    // wrapper names contain "get" (as real pm wrappers do), so they are not
+    // "hidden" APIs; what discovery cannot see is that the increment
+    // survives the error return — that flag only propagates through the
+    // summary stage's path classification.
+    EmitForwardChain(base, "get_sync", depth, "int", "struct device *dev", "dev",
+                     "pm_runtime_get_sync(dev)");
+    {
+      const std::string fn = base + "_pm_attach";
+      used_names_.insert(fn);
+      Append(StrFormat(
+          "%s int %s(struct platform_device *pdev)\n"
+          "{\n"
+          "\tstruct %s_priv *priv = platform_get_drvdata(pdev);\n"
+          "\tint ret;\n"
+          "\n"
+          "\tret = %s_get_sync1(priv->dev);\n"
+          "\tif (ret < 0)\n"
+          "\t\treturn ret;\n"  // planted P1: usage count raised through the chain
+          "\t%s_commit(priv);\n"
+          "\tpm_runtime_put(priv->dev);\n"
+          "\treturn 0;\n"
+          "}\n\n",
+          FnQualifier(), fn.c_str(), plan_.module.c_str(), base.c_str(), DeviceWord().c_str()));
+      RegisterWrapperBug(fn, 1, Impact::kLeak, base + "_get_sync1", depth);
+    }
+
+    // P4: missing put on a node acquired through find wrappers.
+    EmitFindChain(base, depth, AcquireExpr("of_find_node_by_path", "of_root"));
+    {
+      const std::string fn = base + "_lookup";
+      used_names_.insert(fn);
+      Append(StrFormat(
+          "%s int %s(struct platform_device *pdev)\n"
+          "{\n"
+          "\tstruct device_node *np;\n"
+          "\tu32 val;\n"
+          "\n"
+          "\tnp = %s_scan1();\n"
+          "\tif (!np)\n"
+          "\t\treturn -ENODEV;\n"
+          "\tof_property_read_u32(np, \"%s\", &val);\n"
+          "\t%s_apply(pdev, val);\n"
+          "\treturn 0;\n"  // planted P4: missing put of the chained find result
+          "}\n\n",
+          FnQualifier(), fn.c_str(), base.c_str(), PropWord().c_str(), DeviceWord().c_str()));
+      RegisterWrapperBug(fn, 4, Impact::kLeak, base + "_scan1", depth);
+    }
+
+    // P5: the normal path releases through the drop chain, the error path
+    // forgets to.
+    EmitForwardChain(base, "drop", depth, nullptr, "struct device_node *np", "np",
+                     "of_node_put(np)");
+    {
+      const std::string fn = base + "_enable";
+      used_names_.insert(fn);
+      Append(StrFormat(
+          "%s int %s(struct platform_device *pdev)\n"
+          "{\n"
+          "\tstruct device_node *np = %s_scan1();\n"
+          "\tint ret;\n"
+          "\n"
+          "\tif (!np)\n"
+          "\t\treturn -ENODEV;\n"
+          "\tret = %s_prepare(np);\n"
+          "\tif (ret < 0)\n"
+          "\t\treturn ret;\n"  // planted P5: error path misses the chained put
+          "\t%s_commit(np);\n"
+          "\t%s_drop1(np);\n"
+          "\treturn 0;\n"
+          "}\n\n",
+          FnQualifier(), fn.c_str(), base.c_str(), DeviceWord().c_str(), DeviceWord().c_str(),
+          base.c_str()));
+      RegisterWrapperBug(fn, 5, Impact::kLeak, base + "_scan1", depth);
+    }
+
+    // P8: the put is chained AND the use hides inside a helper that merely
+    // dereferences its parameter — only the summary stage's param-deref
+    // facts make the use visible at the call site.
+    EmitForwardChain(base, "rel", depth, nullptr, "struct sock *sk", "sk", "sock_put(sk)");
+    {
+      const std::string touch = base + "_touch";
+      const std::string fn = base + "_unhash";
+      used_names_.insert(touch);
+      used_names_.insert(fn);
+      Append(StrFormat(
+          "%s void %s(struct sock *sk)\n"
+          "{\n"
+          "\tsock_prot_inuse_add(sock_net(sk), sk->sk_prot, -1);\n"
+          "}\n\n"
+          "%s void %s(struct sock *sk)\n"
+          "{\n"
+          "\t%s_rel1(sk);\n"
+          "\t%s(sk);\n"  // planted P8: helper derefs sk after the chained put
+          "}\n\n",
+          FnQualifier(), touch.c_str(), FnQualifier(), fn.c_str(), base.c_str(),
+          touch.c_str()));
+      RegisterWrapperBug(fn, 8, Impact::kUaf, base + "_rel1", depth);
+    }
+
+    // P9: escape without a get, acquire and release both chained.
+    {
+      const std::string fn = base + "_cache";
+      used_names_.insert(fn);
+      Append(StrFormat(
+          "%s int %s(struct %s_ctx *ctx)\n"
+          "{\n"
+          "\tstruct device_node *np = %s_scan1();\n"
+          "\n"
+          "\tif (!np)\n"
+          "\t\treturn -ENODEV;\n"
+          "\tctx->node = np;\n"  // planted P9: escapes without of_node_get
+          "\t%s_sync(np);\n"
+          "\t%s_drop1(np);\n"
+          "\treturn 0;\n"
+          "}\n\n",
+          FnQualifier(), fn.c_str(), plan_.module.c_str(), base.c_str(), DeviceWord().c_str(),
+          base.c_str()));
+      RegisterWrapperBug(fn, 9, Impact::kUaf, base + "_scan1", depth);
+    }
+
+    FlushFile();
   }
 
   // -------------------------------------------------------- clean emitters

@@ -39,6 +39,11 @@ struct PlantedBug {
   Impact impact = Impact::kLeak;
   std::string api;
   MaintainerResponse response = MaintainerResponse::kNoResponse;
+  // 0 = the anti-pattern is directly visible in the function; N >= 2 = the
+  // acquire/release APIs are buried under a chain of N wrapper helpers, so
+  // detection needs discovery (depth 2) or interprocedural summaries
+  // (depth 3+, and P1/P8 at any depth).
+  int wrapper_depth = 0;
 };
 
 struct PlantedFalsePositive {
@@ -52,6 +57,13 @@ struct CorpusOptions {
   // support file. More clean code = harder precision test + larger KLOC.
   int min_clean_functions = 4;
   bool plant_false_positives = true;
+  // For each listed depth (>= 2), every module grows one extra file with
+  // wrapper-chain variants of P1/P4/P5/P8/P9: the refcounting APIs are
+  // wrapped under `depth` layers of helper functions (emitted outermost
+  // first, which defeats the two-round discovery pass at depth 3). Empty by
+  // default so the base corpus — and every Table 4/5 bench count — stays
+  // byte-identical.
+  std::vector<int> wrapper_chain_depths;
 };
 
 struct Corpus {

@@ -351,6 +351,15 @@ class EventExtractor {
       return;
     }
 
+    // Summarised helpers known to dereference some of their parameters get
+    // synthetic 𝒟 events at the call site, so use-after-decrease shapes
+    // hidden inside helpers stay visible to the checkers.
+    if (const std::vector<int>* derefs = kb_.FindParamDerefs(callee); derefs != nullptr) {
+      for (const int param : *derefs) {
+        Emit(SemOp::kDeref, arg_object(param), line);
+      }
+    }
+
     if (KnowledgeBase::IsFreeFunction(callee)) {
       Emit(SemOp::kFree, arg_object(0), line);
       return;

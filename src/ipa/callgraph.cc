@@ -1,0 +1,170 @@
+#include "src/ipa/callgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace refscan {
+
+int CallGraph::Find(std::string_view name) const {
+  const auto it = index.find(name);
+  return it == index.end() ? -1 : it->second;
+}
+
+namespace {
+
+// Iterative Tarjan SCC. Deterministic: roots are tried in node order and
+// callee lists are sorted, so SCC ids depend only on the graph. Components
+// pop in reverse topological order — every SCC a member calls into is
+// already numbered when its own SCC forms, which makes the bottom-up level
+// a single pass.
+void CondenseSccs(CallGraph& g) {
+  const int n = static_cast<int>(g.nodes.size());
+  std::vector<int> disc(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  int next_disc = 0;
+
+  struct Frame {
+    int v = 0;
+    size_t child = 0;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (disc[static_cast<size_t>(root)] >= 0) {
+      continue;
+    }
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      const size_t v = static_cast<size_t>(top.v);
+      if (top.child == 0) {
+        disc[v] = low[v] = next_disc++;
+        stack.push_back(top.v);
+        on_stack[v] = true;
+      }
+      if (top.child < g.nodes[v].callees.size()) {
+        const int w = g.nodes[v].callees[top.child++];
+        const size_t wi = static_cast<size_t>(w);
+        if (disc[wi] < 0) {
+          frames.push_back({w, 0});
+        } else if (on_stack[wi]) {
+          low[v] = std::min(low[v], disc[wi]);
+        }
+        continue;
+      }
+      // All children done: close the SCC if v is its root, then propagate
+      // lowlink to the parent frame.
+      if (low[v] == disc[v]) {
+        const int scc_id = static_cast<int>(g.sccs.size());
+        std::vector<int> members;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          g.nodes[static_cast<size_t>(w)].scc = scc_id;
+          members.push_back(w);
+          if (w == top.v) {
+            break;
+          }
+        }
+        std::sort(members.begin(), members.end());
+        // Level: one above the highest callee SCC (cross edges only).
+        int level = 0;
+        for (const int m : members) {
+          for (const int callee : g.nodes[static_cast<size_t>(m)].callees) {
+            const CallGraphNode& target = g.nodes[static_cast<size_t>(callee)];
+            if (target.scc != scc_id) {
+              level = std::max(level, target.level + 1);
+            }
+          }
+        }
+        for (const int m : members) {
+          g.nodes[static_cast<size_t>(m)].level = level;
+        }
+        g.levels = std::max(g.levels, level + 1);
+        g.sccs.push_back(std::move(members));
+      }
+      const int finished = top.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const size_t parent = static_cast<size_t>(frames.back().v);
+        low[parent] = std::min(low[parent], low[static_cast<size_t>(finished)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units) {
+  CallGraph g;
+
+  // Nodes: every defined function, first definition of a name wins.
+  for (const TranslationUnit* unit : units) {
+    for (const FunctionDef& fn : unit->functions) {
+      if (fn.body == nullptr || g.index.contains(fn.name)) {
+        continue;
+      }
+      CallGraphNode node;
+      node.name = fn.name;
+      node.fn = &fn;
+      node.unit = unit;
+      g.index.emplace(fn.name, static_cast<int>(g.nodes.size()));
+      g.nodes.push_back(std::move(node));
+    }
+  }
+
+  // Function-pointer publication: `.probe = foo_probe` in any global's
+  // designated initializer makes "probe" resolve to foo_probe.
+  std::map<std::string, std::set<int>, std::less<>> by_field;
+  for (const TranslationUnit* unit : units) {
+    for (const GlobalVar& global : unit->globals) {
+      for (const DesignatedInit& init : global.inits) {
+        const int target = g.Find(init.value);
+        if (target >= 0) {
+          by_field[init.field].insert(target);
+        }
+      }
+    }
+  }
+
+  // Edges.
+  for (CallGraphNode& node : g.nodes) {
+    std::set<int> direct;
+    std::set<int> indirect;
+    ForEachExpr(*node.fn->body, [&](const Expr& e) {
+      if (e.kind != Expr::Kind::kCall || e.args.empty() || e.args[0] == nullptr) {
+        return;
+      }
+      const std::string callee = e.CalleeName();
+      if (!callee.empty()) {
+        if (const int target = g.Find(callee); target >= 0) {
+          direct.insert(target);
+        }
+        return;
+      }
+      // Call through a member: `ops->probe(dev)` fans out to every function
+      // published under the field name.
+      if (e.args[0]->kind == Expr::Kind::kMember) {
+        if (const auto it = by_field.find(e.args[0]->value); it != by_field.end()) {
+          indirect.insert(it->second.begin(), it->second.end());
+        }
+      }
+    });
+    g.direct_edges += direct.size();
+    for (const int target : indirect) {
+      if (!direct.contains(target)) {
+        ++g.indirect_edges;
+      }
+    }
+    direct.insert(indirect.begin(), indirect.end());
+    node.callees.assign(direct.begin(), direct.end());
+  }
+
+  CondenseSccs(g);
+  return g;
+}
+
+}  // namespace refscan

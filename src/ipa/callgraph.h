@@ -1,0 +1,59 @@
+// Whole-tree call graph for the interprocedural summary stage (§5.4 / stage
+// 2.5 of the scan pipeline).
+//
+// Nodes are function definitions. When a name repeats across units the first
+// definition wins — units arrive in path-sorted order, so the choice is
+// deterministic. Edges are direct calls by callee name plus indirect calls
+// through ops-struct function pointers: a designated initializer
+// `.probe = foo_probe` publishes `foo_probe` under the field name "probe",
+// and a call through any member named `probe` edges to every published
+// function. This reuses the same initializer data the P6 checker pairs
+// probe/remove callbacks with.
+//
+// Tarjan's algorithm (iterative, so deep wrapper chains cannot overflow the
+// stack) condenses the graph into strongly connected components, and each
+// SCC gets a bottom-up level: level 0 SCCs call nothing in the graph, and a
+// caller's SCC always sits strictly above every callee's. Two SCCs on the
+// same level therefore never depend on each other, which is what lets the
+// summary stage compute one level at a time in parallel.
+
+#ifndef REFSCAN_IPA_CALLGRAPH_H_
+#define REFSCAN_IPA_CALLGRAPH_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/ast.h"
+
+namespace refscan {
+
+struct CallGraphNode {
+  std::string name;
+  const FunctionDef* fn = nullptr;
+  const TranslationUnit* unit = nullptr;
+  std::vector<int> callees;  // deduplicated, ascending node index
+  int scc = -1;              // SCC id; callees' SCCs are numbered lower
+  int level = 0;             // bottom-up SCC level: 0 = calls nothing here
+};
+
+struct CallGraph {
+  std::vector<CallGraphNode> nodes;               // unit/definition order
+  std::map<std::string, int, std::less<>> index;  // name -> node id
+  std::vector<std::vector<int>> sccs;             // SCC id -> members (ascending)
+  int levels = 0;                                 // max level + 1; 0 when empty
+  size_t direct_edges = 0;
+  size_t indirect_edges = 0;  // through ops-struct function pointers
+
+  // Node id for `name`, or -1.
+  int Find(std::string_view name) const;
+};
+
+// Builds the call graph over every function defined in `units`. The units
+// (and their ASTs) must outlive the graph.
+CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_IPA_CALLGRAPH_H_

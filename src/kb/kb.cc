@@ -322,6 +322,20 @@ void KnowledgeBase::AddOwnershipSink(std::string name, int param_index) {
   ownership_sinks_.insert_or_assign(std::move(name), param_index);
 }
 
+const std::vector<int>* KnowledgeBase::FindParamDerefs(std::string_view name) const {
+  const auto it = param_derefs_.find(name);
+  return it == param_derefs_.end() ? nullptr : &it->second;
+}
+
+void KnowledgeBase::AddParamDerefs(std::string name, std::vector<int> param_indices) {
+  param_derefs_.insert_or_assign(std::move(name), std::move(param_indices));
+}
+
+RefApiInfo* KnowledgeBase::FindApiMutable(std::string_view name) {
+  const auto it = apis_.find(name);
+  return it == apis_.end() ? nullptr : &it->second;
+}
+
 void KnowledgeBase::DiscoverOwnershipSinks(const TranslationUnit& unit) {
   for (const FunctionDef& fn : unit.functions) {
     if (fn.body == nullptr || ownership_sinks_.contains(fn.name)) {
@@ -472,6 +486,7 @@ void KnowledgeBase::DiscoverFunctions(const TranslationUnit& unit) {
     info.returns_error = !info.returns_object && has_error_return &&
                          info.direction == RefDirection::kIncrease;
     info.consumed_param = increases ? consumed_param : -1;
+    info.discovered = true;
     apis_.insert_or_assign(info.name, std::move(info));
   }
 }

@@ -54,6 +54,12 @@ struct RefApiInfo {
   // 𝒢_H/𝒫_H: none of the refcounting keywords appear in the name, or the
   // name's dominant meaning is unrelated (find/parse/...). §5.2.
   bool hidden = false;
+
+  // Provenance: false for the built-in catalogue, true for entries produced
+  // by source discovery or interprocedural summaries. Only discovered
+  // entries may be refined after registration (FindApiMutable) — the
+  // catalogue is ground truth and stays untouched.
+  bool discovered = false;
 };
 
 struct SmartLoopInfo {
@@ -107,11 +113,27 @@ class KnowledgeBase {
   // parameter index consumed, or -1.
   int FindOwnershipSink(std::string_view function_name) const;
 
+  // Param-deref facts: non-refcounting helpers known to dereference some of
+  // their pointer parameters (from interprocedural summaries). Call sites
+  // grow synthetic 𝒟 events for the listed arguments, which lets the
+  // use-after-decrease checkers see derefs hidden inside helpers. Returns
+  // null when no fact is registered.
+  const std::vector<int>* FindParamDerefs(std::string_view function_name) const;
+
   // Registration -------------------------------------------------------
   void AddApi(RefApiInfo info);
   void AddSmartLoop(SmartLoopInfo info);
   void AddRefcountedStruct(std::string name);
   void AddOwnershipSink(std::string name, int param_index);
+  void AddParamDerefs(std::string name, std::vector<int> param_indices);
+
+  // Mutable access for summary-time refinement (exact-name match only).
+  // Callers must leave built-in entries (discovered == false) alone and are
+  // subject to the same serialisation contract as discovery: no concurrent
+  // readers while an entry is being refined. Fields are mutated in place —
+  // entry addresses are stable, so `const RefApiInfo*` held elsewhere stays
+  // valid.
+  RefApiInfo* FindApiMutable(std::string_view name);
 
   // Discovery from source (§6.1 "Lexer Parsing"). Safe to call repeatedly
   // (e.g. once per translation unit); runs a bounded nesting fixpoint for
@@ -129,6 +151,9 @@ class KnowledgeBase {
   const std::map<std::string, int, std::less<>>& ownership_sinks() const {
     return ownership_sinks_;
   }
+  const std::map<std::string, std::vector<int>, std::less<>>& param_derefs() const {
+    return param_derefs_;
+  }
 
  private:
   void DiscoverStructs(const TranslationUnit& unit, int nesting_threshold);
@@ -140,6 +165,7 @@ class KnowledgeBase {
   std::map<std::string, SmartLoopInfo, std::less<>> smart_loops_;
   std::set<std::string, std::less<>> refcounted_structs_;
   std::map<std::string, int, std::less<>> ownership_sinks_;
+  std::map<std::string, std::vector<int>, std::less<>> param_derefs_;
 };
 
 }  // namespace refscan

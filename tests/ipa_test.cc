@@ -1,0 +1,414 @@
+// Interprocedural summary tests: call-graph construction, bottom-up
+// summary classification, KB injection, the recursive-SCC extra iteration,
+// and the end-to-end corpus acceptance for wrapper-chain bugs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/parser.h"
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+#include "src/ipa/summary.h"
+#include "src/support/threadpool.h"
+
+namespace refscan {
+namespace {
+
+// Owns the files and parsed units for a set of in-memory sources.
+struct Parsed {
+  std::vector<SourceFile> files;
+  std::vector<TranslationUnit> units;
+  std::vector<const TranslationUnit*> ptrs;
+};
+
+Parsed ParseAll(std::vector<std::pair<std::string, std::string>> sources) {
+  Parsed parsed;
+  for (auto& [path, text] : sources) {
+    parsed.files.emplace_back(path, std::move(text));
+  }
+  for (const SourceFile& file : parsed.files) {
+    parsed.units.push_back(ParseFile(file));
+  }
+  for (const TranslationUnit& unit : parsed.units) {
+    parsed.ptrs.push_back(&unit);
+  }
+  return parsed;
+}
+
+SummaryResult Summarize(const Parsed& parsed, KnowledgeBase& kb, size_t jobs = 1) {
+  ThreadPool pool(jobs);
+  return ComputeSummaries(parsed.ptrs, kb, SummaryOptions{}, pool);
+}
+
+const FunctionSummary* FindSummary(const SummaryResult& result, std::string_view name) {
+  for (const FunctionSummary& s : result.summaries) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- call graph
+
+TEST(CallGraphTest, DirectEdgesAndLevels) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void leaf(int x) { }\n"
+                                   "static void mid(int x) { leaf(x); }\n"
+                                   "static void top(int x) { mid(x); leaf(x); }\n"}});
+  const CallGraph g = BuildCallGraph(parsed.ptrs);
+  ASSERT_EQ(g.nodes.size(), 3u);
+  EXPECT_EQ(g.direct_edges, 3u);
+  EXPECT_EQ(g.indirect_edges, 0u);
+
+  const int leaf = g.Find("leaf");
+  const int mid = g.Find("mid");
+  const int top = g.Find("top");
+  ASSERT_GE(leaf, 0);
+  ASSERT_GE(mid, 0);
+  ASSERT_GE(top, 0);
+  EXPECT_EQ(g.nodes[leaf].level, 0);
+  EXPECT_EQ(g.nodes[mid].level, 1);
+  EXPECT_EQ(g.nodes[top].level, 2);
+  EXPECT_EQ(g.nodes[top].callees.size(), 2u);
+  EXPECT_EQ(g.Find("missing"), -1);
+}
+
+TEST(CallGraphTest, OpsStructFunctionPointerEdges) {
+  const Parsed parsed = ParseAll(
+      {{"a.c",
+        "static int dev_probe(struct platform_device *pdev) { return 0; }\n"
+        "static int dev_remove(struct platform_device *pdev) { return 0; }\n"
+        "static struct platform_driver dev_driver = {\n"
+        "\t.probe = dev_probe,\n"
+        "\t.remove = dev_remove,\n"
+        "};\n"
+        "static int launch(struct platform_driver *drv, struct platform_device *pdev)\n"
+        "{\n"
+        "\treturn drv->probe(pdev);\n"
+        "}\n"}});
+  const CallGraph g = BuildCallGraph(parsed.ptrs);
+  ASSERT_EQ(g.nodes.size(), 3u);
+  EXPECT_EQ(g.indirect_edges, 1u);
+  const int launch = g.Find("launch");
+  const int probe = g.Find("dev_probe");
+  ASSERT_GE(launch, 0);
+  ASSERT_GE(probe, 0);
+  const auto& callees = g.nodes[launch].callees;
+  EXPECT_TRUE(std::find(callees.begin(), callees.end(), probe) != callees.end());
+  EXPECT_GT(g.nodes[launch].level, g.nodes[probe].level);
+}
+
+TEST(CallGraphTest, MutualRecursionFormsOneScc) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static int ping(int n);\n"
+                                   "static int pong(int n) { return ping(n - 1); }\n"
+                                   "static int ping(int n) { return pong(n - 1); }\n"}});
+  const CallGraph g = BuildCallGraph(parsed.ptrs);
+  ASSERT_EQ(g.nodes.size(), 2u);
+  ASSERT_EQ(g.sccs.size(), 1u);
+  EXPECT_EQ(g.sccs[0].size(), 2u);
+  EXPECT_EQ(g.nodes[0].scc, g.nodes[1].scc);
+}
+
+TEST(CallGraphTest, FirstDefinitionWins) {
+  const Parsed parsed = ParseAll({{"a.c", "static int helper(void) { return 1; }\n"},
+                                  {"b.c", "static int helper(void) { return 2; }\n"}});
+  const CallGraph g = BuildCallGraph(parsed.ptrs);
+  ASSERT_EQ(g.nodes.size(), 1u);
+  EXPECT_EQ(g.nodes[0].unit->path, "a.c");
+}
+
+// ------------------------------------------------------- summary lattice
+
+TEST(SummaryTest, DecreaseWrapperChainRegisters) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void drop2(struct device_node *np)\n"
+                                   "{\n"
+                                   "\tof_node_put(np);\n"
+                                   "}\n"
+                                   "static void drop1(struct device_node *np)\n"
+                                   "{\n"
+                                   "\tdrop2(np);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  EXPECT_EQ(result.registered_apis, 2u);
+  const RefApiInfo* outer = kb.FindApi("drop1");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->direction, RefDirection::kDecrease);
+  EXPECT_EQ(outer->object_param, 0);
+  EXPECT_TRUE(outer->discovered);
+}
+
+TEST(SummaryTest, FindWrapperChainRegistersHiddenIncrease) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static struct device_node *scan2(void)\n"
+                                   "{\n"
+                                   "\tstruct device_node *np = of_find_node_by_path(\"/x\");\n"
+                                   "\n"
+                                   "\treturn np;\n"
+                                   "}\n"
+                                   "static struct device_node *scan1(void)\n"
+                                   "{\n"
+                                   "\tstruct device_node *np = scan2();\n"
+                                   "\n"
+                                   "\treturn np;\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  const RefApiInfo* outer = kb.FindApi("scan1");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->direction, RefDirection::kIncrease);
+  EXPECT_TRUE(outer->returns_object);
+  EXPECT_TRUE(outer->hidden);  // "scan" is not a refcounting word
+  const FunctionSummary* s = FindSummary(result, "scan1");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->returns_acquired);
+}
+
+TEST(SummaryTest, ErrorIncrementPropagatesThroughWrappers) {
+  // The 𝒢_E deviation: pm_runtime_get_sync() leaves the usage count raised
+  // even when it fails. A wrapper forwarding the return value inherits the
+  // deviation — the textual discovery pass cannot see this (the wrapper
+  // never returns a literal error code).
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static int w2(struct device *dev)\n"
+                                   "{\n"
+                                   "\treturn pm_runtime_get_sync(dev);\n"
+                                   "}\n"
+                                   "static int w1(struct device *dev)\n"
+                                   "{\n"
+                                   "\treturn w2(dev);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  Summarize(parsed, kb);
+  const RefApiInfo* outer = kb.FindApi("w1");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->direction, RefDirection::kIncrease);
+  EXPECT_EQ(outer->object_param, 0);
+  EXPECT_TRUE(outer->returns_error);
+}
+
+TEST(SummaryTest, ExplicitNullReturnSetsMayReturnNull) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static struct device_node *maybe(void)\n"
+                                   "{\n"
+                                   "\tstruct device_node *np = of_find_node_by_path(\"/x\");\n"
+                                   "\n"
+                                   "\tif (!np)\n"
+                                   "\t\treturn NULL;\n"
+                                   "\treturn np;\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  Summarize(parsed, kb);
+  const RefApiInfo* api = kb.FindApi("maybe");
+  ASSERT_NE(api, nullptr);
+  EXPECT_TRUE(api->may_return_null);
+}
+
+TEST(SummaryTest, ParamDerefAndSinkFactsRegister) {
+  const Parsed parsed = ParseAll(
+      {{"a.c",
+        "static void touch(struct sock *sk)\n"
+        "{\n"
+        "\tsock_prot_inuse_add(sock_net(sk), sk->sk_prot, -1);\n"
+        "}\n"
+        "static void stash(struct ctx *c, struct device_node *np)\n"
+        "{\n"
+        "\tc->node = np;\n"
+        "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  EXPECT_EQ(result.registered_apis, 0u);
+  const std::vector<int>* derefs = kb.FindParamDerefs("touch");
+  ASSERT_NE(derefs, nullptr);
+  EXPECT_EQ(*derefs, std::vector<int>{0});
+  EXPECT_EQ(kb.FindOwnershipSink("stash"), 1);
+}
+
+TEST(SummaryTest, BuiltInEntriesAreNeverModified) {
+  // A local function shadowing a catalogue API name must not overwrite the
+  // catalogue entry, whatever its body does.
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void of_node_put(struct device_node *np)\n"
+                                   "{\n"
+                                   "\tof_node_get(np);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  EXPECT_EQ(result.registered_apis, 0u);
+  EXPECT_EQ(result.upgraded_apis, 0u);
+  const RefApiInfo* api = kb.FindApi("of_node_put");
+  ASSERT_NE(api, nullptr);
+  EXPECT_EQ(api->direction, RefDirection::kDecrease);
+  EXPECT_FALSE(api->discovered);
+}
+
+TEST(SummaryTest, RecursiveSccSecondIterationReachesFixpoint) {
+  // fput and gput form a cycle. In the first iteration both are summarised
+  // against a KB that knows neither, so only fput (whose own body holds the
+  // put) registers; the second iteration re-summarises the SCC against the
+  // updated KB and registers gput too.
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void gput(struct device_node *np);\n"
+                                   "static void fput(struct device_node *np)\n"
+                                   "{\n"
+                                   "\tof_node_put(np);\n"
+                                   "\tgput(np);\n"
+                                   "}\n"
+                                   "static void gput(struct device_node *np)\n"
+                                   "{\n"
+                                   "\tfput(np);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  ASSERT_EQ(result.graph.sccs.size(), 1u);
+  EXPECT_EQ(result.graph.sccs[0].size(), 2u);
+  const RefApiInfo* outer = kb.FindApi("gput");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->direction, RefDirection::kDecrease);
+  EXPECT_EQ(outer->object_param, 0);
+}
+
+TEST(SummaryTest, InconsistentDeltasAreNotTrusted) {
+  // A conditional put nets -1 on one path and 0 on another: no consistent
+  // delta, so nothing may be registered.
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void maybe_put(struct device_node *np, int c)\n"
+                                   "{\n"
+                                   "\tif (c)\n"
+                                   "\t\tof_node_put(np);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  EXPECT_EQ(result.registered_apis, 0u);
+  EXPECT_EQ(kb.FindApi("maybe_put"), nullptr);
+}
+
+TEST(SummaryTest, DumpsAreDeterministicAcrossJobs) {
+  const Corpus& corpus = GenerateKernelCorpus();
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const auto& [path, file] : corpus.tree.files()) {
+    sources.emplace_back(path, std::string(file.text()));
+  }
+  const Parsed parsed = ParseAll(std::move(sources));
+  KnowledgeBase kb1 = KnowledgeBase::BuiltIn();
+  KnowledgeBase kb4 = KnowledgeBase::BuiltIn();
+  const SummaryResult serial = Summarize(parsed, kb1, 1);
+  const SummaryResult wide = Summarize(parsed, kb4, 4);
+  EXPECT_EQ(SummariesToJson(serial), SummariesToJson(wide));
+  EXPECT_EQ(SummariesToText(serial), SummariesToText(wide));
+}
+
+// -------------------------------------------------- corpus acceptance
+
+ScanResult ScanCorpus(const SourceTree& tree, bool interprocedural, size_t jobs = 1) {
+  ScanOptions options;
+  options.jobs = jobs;
+  options.interprocedural = interprocedural;
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+  return engine.Scan(tree);
+}
+
+const Corpus& WrapperCorpus() {
+  static const Corpus* corpus = [] {
+    CorpusOptions options;
+    options.wrapper_chain_depths = {2, 3};
+    return new Corpus(GenerateKernelCorpus(options));
+  }();
+  return *corpus;
+}
+
+TEST(IpaCorpusTest, SeedCorpusReportsUnchangedBySummaries) {
+  // On the base corpus every refcounting helper is already classified by
+  // two-round discovery, so turning summaries on must not move a single
+  // report — the stage only adds facts the checkers would otherwise miss.
+  const Corpus& corpus = GenerateKernelCorpus();
+  const ScanResult off = ScanCorpus(corpus.tree, false);
+  const ScanResult on = ScanCorpus(corpus.tree, true);
+  EXPECT_GT(on.stats.summarized_functions, 0u);
+  EXPECT_EQ(off.stats.summarized_functions, 0u);
+  EXPECT_EQ(ReportsToJson(off.reports), ReportsToJson(on.reports));
+}
+
+TEST(IpaCorpusTest, WrapperChainBugsDetectedWithSummaries) {
+  const Corpus& corpus = WrapperCorpus();
+  const ScanResult result = ScanCorpus(corpus.tree, true);
+
+  size_t wrapper_bugs = 0;
+  size_t detected = 0;
+  for (const PlantedBug& bug : corpus.ground_truth) {
+    if (bug.wrapper_depth < 2) {
+      continue;
+    }
+    ++wrapper_bugs;
+    for (const BugReport& r : result.reports) {
+      if (r.file == bug.file && r.function == bug.function &&
+          r.anti_pattern == bug.anti_pattern) {
+        ++detected;
+        break;
+      }
+    }
+  }
+  // 54 modules x 2 depths x {P1, P4, P5, P8, P9}.
+  EXPECT_GT(wrapper_bugs, 0u);
+  EXPECT_GE(detected * 100, wrapper_bugs * 90) << detected << "/" << wrapper_bugs;
+}
+
+TEST(IpaCorpusTest, NoNewFalsePositivesOnWrapperCorpus) {
+  // Every report must map to planted ground truth or a planted known-FP
+  // shape (the lpfc Listing-5 regression) — the wrapper helpers themselves
+  // and the clean functions must stay silent with summaries enabled.
+  const Corpus& corpus = WrapperCorpus();
+  const ScanResult result = ScanCorpus(corpus.tree, true);
+  for (const BugReport& r : result.reports) {
+    const bool planted =
+        corpus.FindBug(r.file, r.function) != nullptr || corpus.IsPlantedFp(r.file, r.function);
+    EXPECT_TRUE(planted) << r.file << ":" << r.line << " " << r.function << " P"
+                         << r.anti_pattern << " " << r.message;
+    if (!planted) {
+      break;
+    }
+  }
+}
+
+TEST(IpaCorpusTest, DeepChainsNeedSummariesAndG_EIsSummaryOnly) {
+  const Corpus& corpus = WrapperCorpus();
+  const ScanResult off = ScanCorpus(corpus.tree, false);
+
+  auto detected = [&off](const PlantedBug& bug) {
+    for (const BugReport& r : off.reports) {
+      if (r.file == bug.file && r.function == bug.function &&
+          r.anti_pattern == bug.anti_pattern) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const PlantedBug& bug : corpus.ground_truth) {
+    // P1 needs the 𝒢_E flag and P8 the helper-deref fact: both are summary
+    // facts, invisible to textual discovery at every depth. Depth-3 chains
+    // outrun the two discovery rounds for every pattern.
+    if (bug.wrapper_depth >= 3 || (bug.wrapper_depth >= 2 && (bug.anti_pattern == 1 ||
+                                                              bug.anti_pattern == 8))) {
+      EXPECT_FALSE(detected(bug)) << bug.file << " " << bug.function;
+    }
+  }
+}
+
+TEST(IpaCorpusTest, InterproceduralScanDeterministicAcrossJobs) {
+  const Corpus& corpus = WrapperCorpus();
+  const ScanResult serial = ScanCorpus(corpus.tree, true, 1);
+  const ScanResult wide = ScanCorpus(corpus.tree, true, 4);
+  EXPECT_EQ(serial.stats.summarized_functions, wide.stats.summarized_functions);
+  EXPECT_EQ(serial.stats.discovered_apis, wide.stats.discovered_apis);
+  EXPECT_EQ(ReportsToJson(serial.reports), ReportsToJson(wide.reports));
+}
+
+}  // namespace
+}  // namespace refscan

@@ -175,6 +175,45 @@ TEST(KbDiscoveryTest, HiddenFindLikeApiClassification) {
   EXPECT_TRUE(api->returns_object);
 }
 
+TEST(KbDiscoveryTest, TwoRoundDiscoveryIsUnitOrderInsensitive) {
+  // A wrapper-of-a-wrapper split across translation units must classify
+  // identically whichever unit is visited first: round one always learns the
+  // inner wrapper, round two the outer one.
+  SourceFile outer_file("outer.c",
+                        "struct foo_dev *foo_outer_get(struct foo_dev *fd)\n"
+                        "{\n"
+                        "  return foo_inner_get(fd);\n"
+                        "}\n");
+  SourceFile inner_file("inner.c",
+                        "struct foo_dev *foo_inner_get(struct foo_dev *fd)\n"
+                        "{\n"
+                        "  kref_get(&fd->ref);\n"
+                        "  return fd;\n"
+                        "}\n");
+  const TranslationUnit outer = ParseFile(outer_file);
+  const TranslationUnit inner = ParseFile(inner_file);
+
+  auto classify = [](const std::vector<const TranslationUnit*>& order) {
+    KnowledgeBase kb = KnowledgeBase::BuiltIn();
+    for (int round = 0; round < 2; ++round) {
+      for (const TranslationUnit* unit : order) {
+        kb.DiscoverFromUnit(*unit);
+      }
+    }
+    return kb;
+  };
+
+  const KnowledgeBase first = classify({&outer, &inner});
+  const KnowledgeBase second = classify({&inner, &outer});
+  for (const KnowledgeBase* kb : {&first, &second}) {
+    const RefApiInfo* api = kb->FindApi("foo_outer_get");
+    ASSERT_NE(api, nullptr);
+    EXPECT_EQ(api->direction, RefDirection::kIncrease);
+    EXPECT_TRUE(api->returns_object);
+    EXPECT_FALSE(api->hidden);
+  }
+}
+
 TEST(KbDiscoveryTest, ReturnErrorDeviantDiscovered) {
   KnowledgeBase kb = KnowledgeBase::BuiltIn();
   const auto unit = Parse(

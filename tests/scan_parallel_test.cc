@@ -36,6 +36,7 @@ void ExpectIdentical(const ScanResult& a, const ScanResult& b) {
   EXPECT_EQ(a.stats.discovered_apis, b.stats.discovered_apis);
   EXPECT_EQ(a.stats.discovered_smart_loops, b.stats.discovered_smart_loops);
   EXPECT_EQ(a.stats.refcounted_structs, b.stats.refcounted_structs);
+  EXPECT_EQ(a.stats.summarized_functions, b.stats.summarized_functions);
   ASSERT_EQ(a.reports.size(), b.reports.size());
   // The JSON rendering covers every report field, so equal JSON means the
   // report lists are byte-identical.

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "src/checkers/engine.h"
 #include "src/histmine/gitlog.h"
@@ -122,6 +123,51 @@ TEST(SuppressionTest, CommentOnPrecedingLineAlsoWorks) {
       "  return 0;\n"
       "}\n");
   EXPECT_TRUE(result.reports.empty());
+}
+
+// --------------------------------------------------------- pattern filter
+
+TEST(PatternListTest, ParsesValidLists) {
+  std::set<int> out;
+  EXPECT_TRUE(ParsePatternList("1,4,8", out));
+  EXPECT_EQ(out, (std::set<int>{1, 4, 8}));
+  EXPECT_TRUE(ParsePatternList("9", out));
+  EXPECT_EQ(out, std::set<int>{9});
+  EXPECT_TRUE(ParsePatternList("3,3,3", out));  // duplicates collapse
+  EXPECT_EQ(out, std::set<int>{3});
+}
+
+TEST(PatternListTest, RejectsInvalidListsWithoutTouchingOutput) {
+  std::set<int> out = {7};
+  EXPECT_FALSE(ParsePatternList("0", out));
+  EXPECT_FALSE(ParsePatternList("10", out));
+  EXPECT_FALSE(ParsePatternList("abc", out));
+  EXPECT_FALSE(ParsePatternList("", out));
+  EXPECT_FALSE(ParsePatternList("1,,2", out));
+  EXPECT_FALSE(ParsePatternList("1,x", out));
+  EXPECT_FALSE(ParsePatternList("-1", out));
+  EXPECT_EQ(out, std::set<int>{7});  // failed parses leave the set alone
+}
+
+TEST(PatternListTest, EnabledPatternsRestrictTheScan) {
+  // The P2 missing-null-check bug below must vanish when only P1 runs.
+  const char* text =
+      "static int vio_init(void)\n"
+      "{\n"
+      "  struct mdesc_handle *hp = mdesc_grab();\n"
+      "  parse_node(hp->root);\n"
+      "  mdesc_release(hp);\n"
+      "  return 0;\n"
+      "}\n";
+  CheckerEngine all;
+  const auto unrestricted = all.ScanFileText("drivers/t/t.c", text);
+  EXPECT_FALSE(unrestricted.reports.empty());
+
+  ScanOptions only_p1;
+  ASSERT_TRUE(ParsePatternList("1", only_p1.enabled_patterns));
+  CheckerEngine restricted(KnowledgeBase::BuiltIn(), only_p1);
+  const auto filtered = restricted.ScanFileText("drivers/t/t.c", text);
+  EXPECT_TRUE(filtered.reports.empty());
 }
 
 // --------------------------------------------------------------- disk I/O

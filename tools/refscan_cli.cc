@@ -4,6 +4,7 @@
 //   refscan match <dir> "<template>" [--jobs N]   run a custom semantic template
 //   refscan dump <file.c> [tokens|ast|cfg|cpg]    inspect front-end stages
 //   refscan deviations <dir> [--jobs N]           find deviant refcounting APIs
+//   refscan summaries <dir> [--json] [--jobs N]   interprocedural ref-delta summaries
 //   refscan demo [--jobs N] [--emit <dir>]        scan the built-in synthetic kernel corpus
 //
 // --jobs/-j N picks the scan parallelism (0 = one thread per hardware
@@ -14,9 +15,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <string>
 
 #include "src/checkers/engine.h"
+#include "src/ipa/summary.h"
+#include "src/support/threadpool.h"
 #include "src/checkers/fixes.h"
 #include "src/checkers/template_matcher.h"
 #include "src/checkers/templates.h"
@@ -31,13 +35,18 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--jobs N]\n"
+               "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
+               "                    [--interprocedural] [--jobs N]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
                "-> S_D(p0) -> F_end\"\n"
                "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
                "  refscan deviations <dir> [--jobs N]\n"
+               "  refscan summaries <dir> [--json] [--jobs N]\n"
                "  refscan demo [--jobs N] [--emit <dir>]\n"
                "\n"
+               "  --patterns LIST       comma-separated anti-pattern ids to check, e.g. 1,4,8\n"
+               "  --interprocedural     fold bottom-up call-graph summaries into the KB\n"
+               "                        before checking (alias: --ipa)\n"
                "  --jobs/-j N   scan threads (0 = all hardware threads, the default);\n"
                "                output is identical at every thread count\n");
   return 2;
@@ -48,6 +57,8 @@ struct CliFlags {
   bool print_fixes = false;
   bool discovery = true;
   bool json = false;
+  bool interprocedural = false;
+  std::set<int> patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
   size_t jobs = 0;  // 0 = hardware concurrency
   std::string emit_dir;
 };
@@ -62,6 +73,19 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
       flags.discovery = false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       flags.json = true;
+    } else if (std::strcmp(argv[i], "--interprocedural") == 0 ||
+               std::strcmp(argv[i], "--ipa") == 0) {
+      flags.interprocedural = true;
+    } else if (std::strcmp(argv[i], "--patterns") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--patterns needs a comma-separated list (e.g. 1,4,8)\n");
+        return false;
+      }
+      if (!refscan::ParsePatternList(argv[++i], flags.patterns)) {
+        std::fprintf(stderr, "bad pattern list '%s': expected comma-separated ids in 1..9\n",
+                     argv[i]);
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a number\n", argv[i]);
@@ -92,6 +116,8 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
   ScanOptions options;
   options.discover_from_source = flags.discovery;
   options.jobs = flags.jobs;
+  options.interprocedural = flags.interprocedural;
+  options.enabled_patterns = flags.patterns;
   CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
   const ScanResult result = engine.Scan(tree);
 
@@ -245,6 +271,47 @@ int main(int argc, char** argv) {
       const Cpg cpg = BuildCpg(cfg, kb);
       std::printf("== %s ==\n%s\n", fn.name.c_str(), DumpCpg(cpg).c_str());
     }
+    return 0;
+  }
+
+  if (command == "summaries") {
+    if (argc < 3) {
+      return Usage();
+    }
+    CliFlags flags;
+    if (!ParseFlags(argc, argv, 3, flags)) {
+      return Usage();
+    }
+    std::vector<std::string> errors;
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], LoadOptions{}, &errors);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    }
+    if (tree.size() == 0) {
+      std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
+      return 2;
+    }
+    // Same front half as a scan: parse everything, run the two-round
+    // discovery pass, then compute and dump the summaries.
+    std::vector<const SourceFile*> files;
+    for (const auto& [path, file] : tree.files()) {
+      files.push_back(&file);
+    }
+    ThreadPool pool(flags.jobs);
+    const std::vector<TranslationUnit> units =
+        ParallelMap(pool, files.size(), [&](size_t i) { return ParseFile(*files[i]); });
+    KnowledgeBase kb = KnowledgeBase::BuiltIn();
+    for (int round = 0; round < 2; ++round) {
+      for (const TranslationUnit& unit : units) {
+        kb.DiscoverFromUnit(unit);
+      }
+    }
+    std::vector<const TranslationUnit*> unit_ptrs;
+    for (const TranslationUnit& unit : units) {
+      unit_ptrs.push_back(&unit);
+    }
+    const SummaryResult result = ComputeSummaries(unit_ptrs, kb, SummaryOptions{}, pool);
+    std::printf("%s", (flags.json ? SummariesToJson(result) : SummariesToText(result)).c_str());
     return 0;
   }
 
