@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/ast/parser.h"
 #include "src/checkers/engine.h"
 #include "src/corpus/generator.h"
@@ -14,6 +17,7 @@
 #include "src/histmine/miner.h"
 #include "src/ipa/summary.h"
 #include "src/lexer/lexer.h"
+#include "src/support/fs.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -153,6 +157,84 @@ BENCHMARK(BM_FullTreeScanInterprocedural)
     ->ArgsProduct({{0, 1}, {1, 4}})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Incremental rescan with the persistent cache (DESIGN.md §5.8): prime the
+// cache once, then per iteration touch range(0) percent of the corpus files
+// (a trailing comment — content changes, discovery facts do not, so the KB
+// fingerprint stays stable and untouched files stay hot) and rescan.
+// Compare against BM_FullTreeScan for the speedup (acceptance target: >= 5x
+// at 0–1% change rates).
+void BM_IncrementalRescan(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  namespace stdfs = std::filesystem;
+  const int pct = static_cast<int>(state.range(0));
+  const std::string cache_dir =
+      (stdfs::temp_directory_path() / ("refscan_bench_cache_" + std::to_string(pct))).string();
+  stdfs::remove_all(cache_dir);
+  ScanOptions options;
+  options.cache_dir = cache_dir;
+  {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));  // prime
+  }
+  std::vector<std::string> paths;
+  for (const auto& [path, file] : corpus->tree.files()) {
+    paths.push_back(path);
+  }
+  const size_t changed = paths.size() * static_cast<size_t>(pct) / 100;
+  size_t rev = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SourceTree tree;
+    ++rev;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      std::string text(corpus->tree.Find(paths[i])->text());
+      if (i < changed) {
+        text += "// rev " + std::to_string(rev) + "\n";
+      }
+      tree.Add(paths[i], std::move(text));
+    }
+    state.ResumeTiming();
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(paths.size()));
+  stdfs::remove_all(cache_dir);
+}
+BENCHMARK(BM_IncrementalRescan)->Arg(0)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// On-disk tree loading at 1 and 4 reader threads: the corpus is emitted to
+// a temp directory once, then LoadSourceTreeFromDisk (serial walk, parallel
+// pre-sized reads) slurps it back.
+void BM_ParallelTreeLoad(benchmark::State& state) {
+  namespace stdfs = std::filesystem;
+  static const std::string* root = [] {
+    const Corpus corpus = GenerateKernelCorpus();
+    auto* dir = new std::string(
+        (stdfs::temp_directory_path() / "refscan_bench_tree").string());
+    stdfs::remove_all(*dir);
+    for (const auto& [path, file] : corpus.tree.files()) {
+      const stdfs::path target = stdfs::path(*dir) / path;
+      stdfs::create_directories(target.parent_path());
+      std::ofstream out(target, std::ios::binary);
+      const std::string_view text = file.text();
+      out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+    return dir;
+  }();
+  LoadOptions options;
+  options.jobs = static_cast<size_t>(state.range(0));
+  size_t files = 0;
+  for (auto _ : state) {
+    const SourceTree tree = LoadSourceTreeFromDisk(*root, options);
+    files = tree.size();
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(files));
+}
+BENCHMARK(BM_ParallelTreeLoad)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_MineHistory(benchmark::State& state) {
   HistoryOptions options;

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Records the scan-path benchmark trajectory in google-benchmark's JSON
+# format, so performance can be diffed commit-to-commit by machines instead
+# of eyeballs:
+#
+#   bench/record_scan_trajectory.sh build/bench/perf_pipeline BENCH_scan.json
+#
+# or, via the CMake convenience target:
+#
+#   cmake --build build --target bench_scan_trajectory
+#
+# Covered benchmarks: the cold full-tree scan (BM_FullTreeScan and its
+# threaded variant), the warm incremental rescan at 0/1/10 percent change
+# rates (BM_IncrementalRescan), and the parallel on-disk tree load
+# (BM_ParallelTreeLoad). The speedup of BM_IncrementalRescan/0 over
+# BM_FullTreeScan is the cache's headline number (target: >= 5x).
+set -eu
+
+PERF_BIN="${1:-build/bench/perf_pipeline}"
+OUT_JSON="${2:-BENCH_scan.json}"
+
+if [ ! -x "$PERF_BIN" ]; then
+  echo "error: benchmark binary not found at $PERF_BIN" >&2
+  echo "build it first: cmake --build build --target perf_pipeline" >&2
+  exit 1
+fi
+
+"$PERF_BIN" \
+  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ParallelTreeLoad' \
+  --benchmark_out="$OUT_JSON" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $OUT_JSON"

@@ -1,0 +1,144 @@
+// Persistent content-addressed incremental scan cache (DESIGN.md §5.8).
+//
+// The steady-state workload of a per-commit scanning service is "the same
+// tree with a small diff". The cache turns that from O(tree) into O(diff)
+// by storing, per source file, three artifacts in a ccache/Bazel-style
+// object store under <dir>/objects/:
+//
+//   <key>.facts     the file's DiscoveryFacts (the KB-independent stage-2
+//                   projection, see src/kb) — replaces parsing on the warm
+//                   non-interprocedural path
+//   <key>.unit      the parsed TranslationUnit — replaces parsing whenever
+//                   the file's reports must be (re)computed (--ipa mode, or
+//                   a KB-fingerprint mismatch)
+//   <key>-<kbfp>.reports   the raw stage-3 report shard + function count
+//
+// plus one tree-level artifact:
+//
+//   <key>.kb        the whole post-discovery KnowledgeBase, keyed by the
+//                   ordered per-file facts plus the pre-discovery KB
+//                   fingerprint — discovery is purely additive and
+//                   deterministic in that pair, so a snapshot hit replaces
+//                   both replay rounds (the warm-rescan bottleneck:
+//                   classifying ~1k discovered APIs from scratch)
+//
+// <key> is 128 bits of FNV-1a over (format version, file path, file
+// content, options fingerprint); <kbfp> additionally pins the exact
+// post-discovery knowledge base, because a file's reports are a pure
+// function of (content, KB, options). Loads validate magic, version, kind
+// and a payload checksum, and treat any mismatch as a miss — a corrupted or
+// truncated entry can cost time, never correctness. Stores write to a
+// temporary file and rename, so concurrent scans sharing a cache directory
+// only ever observe complete objects. An append-only index.tsv records one
+// line per stored object for inspection; readers skip malformed lines.
+
+#ifndef REFSCAN_CACHE_CACHE_H_
+#define REFSCAN_CACHE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/checkers/report.h"
+#include "src/kb/kb.h"
+
+namespace refscan {
+
+// 128-bit content address (two independently-seeded FNV-1a streams).
+struct CacheKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  std::string Hex() const;
+  bool operator==(const CacheKey&) const = default;
+};
+
+// Key for one file's cache entries. Includes the path (two identical files
+// at different paths produce distinct units and reports), the content, and
+// the scan-options fingerprint.
+CacheKey MakeFileKey(std::string_view path, std::string_view content, uint64_t options_fp);
+
+// Key for the tree-level KB snapshot. Post-discovery KB state is a pure
+// function of (pre-discovery KB, ordered per-file facts, nesting
+// threshold): discovery only ever inserts, and every insert is determined
+// by the facts sequence. Hashing exactly those inputs (plus the options
+// fingerprint and format version, via MakeFileKey's framing) is what makes
+// a snapshot hit sound. Note a comment-only edit leaves a file's facts
+// unchanged, so small cosmetic diffs still hit.
+CacheKey MakeKbSnapshotKey(uint64_t base_kb_fp, int nesting_threshold,
+                           const std::vector<const DiscoveryFacts*>& facts, uint64_t options_fp);
+
+// Deterministic digest of the entire knowledge base (APIs with all flags,
+// smartloops, refcounted structs, ownership sinks, param-deref facts) in
+// map order. Two scans whose post-discovery KBs fingerprint equal run the
+// checkers over identical inputs, which is what lets stage 3 be skipped.
+uint64_t FingerprintKnowledgeBase(const KnowledgeBase& kb);
+
+// One file's cached stage-3 output: the raw (pre-dedup) report shard in
+// checker emission order, plus the file's function count for ScanStats.
+struct CachedFileReports {
+  std::vector<BugReport> reports;
+  uint64_t functions = 0;
+};
+
+class ScanCache {
+ public:
+  // An empty `dir` constructs a disabled cache (every Load misses, every
+  // Store is a no-op) so callers need no branches. A non-empty dir is
+  // created on demand; creation failure degrades to disabled.
+  explicit ScanCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  std::optional<DiscoveryFacts> LoadFacts(const CacheKey& key) const;
+  void StoreFacts(const CacheKey& key, const DiscoveryFacts& facts, std::string_view source);
+
+  std::optional<TranslationUnit> LoadUnit(const CacheKey& key) const;
+  void StoreUnit(const CacheKey& key, const TranslationUnit& unit, std::string_view source);
+
+  std::optional<CachedFileReports> LoadReports(const CacheKey& key, uint64_t kb_fp) const;
+  void StoreReports(const CacheKey& key, uint64_t kb_fp, const CachedFileReports& reports,
+                    std::string_view source);
+
+  std::optional<KnowledgeBase> LoadKb(const CacheKey& key) const;
+  void StoreKb(const CacheKey& key, const KnowledgeBase& kb, std::string_view source);
+
+  // index.tsv bookkeeping: kind, object file name, source path, payload
+  // bytes. Malformed lines are skipped, not fatal.
+  struct IndexEntry {
+    std::string kind;
+    std::string object;
+    std::string source;
+    uint64_t bytes = 0;
+  };
+  std::vector<IndexEntry> ReadIndex() const;
+
+ private:
+  bool LoadObject(const std::string& name, uint8_t kind, std::string& payload) const;
+  void StoreObject(const std::string& name, uint8_t kind, std::string_view payload,
+                   std::string_view kind_name, std::string_view source);
+
+  std::string dir_;
+  mutable std::mutex index_mutex_;
+  mutable std::atomic<uint64_t> tmp_counter_{0};
+};
+
+// Serializers, exposed for tests (round-trip and corruption suites).
+std::string SerializeFacts(const DiscoveryFacts& facts);
+std::optional<DiscoveryFacts> DeserializeFacts(std::string_view bytes);
+std::string SerializeUnit(const TranslationUnit& unit);
+std::optional<TranslationUnit> DeserializeUnit(std::string_view bytes);
+std::string SerializeReports(const CachedFileReports& reports);
+std::optional<CachedFileReports> DeserializeReports(std::string_view bytes);
+std::string SerializeKb(const KnowledgeBase& kb);
+std::optional<KnowledgeBase> DeserializeKb(std::string_view bytes);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CACHE_CACHE_H_

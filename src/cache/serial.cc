@@ -1,0 +1,106 @@
+#include "src/cache/serial.h"
+
+namespace refscan {
+
+uint64_t HashBytes(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Hash128 HashBytesDual(std::string_view data) {
+  Hash128 h{0xcbf29ce484222325ull, 0x6c62272e07bb0142ull};
+  for (const char c : data) {
+    const uint64_t byte = static_cast<uint8_t>(c);
+    h.hi = (h.hi ^ byte) * 0x100000001b3ull;
+    h.lo = (h.lo ^ byte) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t HashMix(uint64_t hash, uint64_t value) {
+  uint64_t z = hash + value + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+bool ByteReader::Take(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    pos_ = data_.size();
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::U8() {
+  if (!Take(1)) {
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t ByteReader::U32() {
+  if (!Take(4)) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  if (!Take(8)) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+std::string ByteReader::Str() {
+  const uint32_t size = U32();
+  if (!Take(size)) {
+    return {};
+  }
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+uint32_t ByteReader::Count() {
+  const uint32_t count = U32();
+  if (count > data_.size() - pos_) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  return count;
+}
+
+}  // namespace refscan

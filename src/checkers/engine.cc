@@ -1,8 +1,11 @@
 #include "src/checkers/engine.h"
 
 #include <charconv>
+#include <optional>
 
 #include "src/ast/parser.h"
+#include "src/cache/cache.h"
+#include "src/cache/serial.h"
 #include "src/ipa/summary.h"
 #include "src/support/threadpool.h"
 
@@ -91,9 +94,64 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
 
   ThreadPool pool(options_.jobs);
 
-  // Stage 1: parse everything (parallel — each file parses independently).
-  std::vector<TranslationUnit> units =
-      ParallelMap(pool, files.size(), [&](size_t i) { return ParseFile(*files[i]); });
+  ScanCache cache(options_.cache_dir);
+  const bool use_cache = cache.enabled();
+  const uint64_t options_fp = use_cache ? ScanOptionsFingerprint(options_) : 0;
+  const bool want_facts = options_.discover_from_source;
+  // Whether stage 1 must materialise a TranslationUnit for every file. With
+  // no cache, stage 3 consumes the units; in interprocedural mode, stage
+  // 2.5 walks them. With the cache and neither, a file whose facts (and
+  // later, reports) hit can go through the whole scan without ever being
+  // parsed — the incremental fast path.
+  const bool need_units = !use_cache || options_.interprocedural;
+
+  struct FileState {
+    CacheKey key;
+    DiscoveryFacts facts;
+    std::optional<TranslationUnit> unit;
+    bool parsed = false;      // ParseFile ran for this file during this scan
+    bool report_hit = false;  // stage-3 shard spliced from the cache
+  };
+
+  // Stage 1: obtain per-file discovery facts — and units where needed —
+  // (parallel; each file is independent). Cache hits replay the stored
+  // facts/unit instead of parsing; misses parse, extract, and populate the
+  // cache for the next scan. Facts extraction is a pure projection of the
+  // unit, so every path below yields identical facts for identical content.
+  std::vector<FileState> states = ParallelMap(pool, files.size(), [&](size_t i) {
+    FileState st;
+    const SourceFile& f = *files[i];
+    if (use_cache) {
+      st.key = MakeFileKey(f.path(), f.text(), options_fp);
+      if (!need_units) {
+        if (!want_facts) {
+          return st;  // discovery off: nothing is needed before stage 3
+        }
+        if (std::optional<DiscoveryFacts> facts = cache.LoadFacts(st.key)) {
+          st.facts = std::move(*facts);
+          return st;
+        }
+      } else if (std::optional<TranslationUnit> unit = cache.LoadUnit(st.key)) {
+        st.unit = std::move(*unit);
+        if (want_facts) {
+          st.facts = ExtractDiscoveryFacts(*st.unit);
+        }
+        return st;
+      }
+    }
+    st.unit = ParseFile(f);
+    st.parsed = true;
+    if (want_facts) {
+      st.facts = ExtractDiscoveryFacts(*st.unit);
+    }
+    if (use_cache) {
+      cache.StoreUnit(st.key, *st.unit, f.path());
+      if (want_facts) {
+        cache.StoreFacts(st.key, st.facts, f.path());
+      }
+    }
+    return st;
+  });
 
   // Stage 2: feed the KB (structure parser, API and smartloop discovery).
   // Discovery must see all units before checking so that cross-file APIs (a
@@ -101,13 +159,42 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // paper runs its lexer parsers over the whole kernel first. This is the
   // serial merge barrier: discovery mutates the KB and the second round
   // depends on what the first one found, so parallelising it would change
-  // results. It is also cheap next to parsing and checking.
-  if (options_.discover_from_source) {
-    // Two discovery rounds: the first classifies directly-visible APIs, the
-    // second lets wrappers of discovered APIs classify too.
-    for (int round = 0; round < 2; ++round) {
-      for (const TranslationUnit& unit : units) {
-        kb_.DiscoverFromUnit(unit, options_.nesting_threshold);
+  // results. It is also cheap next to parsing and checking. Replaying the
+  // pre-extracted facts in file order is exactly DiscoverFromUnit in file
+  // order (see kb.h), whether the facts came from a parse or the cache.
+  if (want_facts) {
+    // With the cache on, try the tree-level KB snapshot first. Discovery
+    // is purely additive — every Discover* pass only inserts, and every
+    // insert is determined by (current KB, facts sequence) — so the
+    // post-discovery KB is a pure function of the pre-discovery KB and the
+    // ordered facts, which is exactly what the snapshot key hashes. A hit
+    // replaces both replay rounds, which otherwise dominate a warm rescan
+    // (re-classifying every discovered API from scratch each run).
+    bool kb_from_snapshot = false;
+    CacheKey kb_key;
+    if (use_cache) {
+      std::vector<const DiscoveryFacts*> all_facts;
+      all_facts.reserve(states.size());
+      for (const FileState& st : states) {
+        all_facts.push_back(&st.facts);
+      }
+      kb_key = MakeKbSnapshotKey(FingerprintKnowledgeBase(kb_), options_.nesting_threshold,
+                                 all_facts, options_fp);
+      if (std::optional<KnowledgeBase> snapshot = cache.LoadKb(kb_key)) {
+        kb_ = std::move(*snapshot);
+        kb_from_snapshot = true;
+      }
+    }
+    if (!kb_from_snapshot) {
+      // Two discovery rounds: the first classifies directly-visible APIs,
+      // the second lets wrappers of discovered APIs classify too.
+      for (int round = 0; round < 2; ++round) {
+        for (const FileState& st : states) {
+          kb_.DiscoverFromFacts(st.facts, options_.nesting_threshold);
+        }
+      }
+      if (use_cache) {
+        cache.StoreKb(kb_key, kb_, "<tree>");
       }
     }
   }
@@ -115,12 +202,14 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // over the call-graph SCCs, parallel within a level; registration into
   // the still-mutable KB is serial in call-graph node order, so the KB the
   // checkers read is identical at every `jobs` value. After this the KB
-  // freezes, exactly as without summaries.
+  // freezes, exactly as without summaries. Summaries are always recomputed
+  // (they are whole-tree), but the units they walk come from cached parses
+  // on a warm rescan.
   if (options_.interprocedural) {
     std::vector<const TranslationUnit*> unit_ptrs;
-    unit_ptrs.reserve(units.size());
-    for (const TranslationUnit& unit : units) {
-      unit_ptrs.push_back(&unit);
+    unit_ptrs.reserve(states.size());
+    for (const FileState& st : states) {
+      unit_ptrs.push_back(&*st.unit);
     }
     SummaryOptions sopts;
     sopts.max_paths_per_function = options_.max_paths_per_function;
@@ -132,13 +221,56 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   result.stats.discovered_smart_loops = kb_.smart_loops().size();
   result.stats.refcounted_structs = kb_.refcounted_structs().size();
 
+  // The KB is frozen from here on. A file's stage-3 shard is a pure
+  // function of (file content, KB, options): fingerprint the KB and the
+  // cache can prove a stored shard is still valid. Any content change that
+  // altered discovery shifts this fingerprint and invalidates every stored
+  // shard at once — the conservative, correct reaction.
+  const uint64_t kb_fp = use_cache ? FingerprintKnowledgeBase(kb_) : 0;
+
   // Stage 3: build contexts and run the enabled checkers (parallel — the
   // KB is read-only from here on; KnowledgeBase lookups are const and safe
-  // for concurrent readers). Each file gets its own shard.
+  // for concurrent readers). Each file gets its own shard; cached shards
+  // splice in without parsing or checking.
   const KnowledgeBase& kb = kb_;
   std::vector<FileShard> shards = ParallelMap(pool, files.size(), [&](size_t i) {
-    return CheckOneFile(*files[i], std::move(units[i]), kb, options_);
+    FileState& st = states[i];
+    if (use_cache) {
+      if (std::optional<CachedFileReports> cached = cache.LoadReports(st.key, kb_fp)) {
+        st.report_hit = true;
+        FileShard shard;
+        shard.raw = std::move(cached->reports);
+        shard.functions = static_cast<size_t>(cached->functions);
+        return shard;
+      }
+    }
+    TranslationUnit unit;
+    if (st.unit.has_value()) {
+      unit = std::move(*st.unit);
+    } else {
+      // Facts were cached but this file's reports were invalidated (another
+      // file changed the KB): re-parse just this file, in-memory.
+      unit = ParseFile(*files[i]);
+      st.parsed = true;
+    }
+    FileShard shard = CheckOneFile(*files[i], std::move(unit), kb, options_);
+    if (use_cache) {
+      CachedFileReports entry;
+      entry.reports = shard.raw;
+      entry.functions = shard.functions;
+      cache.StoreReports(st.key, kb_fp, entry, files[i]->path());
+    }
+    return shard;
   });
+
+  if (use_cache) {
+    for (const FileState& st : states) {
+      ++(st.report_hit ? result.stats.cache_hits : result.stats.cache_misses);
+      if (!st.parsed) {
+        ++result.stats.cache_parse_skips;
+      }
+    }
+  }
 
   // Merge the shards in file order: the concatenation equals what the old
   // single-threaded loop produced, so DeduplicateReports (whose tie-breaks
@@ -181,6 +313,20 @@ ScanResult CheckerEngine::ScanFileText(std::string path, std::string text) {
   SourceTree tree;
   tree.Add(std::move(path), std::move(text));
   return Scan(tree);
+}
+
+uint64_t ScanOptionsFingerprint(const ScanOptions& options) {
+  ByteWriter w;
+  w.U64(options.max_paths_per_function);
+  w.I32(options.nesting_threshold);
+  w.Bool(options.discover_from_source);
+  w.U32(static_cast<uint32_t>(options.enabled_patterns.size()));
+  for (const int p : options.enabled_patterns) {
+    w.I32(p);
+  }
+  w.Bool(options.prune_null_branches);
+  w.Bool(options.model_ownership_transfer);
+  return HashBytes(w.bytes());
 }
 
 bool ParsePatternList(std::string_view text, std::set<int>& out) {

@@ -41,6 +41,15 @@ struct ScanOptions {
   // identical at every thread count (see engine.cc).
   size_t jobs = 1;
 
+  // Persistent incremental scan cache directory (src/cache, DESIGN.md
+  // §5.8); empty = no caching. On a rescan, files whose content and options
+  // are unchanged replay their cached discovery facts (skipping the parse),
+  // and — when the post-discovery KB fingerprint also matches — splice
+  // their cached report shards (skipping CFG/CPG construction and checking
+  // entirely). Reports are byte-identical to a cold scan at every `jobs`
+  // value; the cache can only cost time, never change output.
+  std::string cache_dir;
+
   // Precision knobs (the design-choice ablation toggles these):
   // treat NULL-checked failure branches as acquisition-failed paths.
   bool prune_null_branches = true;
@@ -56,6 +65,13 @@ struct ScanOptions {
 // Parses a `--patterns` list ("1,4,8") into `out`. Returns false (leaving
 // `out` untouched) on empty lists, non-numeric entries, or ids outside 1..9.
 bool ParsePatternList(std::string_view text, std::set<int>& out);
+
+// Digest of every ScanOptions field that can change a file's cache
+// artifacts. `jobs` is excluded (reports are identical at every thread
+// count) and so is `interprocedural` (it only changes the KB, which the
+// report key already fingerprints), so parses cached by a plain scan are
+// reused by an `--ipa` scan and vice versa.
+uint64_t ScanOptionsFingerprint(const ScanOptions& options);
 
 // Everything the checkers need about one function.
 struct FunctionContext {
@@ -87,6 +103,13 @@ struct ScanStats {
   size_t discovered_smart_loops = 0;
   size_t refcounted_structs = 0;
   size_t summarized_functions = 0;  // stage 2.5 (0 when interprocedural off)
+
+  // Incremental-cache accounting (all 0 when ScanOptions::cache_dir is
+  // empty). A fully warm rescan of an unchanged tree has
+  // cache_hits == cache_parse_skips == files and cache_misses == 0.
+  size_t cache_hits = 0;         // files whose stage-3 shard was spliced from cache
+  size_t cache_misses = 0;       // files checked cold while the cache was enabled
+  size_t cache_parse_skips = 0;  // files never parsed this scan (facts/unit/reports cached)
 };
 
 struct ScanResult {

@@ -138,8 +138,45 @@ bool KnowledgeBase::IsUnlockFunction(std::string_view name) {
   return false;
 }
 
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
+    : apis_(other.apis_),
+      smart_loops_(other.smart_loops_),
+      refcounted_structs_(other.refcounted_structs_),
+      ownership_sinks_(other.ownership_sinks_),
+      param_derefs_(other.param_derefs_) {
+  RebuildApiIndex();
+}
+
+KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
+  if (this != &other) {
+    apis_ = other.apis_;
+    smart_loops_ = other.smart_loops_;
+    refcounted_structs_ = other.refcounted_structs_;
+    ownership_sinks_ = other.ownership_sinks_;
+    param_derefs_ = other.param_derefs_;
+    RebuildApiIndex();
+  }
+  return *this;
+}
+
+void KnowledgeBase::RebuildApiIndex() {
+  api_index_.clear();
+  api_index_.reserve(apis_.size());
+  for (const auto& [name, info] : apis_) {
+    api_index_.emplace(name, &info);
+  }
+}
+
+RefApiInfo& KnowledgeBase::UpsertApi(RefApiInfo info) {
+  const auto [it, inserted] = apis_.insert_or_assign(info.name, std::move(info));
+  if (inserted) {
+    api_index_.emplace(it->first, &it->second);
+  }
+  return it->second;
+}
+
 void KnowledgeBase::AddApi(RefApiInfo info) {
-  apis_.insert_or_assign(info.name, std::move(info));
+  UpsertApi(std::move(info));
 }
 
 void KnowledgeBase::AddSmartLoop(SmartLoopInfo info) {
@@ -151,17 +188,20 @@ void KnowledgeBase::AddRefcountedStruct(std::string name) {
 }
 
 const RefApiInfo* KnowledgeBase::FindApi(std::string_view name) const {
-  auto it = apis_.find(name);
-  if (it != apis_.end()) {
-    return &it->second;
+  auto it = api_index_.find(name);
+  if (it != api_index_.end()) {
+    return it->second;
   }
   // Kernel-internal "__" variants share the public API's behaviour
   // (__of_find_matching_node, __pm_runtime_get_sync, ...).
+  if (!name.starts_with("_")) {
+    return nullptr;
+  }
   while (name.starts_with("_")) {
     name.remove_prefix(1);
   }
-  it = apis_.find(name);
-  return it == apis_.end() ? nullptr : &it->second;
+  it = api_index_.find(name);
+  return it == api_index_.end() ? nullptr : it->second;
 }
 
 const SmartLoopInfo* KnowledgeBase::FindSmartLoop(std::string_view name) const {
@@ -176,7 +216,7 @@ bool KnowledgeBase::IsRefcountedStruct(std::string_view struct_name) const {
 KnowledgeBase KnowledgeBase::BuiltIn() {
   KnowledgeBase kb;
 
-  auto add = [&kb](RefApiInfo info) { kb.apis_.insert_or_assign(info.name, std::move(info)); };
+  auto add = [&kb](RefApiInfo info) { kb.UpsertApi(std::move(info)); };
 
   constexpr auto kInc = RefDirection::kIncrease;
   constexpr auto kDec = RefDirection::kDecrease;
@@ -306,11 +346,126 @@ KnowledgeBase KnowledgeBase::BuiltIn() {
   return kb;
 }
 
+DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
+  DiscoveryFacts facts;
+
+  facts.structs.reserve(unit.structs.size());
+  for (const StructDef& def : unit.structs) {
+    DiscoveryFacts::Struct s;
+    s.name = def.name;
+    s.fields.reserve(def.fields.size());
+    for (const StructField& field : def.fields) {
+      DiscoveryFacts::Field f;
+      f.direct_refcounter = IsRefcounterFieldType(field.type, field.name);
+      f.nested_tag = StructTag(field.type);
+      s.fields.push_back(std::move(f));
+    }
+    facts.structs.push_back(std::move(s));
+  }
+
+  for (const FunctionDef& fn : unit.functions) {
+    if (fn.body == nullptr) {
+      continue;
+    }
+    DiscoveryFacts::Function f;
+    f.name = fn.name;
+    f.returns_pointer = TypeIsPointer(fn.return_type);
+
+    std::set<std::string> locals;
+    ForEachStmt(*fn.body, [&f, &locals](const Stmt& s) {
+      if (s.kind == Stmt::Kind::kDecl && !s.name.empty()) {
+        locals.insert(s.name);
+      }
+      if (s.kind == Stmt::Kind::kReturn && s.expr != nullptr) {
+        if (s.expr->kind == Expr::Kind::kIdent && s.expr->value == "NULL") {
+          f.has_return_null = true;
+        }
+        if (ReturnsErrorCode(s)) {
+          f.has_error_return = true;
+        }
+      }
+    });
+
+    ForEachExpr(*fn.body, [&](const Expr& e) {
+      if (e.kind == Expr::Kind::kCall) {
+        std::string callee = e.CalleeName();
+        // An empty callee (function-pointer call) can never resolve in the
+        // KB, so it contributes no event.
+        if (!callee.empty()) {
+          DiscoveryFacts::RefEvent ev;
+          ev.is_call = true;
+          ev.callee = std::move(callee);
+          if (e.args.size() > 1 && e.args[1] != nullptr &&
+              e.args[1]->kind == Expr::Kind::kIdent) {
+            for (size_t p = 0; p < fn.params.size(); ++p) {
+              if (fn.params[p].name == e.args[1]->value) {
+                ev.arg1_param = static_cast<int>(p);
+              }
+            }
+          }
+          f.events.push_back(std::move(ev));
+        }
+      }
+      if (e.kind == Expr::Kind::kUnary && (e.value == "++" || e.value == "--") &&
+          !e.args.empty() && e.args[0] != nullptr && e.args[0]->kind == Expr::Kind::kMember) {
+        const std::string lower = ToLower(e.args[0]->value);
+        if (lower.find("ref") != std::string::npos || lower.find("count") != std::string::npos) {
+          DiscoveryFacts::RefEvent ev;
+          ev.increase = e.value == "++";
+          f.events.push_back(std::move(ev));
+        }
+      }
+      // Ownership-sink shape: a parameter (bare identifier rhs) assigned
+      // into a member chain rooted outside the function's locals. The last
+      // matching assignment wins, mirroring insert_or_assign order.
+      if (e.kind == Expr::Kind::kAssign && e.args.size() >= 2 && e.args[0] != nullptr &&
+          e.args[1] != nullptr) {
+        const Expr& lhs = *e.args[0];
+        const Expr& rhs = *e.args[1];
+        if (rhs.kind == Expr::Kind::kIdent && lhs.kind == Expr::Kind::kMember) {
+          int param_index = -1;
+          for (size_t p = 0; p < fn.params.size(); ++p) {
+            if (fn.params[p].name == rhs.value) {
+              param_index = static_cast<int>(p);
+            }
+          }
+          if (param_index >= 0) {
+            const Expr* root = &lhs;
+            while (root->kind == Expr::Kind::kMember && !root->args.empty() &&
+                   root->args[0] != nullptr) {
+              root = root->args[0].get();
+            }
+            if (root->kind == Expr::Kind::kIdent && !locals.contains(root->value) &&
+                root->value != rhs.value) {
+              f.sink_param = param_index;
+            }
+          }
+        }
+      }
+    });
+    facts.functions.push_back(std::move(f));
+  }
+
+  for (const MacroDef& macro : unit.macros) {
+    // Object-like macros and bodies without a loop can never classify as
+    // smartloops, independent of KB state — prune them at extraction.
+    if (macro.params.empty() || macro.body.find("for") == std::string::npos) {
+      continue;
+    }
+    facts.macros.push_back({macro.name, macro.params, macro.body});
+  }
+  return facts;
+}
+
 void KnowledgeBase::DiscoverFromUnit(const TranslationUnit& unit, int nesting_threshold) {
-  DiscoverStructs(unit, nesting_threshold);
-  DiscoverFunctions(unit);
-  DiscoverMacros(unit);
-  DiscoverOwnershipSinks(unit);
+  DiscoverFromFacts(ExtractDiscoveryFacts(unit), nesting_threshold);
+}
+
+void KnowledgeBase::DiscoverFromFacts(const DiscoveryFacts& facts, int nesting_threshold) {
+  DiscoverStructs(facts, nesting_threshold);
+  DiscoverFunctions(facts);
+  DiscoverMacros(facts);
+  DiscoverOwnershipSinks(facts);
 }
 
 int KnowledgeBase::FindOwnershipSink(std::string_view function_name) const {
@@ -336,69 +491,29 @@ RefApiInfo* KnowledgeBase::FindApiMutable(std::string_view name) {
   return it == apis_.end() ? nullptr : &it->second;
 }
 
-void KnowledgeBase::DiscoverOwnershipSinks(const TranslationUnit& unit) {
-  for (const FunctionDef& fn : unit.functions) {
-    if (fn.body == nullptr || ownership_sinks_.contains(fn.name)) {
+void KnowledgeBase::DiscoverOwnershipSinks(const DiscoveryFacts& facts) {
+  for (const DiscoveryFacts::Function& fn : facts.functions) {
+    if (fn.sink_param < 0 || ownership_sinks_.contains(fn.name)) {
       continue;
     }
-    // Local declarations: stores rooted in them do not escape.
-    std::set<std::string> locals;
-    ForEachStmt(*fn.body, [&locals](const Stmt& st) {
-      if (st.kind == Stmt::Kind::kDecl && !st.name.empty()) {
-        locals.insert(st.name);
-      }
-    });
-    // A sink assigns a parameter (bare identifier rhs) into a member chain
-    // rooted outside the function's locals.
-    ForEachExpr(*fn.body, [&](const Expr& e) {
-      if (e.kind != Expr::Kind::kAssign || e.args.size() < 2 || e.args[0] == nullptr ||
-          e.args[1] == nullptr) {
-        return;
-      }
-      const Expr& lhs = *e.args[0];
-      const Expr& rhs = *e.args[1];
-      if (rhs.kind != Expr::Kind::kIdent || lhs.kind != Expr::Kind::kMember) {
-        return;
-      }
-      // Find which parameter the rhs names.
-      int param_index = -1;
-      for (size_t p = 0; p < fn.params.size(); ++p) {
-        if (fn.params[p].name == rhs.value) {
-          param_index = static_cast<int>(p);
-        }
-      }
-      if (param_index < 0) {
-        return;
-      }
-      // lhs root must be non-local (a global or another parameter).
-      const Expr* root = &lhs;
-      while (root->kind == Expr::Kind::kMember && !root->args.empty() &&
-             root->args[0] != nullptr) {
-        root = root->args[0].get();
-      }
-      if (root->kind != Expr::Kind::kIdent || locals.contains(root->value) ||
-          root->value == rhs.value) {
-        return;
-      }
-      ownership_sinks_.insert_or_assign(fn.name, param_index);
-    });
+    ownership_sinks_.insert_or_assign(fn.name, fn.sink_param);
   }
 }
 
-void KnowledgeBase::DiscoverStructs(const TranslationUnit& unit, int nesting_threshold) {
+void KnowledgeBase::DiscoverStructs(const DiscoveryFacts& facts, int nesting_threshold) {
   // Level 0: direct refcounter fields. Levels 1..threshold: a field whose
   // struct type was classified in a *previous* level (per-level snapshot so
   // one pass advances nesting depth by exactly one).
   for (int level = 0; level <= nesting_threshold; ++level) {
     std::set<std::string> added;
-    for (const StructDef& def : unit.structs) {
+    for (const DiscoveryFacts::Struct& def : facts.structs) {
       if (refcounted_structs_.contains(def.name)) {
         continue;
       }
-      for (const StructField& field : def.fields) {
-        const bool direct = level == 0 && IsRefcounterFieldType(field.type, field.name);
-        const bool nested = level > 0 && !StructTag(field.type).empty() &&
-                            refcounted_structs_.contains(StructTag(field.type));
+      for (const DiscoveryFacts::Field& field : def.fields) {
+        const bool direct = level == 0 && field.direct_refcounter;
+        const bool nested = level > 0 && !field.nested_tag.empty() &&
+                            refcounted_structs_.contains(field.nested_tag);
         if (direct || nested) {
           added.insert(def.name);
           break;
@@ -412,60 +527,37 @@ void KnowledgeBase::DiscoverStructs(const TranslationUnit& unit, int nesting_thr
   }
 }
 
-void KnowledgeBase::DiscoverFunctions(const TranslationUnit& unit) {
-  for (const FunctionDef& fn : unit.functions) {
-    if (fn.body == nullptr || apis_.contains(fn.name)) {
+void KnowledgeBase::DiscoverFunctions(const DiscoveryFacts& facts) {
+  for (const DiscoveryFacts::Function& fn : facts.functions) {
+    if (api_index_.contains(fn.name)) {
       continue;
     }
 
-    // Find refcounting operations inside the body: calls to known APIs, or
-    // inc/dec of a refcounter member (`refcount_inc(&x->refcnt)` is a call;
-    // `x->refcnt++` is a unary op on a member).
+    // Replay the body's refcounting operations against the *current* KB:
+    // calls to known APIs, and inc/dec of a refcounter member
+    // (`refcount_inc(&x->refcnt)` is a call; `x->refcnt++` is a unary op).
     bool increases = false;
     bool decreases = false;
-    bool has_return_null = false;
-    bool has_error_return = false;
     int consumed_param = -1;
 
-    ForEachStmt(*fn.body, [&](const Stmt& s) {
-      if (s.kind == Stmt::Kind::kReturn && s.expr != nullptr) {
-        if (s.expr->kind == Expr::Kind::kIdent && s.expr->value == "NULL") {
-          has_return_null = true;
-        }
-        if (ReturnsErrorCode(s)) {
-          has_error_return = true;
-        }
-      }
-    });
-
-    ForEachExpr(*fn.body, [&](const Expr& e) {
-      if (e.kind == Expr::Kind::kCall) {
-        const RefApiInfo* callee = FindApi(e.CalleeName());
+    for (const DiscoveryFacts::RefEvent& ev : fn.events) {
+      if (ev.is_call) {
+        const RefApiInfo* callee = FindApi(ev.callee);
         if (callee != nullptr) {
           if (callee->direction == RefDirection::kIncrease) {
             increases = true;
           } else {
             decreases = true;
             // Does this decrement hit one of our parameters? (of_find_*(from))
-            if (e.args.size() > 1 && e.args[1] != nullptr &&
-                e.args[1]->kind == Expr::Kind::kIdent) {
-              for (size_t p = 0; p < fn.params.size(); ++p) {
-                if (fn.params[p].name == e.args[1]->value) {
-                  consumed_param = static_cast<int>(p);
-                }
-              }
+            if (ev.arg1_param >= 0) {
+              consumed_param = ev.arg1_param;
             }
           }
         }
+      } else {
+        (ev.increase ? increases : decreases) = true;
       }
-      if (e.kind == Expr::Kind::kUnary && (e.value == "++" || e.value == "--") &&
-          !e.args.empty() && e.args[0] != nullptr && e.args[0]->kind == Expr::Kind::kMember) {
-        const std::string lower = ToLower(e.args[0]->value);
-        if (lower.find("ref") != std::string::npos || lower.find("count") != std::string::npos) {
-          (e.value == "++" ? increases : decreases) = true;
-        }
-      }
-    });
+    }
 
     if (!increases && !decreases) {
       continue;
@@ -479,24 +571,21 @@ void KnowledgeBase::DiscoverFunctions(const TranslationUnit& unit) {
     info.direction = increases ? RefDirection::kIncrease : RefDirection::kDecrease;
     info.hidden = !NameSoundsLikeRefcounting(fn.name);
     info.category = info.hidden ? ApiCategory::kEmbedded : ApiCategory::kSpecific;
-    info.returns_object = TypeIsPointer(fn.return_type);
+    info.returns_object = fn.returns_pointer;
     info.object_param = info.returns_object ? -1 : 0;
-    info.may_return_null = info.returns_object && has_return_null &&
+    info.may_return_null = info.returns_object && fn.has_return_null &&
                            info.direction == RefDirection::kIncrease;
-    info.returns_error = !info.returns_object && has_error_return &&
+    info.returns_error = !info.returns_object && fn.has_error_return &&
                          info.direction == RefDirection::kIncrease;
     info.consumed_param = increases ? consumed_param : -1;
     info.discovered = true;
-    apis_.insert_or_assign(info.name, std::move(info));
+    UpsertApi(std::move(info));
   }
 }
 
-void KnowledgeBase::DiscoverMacros(const TranslationUnit& unit) {
-  for (const MacroDef& macro : unit.macros) {
-    if (macro.params.empty() || smart_loops_.contains(macro.name)) {
-      continue;
-    }
-    if (macro.body.find("for") == std::string::npos) {
+void KnowledgeBase::DiscoverMacros(const DiscoveryFacts& facts) {
+  for (const DiscoveryFacts::Macro& macro : facts.macros) {
+    if (smart_loops_.contains(macro.name)) {
       continue;
     }
     // The macro is a smartloop if its body invokes a refcounting API

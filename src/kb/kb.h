@@ -22,6 +22,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ast/ast.h"
@@ -84,6 +85,54 @@ const std::vector<std::pair<std::string, std::string>>& PairedOpsFields();
 // returns the release-side word for an acquire-side word, or "" if none.
 std::string PairedReleaseWord(std::string_view acquire_word);
 
+// The KB-independent projection of one translation unit that discovery
+// consumes (§6.1). Extraction is a pure function of the unit — it never
+// consults a KnowledgeBase — so the facts can be computed once, cached on
+// disk keyed by file content, and replayed later: applying the same facts in
+// the same file order rebuilds a byte-identical KB no matter whether the
+// facts came from a fresh parse or from the incremental scan cache
+// (src/cache). Everything order- or KB-sensitive (is this callee a known
+// decrease API? is this struct tag already refcounted?) is resolved at
+// replay time, inside DiscoverFromFacts.
+struct DiscoveryFacts {
+  struct Field {
+    bool direct_refcounter = false;  // IsRefcounterFieldType(type, name)
+    std::string nested_tag;          // struct tag of the field type, "" if none
+  };
+  struct Struct {
+    std::string name;
+    std::vector<Field> fields;
+  };
+  // One refcount-relevant expression inside a function body, in pre-order
+  // traversal position: either a call (classified against the KB at replay
+  // time) or a ++/-- on a refcounter-named member.
+  struct RefEvent {
+    bool is_call = false;
+    std::string callee;   // calls only
+    int arg1_param = -1;  // param index named by the call's second argument
+    bool increase = false;  // unary events only: ++ vs --
+  };
+  struct Function {
+    std::string name;
+    bool returns_pointer = false;
+    bool has_return_null = false;
+    bool has_error_return = false;
+    std::vector<RefEvent> events;
+    int sink_param = -1;  // param stored into non-local state, -1 if none
+  };
+  struct Macro {
+    std::string name;
+    std::vector<std::string> params;
+    std::string body;
+  };
+
+  std::vector<Struct> structs;
+  std::vector<Function> functions;  // body-carrying functions only
+  std::vector<Macro> macros;        // function-like macros whose body says "for"
+};
+
+DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit);
+
 // Thread-safety: the const lookup surface (FindApi / FindSmartLoop /
 // IsRefcountedStruct / FindOwnershipSink and the accessors) never mutates,
 // caches, or lazily initialises anything, so any number of threads may read
@@ -95,6 +144,15 @@ class KnowledgeBase {
  public:
   // The catalogue transcribed from the paper (Appendix A + §5 examples).
   static KnowledgeBase BuiltIn();
+
+  // The copy operations rebuild api_index_ (its string_view keys alias the
+  // source's map nodes); moves keep it, because std::map moves steal nodes
+  // without relocating them.
+  KnowledgeBase() = default;
+  KnowledgeBase(const KnowledgeBase& other);
+  KnowledgeBase& operator=(const KnowledgeBase& other);
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
 
   // Lookup ------------------------------------------------------------
   const RefApiInfo* FindApi(std::string_view name) const;
@@ -138,7 +196,14 @@ class KnowledgeBase {
   // Discovery from source (§6.1 "Lexer Parsing"). Safe to call repeatedly
   // (e.g. once per translation unit); runs a bounded nesting fixpoint for
   // struct classification and then classifies functions and macros.
+  // Equivalent to DiscoverFromFacts(ExtractDiscoveryFacts(unit), ...).
   void DiscoverFromUnit(const TranslationUnit& unit, int nesting_threshold = 3);
+
+  // Replays one unit's extracted facts. All KB- and order-sensitive
+  // decisions happen here, so replaying cached facts in the original unit
+  // order reproduces DiscoverFromUnit's result exactly (the incremental
+  // scan cache depends on this — see src/cache and DESIGN.md §5.8).
+  void DiscoverFromFacts(const DiscoveryFacts& facts, int nesting_threshold = 3);
 
   // Accessors for reporting.
   const std::map<std::string, RefApiInfo, std::less<>>& apis() const { return apis_; }
@@ -156,16 +221,26 @@ class KnowledgeBase {
   }
 
  private:
-  void DiscoverStructs(const TranslationUnit& unit, int nesting_threshold);
-  void DiscoverFunctions(const TranslationUnit& unit);
-  void DiscoverMacros(const TranslationUnit& unit);
-  void DiscoverOwnershipSinks(const TranslationUnit& unit);
+  void DiscoverStructs(const DiscoveryFacts& facts, int nesting_threshold);
+  void DiscoverFunctions(const DiscoveryFacts& facts);
+  void DiscoverMacros(const DiscoveryFacts& facts);
+  void DiscoverOwnershipSinks(const DiscoveryFacts& facts);
+
+  // Single mutation point for apis_: keeps api_index_ in sync.
+  RefApiInfo& UpsertApi(RefApiInfo info);
+  void RebuildApiIndex();
 
   std::map<std::string, RefApiInfo, std::less<>> apis_;
   std::map<std::string, SmartLoopInfo, std::less<>> smart_loops_;
   std::set<std::string, std::less<>> refcounted_structs_;
   std::map<std::string, int, std::less<>> ownership_sinks_;
   std::map<std::string, std::vector<int>, std::less<>> param_derefs_;
+
+  // Hash index over apis_ for the hot lookups (FindApi runs per call
+  // expression in discovery replay and CPG construction; the sorted map
+  // stays the source of truth for deterministic iteration). Keys view the
+  // map nodes' keys — address-stable under insert and move.
+  std::unordered_map<std::string_view, const RefApiInfo*> api_index_;
 };
 
 }  // namespace refscan

@@ -1,12 +1,54 @@
 #include "src/support/fs.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <set>
+
+#include "src/support/threadpool.h"
 
 namespace refscan {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+struct ReadResult {
+  std::string text;
+  bool ok = false;
+};
+
+// One pre-sized read: stat the size, resize the string once, read straight
+// into it. Falls back to chunked appends only when the size is unknowable
+// (procfs-style files report 0/err); the old ostringstream-rdbuf copy paid
+// for the stream machinery plus a full extra buffer copy per file.
+ReadResult ReadFileContents(const fs::path& path) {
+  ReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return result;
+  }
+  std::error_code ec;
+  const uintmax_t size = fs::file_size(path, ec);
+  if (!ec && size > 0) {
+    result.text.resize(static_cast<size_t>(size));
+    in.read(result.text.data(), static_cast<std::streamsize>(result.text.size()));
+    result.text.resize(static_cast<size_t>(std::max<std::streamsize>(in.gcount(), 0)));
+    result.ok = true;
+    return result;
+  }
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    result.text.append(buffer, static_cast<size_t>(in.gcount()));
+    if (!in) {
+      break;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
 
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
                                   std::vector<std::string>* errors) {
@@ -20,15 +62,22 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
     return tree;
   }
 
-  auto skip_dir = [&options](const fs::path& dir) {
-    const std::string name = dir.filename().string();
-    for (const std::string& skip : options.skip_dirs) {
-      if (name == skip) {
-        return true;
-      }
-    }
-    return false;
+  // Set-based filters: one lookup per entry instead of one string compare
+  // per configured name.
+  const std::set<std::string, std::less<>> skip_dirs(options.skip_dirs.begin(),
+                                                     options.skip_dirs.end());
+  const std::set<std::string, std::less<>> extensions(options.extensions.begin(),
+                                                      options.extensions.end());
+
+  // Serial walk: collect candidate files (with their tree keys) in
+  // directory-iteration order. The reads below fan out over the pool, but
+  // insertion is by candidate index, so the tree and the error list come
+  // out identical at every `jobs` value.
+  struct Candidate {
+    fs::path path;
+    std::string key;
   };
+  std::vector<Candidate> candidates;
 
   fs::recursive_directory_iterator it(root_path, fs::directory_options::skip_permission_denied,
                                       ec);
@@ -36,7 +85,7 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
   while (it != end) {
     const fs::directory_entry& entry = *it;
     if (entry.is_directory(ec)) {
-      if (skip_dir(entry.path())) {
+      if (skip_dirs.find(entry.path().filename().string()) != skip_dirs.end()) {
         it.disable_recursion_pending();
       }
       it.increment(ec);
@@ -46,12 +95,7 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
       it.increment(ec);
       continue;
     }
-    const std::string ext = entry.path().extension().string();
-    bool wanted = false;
-    for (const std::string& e : options.extensions) {
-      wanted |= ext == e;
-    }
-    if (!wanted) {
+    if (extensions.find(entry.path().extension().string()) == extensions.end()) {
       it.increment(ec);
       continue;
     }
@@ -62,20 +106,24 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
         continue;
       }
     }
+    const std::string relative = fs::relative(entry.path(), root_path, ec).generic_string();
+    candidates.push_back(
+        {entry.path(), relative.empty() ? entry.path().generic_string() : relative});
+    it.increment(ec);
+  }
 
-    std::ifstream in(entry.path(), std::ios::binary);
-    if (!in) {
+  ThreadPool pool(options.jobs);
+  std::vector<ReadResult> contents = ParallelMap(
+      pool, candidates.size(), [&candidates](size_t i) { return ReadFileContents(candidates[i].path); });
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!contents[i].ok) {
       if (errors != nullptr) {
-        errors->push_back(entry.path().string() + ": unreadable");
+        errors->push_back(candidates[i].path.string() + ": unreadable");
       }
-      it.increment(ec);
       continue;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string relative = fs::relative(entry.path(), root_path, ec).generic_string();
-    tree.Add(relative.empty() ? entry.path().generic_string() : relative, buffer.str());
-    it.increment(ec);
+    tree.Add(std::move(candidates[i].key), std::move(contents[i].text));
   }
   return tree;
 }

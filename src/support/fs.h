@@ -1,7 +1,11 @@
 // Filesystem loading for on-disk source trees.
 //
 // The synthetic corpus lives in memory; this adapter lets the same engine
-// scan a real checkout (e.g. an actual kernel tree) from disk.
+// scan a real checkout (e.g. an actual kernel tree) from disk. The walk is
+// serial (directory iteration order feeds the error list deterministically);
+// file contents are read and ingested in parallel over a thread pool, with
+// insertion in walk order, so the resulting SourceTree and error list are
+// identical at every `jobs` value.
 
 #ifndef REFSCAN_SUPPORT_FS_H_
 #define REFSCAN_SUPPORT_FS_H_
@@ -20,11 +24,14 @@ struct LoadOptions {
   size_t max_file_bytes = 4 * 1024 * 1024;
   // Directory names skipped entirely at any depth.
   std::vector<std::string> skip_dirs = {".git", "build", "Documentation"};
+  // Reader threads (0 = one per hardware thread, 1 = fully serial). The
+  // loaded tree is identical at every value.
+  size_t jobs = 0;
 };
 
 // Recursively loads matching files under `root` into a SourceTree keyed by
 // root-relative paths. Unreadable files are skipped; the error list (if
-// non-null) collects their paths.
+// non-null) collects their paths in walk order.
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options = {},
                                   std::vector<std::string>* errors = nullptr);
 

@@ -1,0 +1,423 @@
+// Incremental scan cache tests (src/cache, DESIGN.md §5.8).
+//
+// The contract under test: enabling `ScanOptions::cache_dir` can change how
+// much work a scan does, but never what it outputs. Warm rescans must be
+// byte-identical to cold scans at every thread count; corrupted, truncated
+// or stale cache entries must degrade to a cold scan, never to a crash or a
+// wrong report.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/ast/parser.h"
+#include "src/cache/cache.h"
+#include "src/checkers/engine.h"
+#include "src/corpus/generator.h"
+#include "src/cpg/dump.h"
+#include "src/kb/kb.h"
+
+namespace refscan {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// Fresh cache directory per test, removed on teardown.
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = (stdfs::temp_directory_path() /
+                  (std::string("refscan_cache_test_") +
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                     .string();
+    stdfs::remove_all(cache_dir_);
+  }
+  void TearDown() override { stdfs::remove_all(cache_dir_); }
+
+  std::string cache_dir_;
+};
+
+// A small tree with cross-file discovery (a wrapper in one file classifies
+// from an API used in another) and real reports.
+SourceTree SmallTree() {
+  SourceTree tree;
+  tree.Add("drivers/a/leak.c",
+           "static int probe(struct device_node *np)\n"
+           "{\n"
+           "  struct device_node *child = of_get_parent(np);\n"
+           "  return 0;\n"
+           "}\n");
+  tree.Add("drivers/b/wrapper.c",
+           "static void my_grab(struct device_node *np)\n"
+           "{\n"
+           "  of_node_get(np);\n"
+           "}\n");
+  tree.Add("drivers/c/user.c",
+           "static int attach(struct device_node *np)\n"
+           "{\n"
+           "  my_grab(np);\n"
+           "  if (np == NULL)\n"
+           "    return -EINVAL;\n"
+           "  return 0;\n"
+           "}\n");
+  tree.Add("include/foo.h",
+           "struct foo { int refcount; struct list_head list; };\n");
+  return tree;
+}
+
+ScanResult ScanTree(const SourceTree& tree, const std::string& cache_dir, size_t jobs = 1,
+                    bool interprocedural = false) {
+  ScanOptions options;
+  options.jobs = jobs;
+  options.cache_dir = cache_dir;
+  options.interprocedural = interprocedural;
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+  return engine.Scan(tree);
+}
+
+void ExpectSameReports(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.stats.files, b.stats.files);
+  EXPECT_EQ(a.stats.functions, b.stats.functions);
+  EXPECT_EQ(a.stats.discovered_apis, b.stats.discovered_apis);
+  EXPECT_EQ(a.stats.refcounted_structs, b.stats.refcounted_structs);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  EXPECT_EQ(ReportsToJson(a.reports), ReportsToJson(b.reports));
+}
+
+TEST_F(CacheTest, WarmRescanIsByteIdenticalAndSkipsAllWork) {
+  const SourceTree tree = SmallTree();
+  const ScanResult uncached = ScanTree(tree, /*cache_dir=*/"");
+  EXPECT_GT(uncached.reports.size(), 0u);
+  EXPECT_EQ(uncached.stats.cache_hits + uncached.stats.cache_misses, 0u);
+
+  const ScanResult cold = ScanTree(tree, cache_dir_);
+  ExpectSameReports(uncached, cold);
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  EXPECT_EQ(cold.stats.cache_misses, tree.size());
+
+  for (const size_t jobs : {size_t{1}, size_t{4}}) {
+    const ScanResult warm = ScanTree(tree, cache_dir_, jobs);
+    ExpectSameReports(uncached, warm);
+    // Acceptance criterion: a 0-changed-files rescan skips parse+check for
+    // every file.
+    EXPECT_EQ(warm.stats.cache_hits, tree.size()) << "jobs=" << jobs;
+    EXPECT_EQ(warm.stats.cache_misses, 0u) << "jobs=" << jobs;
+    EXPECT_EQ(warm.stats.cache_parse_skips, tree.size()) << "jobs=" << jobs;
+  }
+}
+
+TEST_F(CacheTest, CommentOnlyChangeInvalidatesOnlyThatFile) {
+  SourceTree tree = SmallTree();
+  ScanTree(tree, cache_dir_);  // prime
+
+  // A comment changes the file's content hash but not its facts, so the KB
+  // fingerprint is stable and every *other* file's reports stay hot.
+  SourceTree edited = SmallTree();
+  std::string text(tree.Find("drivers/a/leak.c")->text());
+  edited.Add("drivers/a/leak.c", text + "// reviewed\n");
+
+  const ScanResult uncached = ScanTree(edited, /*cache_dir=*/"");
+  const ScanResult warm = ScanTree(edited, cache_dir_);
+  ExpectSameReports(uncached, warm);
+  EXPECT_EQ(warm.stats.cache_hits, edited.size() - 1);
+  EXPECT_EQ(warm.stats.cache_misses, 1u);
+  EXPECT_EQ(warm.stats.cache_parse_skips, edited.size() - 1);
+}
+
+TEST_F(CacheTest, DiscoveryChangeInvalidatesEveryReportShard) {
+  ScanTree(SmallTree(), cache_dir_);  // prime
+
+  // A new increase-API wrapper changes what discovery finds, so the KB
+  // fingerprint moves and every stored report shard must be recomputed —
+  // correctness over reuse.
+  SourceTree edited = SmallTree();
+  std::string text(edited.Find("drivers/b/wrapper.c")->text());
+  edited.Add("drivers/b/wrapper.c",
+             text +
+                 "static void my_grab2(struct device_node *np)\n"
+                 "{\n"
+                 "  of_node_get(np);\n"
+                 "}\n");
+
+  const ScanResult uncached = ScanTree(edited, /*cache_dir=*/"");
+  const ScanResult warm = ScanTree(edited, cache_dir_);
+  ExpectSameReports(uncached, warm);
+  EXPECT_EQ(warm.stats.cache_hits, 0u);
+  EXPECT_EQ(warm.stats.cache_misses, edited.size());
+}
+
+TEST_F(CacheTest, CorruptedAndTruncatedObjectsActAsCold) {
+  const SourceTree tree = SmallTree();
+  const ScanResult cold = ScanTree(tree, cache_dir_);
+
+  // Mangle every stored object: truncate the first, garbage the rest.
+  size_t mangled = 0;
+  for (const auto& entry : stdfs::recursive_directory_iterator(
+           stdfs::path(cache_dir_) / "objects")) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    if (mangled == 0) {
+      stdfs::resize_file(entry.path(), 5);
+    } else {
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+      out << "not a cache object at all — just noise " << mangled;
+    }
+    ++mangled;
+  }
+  ASSERT_GT(mangled, 0u);
+
+  const ScanResult warm = ScanTree(tree, cache_dir_);
+  ExpectSameReports(cold, warm);
+  EXPECT_EQ(warm.stats.cache_hits, 0u);
+  EXPECT_EQ(warm.stats.cache_misses, tree.size());
+
+  // And the re-stored objects serve the next scan again.
+  const ScanResult rewarmed = ScanTree(tree, cache_dir_);
+  EXPECT_EQ(rewarmed.stats.cache_hits, tree.size());
+}
+
+TEST_F(CacheTest, DifferentOptionsMissTheCache) {
+  const SourceTree tree = SmallTree();
+  ScanTree(tree, cache_dir_);  // prime with all patterns
+
+  ScanOptions narrow;
+  narrow.jobs = 1;
+  narrow.cache_dir = cache_dir_;
+  narrow.enabled_patterns = {2};
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), narrow);
+  const ScanResult scoped = engine.Scan(tree);
+  // Different enabled patterns → different options fingerprint → the primed
+  // entries are invisible, not wrongly reused.
+  EXPECT_EQ(scoped.stats.cache_hits, 0u);
+
+  ScanOptions narrow_uncached = narrow;
+  narrow_uncached.cache_dir.clear();
+  CheckerEngine plain(KnowledgeBase::BuiltIn(), narrow_uncached);
+  ExpectSameReports(plain.Scan(tree), scoped);
+}
+
+TEST_F(CacheTest, JobsDoNotChangeTheFingerprint) {
+  ScanOptions a;
+  a.jobs = 1;
+  ScanOptions b;
+  b.jobs = 8;
+  EXPECT_EQ(ScanOptionsFingerprint(a), ScanOptionsFingerprint(b));
+  // --ipa reuses plain-scan parses: same fingerprint by design.
+  b.interprocedural = true;
+  EXPECT_EQ(ScanOptionsFingerprint(a), ScanOptionsFingerprint(b));
+  b.enabled_patterns = {1, 2};
+  EXPECT_NE(ScanOptionsFingerprint(a), ScanOptionsFingerprint(b));
+}
+
+TEST_F(CacheTest, InterproceduralScanSharesTheCacheCorrectly) {
+  const SourceTree tree = SmallTree();
+  const ScanResult uncached = ScanTree(tree, /*cache_dir=*/"", 1, /*interprocedural=*/true);
+
+  const ScanResult cold = ScanTree(tree, cache_dir_, 1, true);
+  ExpectSameReports(uncached, cold);
+  EXPECT_EQ(cold.stats.summarized_functions, uncached.stats.summarized_functions);
+
+  // Warm --ipa rescan: summaries recompute (they are whole-tree) but every
+  // parse comes from the cache and every report shard splices.
+  const ScanResult warm = ScanTree(tree, cache_dir_, 1, true);
+  ExpectSameReports(uncached, warm);
+  EXPECT_EQ(warm.stats.cache_hits, tree.size());
+  EXPECT_EQ(warm.stats.cache_parse_skips, tree.size());
+  EXPECT_EQ(warm.stats.summarized_functions, uncached.stats.summarized_functions);
+
+  // A plain scan after an --ipa scan still hits the parse cache (shared
+  // options fingerprint) and computes its own (different-KB) reports.
+  const ScanResult plain = ScanTree(tree, cache_dir_, 1, false);
+  ExpectSameReports(ScanTree(tree, /*cache_dir=*/"", 1, false), plain);
+}
+
+TEST_F(CacheTest, IndexSkipsMalformedLines) {
+  const SourceTree tree = SmallTree();
+  ScanTree(tree, cache_dir_);
+  ScanCache cache(cache_dir_);
+  const size_t stored = cache.ReadIndex().size();
+  ASSERT_GT(stored, 0u);
+
+  std::ofstream index(stdfs::path(cache_dir_) / "index.tsv", std::ios::app);
+  index << "garbage line without tabs\n\tstarts\twith\ttab\nkind\tonly-two-fields\n";
+  index.close();
+  EXPECT_EQ(cache.ReadIndex().size(), stored);
+}
+
+TEST_F(CacheTest, DisabledCacheNeverTouchesDisk) {
+  ScanCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  const CacheKey key = MakeFileKey("a.c", "int x;", 0);
+  EXPECT_FALSE(cache.LoadFacts(key).has_value());
+  cache.StoreFacts(key, DiscoveryFacts{}, "a.c");
+  EXPECT_TRUE(cache.ReadIndex().empty());
+}
+
+TEST_F(CacheTest, FileKeySeparatesPathContentAndOptions) {
+  const CacheKey base = MakeFileKey("a.c", "int x;", 1);
+  EXPECT_NE(base, MakeFileKey("b.c", "int x;", 1));  // same content, new path
+  EXPECT_NE(base, MakeFileKey("a.c", "int y;", 1));
+  EXPECT_NE(base, MakeFileKey("a.c", "int x;", 2));
+  EXPECT_EQ(base, MakeFileKey("a.c", "int x;", 1));
+  EXPECT_EQ(base.Hex().size(), 32u);
+}
+
+TEST_F(CacheTest, UnitSerializationRoundTripsTheAst) {
+  // A nontrivial file: control flow, loops, calls, structs, macros, globals.
+  const SourceFile file("drivers/x/x.c",
+                        "struct widget { int refcount; struct widget *next; };\n"
+                        "#define for_each_w(w) for (w = head; w; w = w->next)\n"
+                        "static struct widget *head;\n"
+                        "static int scan(struct widget *start)\n"
+                        "{\n"
+                        "  struct widget *w = start;\n"
+                        "  int n = 0;\n"
+                        "  for_each_w(w) {\n"
+                        "    if (!try_get(w))\n"
+                        "      break;\n"
+                        "    n += w->refcount;\n"
+                        "    put_widget(w);\n"
+                        "  }\n"
+                        "  while (n > 10) {\n"
+                        "    n = n - 1;\n"
+                        "  }\n"
+                        "  return n ? n : -EINVAL;\n"
+                        "}\n");
+  const TranslationUnit unit = ParseFile(file);
+  const std::string bytes = SerializeUnit(unit);
+  const std::optional<TranslationUnit> restored = DeserializeUnit(bytes);
+  ASSERT_TRUE(restored.has_value());
+  // DumpAst renders every node recursively, so equal dumps mean the tree
+  // survived the round trip.
+  EXPECT_EQ(DumpAst(unit), DumpAst(*restored));
+  EXPECT_EQ(unit.path, restored->path);
+}
+
+TEST_F(CacheTest, TruncatedUnitBytesNeverParseAsAUnit) {
+  const SourceFile file("a.c", "static void f(struct device_node *np) { of_node_get(np); }\n");
+  const std::string bytes = SerializeUnit(ParseFile(file));
+  // Every proper prefix must be rejected cleanly (bounds-checked reader).
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(DeserializeUnit(std::string_view(bytes).substr(0, len)).has_value())
+        << "prefix length " << len;
+  }
+  // Trailing junk is rejected too (AtEnd check).
+  EXPECT_FALSE(DeserializeUnit(bytes + "x").has_value());
+  EXPECT_TRUE(DeserializeUnit(bytes).has_value());
+}
+
+TEST_F(CacheTest, FactsRoundTripRebuildsAnIdenticalKb) {
+  const SourceTree tree = SmallTree();
+  KnowledgeBase fresh = KnowledgeBase::BuiltIn();
+  KnowledgeBase replayed = KnowledgeBase::BuiltIn();
+  std::vector<DiscoveryFacts> restored;
+  for (const auto& [path, file] : tree.files()) {
+    const DiscoveryFacts facts = ExtractDiscoveryFacts(ParseFile(file));
+    const std::optional<DiscoveryFacts> back = DeserializeFacts(SerializeFacts(facts));
+    ASSERT_TRUE(back.has_value()) << path;
+    restored.push_back(*back);
+  }
+  for (int round = 0; round < 2; ++round) {
+    size_t i = 0;
+    for (const auto& [path, file] : tree.files()) {
+      fresh.DiscoverFromUnit(ParseFile(file));
+      replayed.DiscoverFromFacts(restored[i++]);
+    }
+  }
+  EXPECT_EQ(FingerprintKnowledgeBase(fresh), FingerprintKnowledgeBase(replayed));
+  EXPECT_EQ(fresh.apis().size(), replayed.apis().size());
+  EXPECT_EQ(fresh.refcounted_structs().size(), replayed.refcounted_structs().size());
+}
+
+TEST_F(CacheTest, KbSnapshotRoundTripsTheWholeKb) {
+  // The tree-level snapshot must fingerprint identically to the replayed
+  // KB it was stored from — that equality is what lets a snapshot hit
+  // replace both discovery rounds without perturbing stage 3's kb_fp keys.
+  const SourceTree tree = SmallTree();
+  KnowledgeBase replayed = KnowledgeBase::BuiltIn();
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [path, file] : tree.files()) {
+      replayed.DiscoverFromUnit(ParseFile(file));
+    }
+  }
+  const std::string bytes = SerializeKb(replayed);
+  const std::optional<KnowledgeBase> back = DeserializeKb(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(FingerprintKnowledgeBase(*back), FingerprintKnowledgeBase(replayed));
+  EXPECT_EQ(back->apis().size(), replayed.apis().size());
+  EXPECT_EQ(back->smart_loops().size(), replayed.smart_loops().size());
+  EXPECT_EQ(back->refcounted_structs().size(), replayed.refcounted_structs().size());
+  const RefApiInfo* wrapper = back->FindApi("my_grab");
+  ASSERT_NE(wrapper, nullptr);
+  EXPECT_TRUE(wrapper->discovered);
+
+  // Truncations must never deserialize into a partial KB.
+  for (size_t len = 0; len < bytes.size(); len += 9) {
+    EXPECT_FALSE(DeserializeKb(bytes.substr(0, len)).has_value()) << "prefix " << len;
+  }
+  EXPECT_FALSE(DeserializeKb(bytes + "x").has_value());
+}
+
+TEST_F(CacheTest, CorruptedKbSnapshotFallsBackToReplay) {
+  const SourceTree tree = SmallTree();
+  const ScanResult uncached = ScanTree(tree, /*cache_dir=*/"");
+  ScanTree(tree, cache_dir_);  // prime
+
+  // Garble every stored snapshot object: the warm scan must silently fall
+  // back to the two replay rounds and still be byte-identical — and the
+  // per-file artifacts keep hitting.
+  size_t garbled = 0;
+  for (const auto& entry : stdfs::recursive_directory_iterator(cache_dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".kb") {
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+      out << "not a snapshot";
+      ++garbled;
+    }
+  }
+  EXPECT_EQ(garbled, 1u);
+
+  const ScanResult warm = ScanTree(tree, cache_dir_);
+  ExpectSameReports(uncached, warm);
+  EXPECT_EQ(warm.stats.cache_hits, tree.size());
+  EXPECT_EQ(warm.stats.cache_parse_skips, tree.size());
+}
+
+TEST_F(CacheTest, ReportsRoundTrip) {
+  CachedFileReports entry;
+  BugReport r;
+  r.file = "drivers/a/leak.c";
+  r.line = 3;
+  r.anti_pattern = 2;
+  r.function = "probe";
+  r.object = "child";
+  r.message = "acquired reference leaks on the NULL-check path";
+  r.template_path = "F_start -> S_P(p0) -> F_end";
+  entry.reports.push_back(r);
+  entry.functions = 7;
+
+  const std::optional<CachedFileReports> back = DeserializeReports(SerializeReports(entry));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->functions, 7u);
+  ASSERT_EQ(back->reports.size(), 1u);
+  EXPECT_EQ(ReportsToJson(back->reports), ReportsToJson(entry.reports));
+}
+
+TEST_F(CacheTest, FullCorpusColdWarmIdentical) {
+  // The integration-scale check: the whole synthetic kernel corpus, cold
+  // then warm, byte-identical with a full cache hit.
+  const Corpus corpus = GenerateKernelCorpus();
+  const ScanResult cold = ScanTree(corpus.tree, cache_dir_, /*jobs=*/0);
+  EXPECT_GT(cold.reports.size(), 0u);
+  const ScanResult warm = ScanTree(corpus.tree, cache_dir_, /*jobs=*/0);
+  ExpectSameReports(cold, warm);
+  EXPECT_EQ(warm.stats.cache_hits, corpus.tree.size());
+  EXPECT_EQ(warm.stats.cache_parse_skips, corpus.tree.size());
+}
+
+}  // namespace
+}  // namespace refscan

@@ -1,0 +1,151 @@
+// LoadSourceTreeFromDisk tests: filtering (extensions, skip_dirs,
+// max_file_bytes), error reporting for unreadable inputs, and the
+// parallel-read determinism guarantee (identical tree at every `jobs`).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/support/fs.h"
+
+namespace refscan {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (stdfs::temp_directory_path() /
+             (std::string("refscan_fs_test_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    stdfs::remove_all(root_);
+    stdfs::create_directories(root_);
+  }
+  void TearDown() override {
+    // Restore permissions so remove_all can do its job.
+    std::error_code ec;
+    for (const auto& entry : stdfs::recursive_directory_iterator(root_, ec)) {
+      stdfs::permissions(entry.path(), stdfs::perms::owner_all, stdfs::perm_options::add, ec);
+    }
+    stdfs::remove_all(root_, ec);
+  }
+
+  void WriteFile(const std::string& relative, const std::string& text) {
+    const stdfs::path target = stdfs::path(root_) / relative;
+    stdfs::create_directories(target.parent_path());
+    std::ofstream out(target, std::ios::binary);
+    out << text;
+  }
+
+  std::string root_;
+};
+
+TEST_F(FsTest, LoadsOnlyMatchingExtensionsKeyedByRelativePath) {
+  WriteFile("drivers/gpu/a.c", "int a;\n");
+  WriteFile("include/b.h", "int b;\n");
+  WriteFile("README.md", "not C\n");
+  WriteFile("drivers/gpu/notes.txt", "not C either\n");
+
+  const SourceTree tree = LoadSourceTreeFromDisk(root_);
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_NE(tree.Find("drivers/gpu/a.c"), nullptr);
+  EXPECT_EQ(tree.Find("drivers/gpu/a.c")->text(), "int a;\n");
+  EXPECT_NE(tree.Find("include/b.h"), nullptr);
+  EXPECT_EQ(tree.Find("README.md"), nullptr);
+}
+
+TEST_F(FsTest, SkipDirsPruneWholeSubtreesAtAnyDepth) {
+  WriteFile("drivers/a.c", "int a;\n");
+  WriteFile(".git/objects/deep/fake.c", "int git;\n");
+  WriteFile("drivers/build/gen.c", "int gen;\n");
+  WriteFile("Documentation/example.c", "int doc;\n");
+
+  const SourceTree tree = LoadSourceTreeFromDisk(root_);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_NE(tree.Find("drivers/a.c"), nullptr);
+
+  // An empty skip list loads everything.
+  LoadOptions open_options;
+  open_options.skip_dirs.clear();
+  EXPECT_EQ(LoadSourceTreeFromDisk(root_, open_options).size(), 4u);
+}
+
+TEST_F(FsTest, MaxFileBytesFiltersLargeFiles) {
+  WriteFile("small.c", "int s;\n");
+  WriteFile("large.c", std::string(1024, 'x'));
+
+  LoadOptions options;
+  options.max_file_bytes = 100;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, options);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_NE(tree.Find("small.c"), nullptr);
+
+  // 0 disables the limit.
+  options.max_file_bytes = 0;
+  EXPECT_EQ(LoadSourceTreeFromDisk(root_, options).size(), 2u);
+}
+
+TEST_F(FsTest, ParallelAndSerialLoadsAreIdentical) {
+  // Enough files (with varied sizes, including empty) that the parallel
+  // path actually fans out.
+  for (int i = 0; i < 40; ++i) {
+    WriteFile("dir" + std::to_string(i % 5) + "/f" + std::to_string(i) + ".c",
+              std::string(static_cast<size_t>(i) * 97, 'a' + static_cast<char>(i % 26)));
+  }
+
+  LoadOptions serial;
+  serial.jobs = 1;
+  LoadOptions wide;
+  wide.jobs = 8;
+  const SourceTree a = LoadSourceTreeFromDisk(root_, serial);
+  const SourceTree b = LoadSourceTreeFromDisk(root_, wide);
+  ASSERT_EQ(a.size(), 40u);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [path, file] : a.files()) {
+    const SourceFile* other = b.Find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(file.text(), other->text()) << path;
+  }
+}
+
+TEST_F(FsTest, UnreadableFileIsReportedAndSkipped) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root reads chmod-000 files; permission test is meaningless";
+  }
+  WriteFile("ok.c", "int ok;\n");
+  WriteFile("secret.c", "int secret;\n");
+  stdfs::permissions(stdfs::path(root_) / "secret.c", stdfs::perms::none);
+
+  std::vector<std::string> errors;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &errors);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_NE(tree.Find("ok.c"), nullptr);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("secret.c"), std::string::npos);
+}
+
+TEST_F(FsTest, MissingRootReportsAnError) {
+  std::vector<std::string> errors;
+  const SourceTree tree =
+      LoadSourceTreeFromDisk(root_ + "/does/not/exist", LoadOptions{}, &errors);
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("does not exist"), std::string::npos);
+}
+
+TEST_F(FsTest, EmptyFileLoadsAsEmptyText) {
+  WriteFile("empty.c", "");
+  const SourceTree tree = LoadSourceTreeFromDisk(root_);
+  ASSERT_NE(tree.Find("empty.c"), nullptr);
+  EXPECT_EQ(tree.Find("empty.c")->text(), "");
+}
+
+}  // namespace
+}  // namespace refscan

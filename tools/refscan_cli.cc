@@ -1,6 +1,7 @@
 // refscan — command-line front end.
 //
-//   refscan scan <dir> [--fix] [--no-discovery] [--jobs N]  scan a C tree on disk
+//   refscan scan <dir> [--fix] [--no-discovery] [--jobs N] [--cache-dir DIR]
+//                                                 scan a C tree on disk
 //   refscan match <dir> "<template>" [--jobs N]   run a custom semantic template
 //   refscan dump <file.c> [tokens|ast|cfg|cpg]    inspect front-end stages
 //   refscan deviations <dir> [--jobs N]           find deviant refcounting APIs
@@ -36,7 +37,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
-               "                    [--interprocedural] [--jobs N]\n"
+               "                    [--interprocedural] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
                "-> S_D(p0) -> F_end\"\n"
                "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
@@ -48,7 +49,11 @@ int Usage() {
                "  --interprocedural     fold bottom-up call-graph summaries into the KB\n"
                "                        before checking (alias: --ipa)\n"
                "  --jobs/-j N   scan threads (0 = all hardware threads, the default);\n"
-               "                output is identical at every thread count\n");
+               "                output is identical at every thread count\n"
+               "  --cache-dir DIR   persistent incremental scan cache: rescans replay\n"
+               "                    cached parses and reports for unchanged files;\n"
+               "                    output is byte-identical to an uncached scan\n"
+               "  --no-cache        ignore any --cache-dir (one-shot cold scan)\n");
   return 2;
 }
 
@@ -61,6 +66,8 @@ struct CliFlags {
   std::set<int> patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
   size_t jobs = 0;  // 0 = hardware concurrency
   std::string emit_dir;
+  std::string cache_dir;
+  bool no_cache = false;
 };
 
 // Parses flags from argv[first..); returns false on an unknown flag or a
@@ -98,6 +105,14 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       flags.jobs = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-dir needs a directory\n");
+        return false;
+      }
+      flags.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      flags.no_cache = true;
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--emit needs a directory\n");
@@ -118,10 +133,20 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
   options.jobs = flags.jobs;
   options.interprocedural = flags.interprocedural;
   options.enabled_patterns = flags.patterns;
+  if (!flags.no_cache) {
+    options.cache_dir = flags.cache_dir;
+  }
   CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
   const ScanResult result = engine.Scan(tree);
 
   if (flags.json) {
+    if (!options.cache_dir.empty()) {
+      // Keep stdout byte-identical between cold and warm scans: cache
+      // accounting goes to stderr in JSON mode.
+      std::fprintf(stderr, "cache: %zu hit(s), %zu miss(es), %zu parse skip(s)\n",
+                   result.stats.cache_hits, result.stats.cache_misses,
+                   result.stats.cache_parse_skips);
+    }
     std::printf("%s", ReportsToJson(result.reports).c_str());
     return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
   }
@@ -130,6 +155,11 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
               "%zu smartloops)\n\n",
               result.stats.files, result.stats.functions, result.stats.discovered_apis,
               result.stats.discovered_smart_loops);
+  if (!options.cache_dir.empty()) {
+    std::printf("cache: %zu hit(s), %zu miss(es), %zu parse skip(s)\n\n",
+                result.stats.cache_hits, result.stats.cache_misses,
+                result.stats.cache_parse_skips);
+  }
 
   for (const BugReport& r : result.reports) {
     std::printf("%s:%u: [P%d %s/%s] %s\n", r.file.c_str(), r.line, r.anti_pattern,
@@ -216,7 +246,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot parse template: %s\n", argv[3]);
       return 2;
     }
-    const SourceTree tree = LoadSourceTreeFromDisk(argv[2]);
+    LoadOptions load_options;
+    load_options.jobs = flags.jobs;
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options);
     if (tree.size() == 0) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
       return 2;
@@ -283,7 +315,9 @@ int main(int argc, char** argv) {
       return Usage();
     }
     std::vector<std::string> errors;
-    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], LoadOptions{}, &errors);
+    LoadOptions load_options;
+    load_options.jobs = flags.jobs;
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options, &errors);
     for (const std::string& error : errors) {
       std::fprintf(stderr, "warning: %s\n", error.c_str());
     }
@@ -324,7 +358,9 @@ int main(int argc, char** argv) {
       return Usage();
     }
     std::vector<std::string> errors;
-    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], LoadOptions{}, &errors);
+    LoadOptions load_options;
+    load_options.jobs = flags.jobs;
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options, &errors);
     for (const std::string& error : errors) {
       std::fprintf(stderr, "warning: %s\n", error.c_str());
     }
