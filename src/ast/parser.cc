@@ -3,6 +3,8 @@
 #include <cctype>
 
 #include "src/lexer/lexer.h"
+#include "src/support/faultinject.h"
+#include "src/support/governor.h"
 #include "src/support/strings.h"
 
 namespace refscan {
@@ -50,6 +52,7 @@ class Parser {
 
   TranslationUnit Parse() {
     while (!cur_.AtEnd()) {
+      CheckDeadline("parser");
       ParseTopLevel();
     }
     return std::move(unit_);
@@ -500,7 +503,17 @@ class Parser {
 
   // ------------------------------------------------------------ statements
 
+  // Node-budget governor: every statement and expression allocation passes
+  // through here, so a pathological input trips the cap long before memory
+  // becomes a problem.
+  void BumpNodeCount() {
+    if (options_.max_nodes > 0 && ++nodes_ > options_.max_nodes) {
+      throw ResourceLimitError(StrFormat("AST node count exceeds cap %zu", options_.max_nodes));
+    }
+  }
+
   StmtPtr MakeStmt(Stmt::Kind kind, uint32_t line) {
+    BumpNodeCount();
     auto s = std::make_unique<Stmt>();
     s->kind = kind;
     s->line = line;
@@ -522,8 +535,12 @@ class Parser {
   }
 
   StmtPtr ParseStatement() {
+    CheckDeadline("parser");
     if (++depth_ > options_.max_depth) {
       --depth_;
+      if (options_.depth_fatal) {
+        throw ResourceLimitError(StrFormat("AST depth exceeds cap %d", options_.max_depth));
+      }
       auto s = MakeStmt(Stmt::Kind::kError, Line());
       SyncToStatementEnd();
       return s;
@@ -809,6 +826,7 @@ class Parser {
   // ----------------------------------------------------------- expressions
 
   ExprPtr MakeExpr(Expr::Kind kind, uint32_t line) {
+    BumpNodeCount();
     auto e = std::make_unique<Expr>();
     e->kind = kind;
     e->line = line;
@@ -1100,11 +1118,13 @@ class Parser {
   ParseOptions options_;
   TranslationUnit unit_;
   int depth_ = 0;
+  size_t nodes_ = 0;
 };
 
 }  // namespace
 
 TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options) {
+  MaybeFault("parser.parse", file.path());
   Parser parser(file, options);
   return parser.Parse();
 }

@@ -21,12 +21,23 @@ namespace refscan {
 
 struct ParseOptions {
   // Statements deeper than this are flattened to kError (stack safety on
-  // adversarial inputs).
+  // adversarial inputs). With `depth_fatal` set, exceeding the cap raises
+  // ResourceLimitError instead — the engine's sandbox quarantines the file
+  // with an explicit kResourceLimit failure rather than silently degrading.
   int max_depth = 200;
+  bool depth_fatal = false;
+  // AST node budget (statements + expressions); 0 = unlimited. Exceeding it
+  // raises ResourceLimitError.
+  size_t max_nodes = 0;
 };
 
-// Parses one file into a TranslationUnit. Never throws; always returns a
-// unit (possibly with kError nodes).
+// Parses one file into a TranslationUnit; always returns a unit (possibly
+// with kError nodes) in the default configuration. Three exceptions to
+// "never throws", all opted into by the caller and converted to quarantined
+// FileFailures by the engine's per-file sandbox: ResourceLimitError from
+// the depth/node caps above, DeadlineExceeded from an armed ScopedDeadline
+// (polled once per statement), and FaultInjected from the `parser.parse`
+// fault-injection site.
 TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options = {});
 
 // Parses a standalone expression (tests and tools).

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/cache/serial.h"
+#include "src/support/faultinject.h"
 
 namespace refscan {
 
@@ -620,6 +621,15 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
   if (!enabled()) {
     return false;
   }
+  // An injected `cache.load` fault models a read that returned garbage (a
+  // torn write, a bad sector): it degrades to a miss exactly like a real
+  // checksum failure, and counts as a corrupt load either way.
+  try {
+    MaybeFault("cache.load", name);
+  } catch (const FaultInjected&) {
+    corrupt_loads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::ifstream in(stdfs::path(dir_) / name, std::ios::binary);
   if (!in) {
     return false;
@@ -630,7 +640,8 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
     buf << in.rdbuf();
     blob = std::move(buf).str();
   }
-  // Header: magic, version, kind, payload hash, payload size.
+  // Header: magic, version, kind, payload hash, payload size. The object
+  // exists from here on: any validation failure is a corrupt load.
   ByteReader r(blob);
   char magic[4];
   for (char& c : magic) {
@@ -642,14 +653,17 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
   const uint32_t payload_size = r.U32();
   if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
       version != kFormatVersion || stored_kind != kind) {
+    corrupt_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   constexpr size_t kHeaderSize = 4 + 4 + 1 + 8 + 4;
   if (blob.size() != kHeaderSize + payload_size) {
+    corrupt_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   payload = blob.substr(kHeaderSize);
   if (HashBytes(payload) != payload_hash) {
+    corrupt_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
@@ -658,6 +672,12 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
 void ScanCache::StoreObject(const std::string& name, uint8_t kind, std::string_view payload,
                             std::string_view kind_name, std::string_view source) {
   if (!enabled()) {
+    return;
+  }
+  // A failed store only costs the next scan a miss; never fail the scan.
+  try {
+    MaybeFault("cache.store", name);
+  } catch (const FaultInjected&) {
     return;
   }
   ByteWriter w;

@@ -109,6 +109,13 @@ class ScanCache {
   std::optional<KnowledgeBase> LoadKb(const CacheKey& key) const;
   void StoreKb(const CacheKey& key, const KnowledgeBase& kb, std::string_view source);
 
+  // Objects that existed on disk but failed validation (bad magic/version/
+  // kind byte, truncation, checksum mismatch) or whose read failed at the
+  // `cache.load` fault-injection site. Every one degraded to a miss; the
+  // engine surfaces the count as ScanStats::cache_corrupt. Plain absent
+  // objects are not counted.
+  uint64_t corrupt_loads() const { return corrupt_loads_.load(std::memory_order_relaxed); }
+
   // index.tsv bookkeeping: kind, object file name, source path, payload
   // bytes. Malformed lines are skipped, not fatal.
   struct IndexEntry {
@@ -127,6 +134,7 @@ class ScanCache {
   std::string dir_;
   mutable std::mutex index_mutex_;
   mutable std::atomic<uint64_t> tmp_counter_{0};
+  mutable std::atomic<uint64_t> corrupt_loads_{0};
 };
 
 // Serializers, exposed for tests (round-trip and corruption suites).

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <map>
 
+#include "src/support/governor.h"
+
 namespace refscan {
 
 namespace {
@@ -219,6 +221,7 @@ class CfgBuilder {
   }
 
   std::vector<int> Lower(const Stmt& s, std::vector<int> preds) {
+    CheckDeadline("cfg");
     switch (s.kind) {
       case Stmt::Kind::kCompound:
         return LowerSeq(s.stmts, std::move(preds));

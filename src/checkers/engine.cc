@@ -1,15 +1,50 @@
 #include "src/checkers/engine.h"
 
 #include <charconv>
+#include <chrono>
 #include <optional>
+#include <thread>
 
 #include "src/ast/parser.h"
 #include "src/cache/cache.h"
 #include "src/cache/serial.h"
 #include "src/ipa/summary.h"
+#include "src/support/faultinject.h"
+#include "src/support/governor.h"
+#include "src/support/strings.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
+
+std::string_view FailureStageName(FailureStage stage) {
+  switch (stage) {
+    case FailureStage::kLoad:
+      return "load";
+    case FailureStage::kParse:
+      return "parse";
+    case FailureStage::kCheck:
+      return "check";
+    case FailureStage::kSummarize:
+      return "summarize";
+  }
+  return "unknown";
+}
+
+std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kIo:
+      return "io";
+    case FailureKind::kParse:
+      return "parse";
+    case FailureKind::kResourceLimit:
+      return "resource-limit";
+    case FailureKind::kCache:
+      return "cache";
+    case FailureKind::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
 
 UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,
                              const KnowledgeBase& kb) {
@@ -48,6 +83,7 @@ FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const Knowl
 
   const auto& enabled = options.enabled_patterns;
   for (const FunctionContext& fc : uc.functions) {
+    CheckDeadline("checker");
     if (enabled.contains(1)) {
       CheckReturnError(uc, fc, kb, options, shard.raw);
     }
@@ -79,10 +115,86 @@ FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const Knowl
   return shard;
 }
 
+// Maps an injected fault to the failure taxonomy by its site prefix.
+FailureKind ClassifyFault(const FaultInjected& e) {
+  if (e.transient_io()) {
+    return FailureKind::kIo;
+  }
+  const std::string& site = e.site();
+  if (site.rfind("fs.", 0) == 0) {
+    return FailureKind::kIo;
+  }
+  if (site.rfind("cache.", 0) == 0) {
+    return FailureKind::kCache;
+  }
+  if (site.rfind("parser.", 0) == 0) {
+    return FailureKind::kParse;
+  }
+  return FailureKind::kInternal;
+}
+
+// Runs one file's pipeline stage inside its sandbox: a fresh ScopedDeadline
+// per attempt, one bounded-backoff retry for transient I/O failures (only
+// while `retry_allowed` — the stage-3 body clears it once it has consumed
+// the cached TranslationUnit), and exception → FileFailure classification.
+// Returns false when the file is quarantined (`failure` is filled in); the
+// caller must then discard the file's partial state.
+template <typename Fn>
+bool GuardFileStage(std::string_view path, FailureStage stage, uint32_t timeout_ms,
+                    const bool& retry_allowed, Fn&& body, std::optional<FileFailure>& failure,
+                    bool& retried) {
+  FileFailure f;
+  f.path = std::string(path);
+  f.stage = stage;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ScopedDeadline deadline(timeout_ms);
+      body();
+      return true;
+    } catch (const FaultInjected& e) {
+      if (e.transient_io() && retry_allowed && attempt == 0) {
+        retried = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      f.kind = ClassifyFault(e);
+      f.what = e.what();
+    } catch (const ResourceLimitError& e) {
+      f.kind = FailureKind::kResourceLimit;
+      f.what = e.what();
+    } catch (const std::exception& e) {
+      f.kind = FailureKind::kInternal;
+      f.what = e.what();
+    } catch (...) {
+      f.kind = FailureKind::kInternal;
+      f.what = "unknown exception";
+    }
+    f.retries = retried ? 1 : 0;
+    failure = std::move(f);
+    return false;
+  }
+}
+
 }  // namespace
 
 ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   ScanResult result;
+
+  // Scoped fault arming from the options: library callers and tests get a
+  // hermetic plan that restores whatever was armed before. A malformed spec
+  // aborts loudly — silently scanning un-faulted would make a fault-matrix
+  // CI job pass vacuously.
+  std::optional<ScopedFaultArm> fault_arm;
+  if (!options_.fault_spec.empty()) {
+    FaultPlan plan;
+    std::string spec_error;
+    if (!ParseFaultSpec(options_.fault_spec, plan, &spec_error)) {
+      result.aborted = true;
+      result.abort_reason = "invalid fault spec: " + spec_error;
+      return result;
+    }
+    fault_arm.emplace(std::move(plan));
+  }
 
   // Files in path order: index i is the fan-out key for both parallel
   // stages, so merge order never depends on thread scheduling.
@@ -111,47 +223,122 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     std::optional<TranslationUnit> unit;
     bool parsed = false;      // ParseFile ran for this file during this scan
     bool report_hit = false;  // stage-3 shard spliced from the cache
+    bool retried = false;     // a transient-I/O retry was consumed (any stage)
+    std::optional<FileFailure> failure;  // set = quarantined, skip later stages
   };
+
+  // Parser caps from the governor options. max_ast_depth replaces the
+  // silent flatten-at-200 with a hard (quarantining) cap.
+  ParseOptions popts;
+  if (options_.max_ast_depth > 0) {
+    popts.max_depth = options_.max_ast_depth;
+    popts.depth_fatal = true;
+  }
+  popts.max_nodes = options_.max_ast_nodes;
+  const bool stage_retry_ok = true;  // stage 1 work is idempotent, retry freely
 
   // Stage 1: obtain per-file discovery facts — and units where needed —
   // (parallel; each file is independent). Cache hits replay the stored
   // facts/unit instead of parsing; misses parse, extract, and populate the
   // cache for the next scan. Facts extraction is a pure projection of the
   // unit, so every path below yields identical facts for identical content.
+  // Every file runs inside its sandbox: a throw from the size cap, the
+  // parser (deadline / AST caps / injected fault) or the cache quarantines
+  // that one file and resets its partial state; the rest of the scan never
+  // sees it again. A quarantined file stores no cache artifacts, so nothing
+  // injection- or wall-clock-dependent can ever be replayed.
   std::vector<FileState> states = ParallelMap(pool, files.size(), [&](size_t i) {
     FileState st;
     const SourceFile& f = *files[i];
-    if (use_cache) {
-      st.key = MakeFileKey(f.path(), f.text(), options_fp);
-      if (!need_units) {
-        if (!want_facts) {
-          return st;  // discovery off: nothing is needed before stage 3
-        }
-        if (std::optional<DiscoveryFacts> facts = cache.LoadFacts(st.key)) {
-          st.facts = std::move(*facts);
-          return st;
-        }
-      } else if (std::optional<TranslationUnit> unit = cache.LoadUnit(st.key)) {
-        st.unit = std::move(*unit);
-        if (want_facts) {
-          st.facts = ExtractDiscoveryFacts(*st.unit);
-        }
-        return st;
-      }
-    }
-    st.unit = ParseFile(f);
-    st.parsed = true;
-    if (want_facts) {
-      st.facts = ExtractDiscoveryFacts(*st.unit);
-    }
-    if (use_cache) {
-      cache.StoreUnit(st.key, *st.unit, f.path());
-      if (want_facts) {
-        cache.StoreFacts(st.key, st.facts, f.path());
-      }
+    const bool ok = GuardFileStage(
+        f.path(), FailureStage::kParse, options_.file_timeout_ms, stage_retry_ok,
+        [&] {
+          st.key = CacheKey{};
+          st.facts = DiscoveryFacts{};
+          st.unit.reset();
+          st.parsed = false;
+          if (options_.max_file_bytes > 0 && f.text().size() > options_.max_file_bytes) {
+            throw ResourceLimitError(StrFormat("input size %zu exceeds cap %zu", f.text().size(),
+                                               options_.max_file_bytes));
+          }
+          if (use_cache) {
+            st.key = MakeFileKey(f.path(), f.text(), options_fp);
+            if (!need_units) {
+              if (!want_facts) {
+                return;  // discovery off: nothing is needed before stage 3
+              }
+              if (std::optional<DiscoveryFacts> facts = cache.LoadFacts(st.key)) {
+                st.facts = std::move(*facts);
+                return;
+              }
+            } else if (std::optional<TranslationUnit> unit = cache.LoadUnit(st.key)) {
+              st.unit = std::move(*unit);
+              if (want_facts) {
+                st.facts = ExtractDiscoveryFacts(*st.unit);
+              }
+              return;
+            }
+          }
+          st.unit = ParseFile(f, popts);
+          st.parsed = true;
+          if (want_facts) {
+            st.facts = ExtractDiscoveryFacts(*st.unit);
+          }
+          if (use_cache) {
+            cache.StoreUnit(st.key, *st.unit, f.path());
+            if (want_facts) {
+              cache.StoreFacts(st.key, st.facts, f.path());
+            }
+          }
+        },
+        st.failure, st.retried);
+    if (!ok) {
+      // Discard partial state so the KB replay and stage 3 see a file that
+      // simply is not there — this is what makes the healthy-subset
+      // byte-identity guarantee hold.
+      st.facts = DiscoveryFacts{};
+      st.unit.reset();
+      st.parsed = false;
     }
     return st;
   });
+
+  // Scan-wide circuit breaker (off by default): a mostly-broken tree —
+  // wrong directory, filesystem fault, bad deploy — should abort loudly
+  // instead of "completing" with a handful of reports from the wreckage.
+  const auto breaker_trips = [&](size_t failed) {
+    return options_.max_failure_ratio > 0 && !files.empty() &&
+           static_cast<double>(failed) / static_cast<double>(files.size()) >
+               options_.max_failure_ratio;
+  };
+  const auto count_failed = [&] {
+    size_t failed = 0;
+    for (const FileState& st : states) {
+      failed += st.failure.has_value() ? 1 : 0;
+    }
+    return failed;
+  };
+  const auto collect_failures = [&] {
+    for (FileState& st : states) {
+      if (st.retried) {
+        ++result.stats.files_retried;
+      }
+      if (st.failure) {
+        ++result.stats.files_quarantined;
+        result.failures.push_back(std::move(*st.failure));
+      }
+    }
+  };
+
+  if (const size_t failed = count_failed(); breaker_trips(failed)) {
+    result.aborted = true;
+    result.abort_reason =
+        StrFormat("%zu of %zu files failed in the parse stage (max_failure_ratio %.2f)", failed,
+                  files.size(), options_.max_failure_ratio);
+    result.stats.files = files.size();
+    collect_failures();
+    return result;
+  }
 
   // Stage 2: feed the KB (structure parser, API and smartloop discovery).
   // Discovery must see all units before checking so that cross-file APIs (a
@@ -170,12 +357,18 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     // ordered facts, which is exactly what the snapshot key hashes. A hit
     // replaces both replay rounds, which otherwise dominate a warm rescan
     // (re-classifying every discovered API from scratch each run).
+    // Quarantined files are excluded from both the replay and the snapshot
+    // key: the KB — and therefore every healthy file's report shard — is
+    // exactly what a scan of the healthy subset alone would build.
     bool kb_from_snapshot = false;
     CacheKey kb_key;
     if (use_cache) {
       std::vector<const DiscoveryFacts*> all_facts;
       all_facts.reserve(states.size());
       for (const FileState& st : states) {
+        if (st.failure) {
+          continue;
+        }
         all_facts.push_back(&st.facts);
       }
       kb_key = MakeKbSnapshotKey(FingerprintKnowledgeBase(kb_), options_.nesting_threshold,
@@ -190,6 +383,9 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       // the second lets wrappers of discovered APIs classify too.
       for (int round = 0; round < 2; ++round) {
         for (const FileState& st : states) {
+          if (st.failure) {
+            continue;
+          }
           kb_.DiscoverFromFacts(st.facts, options_.nesting_threshold);
         }
       }
@@ -205,16 +401,35 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // freezes, exactly as without summaries. Summaries are always recomputed
   // (they are whole-tree), but the units they walk come from cached parses
   // on a warm rescan.
+  std::vector<FileFailure> tree_failures;
   if (options_.interprocedural) {
-    std::vector<const TranslationUnit*> unit_ptrs;
-    unit_ptrs.reserve(states.size());
-    for (const FileState& st : states) {
-      unit_ptrs.push_back(&*st.unit);
+    // A summary-stage failure degrades the whole scan (path "<tree>") but
+    // does not abort it: the checkers still run with the intraprocedural KB,
+    // exactly as if --ipa had been off. The fault hook fires before
+    // ComputeSummaries so an injected failure can never leave the KB with a
+    // partial set of registered summaries.
+    try {
+      MaybeFault("ipa.summarize", "<tree>");
+      std::vector<const TranslationUnit*> unit_ptrs;
+      unit_ptrs.reserve(states.size());
+      for (const FileState& st : states) {
+        if (st.failure) {
+          continue;
+        }
+        unit_ptrs.push_back(&*st.unit);
+      }
+      SummaryOptions sopts;
+      sopts.max_paths_per_function = options_.max_paths_per_function;
+      const SummaryResult summaries = ComputeSummaries(unit_ptrs, kb_, sopts, pool);
+      result.stats.summarized_functions = summaries.summaries.size();
+    } catch (const std::exception& e) {
+      FileFailure f;
+      f.path = "<tree>";
+      f.stage = FailureStage::kSummarize;
+      f.kind = FailureKind::kInternal;
+      f.what = e.what();
+      tree_failures.push_back(std::move(f));
     }
-    SummaryOptions sopts;
-    sopts.max_paths_per_function = options_.max_paths_per_function;
-    const SummaryResult summaries = ComputeSummaries(unit_ptrs, kb_, sopts, pool);
-    result.stats.summarized_functions = summaries.summaries.size();
   }
 
   result.stats.discovered_apis = kb_.apis().size();
@@ -235,41 +450,74 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   const KnowledgeBase& kb = kb_;
   std::vector<FileShard> shards = ParallelMap(pool, files.size(), [&](size_t i) {
     FileState& st = states[i];
-    if (use_cache) {
-      if (std::optional<CachedFileReports> cached = cache.LoadReports(st.key, kb_fp)) {
-        st.report_hit = true;
-        FileShard shard;
-        shard.raw = std::move(cached->reports);
-        shard.functions = static_cast<size_t>(cached->functions);
-        return shard;
-      }
+    FileShard shard;
+    if (st.failure) {
+      return shard;  // quarantined in stage 1: empty shard, nothing to check
     }
-    TranslationUnit unit;
-    if (st.unit.has_value()) {
-      unit = std::move(*st.unit);
-    } else {
-      // Facts were cached but this file's reports were invalidated (another
-      // file changed the KB): re-parse just this file, in-memory.
-      unit = ParseFile(*files[i]);
-      st.parsed = true;
-    }
-    FileShard shard = CheckOneFile(*files[i], std::move(unit), kb, options_);
-    if (use_cache) {
-      CachedFileReports entry;
-      entry.reports = shard.raw;
-      entry.functions = shard.functions;
-      cache.StoreReports(st.key, kb_fp, entry, files[i]->path());
+    // Retrying is only safe until the body moves the cached TranslationUnit
+    // into CheckOneFile — after that a retry would re-check a moved-from
+    // unit and silently produce wrong output, so the body revokes it.
+    bool retry_ok = true;
+    const bool ok = GuardFileStage(
+        files[i]->path(), FailureStage::kCheck, options_.file_timeout_ms, retry_ok,
+        [&] {
+          shard = FileShard{};
+          if (use_cache) {
+            if (std::optional<CachedFileReports> cached = cache.LoadReports(st.key, kb_fp)) {
+              st.report_hit = true;
+              shard.raw = std::move(cached->reports);
+              shard.functions = static_cast<size_t>(cached->functions);
+              return;
+            }
+          }
+          MaybeFault("checker.run", files[i]->path());
+          TranslationUnit unit;
+          if (st.unit.has_value()) {
+            retry_ok = false;
+            unit = std::move(*st.unit);
+            st.unit.reset();
+          } else {
+            // Facts were cached but this file's reports were invalidated
+            // (another file changed the KB): re-parse just this file,
+            // in-memory.
+            unit = ParseFile(*files[i], popts);
+            st.parsed = true;
+          }
+          shard = CheckOneFile(*files[i], std::move(unit), kb, options_);
+          if (use_cache) {
+            CachedFileReports entry;
+            entry.reports = shard.raw;
+            entry.functions = shard.functions;
+            cache.StoreReports(st.key, kb_fp, entry, files[i]->path());
+          }
+        },
+        st.failure, st.retried);
+    if (!ok) {
+      shard = FileShard{};  // discard any partial shard
     }
     return shard;
   });
 
+  if (const size_t failed = count_failed(); breaker_trips(failed)) {
+    result.aborted = true;
+    result.abort_reason = StrFormat("%zu of %zu files failed (max_failure_ratio %.2f)", failed,
+                                    files.size(), options_.max_failure_ratio);
+    result.stats.files = files.size();
+    collect_failures();
+    return result;
+  }
+
   if (use_cache) {
     for (const FileState& st : states) {
+      if (st.failure) {
+        continue;  // quarantined files are neither hits nor misses
+      }
       ++(st.report_hit ? result.stats.cache_hits : result.stats.cache_misses);
       if (!st.parsed) {
         ++result.stats.cache_parse_skips;
       }
     }
+    result.stats.cache_corrupt = static_cast<size_t>(cache.corrupt_loads());
   }
 
   // Merge the shards in file order: the concatenation equals what the old
@@ -284,6 +532,14 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   }
 
   result.reports = DeduplicateReports(std::move(raw));
+
+  // Quarantined files in tree (path) order — states already are — then any
+  // whole-tree stage failures.
+  collect_failures();
+  for (FileFailure& f : tree_failures) {
+    ++result.stats.files_quarantined;
+    result.failures.push_back(std::move(f));
+  }
 
   // Suppression comments: a `refscan: ignore` marker on the reported line
   // (or the line above it) silences the report — the escape hatch for
@@ -326,7 +582,55 @@ uint64_t ScanOptionsFingerprint(const ScanOptions& options) {
   }
   w.Bool(options.prune_null_branches);
   w.Bool(options.model_ownership_transfer);
+  // Deterministic governor caps: they change what a parse produces.
+  // fault_spec / file_timeout_ms / max_failure_ratio deliberately excluded —
+  // a file that faults or times out stores no artifacts.
+  w.U64(options.max_file_bytes);
+  w.U64(options.max_ast_nodes);
+  w.I32(options.max_ast_depth);
   return HashBytes(w.bytes());
+}
+
+std::string ScanResultToJson(const ScanResult& result, bool include_stats) {
+  std::string out = "{\n\"reports\": ";
+  std::string reports = ReportsToJson(result.reports);
+  if (!reports.empty() && reports.back() == '\n') {
+    reports.pop_back();
+  }
+  out += reports;
+  out += ",\n\"degraded\": [";
+  for (size_t i = 0; i < result.failures.size(); ++i) {
+    const FileFailure& f = result.failures[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"path\": ";
+    AppendJsonString(out, f.path);
+    out += ", \"stage\": ";
+    AppendJsonString(out, FailureStageName(f.stage));
+    out += ", \"kind\": ";
+    AppendJsonString(out, FailureKindName(f.kind));
+    out += ", \"what\": ";
+    AppendJsonString(out, f.what);
+    out += StrFormat(", \"retries\": %d}", f.retries);
+  }
+  if (!result.failures.empty()) {
+    out += "\n";
+  }
+  out += "]";
+  if (result.aborted) {
+    out += ",\n\"aborted\": true,\n\"abort_reason\": ";
+    AppendJsonString(out, result.abort_reason);
+  }
+  if (include_stats) {
+    const ScanStats& s = result.stats;
+    out += StrFormat(
+        ",\n\"stats\": {\"files\": %zu, \"functions\": %zu, \"quarantined\": %zu, "
+        "\"retried\": %zu, \"cache_hits\": %zu, \"cache_misses\": %zu, "
+        "\"cache_parse_skips\": %zu, \"cache_corrupt\": %zu}",
+        s.files, s.functions, s.files_quarantined, s.files_retried, s.cache_hits, s.cache_misses,
+        s.cache_parse_skips, s.cache_corrupt);
+  }
+  out += "\n}\n";
+  return out;
 }
 
 bool ParsePatternList(std::string_view text, std::set<int>& out) {

@@ -60,6 +60,51 @@ struct ScanOptions {
   // checkers fire through wrapper chains (src/ipa). Off by default — the
   // intraprocedural pipeline is the paper's baseline.
   bool interprocedural = false;
+
+  // ---- fault isolation & resource governors (DESIGN.md §5.9) ----
+
+  // Fault-injection spec (see support/faultinject.h), armed for the
+  // duration of Scan() and restored afterwards; empty = whatever is armed
+  // process-wide (e.g. via REFSCAN_FAULTS). A malformed spec aborts the
+  // scan with a diagnostic rather than silently running un-faulted.
+  std::string fault_spec;
+
+  // Per-file wall-clock budget covering parse and context-build + checking
+  // separately (cooperative: polled in the parser/CFG/checker loops, no
+  // thread is killed). 0 = no deadline. Overruns quarantine the file with
+  // FailureKind::kResourceLimit.
+  uint32_t file_timeout_ms = 0;
+
+  // Per-file input-size / AST caps; 0 = uncapped. Oversized inputs are
+  // quarantined (kResourceLimit) instead of parsed. `max_ast_depth` > 0
+  // replaces the parser's silent flatten-at-200 with a hard cap.
+  size_t max_file_bytes = 0;
+  size_t max_ast_nodes = 0;
+  int max_ast_depth = 0;
+
+  // Scan-wide circuit breaker: abort (ScanResult::aborted) when more than
+  // this fraction of files fail. 0 = disabled (the default — a degraded
+  // scan normally completes and reports the healthy remainder).
+  double max_failure_ratio = 0.0;
+};
+
+// Where in the pipeline a quarantined file failed.
+enum class FailureStage : uint8_t { kLoad, kParse, kCheck, kSummarize };
+std::string_view FailureStageName(FailureStage stage);
+
+// Failure taxonomy (DESIGN.md §5.9): I/O, parse, resource cap, cache,
+// anything else.
+enum class FailureKind : uint8_t { kIo, kParse, kResourceLimit, kCache, kInternal };
+std::string_view FailureKindName(FailureKind kind);
+
+// One quarantined file: the scan completed without it, its entry appears in
+// the `## Degraded files` report section and the --json `degraded` array.
+struct FileFailure {
+  std::string path;
+  FailureStage stage = FailureStage::kParse;
+  FailureKind kind = FailureKind::kInternal;
+  std::string what;
+  int retries = 0;  // transient-I/O re-attempts consumed before giving up
 };
 
 // Parses a `--patterns` list ("1,4,8") into `out`. Returns false (leaving
@@ -70,7 +115,11 @@ bool ParsePatternList(std::string_view text, std::set<int>& out);
 // artifacts. `jobs` is excluded (reports are identical at every thread
 // count) and so is `interprocedural` (it only changes the KB, which the
 // report key already fingerprints), so parses cached by a plain scan are
-// reused by an `--ipa` scan and vice versa.
+// reused by an `--ipa` scan and vice versa. The deterministic governor caps
+// (max_file_bytes, max_ast_nodes, max_ast_depth) are included — they change
+// what a parse produces. fault_spec, file_timeout_ms and max_failure_ratio
+// are excluded: a file that faults or times out stores no artifacts, so
+// nothing wall-clock- or injection-dependent can ever be replayed.
 uint64_t ScanOptionsFingerprint(const ScanOptions& options);
 
 // Everything the checkers need about one function.
@@ -104,18 +153,44 @@ struct ScanStats {
   size_t refcounted_structs = 0;
   size_t summarized_functions = 0;  // stage 2.5 (0 when interprocedural off)
 
+  // Fault-isolation accounting: files quarantined (they appear in
+  // ScanResult::failures) and files that needed a transient-I/O retry
+  // (whether or not the retry then succeeded).
+  size_t files_quarantined = 0;
+  size_t files_retried = 0;
+
   // Incremental-cache accounting (all 0 when ScanOptions::cache_dir is
   // empty). A fully warm rescan of an unchanged tree has
   // cache_hits == cache_parse_skips == files and cache_misses == 0.
   size_t cache_hits = 0;         // files whose stage-3 shard was spliced from cache
   size_t cache_misses = 0;       // files checked cold while the cache was enabled
   size_t cache_parse_skips = 0;  // files never parsed this scan (facts/unit/reports cached)
+  size_t cache_corrupt = 0;      // objects that existed but failed validation (→ miss)
 };
 
 struct ScanResult {
   std::vector<BugReport> reports;
   ScanStats stats;
+
+  // Quarantined files in tree (path) order, then any whole-tree stage
+  // failures (e.g. a degraded summary stage, path "<tree>"). A scan of N
+  // files with k failures still yields reports for the other N−k that are
+  // byte-identical to scanning the healthy subset alone (for stage-1
+  // quarantines, which are excluded from KB discovery; asserted by
+  // tests/faultinject_test.cc).
+  std::vector<FileFailure> failures;
+
+  // Circuit breaker (ScanOptions::max_failure_ratio) or a malformed
+  // fault_spec: the scan gave up; `reports` must not be trusted.
+  bool aborted = false;
+  std::string abort_reason;
 };
+
+// JSON object for the CLI: {"reports": [...], "degraded": [...]} plus
+// "aborted" when set and "stats" when requested. Deterministic field order;
+// the reports array is exactly ReportsToJson, so healthy-subset byte
+// comparisons keep working.
+std::string ScanResultToJson(const ScanResult& result, bool include_stats = false);
 
 class CheckerEngine {
  public:

@@ -54,8 +54,6 @@ std::vector<BugReport> DeduplicateReports(std::vector<BugReport> reports) {
   return out;
 }
 
-namespace {
-
 void AppendJsonString(std::string& out, std::string_view text) {
   out.push_back('"');
   for (char c : text) {
@@ -82,8 +80,6 @@ void AppendJsonString(std::string& out, std::string_view text) {
   }
   out.push_back('"');
 }
-
-}  // namespace
 
 std::string ReportsToJson(const std::vector<BugReport>& reports) {
   std::string out = "[\n";

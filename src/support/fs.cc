@@ -1,10 +1,13 @@
 #include "src/support/fs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <thread>
 
+#include "src/support/faultinject.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -15,7 +18,9 @@ namespace {
 
 struct ReadResult {
   std::string text;
+  std::string error;
   bool ok = false;
+  int retries = 0;
 };
 
 // One pre-sized read: stat the size, resize the string once, read straight
@@ -48,16 +53,43 @@ ReadResult ReadFileContents(const fs::path& path) {
   return result;
 }
 
+// ReadFileContents behind the `fs.read` fault-injection site. An injected
+// transient I/O failure is retried once after a short backoff (the shape a
+// real flaky NFS mount or overloaded disk produces); a permanent injected
+// failure, like a genuinely unreadable file, reports as such.
+ReadResult ReadCandidate(const fs::path& path, const std::string& key) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      MaybeFault("fs.read", key);
+      ReadResult result = ReadFileContents(path);
+      result.retries = attempt;
+      if (!result.ok) {
+        result.error = "unreadable";
+      }
+      return result;
+    } catch (const FaultInjected& e) {
+      if (e.transient_io() && attempt == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      ReadResult result;
+      result.error = e.what();
+      result.retries = attempt;
+      return result;
+    }
+  }
+}
+
 }  // namespace
 
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
-                                  std::vector<std::string>* errors) {
+                                  std::vector<LoadFailure>* failures) {
   SourceTree tree;
   std::error_code ec;
   const fs::path root_path(root);
   if (!fs::exists(root_path, ec)) {
-    if (errors != nullptr) {
-      errors->push_back(root + ": does not exist");
+    if (failures != nullptr) {
+      failures->push_back({root, "does not exist", 0});
     }
     return tree;
   }
@@ -113,17 +145,30 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
   }
 
   ThreadPool pool(options.jobs);
-  std::vector<ReadResult> contents = ParallelMap(
-      pool, candidates.size(), [&candidates](size_t i) { return ReadFileContents(candidates[i].path); });
+  std::vector<ReadResult> contents =
+      ParallelMap(pool, candidates.size(),
+                  [&candidates](size_t i) { return ReadCandidate(candidates[i].path, candidates[i].key); });
 
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (!contents[i].ok) {
-      if (errors != nullptr) {
-        errors->push_back(candidates[i].path.string() + ": unreadable");
+      if (failures != nullptr) {
+        failures->push_back({candidates[i].key, contents[i].error, contents[i].retries});
       }
       continue;
     }
     tree.Add(std::move(candidates[i].key), std::move(contents[i].text));
+  }
+  return tree;
+}
+
+SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
+                                  std::vector<std::string>* errors) {
+  std::vector<LoadFailure> failures;
+  SourceTree tree = LoadSourceTreeFromDisk(root, options, errors ? &failures : nullptr);
+  if (errors != nullptr) {
+    for (const LoadFailure& f : failures) {
+      errors->push_back(f.path + ": " + f.what);
+    }
   }
   return tree;
 }

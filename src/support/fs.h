@@ -29,11 +29,26 @@ struct LoadOptions {
   size_t jobs = 0;
 };
 
+// One file the loader could not read. `path` is the tree-relative key the
+// file would have had; `retries` counts re-read attempts (transient I/O
+// failures are retried once with a bounded backoff before giving up). The
+// CLI surfaces these as quarantined entries in the scan report.
+struct LoadFailure {
+  std::string path;
+  std::string what;
+  int retries = 0;
+};
+
 // Recursively loads matching files under `root` into a SourceTree keyed by
-// root-relative paths. Unreadable files are skipped; the error list (if
-// non-null) collects their paths in walk order.
+// root-relative paths. Unreadable files are skipped; the failure list (if
+// non-null) collects them in walk order — identical at every `jobs` value.
+// Reads pass through the `fs.read` fault-injection site (faultinject.h).
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options = {},
-                                  std::vector<std::string>* errors = nullptr);
+                                  std::vector<LoadFailure>* failures = nullptr);
+
+// Back-compat shim: formats each failure as "<path>: <what>".
+SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
+                                  std::vector<std::string>* errors);
 
 }  // namespace refscan
 

@@ -1,0 +1,13 @@
+#include "src/support/governor.h"
+
+namespace refscan {
+namespace governor_detail {
+
+thread_local DeadlineState g_deadline;
+
+void ThrowDeadlineExceeded(const char* where) {
+  throw DeadlineExceeded(std::string("per-file deadline exceeded in ") + where + " loop");
+}
+
+}  // namespace governor_detail
+}  // namespace refscan

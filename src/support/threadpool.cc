@@ -128,7 +128,32 @@ struct ForBatch {
   std::mutex mutex;
   std::condition_variable done_cv;
   size_t finished_helpers = 0;
+  // Exceptions thrown by iterations, collected under `mutex`; rethrown as
+  // one aggregate only after the barrier, so a throw can never skip sibling
+  // iterations or leave the caller's output vector partially filled.
+  std::vector<std::pair<size_t, std::string>> errors;
 };
+
+void RunIteration(ForBatch& batch, const std::function<void(size_t)>& fn, size_t i) {
+  try {
+    fn(i);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    batch.errors.emplace_back(i, e.what());
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    batch.errors.emplace_back(i, "unknown exception");
+  }
+}
+
+[[noreturn]] void ThrowBatchErrors(std::vector<std::pair<size_t, std::string>> errors,
+                                   size_t count) {
+  std::sort(errors.begin(), errors.end());
+  std::string what = "parallel-for: " + std::to_string(errors.size()) + " of " +
+                     std::to_string(count) + " iteration(s) threw; first at index " +
+                     std::to_string(errors.front().first) + ": " + errors.front().second;
+  throw ParallelForError(std::move(what), std::move(errors));
+}
 
 }  // namespace
 
@@ -140,8 +165,14 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
   const size_t count = end - begin;
   const size_t lanes = std::min(pool.parallelism(), count);
   if (lanes <= 1) {
+    // Serial path: same complete-the-batch-then-throw semantics as the
+    // parallel one, so callers see one behaviour at every `jobs` value.
+    ForBatch batch;
     for (size_t i = begin; i < end; ++i) {
-      fn(i);
+      RunIteration(batch, fn, i);
+    }
+    if (!batch.errors.empty()) {
+      ThrowBatchErrors(std::move(batch.errors), count);
     }
     return;
   }
@@ -154,7 +185,7 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
   // has finished, so the reference cannot dangle.
   const auto drain = [batch, end, &fn] {
     for (size_t i; (i = batch->cursor.fetch_add(1, std::memory_order_relaxed)) < end;) {
-      fn(i);
+      RunIteration(*batch, fn, i);
     }
   };
 
@@ -174,6 +205,11 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
 
   std::unique_lock<std::mutex> lock(batch->mutex);
   batch->done_cv.wait(lock, [&] { return batch->finished_helpers == helpers; });
+  if (!batch->errors.empty()) {
+    std::vector<std::pair<size_t, std::string>> errors = std::move(batch->errors);
+    lock.unlock();
+    ThrowBatchErrors(std::move(errors), count);
+  }
 }
 
 }  // namespace refscan

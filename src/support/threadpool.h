@@ -16,8 +16,14 @@
 //     the workers through a shared atomic cursor, so uneven per-item cost
 //     (a 10-line header vs. a 4k-line driver) cannot stall the batch.
 //
-// Tasks must not throw: the analysis path is exception-free by convention
-// (parsers degrade to error nodes), and an escaping exception terminates.
+// `Submit`-level tasks must not throw (an escaping exception terminates);
+// `ParallelFor`/`ParallelMap` iterations MAY throw: every iteration still
+// runs, the barrier collects every exception, and one aggregate
+// ParallelForError is raised after the batch completes — so a mid-batch
+// throw can never leave a result vector partially spliced or a sibling
+// iteration skipped. The scan pipeline additionally sandboxes per-file work
+// (see engine.cc); the aggregate rethrow here is the backstop for internal
+// bugs, not the primary failure channel.
 
 #ifndef REFSCAN_SUPPORT_THREADPOOL_H_
 #define REFSCAN_SUPPORT_THREADPOOL_H_
@@ -29,10 +35,29 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace refscan {
+
+// Aggregate of every exception thrown by a ParallelFor batch. Raised only
+// after all iterations have run (the barrier is never broken early), with
+// the failing iterations listed in index order — deterministic at every
+// thread count.
+class ParallelForError : public std::runtime_error {
+ public:
+  ParallelForError(std::string what, std::vector<std::pair<size_t, std::string>> failures)
+      : std::runtime_error(std::move(what)), failures_(std::move(failures)) {}
+
+  // (iteration index, exception message), sorted by index.
+  const std::vector<std::pair<size_t, std::string>>& failures() const { return failures_; }
+
+ private:
+  std::vector<std::pair<size_t, std::string>> failures_;
+};
 
 class ThreadPool {
  public:
@@ -84,7 +109,10 @@ class ThreadPool {
 // Runs fn(i) for every i in [begin, end), spread over the pool's workers
 // plus the calling thread. Iterations are claimed one at a time from a
 // shared cursor, so long items load-balance; the call returns once every
-// iteration has finished. fn must be safe to invoke concurrently.
+// iteration has finished. fn must be safe to invoke concurrently. A
+// throwing iteration does not stop the batch: every other iteration still
+// runs, and the collected exceptions surface as one ParallelForError after
+// the barrier (identical behaviour at parallelism 1).
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/support/faultinject.h"
 #include "src/support/fs.h"
 
 namespace refscan {
@@ -138,6 +139,61 @@ TEST_F(FsTest, MissingRootReportsAnError) {
   EXPECT_EQ(tree.size(), 0u);
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_NE(errors[0].find("does not exist"), std::string::npos);
+}
+
+TEST_F(FsTest, UnreadableFileYieldsStructuredLoadFailure) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root reads chmod-000 files; permission test is meaningless";
+  }
+  WriteFile("ok.c", "int ok;\n");
+  WriteFile("secret.c", "int secret;\n");
+  stdfs::permissions(stdfs::path(root_) / "secret.c", stdfs::perms::none);
+
+  std::vector<LoadFailure> failures;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &failures);
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].path, "secret.c");  // tree-relative key, not the OS path
+  EXPECT_EQ(failures[0].what, "unreadable");
+  EXPECT_EQ(failures[0].retries, 0);
+}
+
+TEST_F(FsTest, InjectedReadFaultQuarantinesOnlyTheMatchingFile) {
+  WriteFile("good.c", "int good;\n");
+  WriteFile("flaky.c", "int flaky;\n");
+
+  ScopedFaultArm arm(std::string_view("fs.read:file=flaky.c"));
+  std::vector<LoadFailure> failures;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &failures);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_NE(tree.Find("good.c"), nullptr);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].path, "flaky.c");
+  EXPECT_NE(failures[0].what.find("injected fault"), std::string::npos);
+}
+
+TEST_F(FsTest, TransientReadFaultIsRetriedOnceAndSucceeds) {
+  WriteFile("flaky.c", "int flaky;\n");
+
+  // `once:io`: the first read attempt fails transiently, the retry passes.
+  ScopedFaultArm arm(std::string_view("fs.read:once:io"));
+  std::vector<LoadFailure> failures;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &failures);
+  EXPECT_TRUE(failures.empty());
+  ASSERT_NE(tree.Find("flaky.c"), nullptr);
+  EXPECT_EQ(tree.Find("flaky.c")->text(), "int flaky;\n");
+}
+
+TEST_F(FsTest, PersistentTransientFaultGivesUpAfterOneRetry) {
+  WriteFile("flaky.c", "int flaky;\n");
+
+  ScopedFaultArm arm(std::string_view("fs.read:always:io"));
+  std::vector<LoadFailure> failures;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &failures);
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].path, "flaky.c");
+  EXPECT_EQ(failures[0].retries, 1);  // exactly one bounded retry, then give up
 }
 
 TEST_F(FsTest, EmptyFileLoadsAsEmptyText) {

@@ -111,6 +111,86 @@ TEST(ThreadPoolTest, ManySmallBatchesBackToBack) {
   EXPECT_EQ(count.load(), 400);
 }
 
+TEST(ThreadPoolTest, ParallelForCollectsEveryExceptionAfterTheBarrier) {
+  // A mid-batch throw must not stop the batch: every other iteration still
+  // runs, and the aggregate error lists every failing index in order.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  try {
+    ParallelFor(pool, 0, hits.size(), [&hits](size_t i) {
+      hits[i].fetch_add(1);
+      if (i % 10 == 3) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 10u);
+    for (size_t k = 0; k < e.failures().size(); ++k) {
+      EXPECT_EQ(e.failures()[k].first, k * 10 + 3);
+      EXPECT_EQ(e.failures()[k].second, "boom " + std::to_string(k * 10 + 3));
+    }
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i << " was skipped by a sibling's throw";
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionSemanticsIdenticalAtParallelismOne) {
+  ThreadPool pool(1);
+  int ran = 0;
+  try {
+    ParallelFor(pool, 0, 5, [&ran](size_t i) {
+      ++ran;
+      if (i == 1 || i == 4) {
+        throw std::runtime_error("serial boom");
+      }
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].first, 1u);
+    EXPECT_EQ(e.failures()[1].first, 4u);
+  }
+  EXPECT_EQ(ran, 5);  // the throw at index 1 did not cut the serial loop short
+}
+
+TEST(ThreadPoolTest, ParallelMapNeverPartiallySpliced) {
+  // Regression: a throwing iteration used to be able to abandon a batch,
+  // leaving default-constructed holes in the ParallelMap result. Now the
+  // whole vector is filled before the aggregate error surfaces.
+  ThreadPool pool(8);
+  std::vector<std::string> out;
+  try {
+    out = ParallelMap(pool, 64, [](size_t i) -> std::string {
+      if (i == 17) {
+        throw std::runtime_error("shard failure");
+      }
+      return "v" + std::to_string(i);
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].first, 17u);
+  }
+}
+
+TEST(ThreadPoolTest, NonStdExceptionsAreCollectedToo) {
+  ThreadPool pool(2);
+  try {
+    ParallelFor(pool, 0, 3, [](size_t i) {
+      if (i == 2) {
+        throw 42;  // not derived from std::exception
+      }
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].first, 2u);
+    EXPECT_EQ(e.failures()[0].second, "unknown exception");
+  }
+}
+
 TEST(ThreadPoolTest, ConcurrentPoolsDoNotInterfere) {
   // Two pools driven from two threads at once — the shape of the parallel
   // scan stress test, at the pool level.

@@ -10,8 +10,13 @@
 //
 // --jobs/-j N picks the scan parallelism (0 = one thread per hardware
 // thread, the default); reports are identical at every thread count.
-// Exit code: number of bug reports, capped at 125 (0 = clean).
+//
+// Exit codes for `scan`: 0 = clean, 1 = hard failure (aborted scan, no
+// sources, internal error), 2 = completed degraded (some files were
+// quarantined — see the `## Degraded files` section / `degraded` JSON
+// field), otherwise the number of bug reports capped at 125.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +34,7 @@
 #include "src/corpus/generator.h"
 #include "src/cpg/dump.h"
 #include "src/kb/deviations.h"
+#include "src/support/faultinject.h"
 #include "src/support/fs.h"
 
 namespace {
@@ -38,6 +44,8 @@ int Usage() {
                "usage:\n"
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
                "                    [--interprocedural] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "                    [--stats] [--faults SPEC] [--file-timeout-ms N]\n"
+               "                    [--max-failure-ratio R]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
                "-> S_D(p0) -> F_end\"\n"
                "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
@@ -53,7 +61,15 @@ int Usage() {
                "  --cache-dir DIR   persistent incremental scan cache: rescans replay\n"
                "                    cached parses and reports for unchanged files;\n"
                "                    output is byte-identical to an uncached scan\n"
-               "  --no-cache        ignore any --cache-dir (one-shot cold scan)\n");
+               "  --no-cache        ignore any --cache-dir (one-shot cold scan)\n"
+               "  --stats           print fault-isolation and cache counters (text and JSON)\n"
+               "  --faults SPEC     arm the deterministic fault-injection registry for this\n"
+               "                    run, e.g. 'parser.parse:file=*.broken.c' — see\n"
+               "                    src/support/faultinject.h (env: REFSCAN_FAULTS)\n"
+               "  --file-timeout-ms N   per-file wall-clock budget; overruns quarantine the\n"
+               "                        file instead of stalling the scan (0 = off)\n"
+               "  --max-failure-ratio R  abort when more than this fraction of files fail\n"
+               "                         (0 = complete degraded, the default)\n");
   return 2;
 }
 
@@ -68,6 +84,10 @@ struct CliFlags {
   std::string emit_dir;
   std::string cache_dir;
   bool no_cache = false;
+  bool stats = false;
+  std::string fault_spec;
+  uint32_t file_timeout_ms = 0;
+  double max_failure_ratio = 0.0;
 };
 
 // Parses flags from argv[first..); returns false on an unknown flag or a
@@ -113,6 +133,38 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
       flags.cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       flags.no_cache = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      flags.stats = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--faults needs a spec (see src/support/faultinject.h)\n");
+        return false;
+      }
+      flags.fault_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--file-timeout-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--file-timeout-ms needs a number\n");
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "bad timeout: %s\n", argv[i]);
+        return false;
+      }
+      flags.file_timeout_ms = static_cast<uint32_t>(value);
+    } else if (std::strcmp(argv[i], "--max-failure-ratio") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-failure-ratio needs a number in (0, 1]\n");
+        return false;
+      }
+      char* end = nullptr;
+      const double value = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || value < 0.0 || value > 1.0) {
+        std::fprintf(stderr, "bad failure ratio: %s\n", argv[i]);
+        return false;
+      }
+      flags.max_failure_ratio = value;
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--emit needs a directory\n");
@@ -126,18 +178,72 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
   return true;
 }
 
-int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
+// Converts the tree loader's structured failures into quarantine entries
+// (stage "load"), merges them with the engine's, and keeps the whole list
+// deterministically ordered: by path, with whole-tree entries ("<tree>")
+// last.
+std::vector<refscan::FileFailure> MergeFailures(
+    const std::vector<refscan::LoadFailure>& load_failures,
+    std::vector<refscan::FileFailure> engine_failures) {
+  using namespace refscan;
+  std::vector<FileFailure> all;
+  all.reserve(load_failures.size() + engine_failures.size());
+  for (const LoadFailure& lf : load_failures) {
+    FileFailure f;
+    f.path = lf.path;
+    f.stage = FailureStage::kLoad;
+    f.kind = FailureKind::kIo;
+    f.what = lf.what;
+    f.retries = lf.retries;
+    all.push_back(std::move(f));
+  }
+  for (FileFailure& f : engine_failures) {
+    all.push_back(std::move(f));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FileFailure& a, const FileFailure& b) {
+                     const bool a_tree = a.path == "<tree>";
+                     const bool b_tree = b.path == "<tree>";
+                     if (a_tree != b_tree) {
+                       return b_tree;  // whole-tree entries sort last
+                     }
+                     return a.path < b.path;
+                   });
+  return all;
+}
+
+int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
+            const std::vector<refscan::LoadFailure>& load_failures = {}) {
   using namespace refscan;
   ScanOptions options;
   options.discover_from_source = flags.discovery;
   options.jobs = flags.jobs;
   options.interprocedural = flags.interprocedural;
   options.enabled_patterns = flags.patterns;
+  options.file_timeout_ms = flags.file_timeout_ms;
+  options.max_failure_ratio = flags.max_failure_ratio;
   if (!flags.no_cache) {
     options.cache_dir = flags.cache_dir;
   }
   CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
-  const ScanResult result = engine.Scan(tree);
+  ScanResult result = engine.Scan(tree);
+
+  result.failures = MergeFailures(load_failures, std::move(result.failures));
+  result.stats.files_quarantined += load_failures.size();
+  result.stats.files_retried +=
+      static_cast<size_t>(std::count_if(load_failures.begin(), load_failures.end(),
+                                        [](const LoadFailure& f) { return f.retries > 0; }));
+
+  if (result.aborted) {
+    std::fprintf(stderr, "scan aborted: %s\n", result.abort_reason.c_str());
+    if (flags.json) {
+      std::printf("%s", ScanResultToJson(result, flags.stats).c_str());
+    }
+    return 1;
+  }
+
+  const int report_exit = static_cast<int>(std::min<size_t>(result.reports.size(), 125));
+  const int exit_code = result.failures.empty() ? report_exit : 2;
 
   if (flags.json) {
     if (!options.cache_dir.empty()) {
@@ -147,8 +253,8 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
                    result.stats.cache_hits, result.stats.cache_misses,
                    result.stats.cache_parse_skips);
     }
-    std::printf("%s", ReportsToJson(result.reports).c_str());
-    return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
+    std::printf("%s", ScanResultToJson(result, flags.stats).c_str());
+    return exit_code;
   }
 
   std::printf("scanned %zu files, %zu functions (%zu refcounting APIs known, "
@@ -181,7 +287,30 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags) {
     std::printf("\n");
   }
   std::printf("%zu report(s).\n", result.reports.size());
-  return static_cast<int>(std::min<size_t>(result.reports.size(), 125));
+
+  if (!result.failures.empty()) {
+    std::printf("\n## Degraded files\n\n");
+    for (const FileFailure& f : result.failures) {
+      std::printf("%s: %s failure (%s): %s", f.path.c_str(),
+                  std::string(FailureStageName(f.stage)).c_str(),
+                  std::string(FailureKindName(f.kind)).c_str(), f.what.c_str());
+      if (f.retries > 0) {
+        std::printf(" [after %d retry]", f.retries);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n%zu file(s) quarantined; the reports above cover the healthy remainder.\n",
+                result.failures.size());
+  }
+
+  if (flags.stats) {
+    const ScanStats& s = result.stats;
+    std::printf("\nstats: %zu file(s), %zu quarantined, %zu retried; cache %zu hit(s), "
+                "%zu miss(es), %zu parse skip(s), %zu corrupt\n",
+                s.files, s.files_quarantined, s.files_retried, s.cache_hits, s.cache_misses,
+                s.cache_parse_skips, s.cache_corrupt);
+  }
+  return exit_code;
 }
 
 // Writes every corpus file under `dir` so an on-disk `refscan scan` (or any
@@ -210,9 +339,7 @@ bool EmitTree(const refscan::SourceTree& tree, const std::string& dir) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RealMain(int argc, char** argv) {
   using namespace refscan;
 
   if (argc < 2) {
@@ -357,16 +484,27 @@ int main(int argc, char** argv) {
     if (!ParseFlags(argc, argv, 3, flags)) {
       return Usage();
     }
-    std::vector<std::string> errors;
+    // Arm --faults process-wide before the tree load so fs.read rules fire
+    // during it (ScanOptions::fault_spec would only cover the engine).
+    if (!flags.fault_spec.empty()) {
+      FaultPlan plan;
+      std::string fault_error;
+      if (!ParseFaultSpec(flags.fault_spec, plan, &fault_error)) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", fault_error.c_str());
+        return 1;
+      }
+      ArmFaults(std::move(plan));
+    }
+    std::vector<LoadFailure> load_failures;
     LoadOptions load_options;
     load_options.jobs = flags.jobs;
-    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options, &errors);
-    for (const std::string& error : errors) {
-      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options, &load_failures);
+    for (const LoadFailure& f : load_failures) {
+      std::fprintf(stderr, "warning: %s: %s\n", f.path.c_str(), f.what.c_str());
     }
     if (tree.size() == 0) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
-      return 2;
+      return 1;
     }
     if (command == "deviations") {
       const auto reports = DetectDeviations(tree, KnowledgeBase::BuiltIn(), flags.jobs);
@@ -378,8 +516,29 @@ int main(int argc, char** argv) {
       std::printf("%zu deviant API(s).\n", reports.size());
       return reports.empty() ? 0 : 1;
     }
-    return RunScan(tree, flags);
+    return RunScan(tree, flags, load_failures);
   }
 
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // REFSCAN_FAULTS arms the fault-injection registry for the whole run (the
+  // CI fault-matrix uses this). A malformed spec fails loudly: silently
+  // running un-faulted would make injection-based jobs pass vacuously.
+  std::string fault_error;
+  if (!refscan::ArmFaultsFromEnv(&fault_error)) {
+    std::fprintf(stderr, "refscan: bad REFSCAN_FAULTS: %s\n", fault_error.c_str());
+    return 1;
+  }
+  try {
+    return RealMain(argc, argv);
+  } catch (const std::exception& e) {
+    // Last-resort barrier: per-file sandboxes should have contained
+    // anything recoverable, so whatever reaches here is a hard failure.
+    std::fprintf(stderr, "refscan: fatal: %s\n", e.what());
+    return 1;
+  }
 }
