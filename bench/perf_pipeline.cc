@@ -18,6 +18,7 @@
 #include "src/ipa/summary.h"
 #include "src/lexer/lexer.h"
 #include "src/support/fs.h"
+#include "src/support/telemetry.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -83,6 +84,25 @@ void BM_FullTreeScan(benchmark::State& state) {
                           static_cast<int64_t>(corpus->tree.size()));
 }
 BENCHMARK(BM_FullTreeScan)->Unit(benchmark::kMillisecond);
+
+// BM_FullTreeScan with a telemetry session armed (DESIGN.md §5.10): every
+// stage/file span records and the metrics registry counts. The overhead
+// budget is "within noise disarmed" (BM_FullTreeScan is the disarmed
+// number — span sites cost one branch there) and single-digit percent
+// armed; compare the two to check it.
+void BM_FullTreeScanTraced(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  for (auto _ : state) {
+    Telemetry session;
+    ScopedTelemetry arm(session);
+    CheckerEngine engine;
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+    benchmark::DoNotOptimize(session.event_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+}
+BENCHMARK(BM_FullTreeScanTraced)->Unit(benchmark::kMillisecond);
 
 // The threaded scan at 1/2/4/8 workers — BM_FullTreeScan's pipeline with
 // ScanOptions::jobs set. Real time (not per-thread CPU time) is the number

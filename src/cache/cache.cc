@@ -9,6 +9,7 @@
 
 #include "src/cache/serial.h"
 #include "src/support/faultinject.h"
+#include "src/support/telemetry.h"
 
 namespace refscan {
 
@@ -621,6 +622,7 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
   if (!enabled()) {
     return false;
   }
+  TelemetrySpan span("cache.load", name);
   // An injected `cache.load` fault models a read that returned garbage (a
   // torn write, a bad sector): it degrades to a miss exactly like a real
   // checksum failure, and counts as a corrupt load either way.
@@ -674,6 +676,7 @@ void ScanCache::StoreObject(const std::string& name, uint8_t kind, std::string_v
   if (!enabled()) {
     return;
   }
+  TelemetrySpan span("cache.store", name);
   // A failed store only costs the next scan a miss; never fail the scan.
   try {
     MaybeFault("cache.store", name);

@@ -12,6 +12,7 @@
 #include "src/support/faultinject.h"
 #include "src/support/governor.h"
 #include "src/support/strings.h"
+#include "src/support/telemetry.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -175,6 +176,30 @@ bool GuardFileStage(std::string_view path, FailureStage stage, uint32_t timeout_
   }
 }
 
+// Pre-resolved counter handles for one scan. The engine counts in here (one
+// relaxed atomic add per event, no name lookups on the hot path) and
+// materialises the stable ScanStats façade from the registry at the end via
+// ScanStatsFields(); an armed telemetry session then absorbs the whole
+// registry, so --metrics-out carries the scan counters alongside the
+// support-layer ones (load.*, sched.*, fault.*, governor.*).
+struct ScanMetrics {
+  MetricsRegistry reg;
+  MetricCounter& files = reg.Counter("scan.files");
+  MetricCounter& functions = reg.Counter("scan.functions");
+  MetricCounter& discovered_apis = reg.Counter("scan.discovered_apis");
+  MetricCounter& discovered_smart_loops = reg.Counter("scan.discovered_smart_loops");
+  MetricCounter& refcounted_structs = reg.Counter("scan.refcounted_structs");
+  MetricCounter& summarized_functions = reg.Counter("scan.summarized_functions");
+  MetricCounter& files_quarantined = reg.Counter("scan.files_quarantined");
+  MetricCounter& files_retried = reg.Counter("scan.files_retried");
+  MetricCounter& cache_hits = reg.Counter("scan.cache_hits");
+  MetricCounter& cache_misses = reg.Counter("scan.cache_misses");
+  MetricCounter& cache_parse_skips = reg.Counter("scan.cache_parse_skips");
+  MetricCounter& cache_corrupt = reg.Counter("scan.cache_corrupt");
+  MetricCounter& raw_reports = reg.Counter("scan.raw_reports");
+  MetricCounter& reports = reg.Counter("scan.reports");
+};
+
 }  // namespace
 
 ScanResult CheckerEngine::Scan(const SourceTree& tree) {
@@ -195,6 +220,19 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     }
     fault_arm.emplace(std::move(plan));
   }
+
+  ScanMetrics m;
+  // Every return path below materialises result.stats from the registry
+  // (the ScanStatsFields table binds each counter to its member) and folds
+  // the scan's counters into the armed session, if any.
+  const auto finalize_stats = [&] {
+    for (const ScanStatsField& f : ScanStatsFields()) {
+      result.stats.*f.member = static_cast<size_t>(m.reg.CounterValue(f.metric));
+    }
+    if (Telemetry* t = CurrentTelemetry()) {
+      t->metrics().MergeFrom(m.reg);
+    }
+  };
 
   // Files in path order: index i is the fan-out key for both parallel
   // stages, so merge order never depends on thread scheduling.
@@ -247,9 +285,15 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // that one file and resets its partial state; the rest of the scan never
   // sees it again. A quarantined file stores no cache artifacts, so nothing
   // injection- or wall-clock-dependent can ever be replayed.
-  std::vector<FileState> states = ParallelMap(pool, files.size(), [&](size_t i) {
+  std::vector<FileState> states;
+  {
+    TelemetrySpan stage_span("stage.parse");
+    states = ParallelMap(pool, files.size(), [&](size_t i) {
     FileState st;
     const SourceFile& f = *files[i];
+    // One event per file whatever happens inside (cache replay, parse,
+    // retries): the guard's attempt loop runs within this span.
+    TelemetrySpan file_span("file.parse", f.path());
     const bool ok = GuardFileStage(
         f.path(), FailureStage::kParse, options_.file_timeout_ms, stage_retry_ok,
         [&] {
@@ -301,7 +345,8 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       st.parsed = false;
     }
     return st;
-  });
+    });
+  }
 
   // Scan-wide circuit breaker (off by default): a mostly-broken tree —
   // wrong directory, filesystem fault, bad deploy — should abort loudly
@@ -321,10 +366,10 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   const auto collect_failures = [&] {
     for (FileState& st : states) {
       if (st.retried) {
-        ++result.stats.files_retried;
+        m.files_retried.Add(1);
       }
       if (st.failure) {
-        ++result.stats.files_quarantined;
+        m.files_quarantined.Add(1);
         result.failures.push_back(std::move(*st.failure));
       }
     }
@@ -335,8 +380,9 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     result.abort_reason =
         StrFormat("%zu of %zu files failed in the parse stage (max_failure_ratio %.2f)", failed,
                   files.size(), options_.max_failure_ratio);
-    result.stats.files = files.size();
+    m.files.Add(files.size());
     collect_failures();
+    finalize_stats();
     return result;
   }
 
@@ -350,6 +396,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // pre-extracted facts in file order is exactly DiscoverFromUnit in file
   // order (see kb.h), whether the facts came from a parse or the cache.
   if (want_facts) {
+    TelemetrySpan stage_span("stage.discover");
     // With the cache on, try the tree-level KB snapshot first. Discovery
     // is purely additive — every Discover* pass only inserts, and every
     // insert is determined by (current KB, facts sequence) — so the
@@ -408,6 +455,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     // exactly as if --ipa had been off. The fault hook fires before
     // ComputeSummaries so an injected failure can never leave the KB with a
     // partial set of registered summaries.
+    TelemetrySpan stage_span("stage.summarize");
     try {
       MaybeFault("ipa.summarize", "<tree>");
       std::vector<const TranslationUnit*> unit_ptrs;
@@ -421,7 +469,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       SummaryOptions sopts;
       sopts.max_paths_per_function = options_.max_paths_per_function;
       const SummaryResult summaries = ComputeSummaries(unit_ptrs, kb_, sopts, pool);
-      result.stats.summarized_functions = summaries.summaries.size();
+      m.summarized_functions.Add(summaries.summaries.size());
     } catch (const std::exception& e) {
       FileFailure f;
       f.path = "<tree>";
@@ -432,9 +480,9 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     }
   }
 
-  result.stats.discovered_apis = kb_.apis().size();
-  result.stats.discovered_smart_loops = kb_.smart_loops().size();
-  result.stats.refcounted_structs = kb_.refcounted_structs().size();
+  m.discovered_apis.Add(kb_.apis().size());
+  m.discovered_smart_loops.Add(kb_.smart_loops().size());
+  m.refcounted_structs.Add(kb_.refcounted_structs().size());
 
   // The KB is frozen from here on. A file's stage-3 shard is a pure
   // function of (file content, KB, options): fingerprint the KB and the
@@ -448,12 +496,18 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // for concurrent readers). Each file gets its own shard; cached shards
   // splice in without parsing or checking.
   const KnowledgeBase& kb = kb_;
-  std::vector<FileShard> shards = ParallelMap(pool, files.size(), [&](size_t i) {
+  std::vector<FileShard> shards;
+  {
+    TelemetrySpan stage_span("stage.check");
+    shards = ParallelMap(pool, files.size(), [&](size_t i) {
     FileState& st = states[i];
     FileShard shard;
     if (st.failure) {
       return shard;  // quarantined in stage 1: empty shard, nothing to check
     }
+    // One event per non-quarantined file, covering splice and cold check
+    // alike (the nested cache.load span distinguishes them in a trace).
+    TelemetrySpan file_span("file.check", files[i]->path());
     // Retrying is only safe until the body moves the cached TranslationUnit
     // into CheckOneFile — after that a retry would re-check a moved-from
     // unit and silently produce wrong output, so the body revokes it.
@@ -496,14 +550,16 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       shard = FileShard{};  // discard any partial shard
     }
     return shard;
-  });
+    });
+  }
 
   if (const size_t failed = count_failed(); breaker_trips(failed)) {
     result.aborted = true;
     result.abort_reason = StrFormat("%zu of %zu files failed (max_failure_ratio %.2f)", failed,
                                     files.size(), options_.max_failure_ratio);
-    result.stats.files = files.size();
+    m.files.Add(files.size());
     collect_failures();
+    finalize_stats();
     return result;
   }
 
@@ -512,24 +568,26 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       if (st.failure) {
         continue;  // quarantined files are neither hits nor misses
       }
-      ++(st.report_hit ? result.stats.cache_hits : result.stats.cache_misses);
+      (st.report_hit ? m.cache_hits : m.cache_misses).Add(1);
       if (!st.parsed) {
-        ++result.stats.cache_parse_skips;
+        m.cache_parse_skips.Add(1);
       }
     }
-    result.stats.cache_corrupt = static_cast<size_t>(cache.corrupt_loads());
+    m.cache_corrupt.Add(static_cast<uint64_t>(cache.corrupt_loads()));
   }
 
   // Merge the shards in file order: the concatenation equals what the old
   // single-threaded loop produced, so DeduplicateReports (whose tie-breaks
   // are first-seen-wins) yields byte-identical output at any thread count.
+  TelemetrySpan merge_span("stage.merge");
   std::vector<BugReport> raw;
-  result.stats.files = files.size();
+  m.files.Add(files.size());
   for (FileShard& shard : shards) {
-    result.stats.functions += shard.functions;
+    m.functions.Add(shard.functions);
     raw.insert(raw.end(), std::make_move_iterator(shard.raw.begin()),
                std::make_move_iterator(shard.raw.end()));
   }
+  m.raw_reports.Add(raw.size());
 
   result.reports = DeduplicateReports(std::move(raw));
 
@@ -537,7 +595,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   // whole-tree stage failures.
   collect_failures();
   for (FileFailure& f : tree_failures) {
-    ++result.stats.files_quarantined;
+    m.files_quarantined.Add(1);
     result.failures.push_back(std::move(f));
   }
 
@@ -562,6 +620,8 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     }
     return false;
   });
+  m.reports.Add(result.reports.size());
+  finalize_stats();
   return result;
 }
 
@@ -589,6 +649,37 @@ uint64_t ScanOptionsFingerprint(const ScanOptions& options) {
   w.U64(options.max_ast_nodes);
   w.I32(options.max_ast_depth);
   return HashBytes(w.bytes());
+}
+
+const std::vector<ScanStatsField>& ScanStatsFields() {
+  // JSON keys keep their historical names ("quarantined", "retried"); the
+  // metric names carry the struct's fuller spelling under the scan. prefix.
+  static const auto* fields = new std::vector<ScanStatsField>{
+      {"files", "scan.files", &ScanStats::files},
+      {"functions", "scan.functions", &ScanStats::functions},
+      {"discovered_apis", "scan.discovered_apis", &ScanStats::discovered_apis},
+      {"discovered_smart_loops", "scan.discovered_smart_loops",
+       &ScanStats::discovered_smart_loops},
+      {"refcounted_structs", "scan.refcounted_structs", &ScanStats::refcounted_structs},
+      {"summarized_functions", "scan.summarized_functions", &ScanStats::summarized_functions},
+      {"quarantined", "scan.files_quarantined", &ScanStats::files_quarantined},
+      {"retried", "scan.files_retried", &ScanStats::files_retried},
+      {"cache_hits", "scan.cache_hits", &ScanStats::cache_hits},
+      {"cache_misses", "scan.cache_misses", &ScanStats::cache_misses},
+      {"cache_parse_skips", "scan.cache_parse_skips", &ScanStats::cache_parse_skips},
+      {"cache_corrupt", "scan.cache_corrupt", &ScanStats::cache_corrupt},
+  };
+  return *fields;
+}
+
+int ScanExitCodeFor(const ScanResult& result) {
+  if (result.aborted) {
+    return kExitHardFailure;
+  }
+  if (!result.failures.empty()) {
+    return kExitDegraded;
+  }
+  return result.reports.empty() ? kExitClean : kExitReports;
 }
 
 std::string ScanResultToJson(const ScanResult& result, bool include_stats) {
@@ -621,13 +712,15 @@ std::string ScanResultToJson(const ScanResult& result, bool include_stats) {
     AppendJsonString(out, result.abort_reason);
   }
   if (include_stats) {
-    const ScanStats& s = result.stats;
-    out += StrFormat(
-        ",\n\"stats\": {\"files\": %zu, \"functions\": %zu, \"quarantined\": %zu, "
-        "\"retried\": %zu, \"cache_hits\": %zu, \"cache_misses\": %zu, "
-        "\"cache_parse_skips\": %zu, \"cache_corrupt\": %zu}",
-        s.files, s.functions, s.files_quarantined, s.files_retried, s.cache_hits, s.cache_misses,
-        s.cache_parse_skips, s.cache_corrupt);
+    // Driven by the field table so every ScanStats member appears — adding
+    // a field to the struct without listing it here is impossible.
+    out += ",\n\"stats\": {";
+    const std::vector<ScanStatsField>& fields = ScanStatsFields();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      out += StrFormat("%s\"%s\": %zu", i == 0 ? "" : ", ", fields[i].json_key,
+                       result.stats.*fields[i].member);
+    }
+    out += "}";
   }
   out += "\n}\n";
   return out;

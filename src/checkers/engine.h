@@ -168,6 +168,20 @@ struct ScanStats {
   size_t cache_corrupt = 0;      // objects that existed but failed validation (→ miss)
 };
 
+// One ScanStats field: binds the struct member to its `--json` stats key
+// and its `scan.*` counter name in the telemetry registry. ScanResultToJson,
+// the CLI's --stats text section and the engine's metrics materialisation
+// all iterate this table, so the three views cannot drift; the shape is
+// locked by tests/telemetry_test.cc.
+struct ScanStatsField {
+  const char* json_key;
+  const char* metric;  // counter name in the scan-local metrics registry
+  size_t ScanStats::* member;
+};
+
+// Every ScanStats field, in declaration (and JSON emission) order.
+const std::vector<ScanStatsField>& ScanStatsFields();
+
 struct ScanResult {
   std::vector<BugReport> reports;
   ScanStats stats;
@@ -185,6 +199,21 @@ struct ScanResult {
   bool aborted = false;
   std::string abort_reason;
 };
+
+// Disjoint CLI exit codes (DESIGN.md §5.9). Every outcome gets its own
+// code — a healthy scan with reports can never be mistaken for a degraded
+// or failed one. Precedence: hard failure > degraded > reports > clean.
+// kExitUsage is BSD sysexits EX_USAGE, for malformed invocations.
+enum ScanExitCode : int {
+  kExitClean = 0,        // scan completed, no reports, nothing degraded
+  kExitHardFailure = 1,  // aborted: breaker trip, bad spec, unusable input
+  kExitDegraded = 2,     // completed with quarantined files (reports or not)
+  kExitReports = 10,     // completed healthy, found >= 1 report
+  kExitUsage = 64,       // bad flags / arguments (EX_USAGE)
+};
+
+// Maps a ScanResult to its exit code (the CLI's single source of truth).
+int ScanExitCodeFor(const ScanResult& result);
 
 // JSON object for the CLI: {"reports": [...], "degraded": [...]} plus
 // "aborted" when set and "stats" when requested. Deterministic field order;

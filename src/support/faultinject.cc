@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/support/telemetry.h"
+
 namespace refscan {
 
 namespace {
@@ -108,6 +110,10 @@ void MaybeFaultSlow(std::string_view site, std::string_view subject) {
   if (!any) {
     return;
   }
+  // Observability: every fired rule counts, totalled and per site, so a
+  // trace/metrics dump shows how much of a degraded run was injected.
+  TelemetryCount("fault.fired");
+  TelemetryCount(std::string("fault.fired.") + std::string(site));
   const std::string where = std::string(site) + " (" + std::string(subject) + ")";
   switch (fired.action) {
     case FaultRule::Action::kDelay:

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/support/faultinject.h"
+#include "src/support/telemetry.h"
 #include "src/support/threadpool.h"
 
 namespace refscan {
@@ -58,6 +59,7 @@ ReadResult ReadFileContents(const fs::path& path) {
 // real flaky NFS mount or overloaded disk produces); a permanent injected
 // failure, like a genuinely unreadable file, reports as such.
 ReadResult ReadCandidate(const fs::path& path, const std::string& key) {
+  TelemetrySpan span("file.load", key);
   for (int attempt = 0;; ++attempt) {
     try {
       MaybeFault("fs.read", key);
@@ -83,13 +85,17 @@ ReadResult ReadCandidate(const fs::path& path, const std::string& key) {
 }  // namespace
 
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,
-                                  std::vector<LoadFailure>* failures) {
+                                  std::vector<LoadFailure>* failures, LoadStats* stats) {
+  TelemetrySpan stage_span("stage.load");
   SourceTree tree;
   std::error_code ec;
   const fs::path root_path(root);
   if (!fs::exists(root_path, ec)) {
     if (failures != nullptr) {
       failures->push_back({root, "does not exist", 0});
+    }
+    if (stats != nullptr) {
+      ++stats->files_failed;
     }
     return tree;
   }
@@ -149,14 +155,33 @@ SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& op
       ParallelMap(pool, candidates.size(),
                   [&candidates](size_t i) { return ReadCandidate(candidates[i].path, candidates[i].key); });
 
+  LoadStats local;
   for (size_t i = 0; i < candidates.size(); ++i) {
+    if (contents[i].retries > 0) {
+      // Retried ≠ degraded: a retried-then-succeeded read is counted here
+      // and nowhere else, a retried-then-failed one is counted here AND
+      // carries `retries` in its LoadFailure.
+      ++local.files_retried;
+    }
     if (!contents[i].ok) {
+      ++local.files_failed;
       if (failures != nullptr) {
         failures->push_back({candidates[i].key, contents[i].error, contents[i].retries});
       }
       continue;
     }
+    ++local.files_loaded;
     tree.Add(std::move(candidates[i].key), std::move(contents[i].text));
+  }
+  if (Telemetry* t = CurrentTelemetry()) {
+    t->metrics().Counter("load.files").Add(local.files_loaded);
+    t->metrics().Counter("load.failures").Add(local.files_failed);
+    t->metrics().Counter("load.retries").Add(local.files_retried);
+  }
+  if (stats != nullptr) {
+    stats->files_loaded += local.files_loaded;
+    stats->files_failed += local.files_failed;
+    stats->files_retried += local.files_retried;
   }
   return tree;
 }

@@ -39,12 +39,26 @@ struct LoadFailure {
   int retries = 0;
 };
 
+// Loader accounting. `files_retried` counts every file that consumed a
+// transient-I/O re-read — including those whose retry then SUCCEEDED, which
+// produce no LoadFailure and would otherwise be invisible. This is the same
+// semantics as ScanStats::files_retried (retried ≠ degraded: only
+// quarantined files are degraded), so the CLI can sum the two counters
+// without double- or under-counting.
+struct LoadStats {
+  size_t files_loaded = 0;
+  size_t files_failed = 0;
+  size_t files_retried = 0;
+};
+
 // Recursively loads matching files under `root` into a SourceTree keyed by
 // root-relative paths. Unreadable files are skipped; the failure list (if
 // non-null) collects them in walk order — identical at every `jobs` value.
-// Reads pass through the `fs.read` fault-injection site (faultinject.h).
+// Reads pass through the `fs.read` fault-injection site (faultinject.h) and
+// the `stage.load` / `file.load` telemetry spans (telemetry.h).
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options = {},
-                                  std::vector<LoadFailure>* failures = nullptr);
+                                  std::vector<LoadFailure>* failures = nullptr,
+                                  LoadStats* stats = nullptr);
 
 // Back-compat shim: formats each failure as "<path>: <what>".
 SourceTree LoadSourceTreeFromDisk(const std::string& root, const LoadOptions& options,

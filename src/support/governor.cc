@@ -1,11 +1,14 @@
 #include "src/support/governor.h"
 
+#include "src/support/telemetry.h"
+
 namespace refscan {
 namespace governor_detail {
 
 thread_local DeadlineState g_deadline;
 
 void ThrowDeadlineExceeded(const char* where) {
+  TelemetryCount("governor.deadline_trips");
   throw DeadlineExceeded(std::string("per-file deadline exceeded in ") + where + " loop");
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/support/telemetry.h"
+
 namespace refscan {
 
 size_t ThreadPool::ResolveJobs(size_t jobs) {
@@ -43,9 +45,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   const size_t target = submit_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   inflight_.fetch_add(1, std::memory_order_relaxed);
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->queue.push_back(std::move(task));
+    depth = workers_[target]->queue.size();
+  }
+  // Scheduling telemetry (sched.* = nondeterministic by contract): task
+  // volume and the deepest queue ever observed at submit time.
+  if (Telemetry* t = CurrentTelemetry()) {
+    t->metrics().Counter("sched.tasks_submitted").Add(1);
+    t->metrics().Gauge("sched.queue_depth_max").Max(static_cast<int64_t>(depth));
   }
   // `ready_` is the wait predicate: bumping it under the wake mutex means a
   // worker that scanned the queues empty a moment ago cannot slip into
@@ -75,6 +85,7 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
       // from reaching.
       task = std::move(victim.queue.front());
       victim.queue.pop_front();
+      TelemetryCount("sched.steals");
     }
     {
       // victim.mutex -> wake_mutex_ is the one allowed nesting order.
@@ -97,7 +108,17 @@ void ThreadPool::WorkerLoop(size_t self) {
       }
       continue;
     }
-    task();
+    // Worker utilization: busy nanoseconds accumulate only while a session
+    // is armed (no clock reads otherwise). Utilization = busy_ns /
+    // (workers × wall time), computed by whoever reads the metrics.
+    if (Telemetry* t = CurrentTelemetry()) {
+      const uint64_t start = t->NowNs();
+      task();
+      t->metrics().Counter("sched.worker_busy_ns").Add(t->NowNs() - start);
+      t->metrics().Counter("sched.tasks_run").Add(1);
+    } else {
+      task();
+    }
     if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Empty critical section: a WaitIdle caller between its predicate
       // check and blocking holds the mutex, so the notify lands after it

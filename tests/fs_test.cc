@@ -184,6 +184,24 @@ TEST_F(FsTest, TransientReadFaultIsRetriedOnceAndSucceeds) {
   EXPECT_EQ(tree.Find("flaky.c")->text(), "int flaky;\n");
 }
 
+TEST_F(FsTest, LoadStatsCountRetriedThenSucceededReads) {
+  // The retry-accounting contract (fs.h): a retried-then-SUCCEEDED read
+  // produces no LoadFailure, so LoadStats is the only place it is visible.
+  WriteFile("a.c", "int a;\n");
+  WriteFile("b.c", "int b;\n");
+  WriteFile("c.c", "int c;\n");
+
+  ScopedFaultArm arm(std::string_view("fs.read:once:io"));
+  std::vector<LoadFailure> failures;
+  LoadStats stats;
+  const SourceTree tree = LoadSourceTreeFromDisk(root_, LoadOptions{}, &failures, &stats);
+  EXPECT_TRUE(failures.empty());  // retried != degraded
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(stats.files_loaded, 3u);
+  EXPECT_EQ(stats.files_failed, 0u);
+  EXPECT_EQ(stats.files_retried, 3u);
+}
+
 TEST_F(FsTest, PersistentTransientFaultGivesUpAfterOneRetry) {
   WriteFile("flaky.c", "int flaky;\n");
 

@@ -6,21 +6,30 @@
 //   refscan dump <file.c> [tokens|ast|cfg|cpg]    inspect front-end stages
 //   refscan deviations <dir> [--jobs N]           find deviant refcounting APIs
 //   refscan summaries <dir> [--json] [--jobs N]   interprocedural ref-delta summaries
+//   refscan stats <dir> [--json] [--jobs N]       scan and print only the stats table
 //   refscan demo [--jobs N] [--emit <dir>]        scan the built-in synthetic kernel corpus
 //
 // --jobs/-j N picks the scan parallelism (0 = one thread per hardware
 // thread, the default); reports are identical at every thread count.
 //
-// Exit codes for `scan`: 0 = clean, 1 = hard failure (aborted scan, no
-// sources, internal error), 2 = completed degraded (some files were
-// quarantined — see the `## Degraded files` section / `degraded` JSON
-// field), otherwise the number of bug reports capped at 125.
+// Exit codes are disjoint (ScanExitCode, DESIGN.md §5.9): 0 = clean scan,
+// 10 = completed healthy with >= 1 report, 2 = completed degraded (some
+// files quarantined — see the `## Degraded files` section / `degraded`
+// JSON field; takes precedence over reports), 1 = hard failure (aborted
+// scan, no sources, internal error), 64 = usage error (bad flags).
+// `refscan stats` maps 10 back to 0 — reports are not what it asks about.
+//
+// Observability (src/support/telemetry.h): `--trace-out FILE` writes a
+// Chrome trace-event JSON of the run (stage + per-file spans; load it in
+// chrome://tracing or https://ui.perfetto.dev); `--metrics-out FILE`
+// writes the run's counters in Prometheus text exposition format.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -36,6 +45,7 @@
 #include "src/kb/deviations.h"
 #include "src/support/faultinject.h"
 #include "src/support/fs.h"
+#include "src/support/telemetry.h"
 
 namespace {
 
@@ -45,12 +55,13 @@ int Usage() {
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
                "                    [--interprocedural] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "                    [--stats] [--faults SPEC] [--file-timeout-ms N]\n"
-               "                    [--max-failure-ratio R]\n"
+               "                    [--max-failure-ratio R] [--trace-out FILE] [--metrics-out FILE]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
                "-> S_D(p0) -> F_end\"\n"
                "  refscan dump <file.c> [tokens|ast|cfg|cpg]\n"
                "  refscan deviations <dir> [--jobs N]\n"
                "  refscan summaries <dir> [--json] [--jobs N]\n"
+               "  refscan stats <dir> [--json] [--jobs N]   scan, print only the stats table\n"
                "  refscan demo [--jobs N] [--emit <dir>]\n"
                "\n"
                "  --patterns LIST       comma-separated anti-pattern ids to check, e.g. 1,4,8\n"
@@ -69,8 +80,13 @@ int Usage() {
                "  --file-timeout-ms N   per-file wall-clock budget; overruns quarantine the\n"
                "                        file instead of stalling the scan (0 = off)\n"
                "  --max-failure-ratio R  abort when more than this fraction of files fail\n"
-               "                         (0 = complete degraded, the default)\n");
-  return 2;
+               "                         (0 = complete degraded, the default)\n"
+               "  --trace-out FILE      write a Chrome trace-event JSON of the run (open in\n"
+               "                        chrome://tracing or ui.perfetto.dev)\n"
+               "  --metrics-out FILE    write the run's counters in Prometheus text format\n"
+               "\n"
+               "exit codes: 0 clean, 10 reports found, 2 degraded, 1 hard failure, 64 usage\n");
+  return refscan::kExitUsage;
 }
 
 // Shared flag state across the subcommands.
@@ -88,6 +104,9 @@ struct CliFlags {
   std::string fault_spec;
   uint32_t file_timeout_ms = 0;
   double max_failure_ratio = 0.0;
+  std::string trace_out;
+  std::string metrics_out;
+  bool stats_only = false;  // `refscan stats`: suppress the report listing
 };
 
 // Parses flags from argv[first..); returns false on an unknown flag or a
@@ -165,6 +184,18 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       flags.max_failure_ratio = value;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out needs a file path\n");
+        return false;
+      }
+      flags.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out needs a file path\n");
+        return false;
+      }
+      flags.metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--emit needs a directory\n");
@@ -213,7 +244,8 @@ std::vector<refscan::FileFailure> MergeFailures(
 }
 
 int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
-            const std::vector<refscan::LoadFailure>& load_failures = {}) {
+            const std::vector<refscan::LoadFailure>& load_failures = {},
+            const refscan::LoadStats& load_stats = {}) {
   using namespace refscan;
   ScanOptions options;
   options.discover_from_source = flags.discovery;
@@ -230,20 +262,22 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
 
   result.failures = MergeFailures(load_failures, std::move(result.failures));
   result.stats.files_quarantined += load_failures.size();
-  result.stats.files_retried +=
-      static_cast<size_t>(std::count_if(load_failures.begin(), load_failures.end(),
-                                        [](const LoadFailure& f) { return f.retries > 0; }));
+  // Loader retry accounting comes from LoadStats, not from counting retries
+  // in the failure list: a retried-then-SUCCEEDED read produces no
+  // LoadFailure, so the old count_if undercounted. Same semantics as the
+  // engine's files_retried — retried != degraded, only quarantined files
+  // appear in the degraded list.
+  result.stats.files_retried += load_stats.files_retried;
 
   if (result.aborted) {
     std::fprintf(stderr, "scan aborted: %s\n", result.abort_reason.c_str());
     if (flags.json) {
       std::printf("%s", ScanResultToJson(result, flags.stats).c_str());
     }
-    return 1;
+    return kExitHardFailure;
   }
 
-  const int report_exit = static_cast<int>(std::min<size_t>(result.reports.size(), 125));
-  const int exit_code = result.failures.empty() ? report_exit : 2;
+  const int exit_code = ScanExitCodeFor(result);
 
   if (flags.json) {
     if (!options.cache_dir.empty()) {
@@ -267,24 +301,26 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
                 result.stats.cache_parse_skips);
   }
 
-  for (const BugReport& r : result.reports) {
-    std::printf("%s:%u: [P%d %s/%s] %s\n", r.file.c_str(), r.line, r.anti_pattern,
-                std::string(AntiPatternName(r.anti_pattern)).c_str(),
-                std::string(ImpactName(r.impact)).c_str(), r.message.c_str());
-    std::printf("    function: %s   template: %s\n", r.function.c_str(),
-                r.template_path.c_str());
-    if (flags.print_fixes) {
-      const SourceFile* file = tree.Find(r.file);
-      if (file != nullptr) {
-        const FixSuggestion fix = SuggestFix(r, *file);
-        if (fix.available) {
-          std::printf("    suggested patch: %s\n%s", fix.summary.c_str(), fix.diff.c_str());
-        } else {
-          std::printf("    (no mechanical fix: %s)\n", fix.summary.c_str());
+  if (!flags.stats_only) {
+    for (const BugReport& r : result.reports) {
+      std::printf("%s:%u: [P%d %s/%s] %s\n", r.file.c_str(), r.line, r.anti_pattern,
+                  std::string(AntiPatternName(r.anti_pattern)).c_str(),
+                  std::string(ImpactName(r.impact)).c_str(), r.message.c_str());
+      std::printf("    function: %s   template: %s\n", r.function.c_str(),
+                  r.template_path.c_str());
+      if (flags.print_fixes) {
+        const SourceFile* file = tree.Find(r.file);
+        if (file != nullptr) {
+          const FixSuggestion fix = SuggestFix(r, *file);
+          if (fix.available) {
+            std::printf("    suggested patch: %s\n%s", fix.summary.c_str(), fix.diff.c_str());
+          } else {
+            std::printf("    (no mechanical fix: %s)\n", fix.summary.c_str());
+          }
         }
       }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
   std::printf("%zu report(s).\n", result.reports.size());
 
@@ -304,13 +340,26 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
   }
 
   if (flags.stats) {
-    const ScanStats& s = result.stats;
-    std::printf("\nstats: %zu file(s), %zu quarantined, %zu retried; cache %zu hit(s), "
-                "%zu miss(es), %zu parse skip(s), %zu corrupt\n",
-                s.files, s.files_quarantined, s.files_retried, s.cache_hits, s.cache_misses,
-                s.cache_parse_skips, s.cache_corrupt);
+    // Driven by the same field table as the JSON stats object, so the text
+    // view can never silently miss a ScanStats field either.
+    std::printf("\nstats:\n");
+    for (const ScanStatsField& f : ScanStatsFields()) {
+      std::printf("  %-22s %zu\n", f.json_key, result.stats.*f.member);
+    }
   }
   return exit_code;
+}
+
+// Writes `text` to `path` (for --trace-out / --metrics-out).
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return true;
 }
 
 // Writes every corpus file under `dir` so an on-disk `refscan scan` (or any
@@ -355,9 +404,12 @@ int RealMain(int argc, char** argv) {
     std::printf("generating the synthetic kernel corpus and scanning it...\n\n");
     const Corpus corpus = GenerateKernelCorpus();
     if (!flags.emit_dir.empty() && !EmitTree(corpus.tree, flags.emit_dir)) {
-      return 2;
+      return kExitHardFailure;
     }
-    return RunScan(corpus.tree, flags) > 0 ? 1 : 0;
+    // The corpus is a bug corpus — finding reports is the expected outcome,
+    // so only a degraded or failed scan is an error here.
+    const int rc = RunScan(corpus.tree, flags);
+    return (rc == kExitDegraded || rc == kExitHardFailure) ? 1 : 0;
   }
 
   if (command == "match") {
@@ -371,14 +423,14 @@ int RealMain(int argc, char** argv) {
     const auto tmpl = ParseTemplate(argv[3]);
     if (!tmpl.has_value()) {
       std::fprintf(stderr, "cannot parse template: %s\n", argv[3]);
-      return 2;
+      return kExitUsage;
     }
     LoadOptions load_options;
     load_options.jobs = flags.jobs;
     const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options);
     if (tree.size() == 0) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
-      return 2;
+      return kExitHardFailure;
     }
     ScanOptions options;
     options.jobs = flags.jobs;
@@ -388,7 +440,7 @@ int RealMain(int argc, char** argv) {
                   r.template_path.c_str(), r.function.c_str(), r.object.c_str());
     }
     std::printf("%zu match(es).\n", reports.size());
-    return static_cast<int>(std::min<size_t>(reports.size(), 125));
+    return reports.empty() ? kExitClean : kExitReports;
   }
 
   if (command == "dump") {
@@ -398,7 +450,7 @@ int RealMain(int argc, char** argv) {
     std::FILE* f = std::fopen(argv[2], "rb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", argv[2]);
-      return 2;
+      return kExitHardFailure;
     }
     std::string text;
     char buffer[4096];
@@ -450,7 +502,7 @@ int RealMain(int argc, char** argv) {
     }
     if (tree.size() == 0) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
-      return 2;
+      return kExitHardFailure;
     }
     // Same front half as a scan: parse everything, run the two-round
     // discovery pass, then compute and dump the summaries.
@@ -476,7 +528,7 @@ int RealMain(int argc, char** argv) {
     return 0;
   }
 
-  if (command == "scan" || command == "deviations") {
+  if (command == "scan" || command == "deviations" || command == "stats") {
     if (argc < 3) {
       return Usage();
     }
@@ -484,27 +536,43 @@ int RealMain(int argc, char** argv) {
     if (!ParseFlags(argc, argv, 3, flags)) {
       return Usage();
     }
+    if (command == "stats") {
+      flags.stats = true;
+      flags.stats_only = true;
+    }
     // Arm --faults process-wide before the tree load so fs.read rules fire
-    // during it (ScanOptions::fault_spec would only cover the engine).
+    // during it (ScanOptions::fault_spec would only cover the engine). A
+    // malformed spec on the command line is a usage error (the env-var
+    // variant stays a hard failure: nothing was typed to correct).
     if (!flags.fault_spec.empty()) {
       FaultPlan plan;
       std::string fault_error;
       if (!ParseFaultSpec(flags.fault_spec, plan, &fault_error)) {
         std::fprintf(stderr, "bad --faults spec: %s\n", fault_error.c_str());
-        return 1;
+        return kExitUsage;
       }
       ArmFaults(std::move(plan));
     }
+    // Arm a telemetry session around the whole run (load + scan) when any
+    // export was requested, and disarm before writing: no span can still be
+    // in flight when the buffers are read.
+    Telemetry session;
+    std::optional<ScopedTelemetry> telemetry_arm;
+    if (!flags.trace_out.empty() || !flags.metrics_out.empty()) {
+      telemetry_arm.emplace(session);
+    }
     std::vector<LoadFailure> load_failures;
+    LoadStats load_stats;
     LoadOptions load_options;
     load_options.jobs = flags.jobs;
-    const SourceTree tree = LoadSourceTreeFromDisk(argv[2], load_options, &load_failures);
+    const SourceTree tree =
+        LoadSourceTreeFromDisk(argv[2], load_options, &load_failures, &load_stats);
     for (const LoadFailure& f : load_failures) {
       std::fprintf(stderr, "warning: %s: %s\n", f.path.c_str(), f.what.c_str());
     }
     if (tree.size() == 0) {
       std::fprintf(stderr, "no C sources found under %s\n", argv[2]);
-      return 1;
+      return kExitHardFailure;
     }
     if (command == "deviations") {
       const auto reports = DetectDeviations(tree, KnowledgeBase::BuiltIn(), flags.jobs);
@@ -514,9 +582,21 @@ int RealMain(int argc, char** argv) {
                     r.note.c_str());
       }
       std::printf("%zu deviant API(s).\n", reports.size());
-      return reports.empty() ? 0 : 1;
+      return reports.empty() ? kExitClean : kExitReports;
     }
-    return RunScan(tree, flags, load_failures);
+    int rc = RunScan(tree, flags, load_failures, load_stats);
+    telemetry_arm.reset();
+    if (!flags.trace_out.empty() && !WriteTextFile(flags.trace_out, session.TraceToChromeJson())) {
+      return kExitHardFailure;
+    }
+    if (!flags.metrics_out.empty() &&
+        !WriteTextFile(flags.metrics_out, session.MetricsToPrometheusText())) {
+      return kExitHardFailure;
+    }
+    if (command == "stats" && rc == kExitReports) {
+      rc = kExitClean;  // reports are not what `stats` asks about
+    }
+    return rc;
   }
 
   return Usage();
