@@ -74,6 +74,59 @@ void BM_BuildCfgCpg(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildCfgCpg);
 
+// Interner hit path (DESIGN.md §5.11): re-interning an already-known mix of
+// identifiers, the lexer/parser steady state. Most lookups resolve in the
+// per-thread direct-mapped cache without touching a shard mutex.
+void BM_InternerLookup(benchmark::State& state) {
+  const SourceFile& file = SampleFile();
+  const std::vector<Token> tokens = Tokenize(file);
+  std::vector<std::string_view> words;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      words.push_back(t.text);
+    }
+  }
+  for (const std::string_view w : words) {
+    Intern(w);  // warm: the benchmark measures the known-symbol path
+  }
+  for (auto _ : state) {
+    for (const std::string_view w : words) {
+      benchmark::DoNotOptimize(Intern(w));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words.size()));
+}
+BENCHMARK(BM_InternerLookup);
+
+// Symbol-keyed KB lookup, the checkers' innermost query: one hash over a
+// 32-bit id instead of hashing API-name text. Mixes hits (discovered +
+// builtin APIs) with misses (ordinary identifiers) like real call sites.
+void BM_KbFindApi(benchmark::State& state) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  const SourceFile& file = SampleFile();
+  const TranslationUnit unit = ParseFile(file);
+  std::vector<Symbol> callees;
+  for (const FunctionDef& fn : unit.functions) {
+    ForEachExpr(*fn.body, [&](const Expr& e) {
+      if (e.kind == Expr::Kind::kCall) {
+        const Symbol name = e.CalleeName();
+        if (!name.empty()) {
+          callees.push_back(name);
+        }
+      }
+    });
+  }
+  for (auto _ : state) {
+    for (const Symbol name : callees) {
+      benchmark::DoNotOptimize(kb.FindApi(name));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(callees.size()));
+}
+BENCHMARK(BM_KbFindApi);
+
 void BM_FullTreeScan(benchmark::State& state) {
   static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
   for (auto _ : state) {
@@ -292,4 +345,15 @@ BENCHMARK(BM_Word2VecEpoch)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace refscan
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The build type of *this* binary, not of the benchmark library (Debian
+  // ships a debug libbenchmark, so context.library_build_type lies about us).
+  benchmark::AddCustomContext("refscan_build_type", REFSCAN_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

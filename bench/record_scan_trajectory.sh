@@ -3,32 +3,55 @@
 # format, so performance can be diffed commit-to-commit by machines instead
 # of eyeballs:
 #
-#   bench/record_scan_trajectory.sh build/bench/perf_pipeline BENCH_scan.json
+#   bench/record_scan_trajectory.sh                # configure+build Release, then record
+#   bench/record_scan_trajectory.sh build-rel/bench/perf_pipeline BENCH_scan.json
 #
-# or, via the CMake convenience target:
-#
-#   cmake --build build --target bench_scan_trajectory
+# With no binary argument the script configures and builds a Release tree at
+# ./build-rel itself: trajectory numbers recorded from a Debug binary are
+# meaningless for diffing (3-10x off) and a previous revision of this file
+# let exactly that happen. The build type baked into the binary is embedded
+# in the output JSON (context.library_build_type) and verified below; a
+# non-release binary is refused unless REFSCAN_BENCH_ALLOW_DEBUG=1.
 #
 # Covered benchmarks: the cold full-tree scan (BM_FullTreeScan and its
 # threaded variant), the warm incremental rescan at 0/1/10 percent change
-# rates (BM_IncrementalRescan), and the parallel on-disk tree load
-# (BM_ParallelTreeLoad). The speedup of BM_IncrementalRescan/0 over
-# BM_FullTreeScan is the cache's headline number (target: >= 5x).
+# rates (BM_IncrementalRescan), the parallel on-disk tree load
+# (BM_ParallelTreeLoad), and the memory-layer micro-benches
+# (BM_InternerLookup, BM_KbFindApi — DESIGN.md §5.11). The speedup of
+# BM_IncrementalRescan/0 over BM_FullTreeScan is the cache's headline
+# number (target: >= 5x).
 set -eu
 
-PERF_BIN="${1:-build/bench/perf_pipeline}"
+PERF_BIN="${1:-}"
 OUT_JSON="${2:-BENCH_scan.json}"
+
+if [ -z "$PERF_BIN" ]; then
+  PERF_BIN="build-rel/bench/perf_pipeline"
+  echo "no binary given: building Release tree at ./build-rel" >&2
+  cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-rel --target perf_pipeline -j"$(nproc)" >/dev/null
+fi
 
 if [ ! -x "$PERF_BIN" ]; then
   echo "error: benchmark binary not found at $PERF_BIN" >&2
-  echo "build it first: cmake --build build --target perf_pipeline" >&2
+  echo "build it first: cmake --build build-rel --target perf_pipeline" >&2
   exit 1
 fi
 
 "$PERF_BIN" \
-  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ParallelTreeLoad' \
+  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ParallelTreeLoad|BM_InternerLookup|BM_KbFindApi' \
   --benchmark_out="$OUT_JSON" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1
 
-echo "wrote $OUT_JSON"
+# perf_pipeline embeds its own CMAKE_BUILD_TYPE (context.refscan_build_type);
+# don't trust library_build_type, which reflects the benchmark *library*
+# (Debian ships a debug libbenchmark under release userland).
+BUILD_TYPE="$(sed -n 's/.*"refscan_build_type": "\([A-Za-z]*\)".*/\1/p' "$OUT_JSON" | head -1)"
+if [ "$BUILD_TYPE" != "Release" ] && [ "${REFSCAN_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+  echo "error: $PERF_BIN is a '$BUILD_TYPE' build; trajectory rows must come" >&2
+  echo "from Release (set REFSCAN_BENCH_ALLOW_DEBUG=1 to override)" >&2
+  exit 1
+fi
+
+echo "wrote $OUT_JSON (build type: $BUILD_TYPE)"

@@ -2,7 +2,7 @@
 
 namespace refscan {
 
-std::string Expr::CalleeName() const {
+Symbol Expr::CalleeName() const {
   if (kind != Kind::kCall || args.empty() || args[0] == nullptr) {
     return {};
   }
@@ -17,7 +17,7 @@ std::string Expr::ToString() const {
     case Kind::kIdent:
     case Kind::kLiteral:
     case Kind::kError:
-      return value;
+      return value.str();
     case Kind::kCall: {
       std::string out = args.empty() || args[0] == nullptr ? "?" : args[0]->ToString();
       out.push_back('(');
@@ -33,7 +33,7 @@ std::string Expr::ToString() const {
     case Kind::kMember: {
       std::string out = args.empty() || args[0] == nullptr ? "?" : args[0]->ToString();
       out.append(arrow ? "->" : ".");
-      out.append(value);
+      out.append(value.view());
       return out;
     }
     case Kind::kIndex: {
@@ -44,12 +44,12 @@ std::string Expr::ToString() const {
       return out;
     }
     case Kind::kUnary:
-      return value + (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
+      return value.str() + (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
     case Kind::kBinary:
     case Kind::kAssign: {
       const std::string lhs = args.size() > 0 && args[0] ? args[0]->ToString() : "?";
       const std::string rhs = args.size() > 1 && args[1] ? args[1]->ToString() : "?";
-      return lhs + " " + value + " " + rhs;
+      return lhs + " " + value.str() + " " + rhs;
     }
     case Kind::kTernary: {
       const std::string c = args.size() > 0 && args[0] ? args[0]->ToString() : "?";
@@ -58,7 +58,8 @@ std::string Expr::ToString() const {
       return c + " ? " + t + " : " + e;
     }
     case Kind::kCast:
-      return "(" + value + ")" + (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
+      return "(" + value.str() + ")" +
+             (args.empty() || args[0] == nullptr ? "?" : args[0]->ToString());
     case Kind::kInitList: {
       std::string out = "{";
       for (size_t i = 0; i < args.size(); ++i) {
@@ -74,10 +75,10 @@ std::string Expr::ToString() const {
   return "?";
 }
 
-ExprPtr MakeIdent(std::string name, uint32_t line) {
-  auto e = std::make_unique<Expr>();
+ExprPtr MakeIdent(Arena& arena, std::string_view name, uint32_t line) {
+  Expr* e = arena.New<Expr>();
   e->kind = Expr::Kind::kIdent;
-  e->value = std::move(name);
+  e->value = Intern(name);
   e->line = line;
   return e;
 }
@@ -89,39 +90,6 @@ const FunctionDef* TranslationUnit::FindFunction(std::string_view name) const {
     }
   }
   return nullptr;
-}
-
-void ForEachExpr(const Expr& expr, const std::function<void(const Expr&)>& fn) {
-  fn(expr);
-  for (const ExprPtr& child : expr.args) {
-    if (child != nullptr) {
-      ForEachExpr(*child, fn);
-    }
-  }
-}
-
-void ForEachExpr(const Stmt& stmt, const std::function<void(const Expr&)>& fn) {
-  ForEachStmt(stmt, [&fn](const Stmt& s) {
-    for (const Expr* e : {s.expr.get(), s.init.get(), s.incr.get()}) {
-      if (e != nullptr) {
-        ForEachExpr(*e, fn);
-      }
-    }
-  });
-}
-
-void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
-  fn(stmt);
-  for (const Stmt* child : {stmt.body.get(), stmt.else_body.get()}) {
-    if (child != nullptr) {
-      ForEachStmt(*child, fn);
-    }
-  }
-  for (const StmtPtr& child : stmt.stmts) {
-    if (child != nullptr) {
-      ForEachStmt(*child, fn);
-    }
-  }
 }
 
 }  // namespace refscan

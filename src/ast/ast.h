@@ -5,6 +5,16 @@
 // labels, macro loops, struct/global definitions) and flattens everything
 // else into opaque expression text. Nodes carry 1-based source lines; the
 // paper's CPG uses those line numbers to order execution events.
+//
+// Memory model (DESIGN.md §5.11): every Expr/Stmt node lives in its
+// TranslationUnit's Arena — contiguous bump-allocated pools, freed
+// wholesale when the unit dies. ExprPtr/StmtPtr are non-owning raw
+// pointers into that arena, child lists are arena-backed spans (ArenaVec),
+// and all identifier/text fields are interned Symbols, so node copies and
+// comparisons never touch the heap. The unit lifecycle contract: the
+// arena (TranslationUnit::arena) must outlive every node pointer taken
+// from the unit — Cfg/Cpg/FunctionContext all hold pointers into it, so
+// they must not outlive the UnitContext that owns the unit.
 
 #ifndef REFSCAN_AST_AST_H_
 #define REFSCAN_AST_AST_H_
@@ -13,12 +23,16 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "src/support/arena.h"
+#include "src/support/interner.h"
 
 namespace refscan {
 
 struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
+using ExprPtr = Expr*;  // non-owning; storage belongs to the unit's Arena
 
 struct Expr {
   enum class Kind : uint8_t {
@@ -38,26 +52,27 @@ struct Expr {
 
   Kind kind = Kind::kError;
   uint32_t line = 0;
-  std::string value;
+  Symbol value;
   bool arrow = false;
-  std::vector<ExprPtr> args;
+  ArenaVec<ExprPtr> args;
 
   // Convenience accessors -----------------------------------------------
 
   bool IsCall() const { return kind == Kind::kCall; }
 
-  // For kCall with a plain identifier callee, returns the callee name;
-  // otherwise "".
-  std::string CalleeName() const;
+  // For kCall with a plain identifier callee, returns the callee name
+  // Symbol; otherwise the empty Symbol. (Satellite of ISSUE 6: this used to
+  // return std::string by value on the checker hot path.)
+  Symbol CalleeName() const;
 
   // Renders a compact single-line spelling (diagnostics and template text).
   std::string ToString() const;
 };
 
-ExprPtr MakeIdent(std::string name, uint32_t line);
+ExprPtr MakeIdent(Arena& arena, std::string_view name, uint32_t line);
 
 struct Stmt;
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtPtr = Stmt*;  // non-owning; storage belongs to the unit's Arena
 
 struct Stmt {
   enum class Kind : uint8_t {
@@ -83,63 +98,66 @@ struct Stmt {
 
   Kind kind = Kind::kError;
   uint32_t line = 0;
-  ExprPtr expr;
-  ExprPtr init;  // kFor
-  ExprPtr incr;  // kFor
-  StmtPtr body;
-  StmtPtr else_body;
-  std::vector<StmtPtr> stmts;  // kCompound
-  std::string name;            // kDecl variable / kLabel / kGoto
-  std::string type;            // kDecl declared type text
+  ExprPtr expr = nullptr;
+  ExprPtr init = nullptr;  // kFor
+  ExprPtr incr = nullptr;  // kFor
+  StmtPtr body = nullptr;
+  StmtPtr else_body = nullptr;
+  ArenaVec<StmtPtr> stmts;  // kCompound
+  Symbol name;              // kDecl variable / kLabel / kGoto
+  Symbol type;              // kDecl declared type text
 };
 
 struct Param {
-  std::string type;
-  std::string name;
+  Symbol type;
+  Symbol name;
 };
 
 struct FunctionDef {
-  std::string return_type;
-  std::string name;
+  Symbol return_type;
+  Symbol name;
   std::vector<Param> params;
-  StmtPtr body;  // always a kCompound
+  StmtPtr body = nullptr;  // always a kCompound
   uint32_t line = 0;
   bool is_static = false;
 };
 
 struct StructField {
-  std::string type;  // flattened type text, e.g. "struct kobject" or "refcount_t"
-  std::string name;
+  Symbol type;  // flattened type text, e.g. "struct kobject" or "refcount_t"
+  Symbol name;
 };
 
 struct StructDef {
-  std::string name;
+  Symbol name;
   std::vector<StructField> fields;
   uint32_t line = 0;
 };
 
 // A designated initializer entry in a global aggregate, ".probe = foo_probe".
 struct DesignatedInit {
-  std::string field;
-  std::string value;  // identifier text of the initializer
+  Symbol field;
+  Symbol value;  // identifier text of the initializer
 };
 
 struct GlobalVar {
-  std::string type;  // e.g. "struct platform_driver"
-  std::string name;
+  Symbol type;  // e.g. "struct platform_driver"
+  Symbol name;
   std::vector<DesignatedInit> inits;
   uint32_t line = 0;
 };
 
 struct MacroDef {
-  std::string name;
-  std::vector<std::string> params;  // empty for object-like macros
-  std::string body;                 // raw body text, continuations joined
+  Symbol name;
+  std::vector<Symbol> params;  // empty for object-like macros
+  std::string body;            // raw body text, continuations joined
   uint32_t line = 0;
 };
 
 struct TranslationUnit {
   std::string path;
+  // Owns every Expr/Stmt node below. shared_ptr so moved/copied units keep
+  // their nodes alive; nodes are immutable after parse, so sharing is safe.
+  std::shared_ptr<Arena> arena;
   std::vector<MacroDef> macros;
   std::vector<StructDef> structs;
   std::vector<GlobalVar> globals;
@@ -149,12 +167,46 @@ struct TranslationUnit {
 };
 
 // Visits every expression in a statement tree (pre-order), including
-// conditions, initializers and loop increments.
-void ForEachExpr(const Stmt& stmt, const std::function<void(const Expr&)>& fn);
-void ForEachExpr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+// conditions, initializers and loop increments. Templates rather than
+// std::function: these walks run over every AST node of every unit (CPG
+// extraction, KB discovery), where the type-erased call per node is
+// measurable.
+template <typename Fn>
+void ForEachExpr(const Expr& expr, const Fn& fn) {
+  fn(expr);
+  for (const ExprPtr child : expr.args) {
+    if (child != nullptr) {
+      ForEachExpr(*child, fn);
+    }
+  }
+}
 
 // Visits every statement in the tree (pre-order), including `stmt` itself.
-void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+template <typename Fn>
+void ForEachStmt(const Stmt& stmt, const Fn& fn) {
+  fn(stmt);
+  for (const Stmt* child : {stmt.body, stmt.else_body}) {
+    if (child != nullptr) {
+      ForEachStmt(*child, fn);
+    }
+  }
+  for (const StmtPtr child : stmt.stmts) {
+    if (child != nullptr) {
+      ForEachStmt(*child, fn);
+    }
+  }
+}
+
+template <typename Fn>
+void ForEachExpr(const Stmt& stmt, const Fn& fn) {
+  ForEachStmt(stmt, [&fn](const Stmt& s) {
+    for (const Expr* e : {s.expr, s.init, s.incr}) {
+      if (e != nullptr) {
+        ForEachExpr(*e, fn);
+      }
+    }
+  });
+}
 
 }  // namespace refscan
 

@@ -13,41 +13,77 @@ namespace {
 
 // Tokens that can start/continue a type spelling.
 bool IsTypeKeyword(std::string_view text) {
-  static constexpr std::string_view kTypeWords[] = {
-      "void",   "char",     "short",  "int",      "long",   "float",    "double", "signed",
-      "unsigned", "struct", "union",  "enum",     "const",  "volatile", "static", "extern",
-      "register", "inline", "_Bool",  "_Atomic",  "typeof", "__typeof__",
-  };
-  for (std::string_view w : kTypeWords) {
-    if (text == w) {
-      return true;
-    }
+  // Probed for nearly every keyword token while scanning declarations;
+  // dispatch on (length, first char) instead of a linear word list.
+  switch (text.size()) {
+    case 3:
+      return text == "int";
+    case 4:
+      return text == "void" || text == "char" || text == "long" || text == "enum";
+    case 5:
+      switch (text[0]) {
+        case 's': return text == "short";
+        case 'f': return text == "float";
+        case 'u': return text == "union";
+        case 'c': return text == "const";
+        case '_': return text == "_Bool";
+        default: return false;
+      }
+    case 6:
+      switch (text[0]) {
+        case 'd': return text == "double";
+        case 's': return text == "signed" || text == "struct" || text == "static";
+        case 'e': return text == "extern";
+        case 'i': return text == "inline";
+        case 't': return text == "typeof";
+        default: return false;
+      }
+    case 7:
+      return text == "_Atomic";
+    case 8:
+      return text == "unsigned" || text == "volatile" || text == "register";
+    case 10:
+      return text == "__typeof__";
+    default:
+      return false;
   }
-  return false;
 }
 
 // Identifiers that commonly act as typedef names in kernel code; the parser
 // also uses shape heuristics (ident ident / ident '*' ident), so this list
 // only needs to cover declarations like `u32 x;`.
 bool LooksLikeTypedefName(std::string_view text) {
-  if (text.ends_with("_t")) {
+  // Runs for nearly every identifier the statement/cast heuristics look at,
+  // so it dispatches on length instead of scanning a name list.
+  const size_t n = text.size();
+  if (n >= 2 && text[n - 1] == 't' && text[n - 2] == '_') {
     return true;
   }
-  static constexpr std::string_view kNames[] = {"u8",  "u16", "u32", "u64", "s8",
-                                                "s16", "s32", "s64", "bool"};
-  for (std::string_view w : kNames) {
-    if (text == w) {
-      return true;
-    }
+  switch (n) {
+    case 2:  // u8 s8
+      return (text[0] == 'u' || text[0] == 's') && text[1] == '8';
+    case 3:  // u16 u32 u64 s16 s32 s64
+      if (text[0] != 'u' && text[0] != 's') {
+        return false;
+      }
+      return (text[1] == '1' && text[2] == '6') || (text[1] == '3' && text[2] == '2') ||
+             (text[1] == '6' && text[2] == '4');
+    case 4:
+      return text == "bool";
+    default:
+      return false;
   }
-  return false;
 }
 
 class Parser {
  public:
   Parser(const SourceFile& file, const ParseOptions& options)
-      : tokens_(Tokenize(file)), cur_(tokens_), options_(options) {
+      : tokens_(Tokenize(file)),
+        cur_(tokens_),
+        options_(options),
+        arena_(std::make_shared<Arena>()) {
     unit_.path = file.path();
+    unit_.arena = arena_;
   }
 
   TranslationUnit Parse() {
@@ -60,6 +96,7 @@ class Parser {
 
   // Exposed for ParseExpression().
   ExprPtr ParseFullExpr() { return ParseAssignment(); }
+  std::shared_ptr<Arena> TakeArena() { return std::move(arena_); }
 
  private:
   // ---------------------------------------------------------------- tokens
@@ -193,7 +230,7 @@ class Parser {
       return;
     }
     MacroDef macro;
-    macro.name = std::string(body.substr(0, i));
+    macro.name = Intern(body.substr(0, i));
     macro.line = tok.line;
     body.remove_prefix(i);
     if (!body.empty() && body.front() == '(') {
@@ -202,7 +239,7 @@ class Parser {
         for (std::string_view param : Split(body.substr(1, close - 1), ',')) {
           param = Trim(param);
           if (!param.empty()) {
-            macro.params.emplace_back(param);
+            macro.params.push_back(Intern(param));
           }
         }
         body.remove_prefix(close + 1);
@@ -216,7 +253,7 @@ class Parser {
     StructDef def;
     def.line = Line();
     Next();  // struct / union
-    def.name = std::string(Next().text);
+    def.name = Intern(Next().text);
     if (!Eat("{")) {
       SyncToStatementEnd();
       return;
@@ -258,7 +295,7 @@ class Parser {
     for (size_t i = 0; i + 2 < field_tokens.size(); ++i) {
       if (field_tokens[i].Is("(") && field_tokens[i + 1].Is("*") &&
           field_tokens[i + 2].Is(TokenKind::kIdentifier)) {
-        def.fields.push_back(StructField{"fnptr", std::string(field_tokens[i + 2].text)});
+        def.fields.push_back(StructField{Intern("fnptr"), Intern(field_tokens[i + 2].text)});
         return;
       }
     }
@@ -286,7 +323,7 @@ class Parser {
       }
       type.append(field_tokens[i].text);
     }
-    def.fields.push_back(StructField{std::move(type), std::string(field_tokens[name_index].text)});
+    def.fields.push_back(StructField{Intern(type), Intern(field_tokens[name_index].text)});
   }
 
   // Parses either a function definition or a global variable declaration.
@@ -356,8 +393,8 @@ class Parser {
   void ParseFunctionRest(std::string return_type, std::string name, uint32_t line,
                          bool is_static) {
     FunctionDef fn;
-    fn.return_type = std::move(return_type);
-    fn.name = std::move(name);
+    fn.return_type = Intern(return_type);
+    fn.name = Intern(name);
     fn.line = line;
     fn.is_static = is_static;
 
@@ -398,7 +435,8 @@ class Parser {
       if (current.empty()) {
         return;
       }
-      Param p;
+      std::string type;
+      std::string name;
       // Name = last identifier; type = everything else.
       size_t name_index = current.size();
       for (size_t i = current.size(); i-- > 0;) {
@@ -411,17 +449,17 @@ class Parser {
         if (i == name_index) {
           continue;
         }
-        if (!p.type.empty()) {
-          p.type.push_back(' ');
+        if (!type.empty()) {
+          type.push_back(' ');
         }
-        p.type.append(current[i]->text);
+        type.append(current[i]->text);
       }
       if (name_index < current.size()) {
-        p.name = std::string(current[name_index]->text);
+        name = std::string(current[name_index]->text);
       }
       // "void" alone is not a parameter.
-      if (!(p.name.empty() && p.type == "void") && !(p.type.empty() && p.name == "void")) {
-        params.push_back(std::move(p));
+      if (!(name.empty() && type == "void") && !(type.empty() && name == "void")) {
+        params.push_back(Param{Intern(type), Intern(name)});
       }
       current.clear();
     };
@@ -442,8 +480,8 @@ class Parser {
 
   void ParseGlobalRest(std::string type, std::string name, uint32_t line) {
     GlobalVar var;
-    var.type = std::move(type);
-    var.name = std::move(name);
+    var.type = Intern(type);
+    var.name = Intern(name);
     var.line = line;
 
     // Optional array suffix.
@@ -487,14 +525,14 @@ class Parser {
       if (depth == 1 && t.Is(".") && Peek(1).Is(TokenKind::kIdentifier) && Peek(2).Is("=")) {
         DesignatedInit init;
         Next();  // .
-        init.field = std::string(Next().text);
+        init.field = Intern(Next().text);
         Next();  // =
         // Value: first identifier/literal token of the initializer.
         if (Peek().Is(TokenKind::kIdentifier) || Peek().Is(TokenKind::kNumber) ||
             Peek().Is(TokenKind::kString)) {
-          init.value = std::string(Peek().text);
+          init.value = Intern(Peek().text);
         }
-        var.inits.push_back(std::move(init));
+        var.inits.push_back(init);
         continue;
       }
       Next();
@@ -514,21 +552,21 @@ class Parser {
 
   StmtPtr MakeStmt(Stmt::Kind kind, uint32_t line) {
     BumpNodeCount();
-    auto s = std::make_unique<Stmt>();
+    Stmt* s = arena_->New<Stmt>();
     s->kind = kind;
     s->line = line;
     return s;
   }
 
   StmtPtr ParseCompound() {
-    auto s = MakeStmt(Stmt::Kind::kCompound, Line());
+    StmtPtr s = MakeStmt(Stmt::Kind::kCompound, Line());
     if (!Eat("{")) {
       s->kind = Stmt::Kind::kError;
       SyncToStatementEnd();
       return s;
     }
     while (!cur_.AtEnd() && !Peek().Is("}")) {
-      s->stmts.push_back(ParseStatement());
+      s->stmts.push_back(ParseStatement(), *arena_);
     }
     Eat("}");
     return s;
@@ -541,7 +579,7 @@ class Parser {
       if (options_.depth_fatal) {
         throw ResourceLimitError(StrFormat("AST depth exceeds cap %d", options_.max_depth));
       }
-      auto s = MakeStmt(Stmt::Kind::kError, Line());
+      StmtPtr s = MakeStmt(Stmt::Kind::kError, Line());
       SyncToStatementEnd();
       return s;
     }
@@ -570,14 +608,14 @@ class Parser {
     }
     if (t.Is("while")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kWhile, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kWhile, line);
       s->expr = ParseParenExpr();
       s->body = ParseStatement();
       return s;
     }
     if (t.Is("do")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kDoWhile, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kDoWhile, line);
       s->body = ParseStatement();
       if (Eat("while")) {
         s->expr = ParseParenExpr();
@@ -590,14 +628,14 @@ class Parser {
     }
     if (t.Is("switch")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kSwitch, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kSwitch, line);
       s->expr = ParseParenExpr();
       s->body = ParseStatement();
       return s;
     }
     if (t.Is("case")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kCase, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kCase, line);
       s->expr = ParseAssignment();
       Eat(":");
       return s;
@@ -609,16 +647,16 @@ class Parser {
     }
     if (t.Is("goto")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kGoto, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kGoto, line);
       if (Peek().Is(TokenKind::kIdentifier)) {
-        s->name = std::string(Next().text);
+        s->name = Intern(Next().text);
       }
       Eat(";");
       return s;
     }
     if (t.Is("return")) {
       Next();
-      auto s = MakeStmt(Stmt::Kind::kReturn, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kReturn, line);
       if (!Peek().Is(";")) {
         s->expr = ParseAssignment();
       }
@@ -638,8 +676,8 @@ class Parser {
 
     // Label: identifier ':' (not a ternary — at statement start this is safe).
     if (t.Is(TokenKind::kIdentifier) && Peek(1).Is(":")) {
-      auto s = MakeStmt(Stmt::Kind::kLabel, line);
-      s->name = std::string(Next().text);
+      StmtPtr s = MakeStmt(Stmt::Kind::kLabel, line);
+      s->name = Intern(Next().text);
       Eat(":");
       return s;
     }
@@ -653,7 +691,7 @@ class Parser {
     // "for_each" invoked at statement level.
     if (t.Is(TokenKind::kIdentifier) && t.text.find("for_each") != std::string_view::npos &&
         Peek(1).Is("(")) {
-      auto s = MakeStmt(Stmt::Kind::kMacroLoop, line);
+      StmtPtr s = MakeStmt(Stmt::Kind::kMacroLoop, line);
       s->expr = ParseAssignment();  // parses the call expression
       if (Peek().Is(";")) {
         Next();  // degenerate: macro used without a body
@@ -665,7 +703,7 @@ class Parser {
     }
 
     // Expression statement.
-    auto s = MakeStmt(Stmt::Kind::kExpr, line);
+    StmtPtr s = MakeStmt(Stmt::Kind::kExpr, line);
     s->expr = ParseCommaExpr();
     if (s->expr == nullptr || s->expr->kind == Expr::Kind::kError) {
       s->kind = Stmt::Kind::kError;
@@ -688,7 +726,7 @@ class Parser {
   StmtPtr ParseIf() {
     const uint32_t line = Line();
     Next();  // if
-    auto s = MakeStmt(Stmt::Kind::kIf, line);
+    StmtPtr s = MakeStmt(Stmt::Kind::kIf, line);
     s->expr = ParseParenExpr();
     s->body = ParseStatement();
     if (Eat("else")) {
@@ -700,7 +738,7 @@ class Parser {
   StmtPtr ParseFor() {
     const uint32_t line = Line();
     Next();  // for
-    auto s = MakeStmt(Stmt::Kind::kFor, line);
+    StmtPtr s = MakeStmt(Stmt::Kind::kFor, line);
     if (!Eat("(")) {
       s->kind = Stmt::Kind::kError;
       SyncToStatementEnd();
@@ -784,9 +822,10 @@ class Parser {
       }
       break;
     }
+    const Symbol type_sym = Intern(type);
 
     // One or more declarators.
-    auto compound = MakeStmt(Stmt::Kind::kCompound, line);
+    StmtPtr compound = MakeStmt(Stmt::Kind::kCompound, line);
     bool first = true;
     while (!cur_.AtEnd()) {
       // Extra stars bind to the declarator.
@@ -796,16 +835,16 @@ class Parser {
       if (!Peek().Is(TokenKind::kIdentifier)) {
         break;
       }
-      auto decl = MakeStmt(Stmt::Kind::kDecl, Peek().line);
-      decl->type = type;
-      decl->name = std::string(Next().text);
+      StmtPtr decl = MakeStmt(Stmt::Kind::kDecl, Peek().line);
+      decl->type = type_sym;
+      decl->name = Intern(Next().text);
       while (Peek().Is("[")) {
         SkipBalanced();
       }
       if (Eat("=")) {
         decl->expr = ParseAssignment();
       }
-      compound->stmts.push_back(std::move(decl));
+      compound->stmts.push_back(decl, *arena_);
       first = false;
       if (!Eat(",")) {
         break;
@@ -815,7 +854,7 @@ class Parser {
       SyncToStatementEnd();
     }
     if (compound->stmts.size() == 1) {
-      return std::move(compound->stmts[0]);
+      return compound->stmts[0];
     }
     if (compound->stmts.empty()) {
       compound->kind = first ? Stmt::Kind::kError : Stmt::Kind::kEmpty;
@@ -827,15 +866,15 @@ class Parser {
 
   ExprPtr MakeExpr(Expr::Kind kind, uint32_t line) {
     BumpNodeCount();
-    auto e = std::make_unique<Expr>();
+    Expr* e = arena_->New<Expr>();
     e->kind = kind;
     e->line = line;
     return e;
   }
 
   ExprPtr MakeError(uint32_t line) {
-    auto e = MakeExpr(Expr::Kind::kError, line);
-    e->value = std::string(Peek().text);
+    ExprPtr e = MakeExpr(Expr::Kind::kError, line);
+    e->value = Intern(Peek().text);
     return e;
   }
 
@@ -852,11 +891,12 @@ class Parser {
     ExprPtr e = ParseAssignment();
     while (Peek().Is(",")) {
       const uint32_t line = Next().line;
-      auto comma = MakeExpr(Expr::Kind::kBinary, line);
-      comma->value = ",";
-      comma->args.push_back(std::move(e));
-      comma->args.push_back(ParseAssignment());
-      e = std::move(comma);
+      ExprPtr comma = MakeExpr(Expr::Kind::kBinary, line);
+      static const Symbol kComma = Intern(",");
+      comma->value = kComma;
+      comma->args.push_back(e, *arena_);
+      comma->args.push_back(ParseAssignment(), *arena_);
+      e = comma;
     }
     return e;
   }
@@ -869,10 +909,10 @@ class Parser {
     for (std::string_view op : kAssignOps) {
       if (t.text == op && t.kind == TokenKind::kPunct) {
         const uint32_t line = Next().line;
-        auto e = MakeExpr(Expr::Kind::kAssign, line);
-        e->value = std::string(op);
-        e->args.push_back(std::move(lhs));
-        e->args.push_back(ParseAssignment());
+        ExprPtr e = MakeExpr(Expr::Kind::kAssign, line);
+        e->value = Intern(op);
+        e->args.push_back(lhs, *arena_);
+        e->args.push_back(ParseAssignment(), *arena_);
         return e;
       }
     }
@@ -885,25 +925,39 @@ class Parser {
       return cond;
     }
     const uint32_t line = Next().line;
-    auto e = MakeExpr(Expr::Kind::kTernary, line);
-    e->args.push_back(std::move(cond));
-    e->args.push_back(ParseCommaExpr());
+    ExprPtr e = MakeExpr(Expr::Kind::kTernary, line);
+    e->args.push_back(cond, *arena_);
+    e->args.push_back(ParseCommaExpr(), *arena_);
     Eat(":");
-    e->args.push_back(ParseAssignment());
+    e->args.push_back(ParseAssignment(), *arena_);
     return e;
   }
 
   static int BinaryPrecedence(std::string_view op) {
-    if (op == "*" || op == "/" || op == "%") return 10;
-    if (op == "+" || op == "-") return 9;
-    if (op == "<<" || op == ">>") return 8;
-    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
-    if (op == "==" || op == "!=") return 6;
-    if (op == "&") return 5;
-    if (op == "^") return 4;
-    if (op == "|") return 3;
-    if (op == "&&") return 2;
-    if (op == "||") return 1;
+    // Probed once per token during expression parsing: dispatch on
+    // (length, first char) rather than a comparison chain.
+    if (op.size() == 1) {
+      switch (op[0]) {
+        case '*': case '/': case '%': return 10;
+        case '+': case '-': return 9;
+        case '<': case '>': return 7;
+        case '&': return 5;
+        case '^': return 4;
+        case '|': return 3;
+        default: return -1;
+      }
+    }
+    if (op.size() == 2) {
+      switch (op[0]) {
+        case '<': return op[1] == '<' ? 8 : op[1] == '=' ? 7 : -1;
+        case '>': return op[1] == '>' ? 8 : op[1] == '=' ? 7 : -1;
+        case '=': return op[1] == '=' ? 6 : -1;
+        case '!': return op[1] == '=' ? 6 : -1;
+        case '&': return op[1] == '&' ? 2 : -1;
+        case '|': return op[1] == '|' ? 1 : -1;
+        default: return -1;
+      }
+    }
     return -1;
   }
 
@@ -918,40 +972,45 @@ class Parser {
       if (prec < 0 || prec < min_prec) {
         return lhs;
       }
-      const std::string op(t.text);
+      const Symbol op = Intern(t.text);
       const uint32_t line = Next().line;
       ExprPtr rhs = ParseBinary(prec + 1);
-      auto e = MakeExpr(Expr::Kind::kBinary, line);
+      ExprPtr e = MakeExpr(Expr::Kind::kBinary, line);
       e->value = op;
-      e->args.push_back(std::move(lhs));
-      e->args.push_back(std::move(rhs));
-      lhs = std::move(e);
+      e->args.push_back(lhs, *arena_);
+      e->args.push_back(rhs, *arena_);
+      lhs = e;
     }
   }
 
   ExprPtr ParseUnary() {
     const Token& t = Peek();
     if (t.Is(TokenKind::kPunct)) {
-      static constexpr std::string_view kUnaryOps[] = {"*", "&", "!", "~", "-", "+", "++", "--"};
-      for (std::string_view op : kUnaryOps) {
-        if (t.text == op) {
-          const uint32_t line = Next().line;
-          auto e = MakeExpr(Expr::Kind::kUnary, line);
-          e->value = std::string(op);
-          e->args.push_back(ParseUnary());
-          return e;
-        }
+      // * & ! ~ - + ++ --
+      const std::string_view s = t.text;
+      const bool is_unary =
+          (s.size() == 1 && (s[0] == '*' || s[0] == '&' || s[0] == '!' || s[0] == '~' ||
+                             s[0] == '-' || s[0] == '+')) ||
+          (s.size() == 2 && s[0] == s[1] && (s[0] == '+' || s[0] == '-'));
+      if (is_unary) {
+        const Symbol op = Intern(s);
+        const uint32_t line = Next().line;
+        ExprPtr e = MakeExpr(Expr::Kind::kUnary, line);
+        e->value = op;
+        e->args.push_back(ParseUnary(), *arena_);
+        return e;
       }
     }
     if (t.Is("sizeof")) {
       const uint32_t line = Next().line;
-      auto e = MakeExpr(Expr::Kind::kUnary, line);
-      e->value = "sizeof";
+      ExprPtr e = MakeExpr(Expr::Kind::kUnary, line);
+      static const Symbol kSizeof = Intern("sizeof");
+      e->value = kSizeof;
       if (Peek().Is("(")) {
         SkipBalanced();
-        e->args.push_back(MakeExpr(Expr::Kind::kLiteral, line));
+        e->args.push_back(MakeExpr(Expr::Kind::kLiteral, line), *arena_);
       } else {
-        e->args.push_back(ParseUnary());
+        e->args.push_back(ParseUnary(), *arena_);
       }
       return e;
     }
@@ -1008,45 +1067,45 @@ class Parser {
       const Token& t = Peek();
       if (t.Is("(")) {
         const uint32_t line = Next().line;
-        auto call = MakeExpr(Expr::Kind::kCall, line);
-        call->args.push_back(std::move(e));
+        ExprPtr call = MakeExpr(Expr::Kind::kCall, line);
+        call->args.push_back(e, *arena_);
         while (!cur_.AtEnd() && !Peek().Is(")")) {
-          call->args.push_back(ParseAssignment());
+          call->args.push_back(ParseAssignment(), *arena_);
           if (!Eat(",")) {
             break;
           }
         }
         Eat(")");
-        e = std::move(call);
+        e = call;
         continue;
       }
       if (t.Is("[")) {
         const uint32_t line = Next().line;
-        auto index = MakeExpr(Expr::Kind::kIndex, line);
-        index->args.push_back(std::move(e));
-        index->args.push_back(ParseCommaExpr());
+        ExprPtr index = MakeExpr(Expr::Kind::kIndex, line);
+        index->args.push_back(e, *arena_);
+        index->args.push_back(ParseCommaExpr(), *arena_);
         Eat("]");
-        e = std::move(index);
+        e = index;
         continue;
       }
       if (t.Is(".") || t.Is("->")) {
         const bool arrow = t.Is("->");
         const uint32_t line = Next().line;
-        auto member = MakeExpr(Expr::Kind::kMember, line);
+        ExprPtr member = MakeExpr(Expr::Kind::kMember, line);
         member->arrow = arrow;
-        member->args.push_back(std::move(e));
+        member->args.push_back(e, *arena_);
         if (Peek().Is(TokenKind::kIdentifier)) {
-          member->value = std::string(Next().text);
+          member->value = Intern(Next().text);
         }
-        e = std::move(member);
+        e = member;
         continue;
       }
       if (t.Is("++") || t.Is("--")) {
         const uint32_t line = Line();
-        auto post = MakeExpr(Expr::Kind::kUnary, line);
-        post->value = std::string(Next().text);
-        post->args.push_back(std::move(e));
-        e = std::move(post);
+        ExprPtr post = MakeExpr(Expr::Kind::kUnary, line);
+        post->value = Intern(Next().text);
+        post->args.push_back(e, *arena_);
+        e = post;
         continue;
       }
       return e;
@@ -1058,11 +1117,11 @@ class Parser {
     const uint32_t line = t.line;
 
     if (t.Is(TokenKind::kIdentifier)) {
-      return MakeIdent(std::string(Next().text), line);
+      return MakeIdent(*arena_, Next().text, line);
     }
     if (t.Is(TokenKind::kNumber) || t.Is(TokenKind::kString) || t.Is(TokenKind::kChar)) {
-      auto e = MakeExpr(Expr::Kind::kLiteral, line);
-      e->value = std::string(Next().text);
+      ExprPtr e = MakeExpr(Expr::Kind::kLiteral, line);
+      e->value = Intern(Next().text);
       return e;
     }
     if (t.Is("(")) {
@@ -1076,9 +1135,9 @@ class Parser {
           type.append(Next().text);
         }
         Eat(")");
-        auto e = MakeExpr(Expr::Kind::kCast, line);
-        e->value = std::move(type);
-        e->args.push_back(ParseUnary());
+        ExprPtr e = MakeExpr(Expr::Kind::kCast, line);
+        e->value = Intern(type);
+        e->args.push_back(ParseUnary(), *arena_);
         return e;
       }
       Next();
@@ -1089,7 +1148,7 @@ class Parser {
     if (t.Is("{")) {
       // Compound literal-ish initializer; capture elements loosely.
       Next();
-      auto e = MakeExpr(Expr::Kind::kInitList, line);
+      ExprPtr e = MakeExpr(Expr::Kind::kInitList, line);
       while (!cur_.AtEnd() && !Peek().Is("}")) {
         if (Peek().Is(".")) {
           Next();  // designator
@@ -1099,7 +1158,7 @@ class Parser {
           Next();
           continue;
         }
-        e->args.push_back(ParseAssignment());
+        e->args.push_back(ParseAssignment(), *arena_);
         if (!Eat(",")) {
           break;
         }
@@ -1108,7 +1167,7 @@ class Parser {
       return e;
     }
     // Unparseable: consume one token so the caller makes progress.
-    auto e = MakeError(line);
+    ExprPtr e = MakeError(line);
     Next();
     return e;
   }
@@ -1117,6 +1176,7 @@ class Parser {
   TokenCursor cur_;
   ParseOptions options_;
   TranslationUnit unit_;
+  std::shared_ptr<Arena> arena_;
   int depth_ = 0;
   size_t nodes_ = 0;
 };
@@ -1129,10 +1189,11 @@ TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options) {
   return parser.Parse();
 }
 
-ExprPtr ParseExpression(std::string_view text) {
+ParsedExpr ParseExpression(std::string_view text) {
   SourceFile file("<expr>", std::string(text));
   Parser parser(file, ParseOptions{});
-  return parser.ParseFullExpr();
+  ExprPtr root = parser.ParseFullExpr();
+  return ParsedExpr(parser.TakeArena(), root);
 }
 
 TranslationUnit ParseSnippet(std::string_view body_text) {

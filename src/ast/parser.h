@@ -40,8 +40,27 @@ struct ParseOptions {
 // fault-injection site.
 TranslationUnit ParseFile(const SourceFile& file, const ParseOptions& options = {});
 
+// A standalone parsed expression plus the Arena that owns its nodes.
+// Smart-pointer-ish: keep the holder alive while the expression is in use.
+class ParsedExpr {
+ public:
+  ParsedExpr() = default;
+  ParsedExpr(std::shared_ptr<Arena> arena, ExprPtr root)
+      : arena_(std::move(arena)), root_(root) {}
+
+  const Expr* get() const { return root_; }
+  const Expr& operator*() const { return *root_; }
+  const Expr* operator->() const { return root_; }
+  explicit operator bool() const { return root_ != nullptr; }
+  friend bool operator==(const ParsedExpr& p, std::nullptr_t) { return p.root_ == nullptr; }
+
+ private:
+  std::shared_ptr<Arena> arena_;
+  ExprPtr root_ = nullptr;
+};
+
 // Parses a standalone expression (tests and tools).
-ExprPtr ParseExpression(std::string_view text);
+ParsedExpr ParseExpression(std::string_view text);
 
 // Parses a standalone function body snippet wrapped as `void f() { ... }`
 // and returns the unit (tests and examples).

@@ -34,7 +34,7 @@ FunctionProfile ProfileFunction(const UnitContext& uc, const FunctionContext& fc
       if (ev.object.empty()) {
         continue;
       }
-      const std::string root = ObjectRootOfSpelling(ev.object);
+      const std::string root = RootSymbol(ev.object).str();
       switch (ev.op) {
         case SemOp::kIncrease:
           profile.increments[root]++;
@@ -48,7 +48,7 @@ FunctionProfile ProfileFunction(const UnitContext& uc, const FunctionContext& fc
           break;
         case SemOp::kAssign:
           if (ev.escapes && !ev.aux.empty()) {
-            profile.escapes[ObjectRootOfSpelling(ev.aux)]++;
+            profile.escapes[RootSymbol(ev.aux).str()]++;
           }
           break;
         default:
@@ -64,7 +64,7 @@ BaselineReport MakeReport(const char* checker, const FunctionProfile& profile,
   BaselineReport report;
   report.checker = checker;
   report.file = profile.unit->unit.path;
-  report.function = profile.fc->fn->name;
+  report.function = profile.fc->fn->name.str();
   report.object = object;
   auto line = profile.first_inc_line.find(object);
   report.line = line != profile.first_inc_line.end() ? line->second : profile.fc->fn->line;

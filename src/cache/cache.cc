@@ -18,8 +18,11 @@ namespace stdfs = std::filesystem;
 namespace {
 
 // Bump whenever any serialized layout changes; stale-version objects load
-// as misses and get rewritten.
-constexpr uint32_t kFormatVersion = 1;
+// as misses and get rewritten. v2: AST identifier fields are interned
+// Symbols — serialized as their text (ids are interleaving-dependent and
+// never touch disk) and re-interned on load; units deserialize into a fresh
+// per-unit Arena.
+constexpr uint32_t kFormatVersion = 2;
 constexpr char kMagic[4] = {'R', 'F', 'S', 'C'};
 
 constexpr uint8_t kKindFacts = 1;
@@ -128,10 +131,13 @@ DiscoveryFacts ReadFacts(ByteReader& r) {
 
 // ---------------------------------------------------------------------------
 // TranslationUnit (recursive over Expr / Stmt; nullable pointers carry a
-// presence byte)
+// presence byte). Symbols serialize as their text; readers allocate nodes
+// from the destination unit's Arena and re-intern on load.
 
 void WriteExpr(ByteWriter& w, const Expr* e);
 void WriteStmt(ByteWriter& w, const Stmt* s);
+ExprPtr ReadExpr(ByteReader& r, Arena& arena);
+StmtPtr ReadStmt(ByteReader& r, Arena& arena);
 
 void WriteExpr(ByteWriter& w, const Expr* e) {
   w.Bool(e != nullptr);
@@ -140,27 +146,26 @@ void WriteExpr(ByteWriter& w, const Expr* e) {
   }
   w.U8(static_cast<uint8_t>(e->kind));
   w.U32(e->line);
-  w.Str(e->value);
+  w.Str(e->value.view());
   w.Bool(e->arrow);
   w.U32(static_cast<uint32_t>(e->args.size()));
-  for (const ExprPtr& arg : e->args) {
-    WriteExpr(w, arg.get());
+  for (const ExprPtr arg : e->args) {
+    WriteExpr(w, arg);
   }
 }
 
-ExprPtr ReadExpr(ByteReader& r) {
+ExprPtr ReadExpr(ByteReader& r, Arena& arena) {
   if (!r.Bool() || !r.ok()) {
     return nullptr;
   }
-  auto e = std::make_unique<Expr>();
+  Expr* e = arena.New<Expr>();
   e->kind = static_cast<Expr::Kind>(r.U8());
   e->line = r.U32();
-  e->value = r.Str();
+  e->value = Intern(r.Str());
   e->arrow = r.Bool();
   const uint32_t n = r.Count();
-  e->args.reserve(n);
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
-    e->args.push_back(ReadExpr(r));
+    e->args.push_back(ReadExpr(r, arena), arena);
   }
   return e;
 }
@@ -172,37 +177,36 @@ void WriteStmt(ByteWriter& w, const Stmt* s) {
   }
   w.U8(static_cast<uint8_t>(s->kind));
   w.U32(s->line);
-  w.Str(s->name);
-  w.Str(s->type);
-  WriteExpr(w, s->expr.get());
-  WriteExpr(w, s->init.get());
-  WriteExpr(w, s->incr.get());
-  WriteStmt(w, s->body.get());
-  WriteStmt(w, s->else_body.get());
+  w.Str(s->name.view());
+  w.Str(s->type.view());
+  WriteExpr(w, s->expr);
+  WriteExpr(w, s->init);
+  WriteExpr(w, s->incr);
+  WriteStmt(w, s->body);
+  WriteStmt(w, s->else_body);
   w.U32(static_cast<uint32_t>(s->stmts.size()));
-  for (const StmtPtr& child : s->stmts) {
-    WriteStmt(w, child.get());
+  for (const StmtPtr child : s->stmts) {
+    WriteStmt(w, child);
   }
 }
 
-StmtPtr ReadStmt(ByteReader& r) {
+StmtPtr ReadStmt(ByteReader& r, Arena& arena) {
   if (!r.Bool() || !r.ok()) {
     return nullptr;
   }
-  auto s = std::make_unique<Stmt>();
+  Stmt* s = arena.New<Stmt>();
   s->kind = static_cast<Stmt::Kind>(r.U8());
   s->line = r.U32();
-  s->name = r.Str();
-  s->type = r.Str();
-  s->expr = ReadExpr(r);
-  s->init = ReadExpr(r);
-  s->incr = ReadExpr(r);
-  s->body = ReadStmt(r);
-  s->else_body = ReadStmt(r);
+  s->name = Intern(r.Str());
+  s->type = Intern(r.Str());
+  s->expr = ReadExpr(r, arena);
+  s->init = ReadExpr(r, arena);
+  s->incr = ReadExpr(r, arena);
+  s->body = ReadStmt(r, arena);
+  s->else_body = ReadStmt(r, arena);
   const uint32_t n = r.Count();
-  s->stmts.reserve(n);
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
-    s->stmts.push_back(ReadStmt(r));
+    s->stmts.push_back(ReadStmt(r, arena), arena);
   }
   return s;
 }
@@ -211,62 +215,64 @@ void WriteUnit(ByteWriter& w, const TranslationUnit& unit) {
   w.Str(unit.path);
   w.U32(static_cast<uint32_t>(unit.macros.size()));
   for (const MacroDef& m : unit.macros) {
-    w.Str(m.name);
+    w.Str(m.name.view());
     w.U32(static_cast<uint32_t>(m.params.size()));
-    for (const std::string& p : m.params) {
-      w.Str(p);
+    for (const Symbol p : m.params) {
+      w.Str(p.view());
     }
     w.Str(m.body);
     w.U32(m.line);
   }
   w.U32(static_cast<uint32_t>(unit.structs.size()));
   for (const StructDef& s : unit.structs) {
-    w.Str(s.name);
+    w.Str(s.name.view());
     w.U32(s.line);
     w.U32(static_cast<uint32_t>(s.fields.size()));
     for (const StructField& f : s.fields) {
-      w.Str(f.type);
-      w.Str(f.name);
+      w.Str(f.type.view());
+      w.Str(f.name.view());
     }
   }
   w.U32(static_cast<uint32_t>(unit.globals.size()));
   for (const GlobalVar& g : unit.globals) {
-    w.Str(g.type);
-    w.Str(g.name);
+    w.Str(g.type.view());
+    w.Str(g.name.view());
     w.U32(g.line);
     w.U32(static_cast<uint32_t>(g.inits.size()));
     for (const DesignatedInit& d : g.inits) {
-      w.Str(d.field);
-      w.Str(d.value);
+      w.Str(d.field.view());
+      w.Str(d.value.view());
     }
   }
   w.U32(static_cast<uint32_t>(unit.functions.size()));
   for (const FunctionDef& fn : unit.functions) {
-    w.Str(fn.return_type);
-    w.Str(fn.name);
+    w.Str(fn.return_type.view());
+    w.Str(fn.name.view());
     w.U32(fn.line);
     w.Bool(fn.is_static);
     w.U32(static_cast<uint32_t>(fn.params.size()));
     for (const Param& p : fn.params) {
-      w.Str(p.type);
-      w.Str(p.name);
+      w.Str(p.type.view());
+      w.Str(p.name.view());
     }
-    WriteStmt(w, fn.body.get());
+    WriteStmt(w, fn.body);
   }
 }
 
 TranslationUnit ReadUnit(ByteReader& r) {
   TranslationUnit unit;
+  unit.arena = std::make_shared<Arena>();
+  Arena& arena = *unit.arena;
   unit.path = r.Str();
   const uint32_t n_macros = r.Count();
   unit.macros.reserve(n_macros);
   for (uint32_t i = 0; i < n_macros && r.ok(); ++i) {
     MacroDef m;
-    m.name = r.Str();
+    m.name = Intern(r.Str());
     const uint32_t n_params = r.Count();
     m.params.reserve(n_params);
     for (uint32_t j = 0; j < n_params && r.ok(); ++j) {
-      m.params.push_back(r.Str());
+      m.params.push_back(Intern(r.Str()));
     }
     m.body = r.Str();
     m.line = r.U32();
@@ -276,15 +282,15 @@ TranslationUnit ReadUnit(ByteReader& r) {
   unit.structs.reserve(n_structs);
   for (uint32_t i = 0; i < n_structs && r.ok(); ++i) {
     StructDef s;
-    s.name = r.Str();
+    s.name = Intern(r.Str());
     s.line = r.U32();
     const uint32_t n_fields = r.Count();
     s.fields.reserve(n_fields);
     for (uint32_t j = 0; j < n_fields && r.ok(); ++j) {
       StructField f;
-      f.type = r.Str();
-      f.name = r.Str();
-      s.fields.push_back(std::move(f));
+      f.type = Intern(r.Str());
+      f.name = Intern(r.Str());
+      s.fields.push_back(f);
     }
     unit.structs.push_back(std::move(s));
   }
@@ -292,35 +298,35 @@ TranslationUnit ReadUnit(ByteReader& r) {
   unit.globals.reserve(n_globals);
   for (uint32_t i = 0; i < n_globals && r.ok(); ++i) {
     GlobalVar g;
-    g.type = r.Str();
-    g.name = r.Str();
+    g.type = Intern(r.Str());
+    g.name = Intern(r.Str());
     g.line = r.U32();
     const uint32_t n_inits = r.Count();
     g.inits.reserve(n_inits);
     for (uint32_t j = 0; j < n_inits && r.ok(); ++j) {
       DesignatedInit d;
-      d.field = r.Str();
-      d.value = r.Str();
-      g.inits.push_back(std::move(d));
+      d.field = Intern(r.Str());
+      d.value = Intern(r.Str());
+      g.inits.push_back(d);
     }
     unit.globals.push_back(std::move(g));
   }
   const uint32_t n_functions = r.Count();
   for (uint32_t i = 0; i < n_functions && r.ok(); ++i) {
     FunctionDef fn;
-    fn.return_type = r.Str();
-    fn.name = r.Str();
+    fn.return_type = Intern(r.Str());
+    fn.name = Intern(r.Str());
     fn.line = r.U32();
     fn.is_static = r.Bool();
     const uint32_t n_params = r.Count();
     fn.params.reserve(n_params);
     for (uint32_t j = 0; j < n_params && r.ok(); ++j) {
       Param p;
-      p.type = r.Str();
-      p.name = r.Str();
-      fn.params.push_back(std::move(p));
+      p.type = Intern(r.Str());
+      p.name = Intern(r.Str());
+      fn.params.push_back(p);
     }
-    fn.body = ReadStmt(r);
+    fn.body = ReadStmt(r, arena);
     unit.functions.push_back(std::move(fn));
   }
   return unit;

@@ -87,18 +87,19 @@ int ClassifyErrorCondition(const Expr& cond) {
       return 0;
     }
     case Expr::Kind::kCall: {
-      const std::string callee = cond.CalleeName();
+      const Symbol callee = cond.CalleeName();
       if (callee == "IS_ERR" || callee == "IS_ERR_OR_NULL") {
         return 1;
       }
-      if (IsTransparentWrapper(callee) && cond.args.size() > 1 && cond.args[1] != nullptr) {
+      if (IsTransparentWrapper(callee.view()) && cond.args.size() > 1 &&
+          cond.args[1] != nullptr) {
         return ClassifyErrorCondition(*cond.args[1]);
       }
       return 0;
     }
     case Expr::Kind::kIdent:
       // `if (ret)` — error when a status variable is truthy.
-      return IsErrorReturningIdent(cond.value) ? 1 : 0;
+      return IsErrorReturningIdent(cond.value.view()) ? 1 : 0;
     default:
       return 0;
   }
@@ -114,20 +115,105 @@ bool ReturnsErrorCode(const Stmt& stmt) {
     if (inner.kind == Expr::Kind::kLiteral) {
       return true;  // return -1;
     }
-    if (inner.kind == Expr::Kind::kIdent && !inner.value.empty() && inner.value[0] == 'E') {
+    if (inner.kind == Expr::Kind::kIdent && !inner.value.empty() &&
+        inner.value.view()[0] == 'E') {
       return true;  // return -EINVAL;
     }
   }
   if (e.kind == Expr::Kind::kCall) {
-    const std::string callee = e.CalleeName();
+    const Symbol callee = e.CalleeName();
     return callee == "ERR_PTR" || callee == "ERR_CAST";
   }
-  if (e.kind == Expr::Kind::kIdent && IsErrorReturningIdent(e.value)) {
+  if (e.kind == Expr::Kind::kIdent && IsErrorReturningIdent(e.value.view())) {
     // `return ret;` under an error guard; callers check the guard, we accept.
     return false;
   }
   return false;
 }
+
+namespace {
+
+// Small-buffer list of node indices for CFG lowering. Nearly every
+// statement has one predecessor and one exit, so the std::vector<int>
+// that Lower used to pass/return by value spent the whole build in the
+// allocator; four inline slots cover all but pathological branch fans.
+class IntList {
+ public:
+  IntList() = default;
+  IntList(std::initializer_list<int> il) {
+    for (int v : il) {
+      push_back(v);
+    }
+  }
+  IntList(IntList&& o) noexcept { MoveFrom(o); }
+  IntList& operator=(IntList&& o) noexcept {
+    if (this != &o) {
+      Free();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  IntList(const IntList&) = delete;
+  IntList& operator=(const IntList&) = delete;
+  ~IntList() { Free(); }
+
+  void push_back(int v) {
+    if (size_ == cap_) {
+      Grow();
+    }
+    data_[size_++] = v;
+  }
+  void append(const IntList& o) {
+    for (uint32_t i = 0; i < o.size_; ++i) {
+      push_back(o.data_[i]);
+    }
+  }
+  bool empty() const { return size_ == 0; }
+  const int* begin() const { return data_; }
+  const int* end() const { return data_ + size_; }
+
+ private:
+  void MoveFrom(IntList& o) {
+    if (o.data_ == o.inline_) {
+      data_ = inline_;
+      cap_ = kInline;
+      size_ = o.size_;
+      for (uint32_t i = 0; i < size_; ++i) {
+        inline_[i] = o.inline_[i];
+      }
+    } else {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.cap_ = kInline;
+    }
+    o.size_ = 0;
+  }
+  void Free() {
+    if (data_ != inline_) {
+      delete[] data_;
+    }
+  }
+  void Grow() {
+    const uint32_t new_cap = cap_ * 2;
+    int* fresh = new int[new_cap];
+    for (uint32_t i = 0; i < size_; ++i) {
+      fresh[i] = data_[i];
+    }
+    Free();
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  static constexpr uint32_t kInline = 4;
+  int inline_[kInline];
+  int* data_ = inline_;
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInline;
+};
+
+}  // namespace
 
 // Note: not in an anonymous namespace — Cfg befriends refscan::CfgBuilder.
 class CfgBuilder {
@@ -139,7 +225,7 @@ class CfgBuilder {
   }
 
   Cfg Build() {
-    std::vector<int> exits = {cfg_.entry_};
+    IntList exits = {cfg_.entry_};
     if (cfg_.fn_->body != nullptr) {
       exits = Lower(*cfg_.fn_->body, std::move(exits));
     }
@@ -172,7 +258,7 @@ class CfgBuilder {
     }
   }
 
-  void LinkAll(const std::vector<int>& preds, int to) {
+  void LinkAll(const IntList& preds, int to) {
     for (int p : preds) {
       Link(p, to);
     }
@@ -191,23 +277,23 @@ class CfgBuilder {
       if (ReturnsErrorCode(s)) {
         found = true;
       }
-      if (s.kind == Stmt::Kind::kGoto && IsErrorLabel(s.name)) {
+      if (s.kind == Stmt::Kind::kGoto && IsErrorLabel(s.name.view())) {
         found = true;
       }
     });
     return found && statements <= 4;
   }
 
-  std::vector<int> LowerSeq(const std::vector<StmtPtr>& stmts, std::vector<int> preds) {
+  IntList LowerSeq(const ArenaVec<StmtPtr>& stmts, IntList preds) {
     // Track error-label regions: statements after an `err:`-style label in
     // the same sequence are error context until a non-error label appears.
     bool label_error_region = false;
-    for (const StmtPtr& s : stmts) {
+    for (const StmtPtr s : stmts) {
       if (s == nullptr) {
         continue;
       }
       if (s->kind == Stmt::Kind::kLabel) {
-        label_error_region = IsErrorLabel(s->name);
+        label_error_region = IsErrorLabel(s->name.view());
       }
       if (label_error_region) {
         ++error_depth_;
@@ -220,7 +306,7 @@ class CfgBuilder {
     return preds;
   }
 
-  std::vector<int> Lower(const Stmt& s, std::vector<int> preds) {
+  IntList Lower(const Stmt& s, IntList preds) {
     CheckDeadline("cfg");
     switch (s.kind) {
       case Stmt::Kind::kCompound:
@@ -234,7 +320,7 @@ class CfgBuilder {
       case Stmt::Kind::kError:
       case Stmt::Kind::kCase:
       case Stmt::Kind::kDefault: {
-        const int n = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.expr.get());
+        const int n = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.expr);
         LinkAll(preds, n);
         return {n};
       }
@@ -254,7 +340,7 @@ class CfgBuilder {
       }
 
       case Stmt::Kind::kReturn: {
-        const int n = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.expr.get());
+        const int n = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.expr);
         LinkAll(preds, n);
         Link(n, cfg_.exit_);
         return {};
@@ -282,29 +368,30 @@ class CfgBuilder {
         return LowerIf(s, std::move(preds));
 
       case Stmt::Kind::kWhile: {
-        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr.get());
+        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr);
         LinkAll(preds, cond);
-        std::vector<int> breaks;
+        IntList breaks;
         break_sinks_.push_back(&breaks);
         continue_targets_.push_back(cond);
         any_loops_.push_back(cond);
-        std::vector<int> body_exits = s.body ? Lower(*s.body, {cond}) : std::vector<int>{cond};
+        IntList body_exits = s.body ? Lower(*s.body, {cond}) : IntList{cond};
         any_loops_.pop_back();
         continue_targets_.pop_back();
         break_sinks_.pop_back();
         LinkAll(body_exits, cond);
-        std::vector<int> exits = {cond};
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        IntList exits = {cond};
+        exits.append(breaks);
         return exits;
       }
 
       case Stmt::Kind::kDoWhile: {
-        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr.get());
-        std::vector<int> breaks;
+        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr);
+        IntList breaks;
         break_sinks_.push_back(&breaks);
         continue_targets_.push_back(cond);
         any_loops_.push_back(cond);
-        std::vector<int> body_exits = s.body ? Lower(*s.body, std::move(preds)) : preds;
+        IntList body_exits =
+            s.body ? Lower(*s.body, std::move(preds)) : std::move(preds);
         any_loops_.pop_back();
         continue_targets_.pop_back();
         break_sinks_.pop_back();
@@ -313,59 +400,59 @@ class CfgBuilder {
         if (s.body != nullptr && !cfg_.nodes_[static_cast<size_t>(cond)].succs.empty()) {
           // no-op: back edge added below via first body node is implicit;
         }
-        std::vector<int> exits = {cond};
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        IntList exits = {cond};
+        exits.append(breaks);
         return exits;
       }
 
       case Stmt::Kind::kFor: {
-        std::vector<int> p = std::move(preds);
+        IntList p = std::move(preds);
         if (s.init != nullptr) {
-          const int init = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.init.get());
+          const int init = NewNode(CfgNode::Kind::kStatement, &s, s.line, s.init);
           LinkAll(p, init);
           p = {init};
         }
-        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr.get());
+        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr);
         LinkAll(p, cond);
-        std::vector<int> breaks;
+        IntList breaks;
         break_sinks_.push_back(&breaks);
         continue_targets_.push_back(cond);
         any_loops_.push_back(cond);
-        std::vector<int> body_exits = s.body ? Lower(*s.body, {cond}) : std::vector<int>{cond};
+        IntList body_exits = s.body ? Lower(*s.body, {cond}) : IntList{cond};
         any_loops_.pop_back();
         continue_targets_.pop_back();
         break_sinks_.pop_back();
         LinkAll(body_exits, cond);  // increment folded into the back edge
-        std::vector<int> exits = {cond};
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        IntList exits = {cond};
+        exits.append(breaks);
         return exits;
       }
 
       case Stmt::Kind::kMacroLoop: {
-        const int head = NewNode(CfgNode::Kind::kLoopHead, &s, s.line, s.expr.get());
+        const int head = NewNode(CfgNode::Kind::kLoopHead, &s, s.line, s.expr);
         LinkAll(preds, head);
-        std::vector<int> breaks;
+        IntList breaks;
         break_sinks_.push_back(&breaks);
         continue_targets_.push_back(head);
         macro_loops_.push_back(head);
         any_loops_.push_back(head);
-        std::vector<int> body_exits = s.body ? Lower(*s.body, {head}) : std::vector<int>{head};
+        IntList body_exits = s.body ? Lower(*s.body, {head}) : IntList{head};
         any_loops_.pop_back();
         macro_loops_.pop_back();
         continue_targets_.pop_back();
         break_sinks_.pop_back();
         LinkAll(body_exits, head);
-        std::vector<int> exits = {head};
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        IntList exits = {head};
+        exits.append(breaks);
         return exits;
       }
 
       case Stmt::Kind::kSwitch: {
-        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr.get());
+        const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr);
         LinkAll(preds, cond);
-        std::vector<int> breaks;
+        IntList breaks;
         break_sinks_.push_back(&breaks);
-        std::vector<int> body_exits = s.body ? Lower(*s.body, {cond}) : std::vector<int>{cond};
+        IntList body_exits = s.body ? Lower(*s.body, {cond}) : IntList{cond};
         break_sinks_.pop_back();
         // Each case label is also directly reachable from the condition.
         if (s.body != nullptr) {
@@ -379,17 +466,17 @@ class CfgBuilder {
             }
           }
         }
-        std::vector<int> exits = std::move(body_exits);
+        IntList exits = std::move(body_exits);
         exits.push_back(cond);  // no-default fallthrough
-        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        exits.append(breaks);
         return exits;
       }
     }
     return preds;
   }
 
-  std::vector<int> LowerIf(const Stmt& s, std::vector<int> preds) {
-    const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr.get());
+  IntList LowerIf(const Stmt& s, IntList preds) {
+    const int cond = NewNode(CfgNode::Kind::kCondition, &s, s.line, s.expr);
     LinkAll(preds, cond);
 
     int error_side = s.expr ? ClassifyErrorCondition(*s.expr) : 0;
@@ -398,26 +485,26 @@ class CfgBuilder {
     }
     cfg_.nodes_[static_cast<size_t>(cond)].error_branch = error_side;
 
-    std::vector<int> exits;
+    IntList exits;
     {
       if (error_side == 1) {
         ++error_depth_;
       }
-      std::vector<int> then_exits = s.body ? Lower(*s.body, {cond}) : std::vector<int>{cond};
+      IntList then_exits = s.body ? Lower(*s.body, {cond}) : IntList{cond};
       if (error_side == 1) {
         --error_depth_;
       }
-      exits.insert(exits.end(), then_exits.begin(), then_exits.end());
+      exits.append(then_exits);
     }
     if (s.else_body != nullptr) {
       if (error_side == -1) {
         ++error_depth_;
       }
-      std::vector<int> else_exits = Lower(*s.else_body, {cond});
+      IntList else_exits = Lower(*s.else_body, {cond});
       if (error_side == -1) {
         --error_depth_;
       }
-      exits.insert(exits.end(), else_exits.begin(), else_exits.end());
+      exits.append(else_exits);
     } else {
       exits.push_back(cond);
     }
@@ -436,9 +523,9 @@ class CfgBuilder {
   }
 
   Cfg cfg_;
-  std::map<std::string, int> labels_;
-  std::vector<std::pair<int, std::string>> pending_gotos_;
-  std::vector<std::vector<int>*> break_sinks_;
+  std::map<Symbol, int> labels_;  // Symbol orders by text; lookup-only anyway
+  std::vector<std::pair<int, Symbol>> pending_gotos_;
+  std::vector<IntList*> break_sinks_;
   std::vector<int> continue_targets_;
   std::vector<int> macro_loops_;
   std::vector<int> any_loops_;
@@ -447,54 +534,6 @@ class CfgBuilder {
 
 Cfg BuildCfg(const FunctionDef& fn) {
   return CfgBuilder(fn).Build();
-}
-
-bool Cfg::EnumeratePaths(const std::function<void(const std::vector<int>&)>& visit,
-                         size_t max_paths, int node_visit_cap) const {
-  std::vector<int> visits(nodes_.size(), 0);
-  std::vector<int> path;
-  size_t produced = 0;
-  bool truncated = false;
-  const size_t length_cap = nodes_.size() * static_cast<size_t>(node_visit_cap) + 2;
-
-  std::function<void(int)> dfs = [&](int node) {
-    if (produced >= max_paths) {
-      truncated = true;
-      return;
-    }
-    if (path.size() > length_cap) {
-      truncated = true;
-      return;
-    }
-    path.push_back(node);
-    ++visits[static_cast<size_t>(node)];
-    if (node == exit_) {
-      visit(path);
-      ++produced;
-    } else {
-      const auto& succs = nodes_[static_cast<size_t>(node)].succs;
-      if (succs.empty()) {
-        // Dead end (should not happen; exit is always linked). Count as a
-        // degenerate path so callers still see the prefix.
-        visit(path);
-        ++produced;
-      }
-      for (int next : succs) {
-        if (visits[static_cast<size_t>(next)] < node_visit_cap) {
-          dfs(next);
-          if (produced >= max_paths) {
-            truncated = true;
-            break;
-          }
-        }
-      }
-    }
-    --visits[static_cast<size_t>(node)];
-    path.pop_back();
-  };
-
-  dfs(entry_);
-  return !truncated;
 }
 
 }  // namespace refscan

@@ -72,8 +72,57 @@ class Cfg {
   // Enumerates entry→exit paths as node-index sequences. Each node may
   // repeat at most `node_visit_cap` times per path; at most `max_paths`
   // paths are produced. Returns false if the cap truncated enumeration.
-  bool EnumeratePaths(const std::function<void(const std::vector<int>&)>& visit,
-                      size_t max_paths = 2048, int node_visit_cap = 2) const;
+  // A template so the per-path visitor inlines: trace extraction invokes
+  // this for every function and the type-erased call per path dominated
+  // the check stage.
+  template <typename Visit>
+  bool EnumeratePaths(const Visit& visit, size_t max_paths = 2048,
+                      int node_visit_cap = 2) const {
+    std::vector<int> visits(nodes_.size(), 0);
+    std::vector<int> path;
+    size_t produced = 0;
+    bool truncated = false;
+    const size_t length_cap = nodes_.size() * static_cast<size_t>(node_visit_cap) + 2;
+
+    const auto dfs = [&](const auto& self, int node) -> void {
+      if (produced >= max_paths) {
+        truncated = true;
+        return;
+      }
+      if (path.size() > length_cap) {
+        truncated = true;
+        return;
+      }
+      path.push_back(node);
+      ++visits[static_cast<size_t>(node)];
+      if (node == exit_) {
+        visit(path);
+        ++produced;
+      } else {
+        const auto& succs = nodes_[static_cast<size_t>(node)].succs;
+        if (succs.empty()) {
+          // Dead end (should not happen; exit is always linked). Count as a
+          // degenerate path so callers still see the prefix.
+          visit(path);
+          ++produced;
+        }
+        for (int next : succs) {
+          if (visits[static_cast<size_t>(next)] < node_visit_cap) {
+            self(self, next);
+            if (produced >= max_paths) {
+              truncated = true;
+              break;
+            }
+          }
+        }
+      }
+      --visits[static_cast<size_t>(node)];
+      path.pop_back();
+    };
+
+    dfs(dfs, entry_);
+    return !truncated;
+  }
 
  private:
   friend class CfgBuilder;

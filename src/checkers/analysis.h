@@ -44,18 +44,23 @@ using AcquisitionAnalysis = std::map<std::string, AcqSite>;
 
 // One immutable cache generation: the option key and the analysis built
 // under it, published together behind a single atomic pointer swap on the
-// FunctionContext. Readers either see a whole generation or none.
+// FunctionContext. Readers either see a whole generation or none. `prev`
+// chains superseded generations so references handed out from older
+// generations stay valid for the lifetime of the FunctionContext (option
+// keys change at most a handful of times per context, so the chain stays
+// tiny).
 struct AcquisitionCache {
   uint64_t key = 0;
   AcquisitionAnalysis analysis;
+  std::shared_ptr<const AcquisitionCache> prev;
 };
 
-// Computes (or returns the cached) analysis for `fc`. The returned pointer
-// shares ownership with the cache generation it came from, so it stays
-// valid even if a racing caller with different options swaps in a newer
-// generation.
-std::shared_ptr<const AcquisitionAnalysis> AnalyzeAcquisitions(const FunctionContext& fc,
-                                                               const ScanOptions& options);
+// Computes (or returns the cached) analysis for `fc`. The returned
+// reference stays valid for the lifetime of `fc`, even if a racing caller
+// with different options swaps in a newer generation (superseded
+// generations are retained on the context).
+const AcquisitionAnalysis& AnalyzeAcquisitions(const FunctionContext& fc,
+                                               const ScanOptions& options);
 
 }  // namespace refscan
 

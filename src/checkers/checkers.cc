@@ -5,12 +5,18 @@
 // aggregates, per acquisition site (inc event), what happened to the object
 // across every enumerated path; the other checkers do focused per-path
 // matching. See engine.h for the public entry points.
+//
+// Paths are enumerated once per function into a flat PathTraceSet
+// (DESIGN.md §5.11) cached on the FunctionContext; every checker and the
+// acquisition analysis walk that shared storage. Object identity checks
+// (ObjectsMatch / RootsMatch) compare interned Symbols — integer compares,
+// with spelling roots memoized by RootSymbol.
 
 #include <atomic>
-#include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 
 #include "src/checkers/engine.h"
 #include "src/checkers/templates.h"
@@ -20,32 +26,59 @@ namespace refscan {
 
 namespace {
 
-struct TraceItem {
-  const SemEvent* ev;
-  int node;
-  size_t path_pos;  // index of `node` within the path
-};
+using TraceItem = PathTraceItem;
 
-// Invokes `fn` once per enumerated path with (path-node-ids, trace).
-void ForEachTrace(const FunctionContext& fc, const ScanOptions& options,
-                  const std::function<void(const std::vector<int>&, const std::vector<TraceItem>&)>& fn) {
+// Builds (or returns the cached) flattened paths+traces for `fc`. The hit
+// path is one lock-free acquire load of the raw generation pointer; the
+// shared_ptr chain on the context only exists to own the generations.
+const PathTraceSet& GetTraces(const FunctionContext& fc, const ScanOptions& options) {
+  const uint64_t key = static_cast<uint64_t>(options.max_paths_per_function);
+  const PathTraceSet* fast =
+      std::atomic_ref<const PathTraceSet*>(fc.trace_fast).load(std::memory_order_acquire);
+  if (fast != nullptr && fast->key == key) {
+    return *fast;
+  }
+  auto fresh = std::make_shared<PathTraceSet>();
+  fresh->key = key;
+  fresh->path_offsets.push_back(0);
+  fresh->item_offsets.push_back(0);
   fc.cfg->EnumeratePaths(
       [&](const std::vector<int>& path) {
-        std::vector<TraceItem> trace;
         for (size_t p = 0; p < path.size(); ++p) {
+          fresh->path_nodes.push_back(path[p]);
           for (const SemEvent& ev : fc.cpg->events(path[p])) {
-            trace.push_back(TraceItem{&ev, path[p], p});
+            fresh->items.push_back(TraceItem{&ev, path[p], static_cast<uint32_t>(p)});
           }
         }
-        fn(path, trace);
+        fresh->path_offsets.push_back(static_cast<uint32_t>(fresh->path_nodes.size()));
+        fresh->item_offsets.push_back(static_cast<uint32_t>(fresh->items.size()));
       },
       options.max_paths_per_function);
+  fresh->prev = std::atomic_load_explicit(&fc.trace_cache, std::memory_order_acquire);
+  std::atomic_store_explicit(&fc.trace_cache,
+                             std::shared_ptr<const PathTraceSet>(fresh),
+                             std::memory_order_release);
+  std::atomic_ref<const PathTraceSet*>(fc.trace_fast)
+      .store(fresh.get(), std::memory_order_release);
+  return *fresh;
+}
+
+// Invokes `fn` once per enumerated path with (path-node-ids, trace).
+template <typename Fn>
+void ForEachTrace(const FunctionContext& fc, const ScanOptions& options, const Fn& fn) {
+  const PathTraceSet& traces = GetTraces(fc, options);
+  for (size_t p = 0; p < traces.paths(); ++p) {
+    fn(std::span<const int>(traces.path_nodes.data() + traces.path_offsets[p],
+                            traces.path_offsets[p + 1] - traces.path_offsets[p]),
+       std::span<const TraceItem>(traces.items.data() + traces.item_offsets[p],
+                                  traces.item_offsets[p + 1] - traces.item_offsets[p]));
+  }
 }
 
 // True if, at a NULL-check of the tracked object (trace[j]), this path takes
 // the branch on which the object is NULL — acquisition effectively failed,
 // so the path holds no reference to release.
-bool PathTakesNullBranch(const FunctionContext& fc, const std::vector<int>& path,
+bool PathTakesNullBranch(const FunctionContext& fc, std::span<const int> path,
                          const TraceItem& item) {
   const CfgNode& cond = fc.cfg->node(item.node);
   if (item.path_pos + 1 >= path.size() || cond.succs.empty()) {
@@ -63,21 +96,22 @@ bool PathTakesNullBranch(const FunctionContext& fc, const std::vector<int>& path
 // Object identity matching. Exact spellings always match; a bare root
 // matches any spelling rooted in it ("serial" vs "serial->kref"), which is
 // how the paper's checkers treat an object and its embedded refcounter.
-bool ObjectsMatch(std::string_view a, std::string_view b) {
+// Three integer compares in the common case; roots are memoized per Symbol.
+bool ObjectsMatch(Symbol a, Symbol b) {
   if (a.empty() || b.empty()) {
     return false;
   }
   if (a == b) {
     return true;
   }
-  const std::string ra = ObjectRootOfSpelling(a);
-  const std::string rb = ObjectRootOfSpelling(b);
+  const Symbol ra = RootSymbol(a);
+  const Symbol rb = RootSymbol(b);
   return ra == rb && !ra.empty() && (a == ra || b == rb);
 }
 
-bool RootsMatch(std::string_view a, std::string_view b) {
-  const std::string ra = ObjectRootOfSpelling(a);
-  return !ra.empty() && ra == ObjectRootOfSpelling(b);
+bool RootsMatch(Symbol a, Symbol b) {
+  const Symbol ra = RootSymbol(a);
+  return !ra.empty() && ra == RootSymbol(b);
 }
 
 bool NodeIsErrorReturn(const Cfg& cfg, int node) {
@@ -97,7 +131,7 @@ std::string AcqKey(const SemEvent& ev) {
 
 AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options) {
   AcqMap sites;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t i = 0; i < trace.size(); ++i) {
       const SemEvent& acq = *trace[i].ev;
       if (acq.op != SemOp::kIncrease || acq.object.empty() || acq.api == nullptr) {
@@ -106,7 +140,7 @@ AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options
       AcqSite& site = sites[AcqKey(acq)];
       site.api = acq.api;
       site.line = acq.line;
-      site.object = acq.object;
+      site.object = acq.object.str();
 
       // An acquired *result* landing directly in escaping storage
       // (`f->np = of_get_parent(...)`) is owned by that storage, not this
@@ -116,7 +150,7 @@ AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options
       bool direct_store = false;
       if (options.model_ownership_transfer && acq.api->returns_object &&
           acq.api->object_param < 0) {
-        const std::string root = ObjectRootOfSpelling(acq.object);
+        const Symbol root = RootSymbol(acq.object);
         if (acq.object != root &&
             (fc.cpg->params().contains(root) || !fc.cpg->locals().contains(root))) {
           direct_store = true;
@@ -160,7 +194,7 @@ AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options
         // `return use(obj)` in an int function is just a use.
         if (options.model_ownership_transfer && ev.op == SemOp::kReturn &&
             ObjectsMatch(ev.aux, acq.object) &&
-            fc.fn->return_type.find('*') != std::string::npos) {
+            fc.fn->return_type.view().find('*') != std::string_view::npos) {
           transferred = true;
           break;
         }
@@ -197,29 +231,35 @@ AcqMap ComputeAcquisitions(const FunctionContext& fc, const ScanOptions& options
 
 }  // namespace
 
-std::shared_ptr<const AcquisitionAnalysis> AnalyzeAcquisitions(const FunctionContext& fc,
-                                                               const ScanOptions& options) {
+const AcquisitionAnalysis& AnalyzeAcquisitions(const FunctionContext& fc,
+                                               const ScanOptions& options) {
   // The cache is valid only for one option configuration; engines construct
   // fresh contexts per scan, so a mismatch only occurs when a caller mixes
   // configurations on one context — recompute in that case. Key and
   // analysis live in one immutable generation swapped atomically, so racing
   // readers with different options never observe a torn key/analysis pair;
-  // the worst case is a redundant recompute, never a wrong result.
+  // the worst case is a redundant recompute, never a wrong result. The hit
+  // path is one lock-free acquire load (see FunctionContext); superseded
+  // generations chain via `prev`, so returned references outlive any swap.
   const uint64_t key = (options.prune_null_branches ? 1u : 0u) |
                        (options.model_ownership_transfer ? 2u : 0u) |
                        (static_cast<uint64_t>(options.max_paths_per_function) << 2);
-  std::shared_ptr<const AcquisitionCache> cached =
-      std::atomic_load_explicit(&fc.acquisition_cache, std::memory_order_acquire);
-  if (cached == nullptr || cached->key != key) {
-    auto fresh = std::make_shared<AcquisitionCache>();
-    fresh->key = key;
-    fresh->analysis = ComputeAcquisitions(fc, options);
-    cached = std::move(fresh);
-    std::atomic_store_explicit(&fc.acquisition_cache, cached, std::memory_order_release);
+  const AcquisitionCache* fast =
+      std::atomic_ref<const AcquisitionCache*>(fc.acquisition_fast)
+          .load(std::memory_order_acquire);
+  if (fast != nullptr && fast->key == key) {
+    return fast->analysis;
   }
-  // Aliasing constructor: the returned pointer keeps the whole generation
-  // alive for as long as the caller holds it.
-  return std::shared_ptr<const AcquisitionAnalysis>(cached, &cached->analysis);
+  auto fresh = std::make_shared<AcquisitionCache>();
+  fresh->key = key;
+  fresh->analysis = ComputeAcquisitions(fc, options);
+  fresh->prev = std::atomic_load_explicit(&fc.acquisition_cache, std::memory_order_acquire);
+  std::atomic_store_explicit(&fc.acquisition_cache,
+                             std::shared_ptr<const AcquisitionCache>(fresh),
+                             std::memory_order_release);
+  std::atomic_ref<const AcquisitionCache*>(fc.acquisition_fast)
+      .store(fresh.get(), std::memory_order_release);
+  return fresh->analysis;
 }
 
 namespace {
@@ -230,7 +270,7 @@ BugReport BaseReport(const UnitContext& uc, const FunctionContext& fc, int patte
   r.anti_pattern = pattern;
   r.impact = impact;
   r.file = uc.unit.path;
-  r.function = fc.fn->name;
+  r.function = fc.fn->name.str();
   r.line = line;
   r.template_path = AntiPatternTemplate(pattern);
   return r;
@@ -242,8 +282,8 @@ BugReport BaseReport(const UnitContext& uc, const FunctionContext& fc, int patte
 
 void CheckReturnError(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                       const ScanOptions& options, std::vector<BugReport>& out) {
-  const auto analysis = AnalyzeAcquisitions(fc, options);
-  for (const auto& [key, site] : *analysis) {
+  const auto& analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : analysis) {
     if (site.api->returns_error && site.unpaired_error_path) {
       BugReport r = BaseReport(uc, fc, 1, Impact::kLeak, site.line);
       r.exit_line = site.error_exit_line;
@@ -261,7 +301,7 @@ void CheckReturnError(const UnitContext& uc, const FunctionContext& fc, const Kn
 void CheckReturnNull(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                      const ScanOptions& options, std::vector<BugReport>& out) {
   std::set<std::string> seen;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t i = 0; i < trace.size(); ++i) {
       const SemEvent& acq = *trace[i].ev;
       if (acq.op != SemOp::kIncrease || acq.api == nullptr || !acq.api->may_return_null ||
@@ -282,7 +322,7 @@ void CheckReturnNull(const UnitContext& uc, const FunctionContext& fc, const Kno
           if (seen.insert(dedup).second) {
             BugReport r = BaseReport(uc, fc, 2, Impact::kNpd, acq.line);
             r.api = acq.api->name;
-            r.object = acq.object;
+            r.object = acq.object.str();
             r.message = StrFormat("%s() may return NULL; '%s' dereferenced at line %u without a check",
                                   acq.api->name.c_str(), acq.object.c_str(), ev.line);
             out.push_back(std::move(r));
@@ -300,7 +340,7 @@ void CheckSmartLoopBreak(const UnitContext& uc, const FunctionContext& fc,
                          const KnowledgeBase& kb, const ScanOptions& options,
                          std::vector<BugReport>& out) {
   std::set<uint32_t> seen;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t p = 0; p < path.size(); ++p) {
       const CfgNode& node = fc.cfg->node(path[p]);
       if (node.macro_loop < 0 || node.stmt == nullptr) {
@@ -308,7 +348,8 @@ void CheckSmartLoopBreak(const UnitContext& uc, const FunctionContext& fc,
       }
       const bool exits_early = node.stmt->kind == Stmt::Kind::kBreak ||
                                node.stmt->kind == Stmt::Kind::kReturn ||
-                               (node.stmt->kind == Stmt::Kind::kGoto && IsErrorLabel(node.stmt->name));
+                               (node.stmt->kind == Stmt::Kind::kGoto &&
+                                IsErrorLabel(node.stmt->name.view()));
       if (!exits_early) {
         continue;
       }
@@ -347,7 +388,7 @@ void CheckSmartLoopBreak(const UnitContext& uc, const FunctionContext& fc,
       if (!released && seen.insert(node.line).second) {
         BugReport r = BaseReport(uc, fc, 3, Impact::kLeak, node.line);
         r.api = head_ev->loop->name;
-        r.object = head_ev->object;
+        r.object = head_ev->object.str();
         r.message = StrFormat(
             "early exit from %s at line %u leaks the iterator '%s' (put the node before leaving)",
             head_ev->loop->name.c_str(), node.line, head_ev->object.c_str());
@@ -363,8 +404,8 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
                     const ScanOptions& options, std::vector<BugReport>& out) {
   // Missing decrease: the developer never pairs the hidden acquisition on
   // any path (§5.2.2 "in any potential execution path").
-  const auto analysis = AnalyzeAcquisitions(fc, options);
-  for (const auto& [key, site] : *analysis) {
+  const auto& analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : analysis) {
     if (site.api->hidden && !site.paired_somewhere && !site.transferred && site.unpaired_path &&
         !site.freed_direct) {
       BugReport r = BaseReport(uc, fc, 4, Impact::kLeak, site.line);
@@ -380,14 +421,14 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
   // does not own (of_find_*(from) decrements `from`; a borrowed parameter
   // needs an of_node_get first). §5.2.2, 16 new bugs in the paper.
   std::set<std::string> seen;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t i = 0; i < trace.size(); ++i) {
       const SemEvent& dec = *trace[i].ev;
       if (dec.op != SemOp::kDecrease || dec.api == nullptr ||
           dec.api->direction != RefDirection::kIncrease || dec.object.empty()) {
         continue;  // only implicit consumption by find-like APIs
       }
-      const std::string root = ObjectRootOfSpelling(dec.object);
+      const Symbol root = RootSymbol(dec.object);
       if (!fc.cpg->params().contains(root)) {
         continue;  // consuming a locally-acquired reference is the normal idiom
       }
@@ -403,7 +444,7 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
         if (seen.insert(dedup).second) {
           BugReport r = BaseReport(uc, fc, 4, Impact::kUaf, dec.line);
           r.api = dec.api->name;
-          r.object = dec.object;
+          r.object = dec.object.str();
           r.message = StrFormat(
               "%s() consumes a reference on borrowed parameter '%s'; missing increase before the call",
               dec.api->name.c_str(), dec.object.c_str());
@@ -418,8 +459,8 @@ void CheckHiddenApi(const UnitContext& uc, const FunctionContext& fc, const Know
 
 void CheckErrorHandle(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                       const ScanOptions& options, std::vector<BugReport>& out) {
-  const auto analysis = AnalyzeAcquisitions(fc, options);
-  for (const auto& [key, site] : *analysis) {
+  const auto& analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : analysis) {
     if (site.api->returns_error) {
       continue;  // P1's territory
     }
@@ -537,10 +578,10 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
       std::string rel_fn;
       for (const DesignatedInit& init : g.inits) {
         if (init.field == acq_field) {
-          acq_fn = init.value;
+          acq_fn = init.value.str();
         }
         if (init.field == rel_field) {
-          rel_fn = init.value;
+          rel_fn = init.value.str();
         }
       }
       if (!acq_fn.empty() && !rel_fn.empty()) {
@@ -550,7 +591,7 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
   }
   // Pair discovery 2: name-paired functions (foo_register/foo_unregister).
   for (const FunctionDef& fn : uc.unit.functions) {
-    const auto words = IdentifierWords(fn.name);
+    const auto words = IdentifierWords(fn.name.view());
     for (size_t w = 0; w < words.size(); ++w) {
       const std::string release = PairedReleaseWord(words[w]);
       if (release.empty()) {
@@ -560,7 +601,7 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
       renamed[w] = release;
       const std::string candidate = Join(renamed, "_");
       if (uc.unit.FindFunction(candidate) != nullptr && candidate != fn.name) {
-        pairs.emplace_back(fn.name, candidate);
+        pairs.emplace_back(fn.name.str(), candidate);
       }
     }
   }
@@ -573,8 +614,8 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
       continue;
     }
     const std::set<std::string> released = DecreaseFamilies(*rel);
-    const auto analysis = AnalyzeAcquisitions(*acq, options);
-    for (const auto& [key, site] : *analysis) {
+    const auto& analysis = AnalyzeAcquisitions(*acq, options);
+    for (const auto& [key, site] : analysis) {
       if (site.paired_somewhere || site.freed_direct) {
         continue;  // locally balanced (or a P7 case)
       }
@@ -607,8 +648,8 @@ void CheckInterUnpaired(const UnitContext& uc, const KnowledgeBase& kb,
 
 void CheckDirectFree(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
                      const ScanOptions& options, std::vector<BugReport>& out) {
-  const auto analysis = AnalyzeAcquisitions(fc, options);
-  for (const auto& [key, site] : *analysis) {
+  const auto& analysis = AnalyzeAcquisitions(fc, options);
+  for (const auto& [key, site] : analysis) {
     if (site.freed_direct) {
       BugReport r = BaseReport(uc, fc, 7, Impact::kLeak, site.free_line);
       r.api = site.api->name;
@@ -627,14 +668,14 @@ void CheckUseAfterDecrease(const UnitContext& uc, const FunctionContext& fc,
                            const KnowledgeBase& kb, const ScanOptions& options,
                            std::vector<BugReport>& out) {
   std::set<std::string> seen;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t i = 0; i < trace.size(); ++i) {
       const SemEvent& dec = *trace[i].ev;
       if (dec.op != SemOp::kDecrease || dec.object.empty() || dec.api == nullptr ||
           dec.api->direction != RefDirection::kDecrease) {
         continue;
       }
-      const std::string root = ObjectRootOfSpelling(dec.object);
+      const Symbol root = RootSymbol(dec.object);
       if (root.empty()) {
         continue;
       }
@@ -652,7 +693,7 @@ void CheckUseAfterDecrease(const UnitContext& uc, const FunctionContext& fc,
           if (seen.insert(dedup).second) {
             BugReport r = BaseReport(uc, fc, 8, Impact::kUaf, dec.line);
             r.api = dec.api->name;
-            r.object = dec.object;
+            r.object = dec.object.str();
             r.message = StrFormat(
                 "'%s' is used at line %u after %s() at line %u may have freed it (UAD)",
                 root.c_str(), ev.line, dec.api->name.c_str(), dec.line);
@@ -671,7 +712,7 @@ void CheckReferenceEscape(const UnitContext& uc, const FunctionContext& fc,
                           const KnowledgeBase& kb, const ScanOptions& options,
                           std::vector<BugReport>& out) {
   std::set<std::string> seen;
-  ForEachTrace(fc, options, [&](const std::vector<int>& path, const std::vector<TraceItem>& trace) {
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
     for (size_t i = 0; i < trace.size(); ++i) {
       const SemEvent& esc = *trace[i].ev;
       if (esc.op != SemOp::kAssign || !esc.escapes || esc.aux.empty()) {
@@ -720,8 +761,8 @@ void CheckReferenceEscape(const UnitContext& uc, const FunctionContext& fc,
       const std::string dedup = StrFormat("%u:%s", esc.line, esc.object.c_str());
       if (seen.insert(dedup).second) {
         BugReport r = BaseReport(uc, fc, 9, Impact::kUaf, esc.line);
-        r.object = esc.object;
-        r.api = esc.aux;
+        r.object = esc.object.str();
+        r.api = esc.aux.str();
         r.message = StrFormat(
             "reference '%s' escapes into '%s' at line %u without an increase, then is dropped",
             esc.aux.c_str(), esc.object.c_str(), esc.line);

@@ -122,6 +122,35 @@ bool ParsePatternList(std::string_view text, std::set<int>& out);
 // nothing wall-clock- or injection-dependent can ever be replayed.
 uint64_t ScanOptionsFingerprint(const ScanOptions& options);
 
+// One semantic event along an enumerated path. `path_pos` is the index of
+// `node` within its own path (see PathTraceSet for the storage layout).
+struct PathTraceItem {
+  const SemEvent* ev;
+  int node;
+  uint32_t path_pos;
+};
+
+// Flat SoA storage of every enumerated CFG path and its semantic trace
+// (DESIGN.md §5.11). Path p's node ids live in
+// path_nodes[path_offsets[p] .. path_offsets[p+1]) and its trace items in
+// items[item_offsets[p] .. item_offsets[p+1]). Built once per function and
+// option key, then shared: the acquisition analysis and checkers
+// P2/P3/P4/P8/P9 used to re-enumerate the CFG's paths independently (~6
+// enumerations per function); now enumeration happens once and every
+// checker walks contiguous arrays.
+struct PathTraceSet {
+  uint64_t key = 0;  // the ScanOptions fields the enumeration depends on
+  std::vector<int> path_nodes;
+  std::vector<uint32_t> path_offsets;  // paths()+1 entries
+  std::vector<PathTraceItem> items;
+  std::vector<uint32_t> item_offsets;  // paths()+1 entries
+  // Chains the generation this one superseded (see FunctionContext): old
+  // generations stay alive for the context's lifetime so checkers can hold
+  // plain references across a racing rebuild.
+  std::shared_ptr<const PathTraceSet> prev;
+  size_t paths() const { return path_offsets.empty() ? 0 : path_offsets.size() - 1; }
+};
+
 // Everything the checkers need about one function.
 struct FunctionContext {
   const TranslationUnit* unit = nullptr;
@@ -134,8 +163,21 @@ struct FunctionContext {
   // cached key and analysis travel in one immutable struct behind a single
   // atomically-swapped pointer, so a reader can never pair a fresh key with
   // a stale analysis (or vice versa) when checkers race on the same
-  // function.
+  // function. Superseded generations are chained via `prev`, never freed
+  // before the context dies.
+  //
+  // The `*_fast` raw pointers duplicate the newest generation for the hit
+  // path: they are read/written through std::atomic_ref, so a cache hit is
+  // one lock-free acquire load instead of a locked shared_ptr atomic_load
+  // (libstdc++ takes a spinlock pool mutex for those, and checkers hit the
+  // cache several times per function).
   mutable std::shared_ptr<const AcquisitionCache> acquisition_cache;
+  mutable const AcquisitionCache* acquisition_fast = nullptr;
+
+  // Lazily-built flattened paths+traces, same generation-swap discipline as
+  // acquisition_cache.
+  mutable std::shared_ptr<const PathTraceSet> trace_cache;
+  mutable const PathTraceSet* trace_fast = nullptr;
 };
 
 // One parsed translation unit plus its function contexts.

@@ -18,14 +18,14 @@ struct PathEvent {
   size_t path_pos;
 };
 
-bool RootsEqual(std::string_view a, std::string_view b) {
-  const std::string ra = ObjectRootOfSpelling(a);
-  return !ra.empty() && ra == ObjectRootOfSpelling(b);
+bool RootsEqual(Symbol a, Symbol b) {
+  const Symbol ra = RootSymbol(a);
+  return !ra.empty() && ra == RootSymbol(b);
 }
 
 // True when `ev` satisfies the (non-negated content of) step `st` under the
 // current p0 binding; binds p0 through `p0` when the step introduces it.
-bool EventMatches(const MatchStep& st, const SemEvent& ev, std::string& p0) {
+bool EventMatches(const MatchStep& st, const SemEvent& ev, Symbol& p0) {
   switch (st.what) {
     case MatchStep::What::kIncrease: {
       if (ev.op != SemOp::kIncrease || ev.api == nullptr) {
@@ -100,7 +100,7 @@ bool EventMatches(const MatchStep& st, const SemEvent& ev, std::string& p0) {
   }
   if (st.wants_p0) {
     // Escaping assignments bind/compare via their source object (aux).
-    const std::string& object =
+    const Symbol object =
         st.what == MatchStep::What::kEscapeAssign && !ev.aux.empty() ? ev.aux : ev.object;
     if (object.empty()) {
       return false;
@@ -244,12 +244,12 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
         }
 
         // Backtracking match over trace indices.
-        std::function<bool(size_t, size_t, std::string, TemplateMatch&)> match =
-            [&](size_t step_idx, size_t trace_idx, std::string p0, TemplateMatch& out) -> bool {
-          auto interval_clean = [&](size_t from, size_t to, std::string& bound) {
+        std::function<bool(size_t, size_t, Symbol, TemplateMatch&)> match =
+            [&](size_t step_idx, size_t trace_idx, Symbol p0, TemplateMatch& out) -> bool {
+          auto interval_clean = [&](size_t from, size_t to, Symbol& bound) {
             for (const MatchStep* neg : positives[step_idx].forbidden_before) {
               for (size_t k = from; k < to && k < trace.size(); ++k) {
-                std::string probe = bound;
+                Symbol probe = bound;
                 MatchStep positive_view = *neg;
                 positive_view.negated = false;
                 if (EventMatches(positive_view, *trace[k].ev, probe) &&
@@ -271,15 +271,15 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
             if (!interval_clean(trace_idx, trace.size(), p0)) {
               return false;
             }
-            out.object = p0;
-            return match(step_idx + 1, trace.size(), std::move(p0), out);
+            out.object = p0.str();
+            return match(step_idx + 1, trace.size(), p0, out);
           }
 
           if (step->what == MatchStep::What::kFunctionStart) {
             if (!interval_clean(0, trace_idx, p0)) {
               return false;
             }
-            return match(step_idx + 1, trace_idx, std::move(p0), out);
+            return match(step_idx + 1, trace_idx, p0, out);
           }
 
           if (step->what == MatchStep::What::kErrorRegion) {
@@ -309,7 +309,7 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
 
           // Ordinary event step: try every candidate position.
           for (size_t k = trace_idx; k < trace.size(); ++k) {
-            std::string bound = p0;
+            Symbol bound = p0;
             if (!EventMatches(*step, *trace[k].ev, bound)) {
               continue;
             }
@@ -326,7 +326,7 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
               }
             }
             attempt.last_line = trace[k].ev->line;
-            attempt.object = bound;
+            attempt.object = bound.str();
             if (match(step_idx + 1, k + 1, bound, attempt)) {
               out = attempt;
               return true;
@@ -336,7 +336,7 @@ std::vector<TemplateMatch> MatchTemplate(const SemanticTemplate& tmpl, const Fun
         };
 
         TemplateMatch out;
-        if (match(0, 0, std::string(), out)) {
+        if (match(0, 0, Symbol(), out)) {
           const std::string key = StrFormat("%u:%s", out.line, out.object.c_str());
           if (seen.insert(key).second) {
             matches.push_back(out);
@@ -381,7 +381,7 @@ std::vector<BugReport> RunTemplateChecker(const SemanticTemplate& tmpl, const So
             r.anti_pattern = 0;  // custom template
             r.impact = Impact::kLeak;
             r.file = uc.unit.path;
-            r.function = fc.fn->name;
+            r.function = fc.fn->name.str();
             r.line = m.line;
             r.exit_line = m.last_line;
             r.object = m.object;

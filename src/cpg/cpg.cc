@@ -1,7 +1,9 @@
 #include "src/cpg/cpg.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <mutex>
 
 namespace refscan {
 
@@ -10,11 +12,11 @@ namespace {
 const Expr* StripTransparent(const Expr* e) {
   while (e != nullptr) {
     if (e->kind == Expr::Kind::kCast && !e->args.empty()) {
-      e = e->args[0].get();
+      e = e->args[0];
       continue;
     }
     if (e->kind == Expr::Kind::kUnary && e->value == "&" && !e->args.empty()) {
-      e = e->args[0].get();
+      e = e->args[0];
       continue;
     }
     break;
@@ -22,55 +24,78 @@ const Expr* StripTransparent(const Expr* e) {
   return e;
 }
 
-}  // namespace
-
-std::string ObjectSpelling(const Expr& expr) {
-  const Expr* e = StripTransparent(&expr);
+// Appends `e`'s spelling to `out`; false when the expression has no stable
+// identity (then `out` is garbage and the caller discards it).
+bool AppendSpelling(const Expr* e, std::string& out) {
+  e = StripTransparent(e);
   if (e == nullptr) {
-    return {};
+    return false;
   }
   switch (e->kind) {
     case Expr::Kind::kIdent:
-      return e->value == "NULL" ? std::string() : e->value;
+      if (e->value == "NULL") {
+        return false;
+      }
+      out.append(e->value.view());
+      return true;
     case Expr::Kind::kMember: {
-      if (e->args.empty() || e->args[0] == nullptr) {
-        return {};
+      if (e->args.empty() || e->args[0] == nullptr ||
+          !AppendSpelling(e->args[0], out)) {
+        return false;
       }
-      const std::string base = ObjectSpelling(*e->args[0]);
-      if (base.empty()) {
-        return {};
-      }
-      return base + (e->arrow ? "->" : ".") + e->value;
+      out.append(e->arrow ? "->" : ".");
+      out.append(e->value.view());
+      return true;
     }
     case Expr::Kind::kUnary:
       if (e->value == "*" && !e->args.empty() && e->args[0] != nullptr) {
-        const std::string base = ObjectSpelling(*e->args[0]);
-        return base.empty() ? std::string() : "*" + base;
+        out.push_back('*');
+        return AppendSpelling(e->args[0], out);
       }
-      return {};
+      return false;
     case Expr::Kind::kIndex: {
-      if (e->args.empty() || e->args[0] == nullptr) {
-        return {};
+      if (e->args.empty() || e->args[0] == nullptr ||
+          !AppendSpelling(e->args[0], out)) {
+        return false;
       }
-      const std::string base = ObjectSpelling(*e->args[0]);
-      return base.empty() ? std::string() : base + "[]";
+      out.append("[]");
+      return true;
     }
     default:
-      return {};
+      return false;
   }
 }
 
-std::string ObjectRoot(const Expr& expr) {
+}  // namespace
+
+Symbol ObjectSpelling(const Expr& expr) {
+  const Expr* e = StripTransparent(&expr);
+  if (e == nullptr) {
+    return Symbol();
+  }
+  if (e->kind == Expr::Kind::kIdent) {
+    // Fast path: the identifier is already interned in the AST.
+    return e->value == "NULL" ? Symbol() : e->value;
+  }
+  thread_local std::string scratch;
+  scratch.clear();
+  if (!AppendSpelling(e, scratch) || scratch.empty()) {
+    return Symbol();
+  }
+  return Intern(scratch);
+}
+
+Symbol ObjectRoot(const Expr& expr) {
   const Expr* e = StripTransparent(&expr);
   while (e != nullptr &&
          (e->kind == Expr::Kind::kMember || e->kind == Expr::Kind::kIndex ||
           (e->kind == Expr::Kind::kUnary && e->value == "*"))) {
-    e = e->args.empty() ? nullptr : StripTransparent(e->args[0].get());
+    e = e->args.empty() ? nullptr : StripTransparent(e->args[0]);
   }
   if (e != nullptr && e->kind == Expr::Kind::kIdent && e->value != "NULL") {
     return e->value;
   }
-  return {};
+  return Symbol();
 }
 
 std::string ObjectRootOfSpelling(std::string_view spelling) {
@@ -88,11 +113,62 @@ std::string ObjectRootOfSpelling(std::string_view spelling) {
 
 namespace {
 
+// spelling-Symbol id -> root-Symbol id + 1 (0 = not yet computed). Same
+// two-level page layout as the interner; pages are allocated on demand and
+// entries are idempotent (every writer computes the same root), so plain
+// relaxed atomics suffice.
+constexpr uint32_t kRootPageBits = 12;
+constexpr uint32_t kRootPageSize = 1u << kRootPageBits;
+constexpr uint32_t kRootMaxPages = 4096;
+
+struct RootPage {
+  std::atomic<uint32_t> roots[kRootPageSize] = {};
+};
+
+std::atomic<RootPage*> g_root_pages[kRootMaxPages] = {};
+std::mutex g_root_page_mu;
+
+}  // namespace
+
+Symbol RootSymbol(Symbol spelling) {
+  const uint32_t id = spelling.id();
+  const uint32_t page_index = id >> kRootPageBits;
+  RootPage* page = g_root_pages[page_index].load(std::memory_order_acquire);
+  if (page == nullptr) {
+    std::lock_guard<std::mutex> lock(g_root_page_mu);
+    page = g_root_pages[page_index].load(std::memory_order_relaxed);
+    if (page == nullptr) {
+      page = new RootPage();
+      g_root_pages[page_index].store(page, std::memory_order_release);
+    }
+  }
+  std::atomic<uint32_t>& slot = page->roots[id & (kRootPageSize - 1)];
+  const uint32_t cached = slot.load(std::memory_order_relaxed);
+  if (cached != 0) {
+    return Symbol(cached - 1);
+  }
+  const std::string_view text = spelling.view();
+  size_t i = 0;
+  while (i < text.size() && text[i] == '*') {
+    ++i;
+  }
+  size_t end = i;
+  while (end < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[end])) != 0 || text[end] == '_')) {
+    ++end;
+  }
+  const Symbol root = Intern(text.substr(i, end - i));
+  slot.store(root.id() + 1, std::memory_order_relaxed);
+  return root;
+}
+
+namespace {
+
 // Walks expressions of one CFG node and emits SemEvents in evaluation order.
 class EventExtractor {
  public:
-  EventExtractor(const KnowledgeBase& kb, const std::set<std::string>& params,
-                 const std::set<std::string>& locals, std::vector<SemEvent>& out)
+  EventExtractor(const KnowledgeBase& kb, const SymbolSet& params,
+                 const SymbolSet& locals, std::vector<SemEvent>& out)
       : kb_(kb), params_(params), locals_(locals), out_(out) {}
 
   // address_taken: the immediately-enclosing operator is '&', so a member
@@ -139,7 +215,7 @@ class EventExtractor {
         return;
       }
       default:
-        for (const ExprPtr& child : e.args) {
+        for (const ExprPtr child : e.args) {
           if (child != nullptr) {
             Visit(*child, line);
           }
@@ -154,7 +230,7 @@ class EventExtractor {
     switch (e.kind) {
       case Expr::Kind::kUnary:
         if (e.value == "!" && !e.args.empty() && e.args[0] != nullptr) {
-          const std::string obj = ObjectSpelling(*e.args[0]);
+          const Symbol obj = ObjectSpelling(*e.args[0]);
           if (!obj.empty()) {
             EmitNullCheck(obj, line, /*true_is_null=*/true);
           }
@@ -167,7 +243,7 @@ class EventExtractor {
         return;
       }
       case Expr::Kind::kMember: {
-        const std::string obj = ObjectSpelling(e);
+        const Symbol obj = ObjectSpelling(e);
         if (!obj.empty()) {
           EmitNullCheck(obj, line, /*true_is_null=*/false);
         }
@@ -181,7 +257,7 @@ class EventExtractor {
                                e.args[1]->value == "NULL") ||
                               (e.args[1]->kind == Expr::Kind::kLiteral && e.args[1]->value == "0");
         if ((e.value == "==" || e.value == "!=") && rhs_null) {
-          const std::string obj = ObjectSpelling(*e.args[0]);
+          const Symbol obj = ObjectSpelling(*e.args[0]);
           if (!obj.empty()) {
             EmitNullCheck(obj, line, /*true_is_null=*/e.value == "==");
           }
@@ -196,7 +272,7 @@ class EventExtractor {
       case Expr::Kind::kAssign:
         // `if ((np = of_find_node(...)))` — the assigned object is checked.
         if (!e.args.empty() && e.args[0] != nullptr) {
-          const std::string obj = ObjectSpelling(*e.args[0]);
+          const Symbol obj = ObjectSpelling(*e.args[0]);
           if (!obj.empty()) {
             EmitNullCheck(obj, line, /*true_is_null=*/false);
           }
@@ -205,10 +281,10 @@ class EventExtractor {
       case Expr::Kind::kCall: {
         // `if (IS_ERR(np))` guards ERR_PTR-returning acquirers the same way
         // a NULL check guards NULL-returning ones.
-        const std::string callee = e.CalleeName();
+        const Symbol callee = e.CalleeName();
         if ((callee == "IS_ERR" || callee == "IS_ERR_OR_NULL") && e.args.size() > 1 &&
             e.args[1] != nullptr) {
-          const std::string obj = ObjectSpelling(*e.args[1]);
+          const Symbol obj = ObjectSpelling(*e.args[1]);
           if (!obj.empty()) {
             EmitNullCheck(obj, line, /*true_is_null=*/true);
           }
@@ -225,24 +301,24 @@ class EventExtractor {
   }
 
  private:
-  void Emit(SemOp op, std::string object, uint32_t line) {
+  void Emit(SemOp op, Symbol object, uint32_t line) {
     if (op == SemOp::kDeref && object.empty()) {
       return;
     }
     SemEvent ev;
     ev.op = op;
-    ev.object = std::move(object);
+    ev.object = object;
     ev.line = line;
-    out_.push_back(std::move(ev));
+    out_.push_back(ev);
   }
 
-  void EmitNullCheck(std::string object, uint32_t line, bool true_is_null) {
+  void EmitNullCheck(Symbol object, uint32_t line, bool true_is_null) {
     SemEvent ev;
     ev.op = SemOp::kNullCheck;
-    ev.object = std::move(object);
+    ev.object = object;
     ev.line = line;
     ev.checks_null_true_branch = true_is_null;
-    out_.push_back(std::move(ev));
+    out_.push_back(ev);
   }
 
   void VisitAssign(const Expr& e, uint32_t line) {
@@ -265,7 +341,7 @@ class EventExtractor {
     // rhs first (evaluation order does not matter for matching).
     Visit(rhs, line);
 
-    const std::string lhs_obj = ObjectSpelling(lhs);
+    const Symbol lhs_obj = ObjectSpelling(lhs);
     SemEvent ev;
     ev.op = SemOp::kAssign;
     ev.object = lhs_obj;
@@ -279,7 +355,7 @@ class EventExtractor {
     }
     ev.line = line;
     ev.escapes = EscapesScope(lhs);
-    out_.push_back(std::move(ev));
+    out_.push_back(ev);
     PatchCallResult();
   }
 
@@ -287,7 +363,7 @@ class EventExtractor {
   // or parameter) or a store through a parameter (out-param / longer-lived
   // object field).
   bool EscapesScope(const Expr& lhs) const {
-    const std::string root = ObjectRoot(lhs);
+    const Symbol root = ObjectRoot(lhs);
     if (root.empty()) {
       return false;
     }
@@ -304,7 +380,7 @@ class EventExtractor {
   }
 
   void VisitCall(const Expr& e, uint32_t line) {
-    const std::string callee = e.CalleeName();
+    const Symbol callee = e.CalleeName();
     const RefApiInfo* api = kb_.FindApi(callee);
 
     // Visit arguments first (derefs inside argument expressions).
@@ -314,24 +390,24 @@ class EventExtractor {
       }
     }
 
-    auto arg_object = [&](int index) -> std::string {
+    auto arg_object = [&](int index) -> Symbol {
       const size_t slot = static_cast<size_t>(index) + 1;
       if (index < 0 || slot >= e.args.size() || e.args[slot] == nullptr) {
-        return {};
+        return Symbol();
       }
       return ObjectSpelling(*e.args[slot]);
     };
 
     if (api != nullptr) {
       if (api->consumed_param >= 0) {
-        const std::string victim = arg_object(api->consumed_param);
+        const Symbol victim = arg_object(api->consumed_param);
         if (!victim.empty()) {
           SemEvent ev;
           ev.op = SemOp::kDecrease;
           ev.object = victim;
           ev.api = api;
           ev.line = line;
-          out_.push_back(std::move(ev));
+          out_.push_back(ev);
         }
       }
       SemEvent ev;
@@ -341,12 +417,12 @@ class EventExtractor {
       if (api->returns_object && api->object_param < 0) {
         // Object is the return value; the enclosing assignment (if any)
         // patches in the lhs spelling.
-        ev.object.clear();
-        out_.push_back(std::move(ev));
+        ev.object = Symbol();
+        out_.push_back(ev);
         unpatched_result_ = static_cast<int>(out_.size()) - 1;
       } else {
         ev.object = arg_object(api->object_param);
-        out_.push_back(std::move(ev));
+        out_.push_back(ev);
       }
       return;
     }
@@ -367,15 +443,18 @@ class EventExtractor {
     // Ownership sinks: the callee stores this argument into longer-lived
     // state, so the caller's reference escapes through the call.
     if (const int sink_param = kb_.FindOwnershipSink(callee); sink_param >= 0) {
-      const std::string victim = arg_object(sink_param);
+      const Symbol victim = arg_object(sink_param);
       if (!victim.empty()) {
+        thread_local std::string scratch;
+        scratch.assign(callee.view());
+        scratch.append("()");
         SemEvent ev;
         ev.op = SemOp::kAssign;
-        ev.object = callee + "()";
+        ev.object = Intern(scratch);
         ev.aux = victim;
         ev.line = line;
         ev.escapes = true;
-        out_.push_back(std::move(ev));
+        out_.push_back(ev);
       }
     }
     if (KnowledgeBase::IsLockFunction(callee)) {
@@ -393,15 +472,15 @@ class EventExtractor {
       out_[static_cast<size_t>(unpatched_result_)].object = pending_call_result_;
     }
     unpatched_result_ = -1;
-    pending_call_result_.clear();
+    pending_call_result_ = Symbol();
   }
 
   const KnowledgeBase& kb_;
-  const std::set<std::string>& params_;
-  const std::set<std::string>& locals_;
+  const SymbolSet& params_;
+  const SymbolSet& locals_;
   std::vector<SemEvent>& out_;
   int unpatched_result_ = -1;
-  std::string pending_call_result_;
+  Symbol pending_call_result_;
 };
 
 }  // namespace
@@ -410,7 +489,8 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
   Cpg cpg;
   cpg.cfg_ = &cfg;
   cpg.kb_ = &kb;
-  cpg.node_events_.resize(cfg.size());
+  cpg.event_offsets_.reserve(cfg.size() + 1);
+  cpg.event_offsets_.push_back(0);
 
   const FunctionDef* fn = cfg.function();
   for (const Param& p : fn->params) {
@@ -426,9 +506,16 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
     });
   }
 
+  // Nodes are processed in index order, appending to the flat array; the
+  // offset for node i is sealed when the loop advances (see the `seal`
+  // labels below — every `continue` path records the end offset).
+  std::vector<SemEvent>& events = cpg.events_;
+  const auto seal = [&cpg] {
+    cpg.event_offsets_.push_back(static_cast<uint32_t>(cpg.events_.size()));
+  };
   for (size_t i = 0; i < cfg.size(); ++i) {
     const CfgNode& node = cfg.node(static_cast<int>(i));
-    std::vector<SemEvent>& events = cpg.node_events_[i];
+    const size_t node_start = events.size();
     EventExtractor extractor(kb, cpg.params_, cpg.locals_, events);
 
     if (node.kind == CfgNode::Kind::kLoopHead && node.expr != nullptr &&
@@ -443,9 +530,10 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
           ev.object = ObjectSpelling(*node.expr->args[slot]);
         }
       }
-      events.push_back(std::move(ev));
+      events.push_back(ev);
       // Also extract ordinary events from the head's other arguments
       // (e.g. a consumed `from` pointer is not modelled for macros).
+      seal();
       continue;
     }
 
@@ -456,11 +544,14 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
         // initializer, patch any returns-object refcount event with the
         // declared name, then record the 𝒜 event.
         extractor.Visit(*node.expr, node.line);
-        // Patch a pending returns-object event (find-like initializer).
-        for (auto it = events.rbegin(); it != events.rend(); ++it) {
-          if ((it->op == SemOp::kIncrease || it->op == SemOp::kDecrease) && it->object.empty() &&
-          it->api != nullptr && it->api->returns_object && it->api->object_param < 0) {
-            it->object = node.stmt->name;
+        // Patch a pending returns-object event (find-like initializer);
+        // only this node's slice of the flat array is a candidate.
+        for (size_t k = events.size(); k > node_start; --k) {
+          SemEvent& cand = events[k - 1];
+          if ((cand.op == SemOp::kIncrease || cand.op == SemOp::kDecrease) &&
+              cand.object.empty() && cand.api != nullptr && cand.api->returns_object &&
+              cand.api->object_param < 0) {
+            cand.object = node.stmt->name;
             break;
           }
         }
@@ -470,14 +561,16 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
         ev.aux = ObjectSpelling(*node.expr);
         ev.line = node.line;
         ev.escapes = false;  // declarations never escape
-        events.push_back(std::move(ev));
+        events.push_back(ev);
       }
+      seal();
       continue;
     }
 
     if (node.kind == CfgNode::Kind::kCondition && node.expr != nullptr) {
       extractor.Visit(*node.expr, node.line);
       extractor.VisitCondition(*node.expr, node.line);
+      seal();
       continue;
     }
 
@@ -497,7 +590,7 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
             node.expr->CalleeName() != "ERR_PTR" && node.expr->CalleeName() != "ERR_CAST") {
           for (size_t a = 1; a < node.expr->args.size(); ++a) {
             if (node.expr->args[a] != nullptr) {
-              const std::string spelling = ObjectSpelling(*node.expr->args[a]);
+              const Symbol spelling = ObjectSpelling(*node.expr->args[a]);
               if (!spelling.empty()) {
                 ev.aux = spelling;
                 break;
@@ -506,13 +599,15 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
           }
         }
       }
-      events.push_back(std::move(ev));
+      events.push_back(ev);
+      seal();
       continue;
     }
 
     if (node.expr != nullptr) {
       extractor.Visit(*node.expr, node.line);
     }
+    seal();
   }
   return cpg;
 }
@@ -520,7 +615,7 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
 std::vector<const SemEvent*> Cpg::EventsAlong(const std::vector<int>& path) const {
   std::vector<const SemEvent*> out;
   for (int node : path) {
-    for (const SemEvent& ev : node_events_[static_cast<size_t>(node)]) {
+    for (const SemEvent& ev : events(node)) {
       out.push_back(&ev);
     }
   }

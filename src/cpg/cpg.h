@@ -7,17 +7,23 @@
 // smartloop heads — each bound to a *symbolic object* (the normalised
 // pointer spelling, e.g. "np" or "crc->dev"). The anti-pattern checkers
 // (src/checkers) match template paths over these event sequences.
+//
+// Object spellings are interned Symbols (DESIGN.md §5.11): event comparison
+// in the checkers is a 32-bit integer compare, and the root of a spelling
+// ("crc" for "crc->dev.node") is memoized per distinct Symbol so template
+// matching never re-parses spelling text on the hot path.
 
 #ifndef REFSCAN_CPG_CPG_H_
 #define REFSCAN_CPG_CPG_H_
 
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/ast/ast.h"
 #include "src/cfg/cfg.h"
 #include "src/kb/kb.h"
+#include "src/support/interner.h"
 
 namespace refscan {
 
@@ -36,8 +42,8 @@ enum class SemOp : uint8_t {
 
 struct SemEvent {
   SemOp op = SemOp::kDeref;
-  std::string object;  // normalised spelling; may be empty when unknown
-  std::string aux;     // kAssign: rhs object spelling
+  Symbol object;  // normalised spelling; empty Symbol when unknown
+  Symbol aux;     // kAssign: rhs object spelling
   uint32_t line = 0;
 
   const RefApiInfo* api = nullptr;        // kIncrease/kDecrease via an API
@@ -47,19 +53,27 @@ struct SemEvent {
 };
 
 // Per-function CPG. Parallel arrays with the Cfg it annotates; the Cfg, the
-// KB and the AST must outlive the Cpg.
+// KB and the AST must outlive the Cpg. Events live in one flat array
+// (DESIGN.md §5.11) — node n's slice is events_[event_offsets_[n] ..
+// event_offsets_[n+1]) — so building a CPG costs two allocations instead of
+// one vector per CFG node, and a path walk reads contiguous memory.
+// SemEvent addresses are stable once BuildCpg returns (checkers cache
+// `const SemEvent*` in their trace sets).
 class Cpg {
  public:
   const Cfg& cfg() const { return *cfg_; }
   const KnowledgeBase& kb() const { return *kb_; }
-  const std::vector<SemEvent>& events(int node) const {
-    return node_events_[static_cast<size_t>(node)];
+  std::span<const SemEvent> events(int node) const {
+    const size_t n = static_cast<size_t>(node);
+    return std::span<const SemEvent>(events_.data() + event_offsets_[n],
+                                     event_offsets_[n + 1] - event_offsets_[n]);
   }
-  size_t size() const { return node_events_.size(); }
+  size_t size() const { return event_offsets_.empty() ? 0 : event_offsets_.size() - 1; }
 
   // Names of this function's parameters / local declarations (escape logic).
-  const std::set<std::string>& params() const { return params_; }
-  const std::set<std::string>& locals() const { return locals_; }
+  // Membership-only sets — see SymbolSet's determinism note.
+  const SymbolSet& params() const { return params_; }
+  const SymbolSet& locals() const { return locals_; }
 
   // Flattened event stream along a CFG path (convenience for checkers).
   std::vector<const SemEvent*> EventsAlong(const std::vector<int>& path) const;
@@ -68,22 +82,30 @@ class Cpg {
   friend Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb);
   const Cfg* cfg_ = nullptr;
   const KnowledgeBase* kb_ = nullptr;
-  std::vector<std::vector<SemEvent>> node_events_;
-  std::set<std::string> params_;
-  std::set<std::string> locals_;
+  std::vector<SemEvent> events_;
+  std::vector<uint32_t> event_offsets_;  // size()+1 entries
+  SymbolSet params_;
+  SymbolSet locals_;
 };
 
 Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb);
 
 // Normalises an expression to its symbolic object spelling: strips casts and
-// address-of, renders identifiers and member chains; returns "" for
-// anything without a stable identity (calls, arithmetic, literals).
-std::string ObjectSpelling(const Expr& expr);
+// address-of, renders identifiers and member chains; returns the empty
+// Symbol for anything without a stable identity (calls, arithmetic,
+// literals). Single identifiers hit a fast path (the AST value is already
+// the Symbol); composite spellings intern once per distinct text.
+Symbol ObjectSpelling(const Expr& expr);
 
 // Root identifier of a member chain ("crc" for "crc->dev.node"), or the
-// identifier itself; "" when not rooted in an identifier.
-std::string ObjectRoot(const Expr& expr);
+// identifier itself; the empty Symbol when not rooted in an identifier.
+Symbol ObjectRoot(const Expr& expr);
 std::string ObjectRootOfSpelling(std::string_view spelling);
+
+// Root of an interned spelling, memoized per Symbol id in a global
+// lock-free page table: after first touch, RootsMatch-style checks cost two
+// loads and an integer compare. RootSymbol(s) == Intern(ObjectRootOfSpelling(s.view())).
+Symbol RootSymbol(Symbol spelling);
 
 }  // namespace refscan
 

@@ -90,7 +90,7 @@ void DumpStmt(const Stmt& stmt, int depth, std::string& out) {
     out += StrFormat(" incr=`%s`", stmt.incr->ToString().c_str());
   }
   out += "\n";
-  for (const Stmt* child : {stmt.body.get(), stmt.else_body.get()}) {
+  for (const Stmt* child : {stmt.body, stmt.else_body}) {
     if (child != nullptr) {
       DumpStmt(*child, depth + 1, out);
     }

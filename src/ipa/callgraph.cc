@@ -104,14 +104,14 @@ CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units) {
   // Nodes: every defined function, first definition of a name wins.
   for (const TranslationUnit* unit : units) {
     for (const FunctionDef& fn : unit->functions) {
-      if (fn.body == nullptr || g.index.contains(fn.name)) {
+      if (fn.body == nullptr || g.index.contains(fn.name.view())) {
         continue;
       }
       CallGraphNode node;
-      node.name = fn.name;
+      node.name = fn.name.str();
       node.fn = &fn;
       node.unit = unit;
-      g.index.emplace(fn.name, static_cast<int>(g.nodes.size()));
+      g.index.emplace(fn.name.str(), static_cast<int>(g.nodes.size()));
       g.nodes.push_back(std::move(node));
     }
   }
@@ -122,9 +122,9 @@ CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units) {
   for (const TranslationUnit* unit : units) {
     for (const GlobalVar& global : unit->globals) {
       for (const DesignatedInit& init : global.inits) {
-        const int target = g.Find(init.value);
+        const int target = g.Find(init.value.view());
         if (target >= 0) {
-          by_field[init.field].insert(target);
+          by_field[init.field.str()].insert(target);
         }
       }
     }
@@ -138,9 +138,9 @@ CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units) {
       if (e.kind != Expr::Kind::kCall || e.args.empty() || e.args[0] == nullptr) {
         return;
       }
-      const std::string callee = e.CalleeName();
+      const Symbol callee = e.CalleeName();
       if (!callee.empty()) {
-        if (const int target = g.Find(callee); target >= 0) {
+        if (const int target = g.Find(callee.view()); target >= 0) {
           direct.insert(target);
         }
         return;
@@ -148,7 +148,7 @@ CallGraph BuildCallGraph(const std::vector<const TranslationUnit*>& units) {
       // Call through a member: `ops->probe(dev)` fans out to every function
       // published under the field name.
       if (e.args[0]->kind == Expr::Kind::kMember) {
-        if (const auto it = by_field.find(e.args[0]->value); it != by_field.end()) {
+        if (const auto it = by_field.find(e.args[0]->value.view()); it != by_field.end()) {
           indirect.insert(it->second.begin(), it->second.end());
         }
       }

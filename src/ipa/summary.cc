@@ -19,8 +19,10 @@ namespace {
 // which the textual discovery pass (literal `return -EINVAL` forms only)
 // can never see.
 struct PathEffect {
-  std::map<std::string, int> delta;                      // root -> net 𝒢-𝒫
-  std::map<std::string, const RefApiInfo*> acquired_by;  // root -> last 𝒢 API
+  // Roots are memoized RootSymbols; std::map<Symbol, ...> orders by text, so
+  // iteration (the global-delta fold) stays interleaving-independent.
+  std::map<Symbol, int> delta;                      // root -> net 𝒢-𝒫
+  std::map<Symbol, const RefApiInfo*> acquired_by;  // root -> last 𝒢 API
   bool is_error = false;
   bool returns_acquired = false;
   const RefApiInfo* return_api = nullptr;  // API whose reference is returned
@@ -36,10 +38,11 @@ void MergeClass(int delta, bool& saw, int& value, bool& consistent) {
   }
 }
 
-void MergePath(const PathEffect& path, FunctionSummary& s) {
+void MergePath(const PathEffect& path, const std::vector<Symbol>& param_syms,
+               FunctionSummary& s) {
   for (size_t i = 0; i < s.params.size(); ++i) {
     ParamSummary& ps = s.params[i];
-    const auto it = path.delta.find(ps.name);
+    const auto it = path.delta.find(param_syms[i]);
     const int d = it == path.delta.end() ? 0 : it->second;
     if (path.is_error) {
       MergeClass(d, ps.saw_error, ps.error_delta, ps.error_consistent);
@@ -59,7 +62,7 @@ void MergePath(const PathEffect& path, FunctionSummary& s) {
     // its parameters down (of_find_*(from) consuming the cursor).
     if (s.consumed_param < 0) {
       for (size_t i = 0; i < s.params.size(); ++i) {
-        const auto it = path.delta.find(s.params[i].name);
+        const auto it = path.delta.find(param_syms[i]);
         if (it != path.delta.end() && it->second <= -1) {
           s.consumed_param = static_cast<int>(i);
           break;
@@ -79,11 +82,14 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
   s.name = node.name;
   s.file = node.unit->path;
   s.line = fn.line;
-  s.returns_pointer = fn.return_type.find('*') != std::string::npos;
+  s.returns_pointer = fn.return_type.view().find('*') != std::string_view::npos;
+  std::vector<Symbol> param_syms;
+  param_syms.reserve(fn.params.size());
   for (const Param& p : fn.params) {
     ParamSummary ps;
-    ps.name = p.name;
+    ps.name = p.name.str();
     s.params.push_back(std::move(ps));
+    param_syms.push_back(p.name);
   }
   if (fn.body == nullptr) {
     return s;
@@ -100,10 +106,10 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
 
   const Cfg cfg = BuildCfg(fn);
   const Cpg cpg = BuildCpg(cfg, kb);
-  std::set<std::string> param_roots;
-  for (const ParamSummary& ps : s.params) {
-    if (!ps.name.empty()) {
-      param_roots.insert(ps.name);
+  SymbolSet param_roots;
+  for (const Symbol p : param_syms) {
+    if (!p.empty()) {
+      param_roots.insert(p);
     }
   }
 
@@ -111,14 +117,14 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
       [&](const std::vector<int>& path_nodes) {
         PathEffect path;
         const CfgNode* last_return = nullptr;
-        std::string returned_object;
+        Symbol returned_object;
         for (const int n : path_nodes) {
           const CfgNode& cn = cfg.node(n);
           if (cn.stmt != nullptr && cn.stmt->kind == Stmt::Kind::kReturn) {
             last_return = &cn;
           }
           for (const SemEvent& ev : cpg.events(n)) {
-            const std::string root = ObjectRootOfSpelling(ev.object);
+            const Symbol root = RootSymbol(ev.object);
             switch (ev.op) {
               case SemOp::kIncrease:
                 if (!root.empty()) {
@@ -133,12 +139,12 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
                 break;
               case SemOp::kDeref:
                 if (param_roots.contains(root)) {
-                  for (ParamSummary& ps : s.params) {
-                    if (ps.name == root) {
-                      ps.derefed = true;
+                  for (size_t p = 0; p < s.params.size(); ++p) {
+                    if (param_syms[p] == root) {
+                      s.params[p].derefed = true;
                       const auto it = path.delta.find(root);
                       if (it != path.delta.end() && it->second < 0) {
-                        ps.deref_after_put = true;
+                        s.params[p].deref_after_put = true;
                       }
                     }
                   }
@@ -146,10 +152,10 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
                 break;
               case SemOp::kAssign:
                 if (ev.escapes) {
-                  const std::string src = ObjectRootOfSpelling(ev.aux);
-                  for (ParamSummary& ps : s.params) {
-                    if (!src.empty() && ps.name == src) {
-                      ps.escapes = true;
+                  const Symbol src = RootSymbol(ev.aux);
+                  for (size_t p = 0; p < s.params.size(); ++p) {
+                    if (!src.empty() && param_syms[p] == src) {
+                      s.params[p].escapes = true;
                     }
                   }
                 }
@@ -178,7 +184,7 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
 
         // Returned reference: a named object holding +1, or the raw result
         // of a returns-object increase API (`return of_find_...();`).
-        const std::string ret_root = ObjectRootOfSpelling(returned_object);
+        const Symbol ret_root = RootSymbol(returned_object);
         if (!ret_root.empty()) {
           const auto it = path.delta.find(ret_root);
           if (it != path.delta.end() && it->second > 0) {
@@ -204,7 +210,7 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
           }
         }
 
-        MergePath(path, s);
+        MergePath(path, param_syms, s);
       },
       max_paths);
   s.truncated = !complete;

@@ -47,7 +47,7 @@ std::vector<DeviationReport> DetectDeviations(const SourceTree& tree, KnowledgeB
       auto base = [&](DeviationKind kind) {
         DeviationReport report;
         report.kind = kind;
-        report.api = fn.name;
+        report.api = fn.name.str();
         report.file = unit.path;
         report.line = fn.line;
         report.hidden = api->hidden;

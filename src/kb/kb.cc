@@ -44,6 +44,12 @@ bool TypeIsPointer(std::string_view type) {
   return type.find('*') != std::string_view::npos;
 }
 
+// Mirrors the identifier-word definition in strings.cc: words are
+// alphanumeric runs, '_' is a separator.
+bool IsNameWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+}
+
 }  // namespace
 
 const std::vector<std::string>& IncreaseKeywords() {
@@ -59,17 +65,54 @@ const std::vector<std::string>& DecreaseKeywords() {
 }
 
 bool NameSoundsLikeRefcounting(std::string_view name) {
-  for (const std::string& w : IncreaseKeywords()) {
-    if (ContainsIdentifierWord(name, w)) {
+  // Equivalent to probing ContainsIdentifierWord once per keyword in
+  // IncreaseKeywords() + DecreaseKeywords() + "refcount", but in a single
+  // pass over the name: split into identifier words once and test each word
+  // against the keyword set, dispatching on (length, first char). Runs for
+  // every candidate function during discovery.
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+  };
+  auto word_is_keyword = [&](const char* p, size_t n) {
+    char w[8];
+    if (n > 8) {
+      return false;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      w[k] = lower(p[k]);
+    }
+    const std::string_view word(w, n);
+    switch (n) {
+      case 3:
+        return word == "get" || word == "inc" || word == "ref" || word == "put" || word == "dec";
+      case 4:
+        return word == "take" || word == "hold" || word == "grab" || word == "drop";
+      case 5:
+        return word == "unref";
+      case 6:
+        return word == "retain" || word == "unhold";
+      case 7:
+        return word == "acquire" || word == "release";
+      case 8:
+        return word == "refcount";
+      default:
+        return false;
+    }
+  };
+  size_t i = 0;
+  while (i < name.size()) {
+    while (i < name.size() && !IsNameWordChar(name[i])) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < name.size() && IsNameWordChar(name[i])) {
+      ++i;
+    }
+    if (i > start && word_is_keyword(name.data() + start, i - start)) {
       return true;
     }
   }
-  for (const std::string& w : DecreaseKeywords()) {
-    if (ContainsIdentifierWord(name, w)) {
-      return true;
-    }
-  }
-  return ContainsIdentifierWord(name, "refcount");
+  return false;
 }
 
 const std::vector<std::pair<std::string, std::string>>& PairedOpsFields() {
@@ -138,6 +181,60 @@ bool KnowledgeBase::IsUnlockFunction(std::string_view name) {
   return false;
 }
 
+namespace {
+
+// Interns a fixed name list once; membership is then a scan of ~a dozen
+// 32-bit ids (the CPG runs these per call expression).
+template <size_t N>
+class SymbolNameSet {
+ public:
+  explicit SymbolNameSet(const std::string_view (&names)[N]) {
+    for (size_t i = 0; i < N; ++i) {
+      ids_[i] = Intern(names[i]).id();
+    }
+  }
+  bool contains(Symbol s) const {
+    for (const uint32_t id : ids_) {
+      if (id == s.id()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  uint32_t ids_[N];
+};
+
+}  // namespace
+
+bool KnowledgeBase::IsFreeFunction(Symbol name) {
+  static constexpr std::string_view kFrees[] = {"kfree",      "vfree",  "kvfree", "kzfree",
+                                                "devm_kfree", "kmem_cache_free"};
+  static const SymbolNameSet kSet(kFrees);
+  return kSet.contains(name);
+}
+
+bool KnowledgeBase::IsLockFunction(Symbol name) {
+  static constexpr std::string_view kLocks[] = {
+      "mutex_lock",         "spin_lock",    "spin_lock_irq", "spin_lock_irqsave",
+      "spin_lock_bh",       "read_lock",    "write_lock",    "down",
+      "down_read",          "down_write",   "raw_spin_lock", "mutex_lock_interruptible",
+  };
+  static const SymbolNameSet kSet(kLocks);
+  return kSet.contains(name);
+}
+
+bool KnowledgeBase::IsUnlockFunction(Symbol name) {
+  static constexpr std::string_view kUnlocks[] = {
+      "mutex_unlock", "spin_unlock", "spin_unlock_irq",  "spin_unlock_irqrestore",
+      "spin_unlock_bh", "read_unlock", "write_unlock",   "up",
+      "up_read",      "up_write",    "raw_spin_unlock",
+  };
+  static const SymbolNameSet kSet(kUnlocks);
+  return kSet.contains(name);
+}
+
 KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
     : apis_(other.apis_),
       smart_loops_(other.smart_loops_),
@@ -162,8 +259,19 @@ KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
 void KnowledgeBase::RebuildApiIndex() {
   api_index_.clear();
   api_index_.reserve(apis_.size());
+  symbol_index_.clear();
+  symbol_index_.reserve(apis_.size());
   for (const auto& [name, info] : apis_) {
     api_index_.emplace(name, &info);
+    symbol_index_.emplace(Intern(name).id(), &info);
+  }
+  sink_index_.clear();
+  for (const auto& [name, param] : ownership_sinks_) {
+    sink_index_.emplace(Intern(name).id(), param);
+  }
+  deref_index_.clear();
+  for (const auto& [name, params] : param_derefs_) {
+    deref_index_.emplace(Intern(name).id(), &params);
   }
 }
 
@@ -171,6 +279,7 @@ RefApiInfo& KnowledgeBase::UpsertApi(RefApiInfo info) {
   const auto [it, inserted] = apis_.insert_or_assign(info.name, std::move(info));
   if (inserted) {
     api_index_.emplace(it->first, &it->second);
+    symbol_index_.emplace(Intern(it->first).id(), &it->second);
   }
   return it->second;
 }
@@ -185,6 +294,19 @@ void KnowledgeBase::AddSmartLoop(SmartLoopInfo info) {
 
 void KnowledgeBase::AddRefcountedStruct(std::string name) {
   refcounted_structs_.insert(std::move(name));
+}
+
+const RefApiInfo* KnowledgeBase::FindApi(Symbol name) const {
+  if (name.empty()) {
+    return nullptr;
+  }
+  const auto it = symbol_index_.find(name.id());
+  if (it != symbol_index_.end()) {
+    return it->second;
+  }
+  // Rare fallback: kernel-internal "__" variants resolve via the text path.
+  const std::string_view text = name.view();
+  return text.starts_with("_") ? FindApi(text) : nullptr;
 }
 
 const RefApiInfo* KnowledgeBase::FindApi(std::string_view name) const {
@@ -334,8 +456,8 @@ KnowledgeBase KnowledgeBase::BuiltIn() {
   // ----- Built-in ownership sinks: registering a release callback hands
   // the reference to the devres machinery (devm_add_action(dev, fn, data)
   // — the data argument, index 2 — will be released by fn at teardown).
-  kb.ownership_sinks_.insert_or_assign("devm_add_action", 2);
-  kb.ownership_sinks_.insert_or_assign("devm_add_action_or_reset", 2);
+  kb.AddOwnershipSink("devm_add_action", 2);
+  kb.AddOwnershipSink("devm_add_action_or_reset", 2);
 
   // ----- Refcounted base structures.
   for (const char* s : {"kref", "kobject", "device", "device_node", "sock", "net_device",
@@ -352,12 +474,12 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
   facts.structs.reserve(unit.structs.size());
   for (const StructDef& def : unit.structs) {
     DiscoveryFacts::Struct s;
-    s.name = def.name;
+    s.name = def.name.str();
     s.fields.reserve(def.fields.size());
     for (const StructField& field : def.fields) {
       DiscoveryFacts::Field f;
-      f.direct_refcounter = IsRefcounterFieldType(field.type, field.name);
-      f.nested_tag = StructTag(field.type);
+      f.direct_refcounter = IsRefcounterFieldType(field.type.view(), field.name.view());
+      f.nested_tag = StructTag(field.type.view());
       s.fields.push_back(std::move(f));
     }
     facts.structs.push_back(std::move(s));
@@ -368,10 +490,10 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
       continue;
     }
     DiscoveryFacts::Function f;
-    f.name = fn.name;
-    f.returns_pointer = TypeIsPointer(fn.return_type);
+    f.name = fn.name.str();
+    f.returns_pointer = TypeIsPointer(fn.return_type.view());
 
-    std::set<std::string> locals;
+    SymbolSet locals;
     ForEachStmt(*fn.body, [&f, &locals](const Stmt& s) {
       if (s.kind == Stmt::Kind::kDecl && !s.name.empty()) {
         locals.insert(s.name);
@@ -388,13 +510,13 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
 
     ForEachExpr(*fn.body, [&](const Expr& e) {
       if (e.kind == Expr::Kind::kCall) {
-        std::string callee = e.CalleeName();
+        const Symbol callee = e.CalleeName();
         // An empty callee (function-pointer call) can never resolve in the
         // KB, so it contributes no event.
         if (!callee.empty()) {
           DiscoveryFacts::RefEvent ev;
           ev.is_call = true;
-          ev.callee = std::move(callee);
+          ev.callee = callee.str();
           if (e.args.size() > 1 && e.args[1] != nullptr &&
               e.args[1]->kind == Expr::Kind::kIdent) {
             for (size_t p = 0; p < fn.params.size(); ++p) {
@@ -408,7 +530,7 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
       }
       if (e.kind == Expr::Kind::kUnary && (e.value == "++" || e.value == "--") &&
           !e.args.empty() && e.args[0] != nullptr && e.args[0]->kind == Expr::Kind::kMember) {
-        const std::string lower = ToLower(e.args[0]->value);
+        const std::string lower = ToLower(e.args[0]->value.view());
         if (lower.find("ref") != std::string::npos || lower.find("count") != std::string::npos) {
           DiscoveryFacts::RefEvent ev;
           ev.increase = e.value == "++";
@@ -433,7 +555,7 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
             const Expr* root = &lhs;
             while (root->kind == Expr::Kind::kMember && !root->args.empty() &&
                    root->args[0] != nullptr) {
-              root = root->args[0].get();
+              root = root->args[0];
             }
             if (root->kind == Expr::Kind::kIdent && !locals.contains(root->value) &&
                 root->value != rhs.value) {
@@ -452,7 +574,14 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
     if (macro.params.empty() || macro.body.find("for") == std::string::npos) {
       continue;
     }
-    facts.macros.push_back({macro.name, macro.params, macro.body});
+    DiscoveryFacts::Macro m;
+    m.name = macro.name.str();
+    m.params.reserve(macro.params.size());
+    for (const Symbol p : macro.params) {
+      m.params.push_back(p.str());
+    }
+    m.body = macro.body;
+    facts.macros.push_back(std::move(m));
   }
   return facts;
 }
@@ -473,8 +602,18 @@ int KnowledgeBase::FindOwnershipSink(std::string_view function_name) const {
   return it == ownership_sinks_.end() ? -1 : it->second;
 }
 
+int KnowledgeBase::FindOwnershipSink(Symbol function_name) const {
+  if (function_name.empty()) {
+    return -1;
+  }
+  const auto it = sink_index_.find(function_name.id());
+  return it == sink_index_.end() ? -1 : it->second;
+}
+
 void KnowledgeBase::AddOwnershipSink(std::string name, int param_index) {
+  const Symbol sym = Intern(name);
   ownership_sinks_.insert_or_assign(std::move(name), param_index);
+  sink_index_.insert_or_assign(sym.id(), param_index);
 }
 
 const std::vector<int>* KnowledgeBase::FindParamDerefs(std::string_view name) const {
@@ -482,8 +621,19 @@ const std::vector<int>* KnowledgeBase::FindParamDerefs(std::string_view name) co
   return it == param_derefs_.end() ? nullptr : &it->second;
 }
 
+const std::vector<int>* KnowledgeBase::FindParamDerefs(Symbol name) const {
+  if (name.empty()) {
+    return nullptr;
+  }
+  const auto it = deref_index_.find(name.id());
+  return it == deref_index_.end() ? nullptr : it->second;
+}
+
 void KnowledgeBase::AddParamDerefs(std::string name, std::vector<int> param_indices) {
-  param_derefs_.insert_or_assign(std::move(name), std::move(param_indices));
+  const Symbol sym = Intern(name);
+  const auto [it, ignored] =
+      param_derefs_.insert_or_assign(std::move(name), std::move(param_indices));
+  deref_index_.insert_or_assign(sym.id(), &it->second);
 }
 
 RefApiInfo* KnowledgeBase::FindApiMutable(std::string_view name) {
@@ -496,7 +646,7 @@ void KnowledgeBase::DiscoverOwnershipSinks(const DiscoveryFacts& facts) {
     if (fn.sink_param < 0 || ownership_sinks_.contains(fn.name)) {
       continue;
     }
-    ownership_sinks_.insert_or_assign(fn.name, fn.sink_param);
+    AddOwnershipSink(fn.name, fn.sink_param);
   }
 }
 
@@ -589,14 +739,32 @@ void KnowledgeBase::DiscoverMacros(const DiscoveryFacts& facts) {
       continue;
     }
     // The macro is a smartloop if its body invokes a refcounting API
-    // (typically an embedded find-like one).
-    std::string embedded;
-    for (const auto& [name, info] : apis_) {
-      if (macro.body.find(name + "(") != std::string::npos) {
-        embedded = name;
-        break;
+    // (typically an embedded find-like one). A matching API name must end
+    // immediately before some '(' in the body, i.e. be a suffix of the
+    // identifier run preceding that paren — so one scan over the body with
+    // hashed suffix probes replaces a substring search per known API, and
+    // taking the lexicographically smallest hit reproduces the sorted-map
+    // iteration order of the old per-API probe exactly.
+    const std::string_view body = macro.body;
+    auto word_char = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+             c == '_';
+    };
+    std::string_view embedded_sv;
+    for (size_t pos = body.find('('); pos != std::string_view::npos;
+         pos = body.find('(', pos + 1)) {
+      size_t start = pos;
+      while (start > 0 && word_char(body[start - 1])) {
+        --start;
+      }
+      for (size_t s = start; s < pos; ++s) {
+        const std::string_view cand = body.substr(s, pos - s);
+        if (api_index_.contains(cand) && (embedded_sv.empty() || cand < embedded_sv)) {
+          embedded_sv = cand;
+        }
       }
     }
+    const std::string embedded(embedded_sv);
     if (embedded.empty()) {
       continue;
     }

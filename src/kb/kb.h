@@ -156,13 +156,23 @@ class KnowledgeBase {
 
   // Lookup ------------------------------------------------------------
   const RefApiInfo* FindApi(std::string_view name) const;
+  // Hot-path variant: one integer hash probe against symbol_index_, with the
+  // same "__"-prefix fallback semantics as the string overload.
+  const RefApiInfo* FindApi(Symbol name) const;
   const SmartLoopInfo* FindSmartLoop(std::string_view name) const;
+  const SmartLoopInfo* FindSmartLoop(Symbol name) const {
+    return FindSmartLoop(name.view());
+  }
   bool IsRefcountedStruct(std::string_view struct_name) const;
 
   // Classification helpers --------------------------------------------
   static bool IsFreeFunction(std::string_view name);    // kfree, vfree, ...
   static bool IsLockFunction(std::string_view name);    // mutex_lock, spin_lock, ...
   static bool IsUnlockFunction(std::string_view name);  // mutex_unlock, ...
+  // Symbol variants compare interned ids — no hashing, no char compares.
+  static bool IsFreeFunction(Symbol name);
+  static bool IsLockFunction(Symbol name);
+  static bool IsUnlockFunction(Symbol name);
 
   // Ownership sinks: functions that store one of their pointer parameters
   // into longer-lived state (a global or another parameter's field).
@@ -170,6 +180,7 @@ class KnowledgeBase {
   // inter-procedural half of escape reasoning (§5.4.2). Returns the 0-based
   // parameter index consumed, or -1.
   int FindOwnershipSink(std::string_view function_name) const;
+  int FindOwnershipSink(Symbol function_name) const;
 
   // Param-deref facts: non-refcounting helpers known to dereference some of
   // their pointer parameters (from interprocedural summaries). Call sites
@@ -177,6 +188,7 @@ class KnowledgeBase {
   // use-after-decrease checkers see derefs hidden inside helpers. Returns
   // null when no fact is registered.
   const std::vector<int>* FindParamDerefs(std::string_view function_name) const;
+  const std::vector<int>* FindParamDerefs(Symbol function_name) const;
 
   // Registration -------------------------------------------------------
   void AddApi(RefApiInfo info);
@@ -226,7 +238,7 @@ class KnowledgeBase {
   void DiscoverMacros(const DiscoveryFacts& facts);
   void DiscoverOwnershipSinks(const DiscoveryFacts& facts);
 
-  // Single mutation point for apis_: keeps api_index_ in sync.
+  // Single mutation point for apis_: keeps api_index_/symbol_index_ in sync.
   RefApiInfo& UpsertApi(RefApiInfo info);
   void RebuildApiIndex();
 
@@ -236,11 +248,16 @@ class KnowledgeBase {
   std::map<std::string, int, std::less<>> ownership_sinks_;
   std::map<std::string, std::vector<int>, std::less<>> param_derefs_;
 
-  // Hash index over apis_ for the hot lookups (FindApi runs per call
-  // expression in discovery replay and CPG construction; the sorted map
-  // stays the source of truth for deterministic iteration). Keys view the
-  // map nodes' keys — address-stable under insert and move.
+  // Hash indexes over the sorted maps for the hot lookups (FindApi & co run
+  // per call expression in discovery replay and CPG construction; the sorted
+  // maps stay the source of truth for deterministic iteration). String keys
+  // view the map nodes' keys — address-stable under insert and move; symbol
+  // keys are interned ids, so the CPG's per-call lookup is one integer hash
+  // probe (DESIGN.md §5.11).
   std::unordered_map<std::string_view, const RefApiInfo*> api_index_;
+  std::unordered_map<uint32_t, const RefApiInfo*> symbol_index_;
+  std::unordered_map<uint32_t, int> sink_index_;
+  std::unordered_map<uint32_t, const std::vector<int>*> deref_index_;
 };
 
 }  // namespace refscan

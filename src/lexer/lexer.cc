@@ -1,65 +1,184 @@
 #include "src/lexer/lexer.h"
 
-#include <cctype>
+#include <array>
 #include <string_view>
-#include <unordered_set>
 
 namespace refscan {
 
 namespace {
 
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+// Table-driven character classes: one L1-resident lookup per character
+// instead of a libc call (std::isalnum goes through the locale machinery,
+// which shows up directly in tokenizer throughput).
+enum CharClass : uint8_t {
+  kCcIdentStart = 1 << 0,  // [A-Za-z_]
+  kCcIdentChar = 1 << 1,   // [A-Za-z0-9_]
+  kCcDigit = 1 << 2,       // [0-9]
+  kCcSpace = 1 << 3,       // space, \t, \v, \f, \r (not \n: handled separately)
+};
+
+constexpr std::array<uint8_t, 256> BuildCharClasses() {
+  std::array<uint8_t, 256> t{};
+  for (int c = 'a'; c <= 'z'; ++c) {
+    t[c] = kCcIdentStart | kCcIdentChar;
+  }
+  for (int c = 'A'; c <= 'Z'; ++c) {
+    t[c] = kCcIdentStart | kCcIdentChar;
+  }
+  t['_'] = kCcIdentStart | kCcIdentChar;
+  for (int c = '0'; c <= '9'; ++c) {
+    t[c] = kCcIdentChar | kCcDigit;
+  }
+  t[' '] = kCcSpace;
+  t['\t'] = kCcSpace;
+  t['\v'] = kCcSpace;
+  t['\f'] = kCcSpace;
+  t['\r'] = kCcSpace;
+  return t;
 }
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+constexpr std::array<uint8_t, 256> kCharClass = BuildCharClasses();
+
+inline bool IsIdentStart(char c) {
+  return (kCharClass[static_cast<unsigned char>(c)] & kCcIdentStart) != 0;
 }
 
-// Multi-character punctuators, longest-match-first per leading character.
-// Only operators that matter for parsing are listed; anything else falls
-// back to a single-character token.
-std::string_view MatchPunct(std::string_view rest) {
-  static constexpr std::string_view kThree[] = {"<<=", ">>=", "..."};
-  static constexpr std::string_view kTwo[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==",
-                                              "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-                                              "&=", "^=", "|=", "##"};
-  for (std::string_view p : kThree) {
-    if (rest.starts_with(p)) {
-      return p;
-    }
+inline bool IsIdentChar(char c) {
+  return (kCharClass[static_cast<unsigned char>(c)] & kCcIdentChar) != 0;
+}
+
+inline bool IsDigit(char c) {
+  return (kCharClass[static_cast<unsigned char>(c)] & kCcDigit) != 0;
+}
+
+// Multi-character punctuators, dispatched on the leading character so each
+// punct costs at most a couple of comparisons.
+size_t PunctLength(std::string_view rest) {
+  const char c = rest[0];
+  const char d = rest.size() > 1 ? rest[1] : '\0';
+  const char e = rest.size() > 2 ? rest[2] : '\0';
+  switch (c) {
+    case '<':
+      if (d == '<') {
+        return e == '=' ? 3 : 2;  // <<= <<
+      }
+      return d == '=' ? 2 : 1;  // <= <
+    case '>':
+      if (d == '>') {
+        return e == '=' ? 3 : 2;  // >>= >>
+      }
+      return d == '=' ? 2 : 1;  // >= >
+    case '.':
+      return (d == '.' && e == '.') ? 3 : 1;  // ... .
+    case '-':
+      return (d == '>' || d == '-' || d == '=') ? 2 : 1;  // -> -- -=
+    case '+':
+      return (d == '+' || d == '=') ? 2 : 1;  // ++ +=
+    case '&':
+      return (d == '&' || d == '=') ? 2 : 1;  // && &=
+    case '|':
+      return (d == '|' || d == '=') ? 2 : 1;  // || |=
+    case '=':
+    case '!':
+    case '*':
+    case '/':
+    case '%':
+    case '^':
+      return d == '=' ? 2 : 1;  // == != *= /= %= ^=
+    case '#':
+      return d == '#' ? 2 : 1;  // ##
+    default:
+      return 1;
   }
-  for (std::string_view p : kTwo) {
-    if (rest.starts_with(p)) {
-      return p;
-    }
+}
+
+// Keyword test dispatched on (length, first char): identifiers dominate the
+// token stream and most fail on the length switch alone, so the common case
+// costs no string comparison at all.
+bool IsKeywordSlow(std::string_view w) {
+  switch (w.size()) {
+    case 2:
+      return w == "if" || w == "do";
+    case 3:
+      return w == "int" || w == "for" || w == "asm";
+    case 4:
+      switch (w[0]) {
+        case 'a': return w == "auto";
+        case 'c': return w == "case" || w == "char";
+        case 'e': return w == "else" || w == "enum";
+        case 'g': return w == "goto";
+        case 'l': return w == "long";
+        case 'v': return w == "void";
+        default: return false;
+      }
+    case 5:
+      switch (w[0]) {
+        case 'b': return w == "break";
+        case 'c': return w == "const";
+        case 'f': return w == "float";
+        case 's': return w == "short";
+        case 'u': return w == "union";
+        case 'w': return w == "while";
+        case '_': return w == "_Bool";
+        default: return false;
+      }
+    case 6:
+      switch (w[0]) {
+        case 'd': return w == "double";
+        case 'e': return w == "extern";
+        case 'i': return w == "inline";
+        case 'r': return w == "return";
+        case 's': return w == "signed" || w == "sizeof" || w == "static" || w == "struct" ||
+                         w == "switch";
+        case 't': return w == "typeof";
+        default: return false;
+      }
+    case 7:
+      switch (w[0]) {
+        case 'd': return w == "default";
+        case 't': return w == "typedef";
+        case '_': return w == "_Atomic";
+        default: return false;
+      }
+    case 8:
+      switch (w[0]) {
+        case 'c': return w == "continue";
+        case 'r': return w == "register" || w == "restrict";
+        case 'u': return w == "unsigned";
+        case 'v': return w == "volatile";
+        case '_': return w == "__asm__" || w == "__inline";
+        default: return false;
+      }
+    case 10:
+      return w == "__typeof__";
+    default:
+      return false;
   }
-  return rest.substr(0, 1);
 }
 
 }  // namespace
 
-bool IsCKeyword(std::string_view word) {
-  static const std::unordered_set<std::string_view> kKeywords = {
-      "auto",     "break",    "case",     "char",   "const",    "continue", "default",
-      "do",       "double",   "else",     "enum",   "extern",   "float",    "for",
-      "goto",     "if",       "inline",   "int",    "long",     "register", "restrict",
-      "return",   "short",    "signed",   "sizeof", "static",   "struct",   "switch",
-      "typedef",  "union",    "unsigned", "void",   "volatile", "while",    "_Bool",
-      "_Atomic",  "__inline", "__asm__",  "asm",    "typeof",   "__typeof__",
-  };
-  return kKeywords.contains(word);
-}
+bool IsCKeyword(std::string_view word) { return IsKeywordSlow(word); }
 
 std::vector<Token> Tokenize(const SourceFile& file) {
   std::vector<Token> tokens;
   const std::string_view text = file.text();
   size_t i = 0;
   const size_t n = text.size();
+  // Identifiers + puncts typically land one token per ~5 bytes of kernel C.
+  tokens.reserve(n / 5 + 8);
   bool at_line_start = true;  // only a line-leading '#' starts a directive
+  uint32_t line = 1;          // tracked incrementally; no per-token search
 
   auto make = [&](TokenKind kind, size_t start, size_t end) {
-    tokens.push_back(Token{kind, text.substr(start, end - start), file.LineAt(start)});
+    tokens.push_back(Token{kind, text.substr(start, end - start), line});
+  };
+  // Counts the newlines inside [start, i) after emitting a multi-line token
+  // (comment, directive, string), so `line` stays in sync.
+  auto advance_lines = [&](size_t start) {
+    for (size_t k = start; k < i; ++k) {
+      line += text[k] == '\n' ? 1 : 0;
+    }
   };
 
   while (i < n) {
@@ -67,11 +186,24 @@ std::vector<Token> Tokenize(const SourceFile& file) {
 
     if (c == '\n') {
       at_line_start = true;
+      ++line;
       ++i;
       continue;
     }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+    if ((kCharClass[static_cast<unsigned char>(c)] & kCcSpace) != 0) {
       ++i;
+      continue;
+    }
+
+    // Identifier / keyword (most common token class — tested first).
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      const std::string_view word = text.substr(start, i - start);
+      make(IsKeywordSlow(word) ? TokenKind::kKeyword : TokenKind::kIdentifier, start, i);
+      at_line_start = false;
       continue;
     }
 
@@ -83,11 +215,13 @@ std::vector<Token> Tokenize(const SourceFile& file) {
       continue;
     }
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t start = i;
       i += 2;
       while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
         ++i;
       }
       i = (i + 1 < n) ? i + 2 : n;
+      advance_lines(start);
       continue;
     }
 
@@ -106,6 +240,7 @@ std::vector<Token> Tokenize(const SourceFile& file) {
         ++i;
       }
       make(TokenKind::kPreproc, start, i);
+      advance_lines(start);
       continue;
     }
     at_line_start = false;
@@ -120,6 +255,7 @@ std::vector<Token> Tokenize(const SourceFile& file) {
         ++i;
       }
       make(TokenKind::kString, start, i);
+      advance_lines(start);
       continue;
     }
 
@@ -133,12 +269,12 @@ std::vector<Token> Tokenize(const SourceFile& file) {
         ++i;
       }
       make(TokenKind::kChar, start, i);
+      advance_lines(start);  // escaped newlines can appear inside the literal
       continue;
     }
 
     // Number: ints, hex, floats, suffixes — consumed loosely as one blob.
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0)) {
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
       const size_t start = i;
       ++i;
       while (i < n) {
@@ -156,24 +292,13 @@ std::vector<Token> Tokenize(const SourceFile& file) {
       continue;
     }
 
-    // Identifier / keyword.
-    if (IsIdentStart(c)) {
-      const size_t start = i;
-      while (i < n && IsIdentChar(text[i])) {
-        ++i;
-      }
-      const std::string_view word = text.substr(start, i - start);
-      make(IsCKeyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier, start, i);
-      continue;
-    }
-
     // Punctuation (or any stray byte).
-    const std::string_view p = MatchPunct(text.substr(i));
-    make(TokenKind::kPunct, i, i + p.size());
-    i += p.size();
+    const size_t len = PunctLength(text.substr(i));
+    make(TokenKind::kPunct, i, i + len);
+    i += len;
   }
 
-  tokens.push_back(Token{TokenKind::kEof, std::string_view(), file.LineAt(n)});
+  tokens.push_back(Token{TokenKind::kEof, std::string_view(), line});
   return tokens;
 }
 

@@ -1,0 +1,53 @@
+#include "src/support/arena.h"
+
+#include <algorithm>
+
+namespace refscan {
+
+namespace {
+constexpr size_t kMaxBlockSize = 256 * 1024;
+}  // namespace
+
+void* Arena::AllocateSlow(size_t size, size_t align) {
+  // Oversized requests get a dedicated block; normal requests grow the
+  // chain geometrically so allocation count stays O(log bytes).
+  size_t block_size = next_block_size_;
+  if (size + align > block_size) {
+    block_size = size + align;
+  } else {
+    next_block_size_ = std::min(next_block_size_ * 2, kMaxBlockSize);
+  }
+  Block block;
+  block.data = std::make_unique<char[]>(block_size);
+  block.size = block_size;
+  ptr_ = block.data.get();
+  end_ = ptr_ + block_size;
+  bytes_reserved_ += block_size;
+  blocks_.push_back(std::move(block));
+
+  char* aligned = AlignUp(ptr_, align);
+  ptr_ = aligned + size;
+  bytes_used_ += size;
+  return aligned;
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    bytes_used_ = 0;
+    return;
+  }
+  // Keep only the largest block; a rescan of a similar unit then bump-fills
+  // it without touching the heap.
+  auto largest = std::max_element(
+      blocks_.begin(), blocks_.end(),
+      [](const Block& a, const Block& b) { return a.size < b.size; });
+  Block keep = std::move(*largest);
+  blocks_.clear();
+  ptr_ = keep.data.get();
+  end_ = ptr_ + keep.size;
+  bytes_reserved_ = keep.size;
+  bytes_used_ = 0;
+  blocks_.push_back(std::move(keep));
+}
+
+}  // namespace refscan

@@ -102,10 +102,29 @@ std::vector<std::string> IdentifierWords(std::string_view text) {
 }
 
 bool ContainsIdentifierWord(std::string_view text, std::string_view word) {
-  const std::string lower_word = ToLower(word);
-  for (const std::string& w : IdentifierWords(text)) {
-    if (w == lower_word) {
-      return true;
+  // Allocation-free equivalent of searching ToLower(word) in
+  // IdentifierWords(text) — this predicate runs for every candidate name
+  // during KB discovery, so the per-call string/vector churn matters.
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+  };
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsWordChar(text[i])) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) {
+      ++i;
+    }
+    if (i - start == word.size()) {
+      bool eq = true;
+      for (size_t k = 0; k < word.size() && eq; ++k) {
+        eq = lower(text[start + k]) == lower(word[k]);
+      }
+      if (eq) {
+        return true;
+      }
     }
   }
   return false;

@@ -39,9 +39,9 @@ TEST(AnalysisTest, SummarisesAcquisitionSites) {
   ASSERT_EQ(built->uc.functions.size(), 1u);
   const FunctionContext& fc = built->uc.functions.front();
 
-  const auto analysis = AnalyzeAcquisitions(fc, ScanOptions{});
-  ASSERT_EQ(analysis->size(), 1u);
-  const AcqSite& site = analysis->begin()->second;
+  const auto& analysis = AnalyzeAcquisitions(fc, ScanOptions{});
+  ASSERT_EQ(analysis.size(), 1u);
+  const AcqSite& site = analysis.begin()->second;
   EXPECT_EQ(site.object, "np");
   EXPECT_EQ(site.api->name, "of_find_node_by_path");
   EXPECT_EQ(site.line, 3u);
@@ -56,9 +56,9 @@ TEST(AnalysisTest, CacheReusedForSameOptions) {
   const auto built = BuildOne(kCode, kb);
   const FunctionContext& fc = built->uc.functions.front();
   const ScanOptions options;
-  const auto first = AnalyzeAcquisitions(fc, options);
-  const auto second = AnalyzeAcquisitions(fc, options);
-  EXPECT_EQ(first.get(), second.get());  // same shared cache generation
+  const auto& first = AnalyzeAcquisitions(fc, options);
+  const auto& second = AnalyzeAcquisitions(fc, options);
+  EXPECT_EQ(&first, &second);  // same shared cache generation
 }
 
 TEST(AnalysisTest, CacheInvalidatedWhenOptionsChange) {
@@ -73,22 +73,22 @@ TEST(AnalysisTest, CacheInvalidatedWhenOptionsChange) {
   const FunctionContext& fc = built->uc.functions.front();
 
   ScanOptions with_transfer;
-  const auto first = AnalyzeAcquisitions(fc, with_transfer);
-  const AcqSite& modelled = first->begin()->second;
+  const auto& first = AnalyzeAcquisitions(fc, with_transfer);
+  const AcqSite& modelled = first.begin()->second;
   EXPECT_TRUE(modelled.transferred);
   EXPECT_FALSE(modelled.unpaired_path);
 
   ScanOptions without_transfer;
   without_transfer.model_ownership_transfer = false;
-  const auto second = AnalyzeAcquisitions(fc, without_transfer);
-  const AcqSite& naive = second->begin()->second;
+  const auto& second = AnalyzeAcquisitions(fc, without_transfer);
+  const AcqSite& naive = second.begin()->second;
   EXPECT_FALSE(naive.transferred);
   EXPECT_TRUE(naive.unpaired_path);
 
-  // The first generation stays valid after the swap: the aliased pointer
-  // shares ownership with the cache generation it came from.
+  // The first generation stays valid after the swap: superseded
+  // generations are chained on the context, not freed.
   EXPECT_TRUE(modelled.transferred);
-  EXPECT_NE(first.get(), second.get());
+  EXPECT_NE(&first, &second);
 }
 
 }  // namespace

@@ -214,7 +214,7 @@ TEST(CfgTest, PathCapTruncates) {
 
 TEST(ClassifyErrorConditionTest, Shapes) {
   auto classify = [](std::string_view text) {
-    const ExprPtr e = ParseExpression(text);
+    const ParsedExpr e = ParseExpression(text);
     return ClassifyErrorCondition(*e);
   };
   EXPECT_EQ(classify("ret < 0"), 1);

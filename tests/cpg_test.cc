@@ -52,7 +52,7 @@ const SemEvent* FindEvent(const Pipeline& p, SemOp op, std::string_view object =
 
 TEST(ObjectSpellingTest, Shapes) {
   auto spell = [](std::string_view text) {
-    const ExprPtr e = ParseExpression(text);
+    const ParsedExpr e = ParseExpression(text);
     return ObjectSpelling(*e);
   };
   EXPECT_EQ(spell("np"), "np");

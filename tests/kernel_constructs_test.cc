@@ -62,7 +62,7 @@ TEST(KernelConstructsTest, Bitfields) {
   // The kref field must still be visible for structure discovery.
   bool has_ref = false;
   for (const StructField& field : unit.structs[0].fields) {
-    has_ref |= field.name == "ref" && field.type.find("kref") != std::string::npos;
+    has_ref |= field.name == "ref" && field.type.view().find("kref") != std::string_view::npos;
   }
   EXPECT_TRUE(has_ref);
 }

@@ -1,0 +1,212 @@
+// Tests for the hot-path memory layer (DESIGN.md §5.11): global string
+// interner determinism under concurrency, and arena reset/reuse semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/support/arena.h"
+#include "src/support/interner.h"
+
+namespace refscan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Interner
+
+TEST(InternerTest, EmptyStringIsSymbolZero) {
+  EXPECT_TRUE(Intern("").empty());
+  EXPECT_EQ(Intern("").id(), 0u);
+  EXPECT_EQ(Symbol().view(), "");
+  EXPECT_STREQ(Symbol().c_str(), "");
+}
+
+TEST(InternerTest, RoundTripAndIdentity) {
+  const Symbol a = Intern("refcount_inc");
+  const Symbol b = Intern("refcount_inc");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.view(), "refcount_inc");
+  EXPECT_STREQ(a.c_str(), "refcount_inc");
+  EXPECT_NE(a, Intern("refcount_dec"));
+}
+
+TEST(InternerTest, FindSymbolDoesNotInsert) {
+  const size_t before = InternedSymbolCount();
+  EXPECT_TRUE(FindSymbol("InternerTest.never_interned_text").empty());
+  EXPECT_EQ(InternedSymbolCount(), before);
+  const Symbol s = Intern("InternerTest.now_interned");
+  EXPECT_EQ(FindSymbol("InternerTest.now_interned"), s);
+}
+
+TEST(InternerTest, SymbolOrderingIsTextOrder) {
+  // operator< must compare text, not ids: intern in reverse-lexical order so
+  // an id-ordered comparison would give the opposite answer.
+  const Symbol z = Intern("InternerTest.order.zz");
+  const Symbol a = Intern("InternerTest.order.aa");
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+}
+
+// The determinism contract (interner.h): one global table, one id per text.
+// Concurrent interning of the same working set from many threads — in
+// per-thread shuffled orders, mimicking `--jobs N` parse workers hitting the
+// same identifiers — must agree on every text -> id mapping and must create
+// each symbol exactly once.
+TEST(InternerTest, ConcurrentInternIsDeterministicAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 500;
+
+  std::vector<std::string> words;
+  words.reserve(kStrings);
+  for (int i = 0; i < kStrings; ++i) {
+    words.push_back("InternerTest.concurrent." + std::to_string(i));
+  }
+
+  const size_t count_before = InternedSymbolCount();
+  std::vector<std::map<std::string, uint32_t>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &words, &per_thread] {
+      // Each thread walks the word list at a different stride (coprime with
+      // kStrings, so every word is visited) — the first-toucher of any given
+      // word then varies across threads.
+      constexpr int kStrides[kThreads] = {1, 3, 7, 9, 11, 13, 17, 19};
+      const int stride = kStrides[t];
+      for (int i = 0; i < kStrings; ++i) {
+        const std::string& w = words[static_cast<size_t>((i * stride) % kStrings)];
+        per_thread[static_cast<size_t>(t)][w] = Intern(w).id();
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  // Exactly kStrings fresh symbols, no duplicates from racing first-touches.
+  EXPECT_EQ(InternedSymbolCount(), count_before + kStrings);
+  // Every thread observed the identical text -> id table.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[0], per_thread[static_cast<size_t>(t)]) << "thread " << t;
+  }
+  // And a serial re-intern agrees with the concurrent result.
+  for (const auto& [text, id] : per_thread[0]) {
+    EXPECT_EQ(Intern(text).id(), id);
+    EXPECT_EQ(Symbol(id).view(), text);
+  }
+}
+
+TEST(SymbolSetTest, MembershipOnly) {
+  SymbolSet set;
+  EXPECT_TRUE(set.empty());
+  set.insert(Intern("np"));
+  set.insert(Intern("dev"));
+  set.insert(Intern("np"));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Intern("np")));
+  EXPECT_TRUE(set.contains("dev"));
+  EXPECT_FALSE(set.contains("SymbolSetTest.absent"));
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+
+TEST(ArenaTest, AddressesStableAcrossGrowth) {
+  Arena arena;
+  std::vector<int*> ptrs;
+  // Enough to force several block growths past the initial 8KB block.
+  for (int i = 0; i < 100000; ++i) {
+    ptrs.push_back(arena.New<int>(i));
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ArenaTest, AllocateRespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1, 1);  // misalign the bump pointer
+  void* p8 = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  arena.Allocate(3, 1);
+  void* p64 = arena.Allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(ArenaTest, CopyStringIsNulTerminated) {
+  Arena arena;
+  const std::string_view copy = arena.CopyString("kobject_get");
+  EXPECT_EQ(copy, "kobject_get");
+  EXPECT_EQ(copy.data()[copy.size()], '\0');
+  // Not a view of the input: the arena owns its bytes.
+  const std::string src = "transient";
+  const std::string_view owned = arena.CopyString(src);
+  EXPECT_NE(owned.data(), src.data());
+  EXPECT_EQ(owned, "transient");
+}
+
+TEST(ArenaTest, ResetReusesLargestBlock) {
+  Arena arena;
+  for (int i = 0; i < 50000; ++i) {
+    arena.New<uint64_t>(static_cast<uint64_t>(i));
+  }
+  const size_t used_before = arena.bytes_used();
+  EXPECT_GT(used_before, 0u);
+  EXPECT_GT(arena.block_count(), 1u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Reset keeps exactly the largest block for reuse.
+  EXPECT_EQ(arena.block_count(), 1u);
+  const size_t reserved_after_reset = arena.bytes_reserved();
+  EXPECT_GT(reserved_after_reset, 0u);
+
+  // A same-shaped unit re-parsed into the reset arena must fit in the kept
+  // block's capacity without growing the chain (the steady-state rescan
+  // allocates zero fresh blocks until it outgrows the previous peak).
+  const size_t fits = reserved_after_reset / sizeof(uint64_t);
+  for (size_t i = 0; i < fits; ++i) {
+    arena.New<uint64_t>(i);
+  }
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_reset);
+}
+
+TEST(ArenaTest, ResetThenOutgrowAllocatesFreshBlock) {
+  Arena arena;
+  arena.Allocate(16, 8);
+  arena.Reset();
+  const size_t reserved = arena.bytes_reserved();
+  // Exceed the kept block: the chain must grow, previous contents untouched.
+  arena.Allocate(reserved + 1024, 8);
+  EXPECT_GT(arena.block_count(), 1u);
+  EXPECT_GT(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaVecTest, GrowsLikeVector) {
+  Arena arena;
+  ArenaVec<int> vec;
+  EXPECT_TRUE(vec.empty());
+  for (int i = 0; i < 1000; ++i) {
+    vec.push_back(i, arena);
+  }
+  ASSERT_EQ(vec.size(), 1000u);
+  EXPECT_EQ(vec.front(), 0);
+  EXPECT_EQ(vec.back(), 999);
+  int expect = 0;
+  for (const int v : vec) {
+    EXPECT_EQ(v, expect++);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(vec[static_cast<size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace refscan
