@@ -70,6 +70,48 @@ int main() {
   }
   std::printf("%s\n", ablation.Render().c_str());
 
+  // ---- New-family axis (DESIGN.md §5.12): the same single-checker sweep
+  // for P10-P12 over the corpus grown with the new-family modules, dialect
+  // catalogues applied. Measured separately so the P1-P9 table above stays
+  // pinned to the paper's corpus.
+  {
+    CorpusOptions extended_options;
+    extended_options.new_family_modules = true;
+    const Corpus extended = GenerateKernelCorpus(extended_options);
+    std::map<int, int> planted_new;
+    for (const PlantedBug& bug : extended.ground_truth) {
+      if (bug.anti_pattern >= 10) {
+        planted_new[bug.anti_pattern]++;
+      }
+    }
+    Table newfam("New-family ablation (P10-P12, extended corpus, --dialect glib,uacpi)");
+    newfam.Header({"Checker", "Planted", "Detected", "Recall", "Extra reports"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    for (int p = 10; p <= 12; ++p) {
+      ScanOptions options;
+      options.enabled_patterns = {p};
+      options.dialects = {"glib", "uacpi"};
+      CheckerEngine single(KnowledgeBase::BuiltIn(), options);
+      const ScanResult result = single.Scan(extended.tree);
+      int detected = 0;
+      int extra = 0;
+      for (const BugReport& r : result.reports) {
+        const PlantedBug* bug = extended.FindBug(r.file, r.function);
+        if (bug != nullptr && bug->anti_pattern == p) {
+          ++detected;
+        } else if (bug == nullptr && !extended.IsPlantedFp(r.file, r.function)) {
+          ++extra;
+        }
+      }
+      const int planted = planted_new[p];
+      newfam.Row({StrFormat("P%d %s", p, std::string(AntiPatternName(p)).c_str()),
+                  StrFormat("%d", planted), StrFormat("%d", detected),
+                  planted > 0 ? Pct(static_cast<double>(detected) / planted) : "-",
+                  StrFormat("%d", extra)});
+    }
+    std::printf("%s\n", newfam.Render().c_str());
+  }
+
   // ---- Design-choice ablation: disable one precision feature at a time
   // and measure the damage (the checkers' precision comes from exactly
   // these two pieces of reasoning).

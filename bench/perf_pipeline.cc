@@ -138,6 +138,30 @@ void BM_FullTreeScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTreeScan)->Unit(benchmark::kMillisecond);
 
+// BM_FullTreeScan with the P10-P12 extension families and both userspace
+// dialect catalogues enabled, over the corpus grown with the new-family
+// modules (DESIGN.md §5.12). Compare against BM_FullTreeScan for the
+// marginal cost of the three extra checkers + dialect KB seeding — the new
+// checkers are single-pass over events/traces, so the delta should track
+// the ~1% corpus growth, not multiply it.
+void BM_FullTreeScanAllFamilies(benchmark::State& state) {
+  static const Corpus* corpus = [] {
+    CorpusOptions options;
+    options.new_family_modules = true;
+    return new Corpus(GenerateKernelCorpus(options));
+  }();
+  ScanOptions options;
+  options.enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  options.dialects = {"glib", "uacpi"};
+  for (auto _ : state) {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+}
+BENCHMARK(BM_FullTreeScanAllFamilies)->Unit(benchmark::kMillisecond);
+
 // BM_FullTreeScan with a telemetry session armed (DESIGN.md §5.10): every
 // stage/file span records and the metrics registry counts. The overhead
 // budget is "within noise disarmed" (BM_FullTreeScan is the disarmed

@@ -13,9 +13,10 @@
 # in the output JSON (context.library_build_type) and verified below; a
 # non-release binary is refused unless REFSCAN_BENCH_ALLOW_DEBUG=1.
 #
-# Covered benchmarks: the cold full-tree scan (BM_FullTreeScan and its
-# threaded variant), the warm incremental rescan at 0/1/10 percent change
-# rates (BM_IncrementalRescan), the parallel on-disk tree load
+# Covered benchmarks: the cold full-tree scan (BM_FullTreeScan, its
+# threaded variant, and BM_FullTreeScanAllFamilies — the P10-P12 + dialect
+# configuration of DESIGN.md §5.12), the warm incremental rescan at 0/1/10
+# percent change rates (BM_IncrementalRescan), the parallel on-disk tree load
 # (BM_ParallelTreeLoad), and the memory-layer micro-benches
 # (BM_InternerLookup, BM_KbFindApi — DESIGN.md §5.11). The speedup of
 # BM_IncrementalRescan/0 over BM_FullTreeScan is the cache's headline
@@ -39,7 +40,7 @@ if [ ! -x "$PERF_BIN" ]; then
 fi
 
 "$PERF_BIN" \
-  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ParallelTreeLoad|BM_InternerLookup|BM_KbFindApi' \
+  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanAllFamilies|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ParallelTreeLoad|BM_InternerLookup|BM_KbFindApi' \
   --benchmark_out="$OUT_JSON" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1

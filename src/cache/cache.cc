@@ -21,8 +21,10 @@ namespace {
 // as misses and get rewritten. v2: AST identifier fields are interned
 // Symbols — serialized as their text (ids are interleaving-dependent and
 // never touch disk) and re-interned on load; units deserialize into a fresh
-// per-unit Arena.
-constexpr uint32_t kFormatVersion = 2;
+// per-unit Arena. v3: DiscoveryFacts::Field carries the field name, RefApiInfo
+// carries tests_zero, and the KB snapshot/fingerprint cover the refcount-field
+// and dialect-free-function registries (P10-P12, DESIGN.md §5.12).
+constexpr uint32_t kFormatVersion = 3;
 constexpr char kMagic[4] = {'R', 'F', 'S', 'C'};
 
 constexpr uint8_t kKindFacts = 1;
@@ -47,6 +49,7 @@ void WriteFacts(ByteWriter& w, const DiscoveryFacts& facts) {
     for (const DiscoveryFacts::Field& f : s.fields) {
       w.Bool(f.direct_refcounter);
       w.Str(f.nested_tag);
+      w.Str(f.name);
     }
   }
   w.U32(static_cast<uint32_t>(facts.functions.size()));
@@ -88,6 +91,7 @@ DiscoveryFacts ReadFacts(ByteReader& r) {
       DiscoveryFacts::Field f;
       f.direct_refcounter = r.Bool();
       f.nested_tag = r.Str();
+      f.name = r.Str();
       s.fields.push_back(std::move(f));
     }
     facts.structs.push_back(std::move(s));
@@ -425,6 +429,7 @@ uint64_t FingerprintKnowledgeBase(const KnowledgeBase& kb) {
     w.I32(api.object_param);
     w.I32(api.consumed_param);
     w.Bool(api.hidden);
+    w.Bool(api.tests_zero);
     w.Bool(api.discovered);
   }
   for (const auto& [name, loop] : kb.smart_loops()) {
@@ -445,6 +450,12 @@ uint64_t FingerprintKnowledgeBase(const KnowledgeBase& kb) {
     for (const int p : params) {
       w.I32(p);
     }
+  }
+  for (const std::string& f : kb.refcount_fields()) {
+    w.Str(f);
+  }
+  for (const std::string& f : kb.extra_free_functions()) {
+    w.Str(f);
   }
   return HashBytes(w.bytes());
 }
@@ -513,6 +524,7 @@ std::string SerializeKb(const KnowledgeBase& kb) {
     w.I32(api.object_param);
     w.I32(api.consumed_param);
     w.Bool(api.hidden);
+    w.Bool(api.tests_zero);
     w.Bool(api.discovered);
   }
   w.U32(static_cast<uint32_t>(kb.smart_loops().size()));
@@ -538,6 +550,14 @@ std::string SerializeKb(const KnowledgeBase& kb) {
       w.I32(p);
     }
   }
+  w.U32(static_cast<uint32_t>(kb.refcount_fields().size()));
+  for (const std::string& f : kb.refcount_fields()) {
+    w.Str(f);
+  }
+  w.U32(static_cast<uint32_t>(kb.extra_free_functions().size()));
+  for (const std::string& f : kb.extra_free_functions()) {
+    w.Str(f);
+  }
   return w.TakeBytes();
 }
 
@@ -556,6 +576,7 @@ std::optional<KnowledgeBase> DeserializeKb(std::string_view bytes) {
     api.object_param = r.I32();
     api.consumed_param = r.I32();
     api.hidden = r.Bool();
+    api.tests_zero = r.Bool();
     api.discovered = r.Bool();
     kb.AddApi(std::move(api));
   }
@@ -587,6 +608,14 @@ std::optional<KnowledgeBase> DeserializeKb(std::string_view bytes) {
       params.push_back(r.I32());
     }
     kb.AddParamDerefs(std::move(name), std::move(params));
+  }
+  const uint32_t field_count = r.Count();
+  for (uint32_t i = 0; i < field_count && r.ok(); ++i) {
+    kb.AddRefcountField(r.Str());
+  }
+  const uint32_t free_count = r.Count();
+  for (uint32_t i = 0; i < free_count && r.ok(); ++i) {
+    kb.AddFreeFunction(r.Str());
   }
   if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;

@@ -1,4 +1,6 @@
-// The nine anti-pattern checkers (paper §5 / §6.1).
+// The twelve anti-pattern checkers (paper §5 / §6.1, plus the P10–P12
+// extensions: raw refcount manipulation, test-and-free misuse, and refcount
+// resets — see DESIGN.md §5.12).
 //
 // All checkers work on "traces": the ordered semantic events along one
 // enumerated CFG path. P1/P4/P5/P7 share an acquisition analysis that
@@ -675,6 +677,11 @@ void CheckUseAfterDecrease(const UnitContext& uc, const FunctionContext& fc,
           dec.api->direction != RefDirection::kDecrease) {
         continue;
       }
+      if (dec.api->tests_zero) {
+        continue;  // dec_and_test semantics are P11's territory: whether the
+                   // object died depends on the tested result, which this
+                   // checker does not model
+      }
       const Symbol root = RootSymbol(dec.object);
       if (root.empty()) {
         continue;
@@ -770,6 +777,147 @@ void CheckReferenceEscape(const UnitContext& uc, const FunctionContext& fc,
       }
     }
   });
+}
+
+// ------------------------------------------------------------------ P10
+
+void CheckRawManipulation(const UnitContext& uc, const FunctionContext& fc,
+                          const KnowledgeBase& kb, const ScanOptions& options,
+                          std::vector<BugReport>& out) {
+  // No path sensitivity needed: any ++/--/+=/-= on a field the KB knows to
+  // be a refcounter bypasses the checked API on every path — refcount_t
+  // saturation (and uACPI's BUGGED_REFCOUNT pinning) only protects counters
+  // that go through the accessor functions.
+  std::set<std::string> seen;
+  for (size_t n = 0; n < fc.cpg->size(); ++n) {
+    for (const SemEvent& ev : fc.cpg->events(static_cast<int>(n))) {
+      if ((ev.op != SemOp::kRawInc && ev.op != SemOp::kRawDec) || ev.object.empty()) {
+        continue;
+      }
+      const std::string dedup = StrFormat("%u:%s", ev.line, ev.object.c_str());
+      if (!seen.insert(dedup).second) {
+        continue;
+      }
+      BugReport r = BaseReport(uc, fc, 10, Impact::kUaf, ev.line);
+      r.object = ev.object.str();
+      r.message = StrFormat(
+          "raw %s of refcount field '%s' bypasses the checked API; saturation and "
+          "overflow protection are lost",
+          ev.op == SemOp::kRawInc ? "increment" : "decrement", ev.object.c_str());
+      out.push_back(std::move(r));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ P11
+
+void CheckTestAndFree(const UnitContext& uc, const FunctionContext& fc, const KnowledgeBase& kb,
+                      const ScanOptions& options, std::vector<BugReport>& out) {
+  std::set<std::string> seen;
+  ForEachTrace(fc, options, [&](std::span<const int> path, std::span<const TraceItem> trace) {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const SemEvent& dec = *trace[i].ev;
+      if (dec.op != SemOp::kDecrease || dec.api == nullptr || !dec.api->tests_zero ||
+          dec.object.empty()) {
+        continue;
+      }
+      const Symbol root = RootSymbol(dec.object);
+      if (root.empty()) {
+        continue;
+      }
+      if (!dec.result_tested) {
+        // Ignored result: the one signal that the last reference dropped is
+        // discarded, so no path runs the free — the object leaks forever.
+        const std::string dedup = StrFormat("ig:%u:%s", dec.line, root.c_str());
+        if (seen.insert(dedup).second) {
+          BugReport r = BaseReport(uc, fc, 11, Impact::kLeak, dec.line);
+          r.api = dec.api->name;
+          r.object = dec.object.str();
+          r.message = StrFormat(
+              "%s() result ignored at line %u: when the last reference drops, nothing frees '%s'",
+              dec.api->name.c_str(), dec.line, root.c_str());
+          out.push_back(std::move(r));
+        }
+        continue;
+      }
+      // Result tested: find the free the true branch runs. Only a free of
+      // the object itself counts (exact root match) — `kfree(o->name)`
+      // inside a destructor is releasing a member, not the object.
+      size_t free_pos = 0;
+      bool freed = false;
+      for (size_t j = i + 1; j < trace.size(); ++j) {
+        const SemEvent& ev = *trace[j].ev;
+        if ((ev.op == SemOp::kIncrease || ev.op == SemOp::kAssign) &&
+            RootsMatch(ev.object, dec.object)) {
+          break;  // re-acquired or re-bound before any free
+        }
+        if (ev.op == SemOp::kFree && ev.object == root) {
+          free_pos = j;
+          freed = true;
+          break;
+        }
+      }
+      if (!freed) {
+        continue;
+      }
+      // Anything touching the object after that free on the same path is a
+      // use-after-free (or a double free).
+      for (size_t j = free_pos + 1; j < trace.size(); ++j) {
+        const SemEvent& ev = *trace[j].ev;
+        if (ev.op == SemOp::kAssign && RootsMatch(ev.object, dec.object)) {
+          break;  // re-bound to a fresh object
+        }
+        const bool refree = ev.op == SemOp::kFree && ev.object == root;
+        const bool uses = (ev.op == SemOp::kDeref || ev.op == SemOp::kLock ||
+                           ev.op == SemOp::kUnlock) &&
+                          RootsMatch(ev.object, dec.object);
+        if (refree || uses) {
+          const std::string dedup = StrFormat("tf:%u:%u:%s", dec.line, ev.line, root.c_str());
+          if (seen.insert(dedup).second) {
+            BugReport r = BaseReport(uc, fc, 11, Impact::kUaf, dec.line);
+            r.api = dec.api->name;
+            r.object = dec.object.str();
+            r.message = StrFormat(
+                "'%s' is %s at line %u after the %s() true branch already freed it at line %u",
+                root.c_str(), refree ? "freed again" : "used", ev.line, dec.api->name.c_str(),
+                trace[free_pos].ev->line);
+            out.push_back(std::move(r));
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------------ P12
+
+void CheckRefcountReset(const UnitContext& uc, const FunctionContext& fc,
+                        const KnowledgeBase& kb, const ScanOptions& options,
+                        std::vector<BugReport>& out) {
+  // A literal-zero store into a live refcount field erases every reference
+  // the counter was tracking (and un-sticks a saturated refcount_t, undoing
+  // the overflow defence). `obj->refs = 1` is the accepted construction
+  // idiom and is left alone (raw_set_nonzero).
+  std::set<std::string> seen;
+  for (size_t n = 0; n < fc.cpg->size(); ++n) {
+    for (const SemEvent& ev : fc.cpg->events(static_cast<int>(n))) {
+      if (ev.op != SemOp::kRawSet || ev.raw_set_nonzero || ev.object.empty()) {
+        continue;
+      }
+      const std::string dedup = StrFormat("%u:%s", ev.line, ev.object.c_str());
+      if (!seen.insert(dedup).second) {
+        continue;
+      }
+      BugReport r = BaseReport(uc, fc, 12, Impact::kUaf, ev.line);
+      r.object = ev.object.str();
+      r.message = StrFormat(
+          "refcount field '%s' is reset to 0 at line %u; outstanding references are orphaned "
+          "and the next put underflows",
+          ev.object.c_str(), ev.line);
+      out.push_back(std::move(r));
+    }
+  }
 }
 
 }  // namespace refscan

@@ -64,7 +64,14 @@ UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,
 }
 
 CheckerEngine::CheckerEngine(KnowledgeBase kb, ScanOptions options)
-    : kb_(std::move(kb)), options_(std::move(options)) {}
+    : kb_(std::move(kb)), options_(std::move(options)) {
+  // Dialect catalogues merge into the seed KB before any discovery runs, so
+  // discovered wrappers classify against them exactly like builtin APIs.
+  // Unknown names were rejected at the CLI; here they are simply inert.
+  for (const std::string& dialect : options_.dialects) {
+    ApplyDialect(kb_, dialect);
+  }
+}
 
 namespace {
 
@@ -108,6 +115,15 @@ FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const Knowl
     }
     if (enabled.contains(9)) {
       CheckReferenceEscape(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(10)) {
+      CheckRawManipulation(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(11)) {
+      CheckTestAndFree(uc, fc, kb, options, shard.raw);
+    }
+    if (enabled.contains(12)) {
+      CheckRefcountReset(uc, fc, kb, options, shard.raw);
     }
   }
   if (enabled.contains(6)) {
@@ -648,6 +664,12 @@ uint64_t ScanOptionsFingerprint(const ScanOptions& options) {
   w.U64(options.max_file_bytes);
   w.U64(options.max_ast_nodes);
   w.I32(options.max_ast_depth);
+  // Dialects seed the KB before discovery, so two scans with different
+  // dialect sets must never share cached facts, units, or report shards.
+  w.U32(static_cast<uint32_t>(options.dialects.size()));
+  for (const std::string& dialect : options.dialects) {
+    w.Str(dialect);
+  }
   return HashBytes(w.bytes());
 }
 
@@ -733,7 +755,7 @@ bool ParsePatternList(std::string_view text, std::set<int>& out) {
     const std::string_view item = text.substr(0, comma);
     int value = 0;
     const auto [ptr, ec] = std::from_chars(item.data(), item.data() + item.size(), value);
-    if (ec != std::errc() || ptr != item.data() + item.size() || value < 1 || value > 9) {
+    if (ec != std::errc() || ptr != item.data() + item.size() || value < 1 || value > 12) {
       return false;
     }
     parsed.insert(value);

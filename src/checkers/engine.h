@@ -34,7 +34,16 @@ struct ScanOptions {
   size_t max_paths_per_function = 512;
   int nesting_threshold = 3;     // struct-parser nesting depth (§6.1)
   bool discover_from_source = true;
+  // The paper's nine families are on by default; P10-P12 (DESIGN.md §5.12)
+  // are opt-in via `--patterns`, which keeps base-corpus reports
+  // byte-identical to the pre-P10 scanner unless asked for.
   std::set<int> enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  // Userspace dialect catalogues folded into the KB before any discovery or
+  // checking (`--dialect NAME`, repeatable; see KnownDialects / DESIGN.md
+  // §5.12). Unknown names are rejected by the CLI; the engine constructor
+  // ignores them (the fingerprint still records the request).
+  std::vector<std::string> dialects;
 
   // Worker threads for the parallel scan stages (parse, context build +
   // checking). 0 = one per hardware thread; 1 = fully serial. Reports are
@@ -108,7 +117,7 @@ struct FileFailure {
 };
 
 // Parses a `--patterns` list ("1,4,8") into `out`. Returns false (leaving
-// `out` untouched) on empty lists, non-numeric entries, or ids outside 1..9.
+// `out` untouched) on empty lists, non-numeric entries, or ids outside 1..12.
 bool ParsePatternList(std::string_view text, std::set<int>& out);
 
 // Digest of every ScanOptions field that can change a file's cache
@@ -304,6 +313,15 @@ void CheckUseAfterDecrease(const UnitContext& uc, const FunctionContext& fc,
 void CheckReferenceEscape(const UnitContext& uc, const FunctionContext& fc,
                           const KnowledgeBase& kb, const ScanOptions& options,
                           std::vector<BugReport>& out);  // P9
+void CheckRawManipulation(const UnitContext& uc, const FunctionContext& fc,
+                          const KnowledgeBase& kb, const ScanOptions& options,
+                          std::vector<BugReport>& out);  // P10
+void CheckTestAndFree(const UnitContext& uc, const FunctionContext& fc,
+                      const KnowledgeBase& kb, const ScanOptions& options,
+                      std::vector<BugReport>& out);  // P11
+void CheckRefcountReset(const UnitContext& uc, const FunctionContext& fc,
+                        const KnowledgeBase& kb, const ScanOptions& options,
+                        std::vector<BugReport>& out);  // P12
 
 // Builds the per-unit context (parse already done by caller).
 UnitContext BuildUnitContext(const SourceFile& file, TranslationUnit unit,

@@ -19,7 +19,7 @@ enum class Impact : uint8_t {
 std::string_view ImpactName(Impact impact);
 
 struct BugReport {
-  int anti_pattern = 0;  // 1..9 (paper's P1..P9)
+  int anti_pattern = 0;  // 1..12 (paper's P1..P9 plus the P10..P12 extensions)
   Impact impact = Impact::kLeak;
 
   std::string file;

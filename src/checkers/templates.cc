@@ -47,6 +47,12 @@ std::string AntiPatternTemplate(int anti_pattern) {
       return "F_start -> S_P(p0) -> S_D(p0) -> F_end";
     case 9:
       return "F_start -> S_A_G|O -> F_end";
+    case 10:  // DESIGN.md §5.12: raw ++/-- on a refcount field
+      return "F_start -> S_RAW(p0) -> F_end";
+    case 11:  // dec_and_test result ignored, or true-branch free then use
+      return "F_start -> S_PT(p0) -> [S_free(p0) -> S_D(p0)] -> F_end";
+    case 12:  // literal-zero store into a live refcount field
+      return "F_start -> S_A_0(p0) -> F_end";
     default:
       return "?";
   }
@@ -72,6 +78,12 @@ std::string_view AntiPatternName(int anti_pattern) {
       return "Use-After-Decrease";
     case 9:
       return "Reference-Escape";
+    case 10:
+      return "Raw-Manipulation";
+    case 11:
+      return "Test-And-Free";
+    case 12:
+      return "Refcount-Reset";
     default:
       return "Unknown";
   }

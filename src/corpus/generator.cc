@@ -1200,6 +1200,234 @@ void EmitOfCore(Corpus& corpus) {
       "}\n");
 }
 
+// ----------------------------------------------------- P10-P12 modules
+//
+// Fixed deterministic text (no RNG): planted bugs for the post-paper
+// families next to their fixed counterparts, so recall AND precision are
+// both measurable per family. Appended after the Table 5 plan, so the base
+// corpus bytes never move.
+
+void RegisterNewFamilyBug(Corpus& corpus, const char* file, const char* function, int pattern,
+                          Impact impact, const char* api) {
+  PlantedBug bug;
+  bug.file = file;
+  bug.function = function;
+  bug.anti_pattern = pattern;
+  bug.impact = impact;
+  bug.api = api;
+  corpus.ground_truth.push_back(std::move(bug));
+}
+
+void EmitNewFamilyModules(Corpus& corpus) {
+  // Kernel idiom, P10 + P12: a refcount_t field manipulated directly. The
+  // `usage` field registers as a refcount field through struct discovery;
+  // the plain-int stats fields must never register (the P10 zero-FP pin).
+  const char* raw_path = "drivers/nfam/nfam-raw.c";
+  corpus.tree.Add(
+      raw_path,
+      "// SPDX-License-Identifier: GPL-2.0\n"
+      "// raw refcount manipulation corpus (P10/P12)\n"
+      "#include <linux/kernel.h>\n"
+      "#include <linux/refcount.h>\n"
+      "\n"
+      "struct nfam_conn {\n"
+      "\trefcount_t usage;\n"
+      "\tint id;\n"
+      "};\n"
+      "\n"
+      "struct nfam_stats {\n"
+      "\tunsigned long hits;\n"
+      "\tunsigned long misses;\n"
+      "};\n"
+      "\n"
+      "static void nfam_conn_hold(struct nfam_conn *ct)\n"
+      "{\n"
+      "\tct->usage++;\n"  // planted P10: bypasses refcount_inc saturation
+      "}\n"
+      "\n"
+      "static void nfam_conn_drop(struct nfam_conn *ct)\n"
+      "{\n"
+      "\tct->usage--;\n"  // planted P10: bypasses refcount_dec underflow check
+      "}\n"
+      "\n"
+      "static void nfam_conn_absorb(struct nfam_conn *ct, int extra)\n"
+      "{\n"
+      "\tct->usage += extra;\n"  // planted P10: compound raw manipulation
+      "}\n"
+      "\n"
+      "static void nfam_conn_recycle(struct nfam_conn *ct)\n"
+      "{\n"
+      "\tct->usage = 0;\n"  // planted P12: orphans every outstanding reference
+      "}\n"
+      "\n"
+      "static void nfam_conn_init(struct nfam_conn *ct)\n"
+      "{\n"
+      "\tct->usage = 1;\n"
+      "\tct->id = 0;\n"
+      "}\n"
+      "\n"
+      "static void nfam_conn_get(struct nfam_conn *ct)\n"
+      "{\n"
+      "\trefcount_inc(&ct->usage);\n"
+      "}\n"
+      "\n"
+      "static void nfam_stats_bump(struct nfam_stats *st)\n"
+      "{\n"
+      "\tst->hits++;\n"
+      "\tst->misses--;\n"
+      "}\n");
+  RegisterNewFamilyBug(corpus, raw_path, "nfam_conn_hold", 10, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, raw_path, "nfam_conn_drop", 10, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, raw_path, "nfam_conn_absorb", 10, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, raw_path, "nfam_conn_recycle", 12, Impact::kUaf, "");
+
+  // Kernel idiom, P11: dec_and_test misuse next to the correct shapes
+  // (single free on the true branch; member frees inside a destructor).
+  const char* taf_path = "drivers/nfam/nfam-taf.c";
+  corpus.tree.Add(
+      taf_path,
+      "// SPDX-License-Identifier: GPL-2.0\n"
+      "// test-and-free corpus (P11)\n"
+      "#include <linux/kernel.h>\n"
+      "#include <linux/refcount.h>\n"
+      "\n"
+      "struct nfam_obj {\n"
+      "\trefcount_t usage;\n"
+      "\tchar *name;\n"
+      "\tint flags;\n"
+      "};\n"
+      "\n"
+      "static void nfam_obj_put(struct nfam_obj *obj)\n"
+      "{\n"
+      "\trefcount_dec_and_test(&obj->usage);\n"  // planted P11: result ignored
+      "}\n"
+      "\n"
+      "static void nfam_obj_release(struct nfam_obj *obj)\n"
+      "{\n"
+      "\tif (refcount_dec_and_test(&obj->usage))\n"
+      "\t\tkfree(obj);\n"
+      "\tobj->flags = 0;\n"  // planted P11: use after the free branch
+      "}\n"
+      "\n"
+      "static void nfam_obj_destroy(struct nfam_obj *obj)\n"
+      "{\n"
+      "\tif (refcount_dec_and_test(&obj->usage))\n"
+      "\t\tkfree(obj);\n"
+      "\tkfree(obj);\n"  // planted P11: double free on the true branch
+      "}\n"
+      "\n"
+      "static void nfam_obj_put_ok(struct nfam_obj *obj)\n"
+      "{\n"
+      "\tif (refcount_dec_and_test(&obj->usage))\n"
+      "\t\tkfree(obj);\n"
+      "}\n"
+      "\n"
+      "static void nfam_obj_release_ok(struct nfam_obj *obj)\n"
+      "{\n"
+      "\tif (refcount_dec_and_test(&obj->usage)) {\n"
+      "\t\tkfree(obj->name);\n"
+      "\t\tkfree(obj);\n"
+      "\t}\n"
+      "}\n");
+  RegisterNewFamilyBug(corpus, taf_path, "nfam_obj_put", 11, Impact::kLeak,
+                       "refcount_dec_and_test");
+  RegisterNewFamilyBug(corpus, taf_path, "nfam_obj_release", 11, Impact::kUaf,
+                       "refcount_dec_and_test");
+  RegisterNewFamilyBug(corpus, taf_path, "nfam_obj_destroy", 11, Impact::kUaf,
+                       "refcount_dec_and_test");
+
+  // uACPI dialect module: the reference_count field and the shareable
+  // ref/unref APIs come from the `uacpi` dialect catalogue, so these bugs
+  // only surface when the scan runs with --dialect uacpi.
+  const char* uacpi_path = "userspace/uacpi/shareable-user.c";
+  corpus.tree.Add(
+      uacpi_path,
+      "// uACPI shareable-object corpus (userspace dialect)\n"
+      "#include <uacpi/internal/shareable.h>\n"
+      "\n"
+      "struct uacpi_namespace_node {\n"
+      "\tstruct uacpi_shareable shareable;\n"
+      "\tu32 name;\n"
+      "};\n"
+      "\n"
+      "static void uacpi_node_bump(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "\tnode->shareable.reference_count++;\n"  // planted P10: bypasses BUGGED_REFCOUNT pin
+      "}\n"
+      "\n"
+      "static void uacpi_node_forget(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "\tnode->shareable.reference_count = 0;\n"  // planted P12
+      "}\n"
+      "\n"
+      "static void uacpi_node_unref_leaky(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "\tuacpi_shareable_unref(node);\n"  // planted P11: last-reference signal dropped
+      "}\n"
+      "\n"
+      "static void uacpi_node_unref_ok(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "\tif (uacpi_shareable_unref(node) == 1)\n"
+      "\t\tuacpi_kernel_free(node);\n"
+      "}\n"
+      "\n"
+      "static void uacpi_node_init_ok(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "\tuacpi_shareable_init(node);\n"
+      "}\n");
+  RegisterNewFamilyBug(corpus, uacpi_path, "uacpi_node_bump", 10, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, uacpi_path, "uacpi_node_forget", 12, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, uacpi_path, "uacpi_node_unref_leaky", 11, Impact::kLeak,
+                       "uacpi_shareable_unref");
+
+  // GLib dialect module: ref_count and the g_object_* / g_atomic_int_*
+  // APIs come from the `glib` dialect catalogue.
+  const char* glib_path = "userspace/glib/viewer.c";
+  corpus.tree.Add(
+      glib_path,
+      "// GLib object-user corpus (userspace dialect)\n"
+      "#include <glib-object.h>\n"
+      "\n"
+      "struct viewer {\n"
+      "\tGObject parent;\n"
+      "\tguint ref_count;\n"
+      "\tint generation;\n"
+      "};\n"
+      "\n"
+      "static void viewer_bump(struct viewer *self)\n"
+      "{\n"
+      "\tself->ref_count++;\n"  // planted P10: bypasses g_object_ref
+      "}\n"
+      "\n"
+      "static void viewer_unref_leaky(struct viewer *self)\n"
+      "{\n"
+      "\tg_atomic_int_dec_and_test(&self->ref_count);\n"  // planted P11: ignored
+      "}\n"
+      "\n"
+      "static void viewer_unref_then_touch(struct viewer *self)\n"
+      "{\n"
+      "\tif (g_atomic_int_dec_and_test(&self->ref_count))\n"
+      "\t\tg_free(self);\n"
+      "\tself->generation = 0;\n"  // planted P11: use after the free branch
+      "}\n"
+      "\n"
+      "static void viewer_unref_ok(struct viewer *self)\n"
+      "{\n"
+      "\tif (g_atomic_int_dec_and_test(&self->ref_count))\n"
+      "\t\tg_free(self);\n"
+      "}\n"
+      "\n"
+      "static void viewer_hold_ok(struct viewer *self)\n"
+      "{\n"
+      "\tg_object_ref(self);\n"
+      "}\n");
+  RegisterNewFamilyBug(corpus, glib_path, "viewer_bump", 10, Impact::kUaf, "");
+  RegisterNewFamilyBug(corpus, glib_path, "viewer_unref_leaky", 11, Impact::kLeak,
+                       "g_atomic_int_dec_and_test");
+  RegisterNewFamilyBug(corpus, glib_path, "viewer_unref_then_touch", 11, Impact::kUaf,
+                       "g_atomic_int_dec_and_test");
+}
+
 }  // namespace
 
 Corpus GenerateKernelCorpus(const CorpusOptions& options, const std::vector<ModulePlan>& plan) {
@@ -1207,6 +1435,9 @@ Corpus GenerateKernelCorpus(const CorpusOptions& options, const std::vector<Modu
   EmitOfCore(corpus);
   for (const ModulePlan& module_plan : plan) {
     ModuleGenerator(module_plan, options, corpus).Generate();
+  }
+  if (options.new_family_modules) {
+    EmitNewFamilyModules(corpus);
   }
   return corpus;
 }

@@ -35,7 +35,7 @@ enum class MaintainerResponse : uint8_t {
 struct PlantedBug {
   std::string file;
   std::string function;
-  int anti_pattern = 0;  // 1..9 (missing-increase recorded as 4)
+  int anti_pattern = 0;  // 1..12 (missing-increase recorded as 4)
   Impact impact = Impact::kLeak;
   std::string api;
   MaintainerResponse response = MaintainerResponse::kNoResponse;
@@ -64,6 +64,12 @@ struct CorpusOptions {
   // default so the base corpus — and every Table 4/5 bench count — stays
   // byte-identical.
   std::vector<int> wrapper_chain_depths;
+  // Appends the P10-P12 new-family modules (DESIGN.md §5.12): kernel-idiom
+  // raw manipulation / test-and-free / refcount-reset bugs with fixed
+  // counterparts, plus uacpi and glib dialect modules whose bugs only
+  // surface under the matching --dialect. Off by default so the base corpus
+  // — and every Table 4/5 bench count — stays byte-identical.
+  bool new_family_modules = false;
 };
 
 struct Corpus {

@@ -16,10 +16,13 @@
 
 namespace refscan {
 
-// Internal pattern ids: 1..9 are the paper's P1..P9; kMissingIncrease is the
+// Internal pattern ids: 1..9 are the paper's P1..P9 and 10..12 are the
+// post-paper families (P10 raw manipulation, P11 test-and-free, P12
+// refcount reset — DESIGN.md §5.12). kMissingIncrease is the
 // missing-increase flavour of P4 (consumed `from` parameter), which the
-// checkers report as P4 with UAF impact (§5.2.2, 16 new bugs).
-inline constexpr int kMissingIncrease = 10;
+// checkers report as P4 with UAF impact (§5.2.2, 16 new bugs); it lives
+// above 100 so it can never collide with a real checker id.
+inline constexpr int kMissingIncrease = 104;
 
 struct ModulePlan {
   std::string subsystem;  // "arch", "drivers", ...

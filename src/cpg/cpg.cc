@@ -198,6 +198,17 @@ class EventExtractor {
         if (e.value == "*" && !address_taken) {
           Emit(SemOp::kDeref, ObjectSpelling(*e.args[0]), line);
         }
+        // Raw ++/-- on a known refcount field bypasses the checked
+        // saturating APIs (P10): `obj->refcnt++` where `refcnt` was declared
+        // refcount_t / kref / typed-atomic.
+        if ((e.value == "++" || e.value == "--") &&
+            e.args[0]->kind == Expr::Kind::kMember &&
+            kb_.IsRefcountField(e.args[0]->value)) {
+          const Symbol obj = ObjectSpelling(*e.args[0]);
+          if (!obj.empty()) {
+            Emit(e.value == "++" ? SemOp::kRawInc : SemOp::kRawDec, obj, line);
+          }
+        }
         const bool inner_addr = e.value == "&";
         Visit(*e.args[0], line, inner_addr);
         return;
@@ -341,6 +352,27 @@ class EventExtractor {
     // rhs first (evaluation order does not matter for matching).
     Visit(rhs, line);
 
+    // Compound/plain stores to a known refcount field (P10/P12): `+=`/`-=`
+    // are raw manipulation like ++/--; `= <literal>` is a reset (kRawSet,
+    // with the `= 1` init idiom recorded as nonzero so P12 can allow it).
+    if (lhs.kind == Expr::Kind::kMember && kb_.IsRefcountField(lhs.value)) {
+      const Symbol field_obj = ObjectSpelling(lhs);
+      if (!field_obj.empty()) {
+        if (e.value == "+=") {
+          Emit(SemOp::kRawInc, field_obj, line);
+        } else if (e.value == "-=") {
+          Emit(SemOp::kRawDec, field_obj, line);
+        } else if (e.value == "=" && rhs.kind == Expr::Kind::kLiteral) {
+          SemEvent raw;
+          raw.op = SemOp::kRawSet;
+          raw.object = field_obj;
+          raw.line = line;
+          raw.raw_set_nonzero = rhs.value != "0";
+          out_.push_back(raw);
+        }
+      }
+    }
+
     const Symbol lhs_obj = ObjectSpelling(lhs);
     SemEvent ev;
     ev.op = SemOp::kAssign;
@@ -436,7 +468,7 @@ class EventExtractor {
       }
     }
 
-    if (KnowledgeBase::IsFreeFunction(callee)) {
+    if (kb_.IsFreeApi(callee)) {
       Emit(SemOp::kFree, arg_object(0), line);
       return;
     }
@@ -513,6 +545,18 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
   const auto seal = [&cpg] {
     cpg.event_offsets_.push_back(static_cast<uint32_t>(cpg.events_.size()));
   };
+  // P11: a tests_zero decrease (refcount_dec_and_test & co) whose boolean
+  // result feeds this node's condition / initializer / assignment / return is
+  // "tested" — the caller observed the 1 -> 0 transition. The call's events
+  // are necessarily in the node's own slice, so marking the slice suffices.
+  const auto mark_tested = [&events](size_t from) {
+    for (size_t k = from; k < events.size(); ++k) {
+      SemEvent& ev = events[k];
+      if (ev.op == SemOp::kDecrease && ev.api != nullptr && ev.api->tests_zero) {
+        ev.result_tested = true;
+      }
+    }
+  };
   for (size_t i = 0; i < cfg.size(); ++i) {
     const CfgNode& node = cfg.node(static_cast<int>(i));
     const size_t node_start = events.size();
@@ -562,6 +606,7 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
         ev.line = node.line;
         ev.escapes = false;  // declarations never escape
         events.push_back(ev);
+        mark_tested(node_start);  // `bool dead = refcount_dec_and_test(...)`
       }
       seal();
       continue;
@@ -570,6 +615,7 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
     if (node.kind == CfgNode::Kind::kCondition && node.expr != nullptr) {
       extractor.Visit(*node.expr, node.line);
       extractor.VisitCondition(*node.expr, node.line);
+      mark_tested(node_start);  // `if (refcount_dec_and_test(...))`
       seal();
       continue;
     }
@@ -600,12 +646,16 @@ Cpg BuildCpg(const Cfg& cfg, const KnowledgeBase& kb) {
         }
       }
       events.push_back(ev);
+      mark_tested(node_start);  // `return refcount_dec_and_test(...)`
       seal();
       continue;
     }
 
     if (node.expr != nullptr) {
       extractor.Visit(*node.expr, node.line);
+      if (node.expr->kind == Expr::Kind::kAssign) {
+        mark_tested(node_start);  // `dead = refcount_dec_and_test(...)`
+      }
     }
     seal();
   }

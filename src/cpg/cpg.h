@@ -38,6 +38,9 @@ enum class SemOp : uint8_t {
   kNullCheck,  // `object` tested against NULL (either polarity)
   kReturn,     // function return; `object` = returned identifier if any
   kLoopHead,   // smartloop head; `object` = iterator variable
+  kRawInc,     // P10: ++/+= on a known refcount field, bypassing checked APIs
+  kRawDec,     // P10: --/-= on a known refcount field
+  kRawSet,     // P12: direct store to a known refcount field (obj->refs = N)
 };
 
 struct SemEvent {
@@ -50,6 +53,9 @@ struct SemEvent {
   const SmartLoopInfo* loop = nullptr;    // kLoopHead (null for unknown loops)
   bool escapes = false;                   // kAssign into a global / out-param
   bool checks_null_true_branch = false;   // kNullCheck: true branch is the NULL side
+  bool result_tested = false;  // kDecrease via a tests_zero API whose return
+                               // value feeds a condition/assignment/return
+  bool raw_set_nonzero = false;  // kRawSet: rhs is a nonzero literal (init idiom)
 };
 
 // Per-function CPG. Parallel arrays with the Cfg it annotates; the Cfg, the

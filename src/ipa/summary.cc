@@ -200,6 +200,12 @@ FunctionSummary SummarizeFunction(const CallGraphNode& node, const KnowledgeBase
             path.returns_acquired = true;
             path.return_api = callee;
           }
+          // `return refcount_dec_and_test(...);` — the wrapper relays the
+          // zero-test to its caller, so it inherits dec_and_test semantics.
+          if (callee != nullptr && callee->direction == RefDirection::kDecrease &&
+              callee->tests_zero) {
+            s.tests_zero = true;
+          }
         }
 
         // Escaped-global effect: deltas on roots that are neither
@@ -302,6 +308,7 @@ void InjectSummary(FunctionSummary& s, KnowledgeBase& kb, std::set<std::string>&
     } else {
       info.direction = RefDirection::kDecrease;
       info.object_param = dec_param;
+      info.tests_zero = s.tests_zero;
     }
     info.hidden = !NameSoundsLikeRefcounting(info.name);
     info.category = info.hidden ? ApiCategory::kEmbedded : ApiCategory::kSpecific;

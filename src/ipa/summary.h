@@ -60,6 +60,8 @@ struct FunctionSummary {
   bool may_return_null = false;
   bool error_increment = false;   // 𝒢_E: +1 survives an error-class path
   int consumed_param = -1;        // param netted -1 while returning acquired
+  bool tests_zero = false;        // returns the raw result of a tests_zero
+                                  // decrease API (dec_and_test wrapper)
   int global_delta = 0;           // net delta on escaped globals (normal paths)
   bool truncated = false;         // path enumeration hit the cap
   bool registered = false;        // injected a new or upgraded KB fact

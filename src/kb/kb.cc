@@ -240,7 +240,9 @@ KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
       smart_loops_(other.smart_loops_),
       refcounted_structs_(other.refcounted_structs_),
       ownership_sinks_(other.ownership_sinks_),
-      param_derefs_(other.param_derefs_) {
+      param_derefs_(other.param_derefs_),
+      refcount_fields_(other.refcount_fields_),
+      extra_free_fns_(other.extra_free_fns_) {
   RebuildApiIndex();
 }
 
@@ -251,6 +253,8 @@ KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
     refcounted_structs_ = other.refcounted_structs_;
     ownership_sinks_ = other.ownership_sinks_;
     param_derefs_ = other.param_derefs_;
+    refcount_fields_ = other.refcount_fields_;
+    extra_free_fns_ = other.extra_free_fns_;
     RebuildApiIndex();
   }
   return *this;
@@ -273,6 +277,14 @@ void KnowledgeBase::RebuildApiIndex() {
   for (const auto& [name, params] : param_derefs_) {
     deref_index_.emplace(Intern(name).id(), &params);
   }
+  field_index_.clear();
+  for (const std::string& name : refcount_fields_) {
+    field_index_.insert(Intern(name).id());
+  }
+  free_index_.clear();
+  for (const std::string& name : extra_free_fns_) {
+    free_index_.insert(Intern(name).id());
+  }
 }
 
 RefApiInfo& KnowledgeBase::UpsertApi(RefApiInfo info) {
@@ -294,6 +306,32 @@ void KnowledgeBase::AddSmartLoop(SmartLoopInfo info) {
 
 void KnowledgeBase::AddRefcountedStruct(std::string name) {
   refcounted_structs_.insert(std::move(name));
+}
+
+void KnowledgeBase::AddRefcountField(std::string field_name) {
+  field_index_.insert(Intern(field_name).id());
+  refcount_fields_.insert(std::move(field_name));
+}
+
+void KnowledgeBase::AddFreeFunction(std::string name) {
+  free_index_.insert(Intern(name).id());
+  extra_free_fns_.insert(std::move(name));
+}
+
+bool KnowledgeBase::IsRefcountField(std::string_view field_name) const {
+  return refcount_fields_.contains(field_name);
+}
+
+bool KnowledgeBase::IsRefcountField(Symbol field_name) const {
+  return !field_name.empty() && field_index_.contains(field_name.id());
+}
+
+bool KnowledgeBase::IsFreeApi(Symbol name) const {
+  return IsFreeFunction(name) || (!name.empty() && free_index_.contains(name.id()));
+}
+
+bool KnowledgeBase::IsFreeApi(std::string_view name) const {
+  return IsFreeFunction(name) || extra_free_fns_.contains(name);
 }
 
 const RefApiInfo* KnowledgeBase::FindApi(Symbol name) const {
@@ -347,9 +385,15 @@ KnowledgeBase KnowledgeBase::BuiltIn() {
   for (const char* name : {"refcount_inc", "kref_get", "kobject_get", "atomic_inc"}) {
     add({.name = name, .direction = kInc, .category = ApiCategory::kGeneral});
   }
-  for (const char* name : {"refcount_dec", "kref_put", "kobject_put", "atomic_dec",
-                           "refcount_dec_and_test"}) {
+  for (const char* name : {"refcount_dec", "kref_put", "kobject_put", "atomic_dec"}) {
     add({.name = name, .direction = kDec, .category = ApiCategory::kGeneral});
+  }
+  // The *_dec_and_test family returns true exactly at the 1 -> 0 transition
+  // (P11 keys on tests_zero; SNIPPETS.md refcount_dec_and_test).
+  for (const char* name :
+       {"refcount_dec_and_test", "atomic_dec_and_test", "atomic_long_dec_and_test"}) {
+    add({.name = name, .direction = kDec, .category = ApiCategory::kGeneral,
+         .tests_zero = true});
   }
 
   // ----- Specific (typed wrapper) APIs.
@@ -480,6 +524,7 @@ DiscoveryFacts ExtractDiscoveryFacts(const TranslationUnit& unit) {
       DiscoveryFacts::Field f;
       f.direct_refcounter = IsRefcounterFieldType(field.type.view(), field.name.view());
       f.nested_tag = StructTag(field.type.view());
+      f.name = field.name.str();
       s.fields.push_back(std::move(f));
     }
     facts.structs.push_back(std::move(s));
@@ -651,6 +696,18 @@ void KnowledgeBase::DiscoverOwnershipSinks(const DiscoveryFacts& facts) {
 }
 
 void KnowledgeBase::DiscoverStructs(const DiscoveryFacts& facts, int nesting_threshold) {
+  // Direct refcounter fields feed the refcount-field name registry (P10):
+  // a later raw ++/--/= on a member with one of these names bypasses the
+  // checked APIs. Independent of the struct classification below, so a
+  // struct already known (built-in or earlier unit) still contributes.
+  for (const DiscoveryFacts::Struct& def : facts.structs) {
+    for (const DiscoveryFacts::Field& field : def.fields) {
+      if (field.direct_refcounter && !field.name.empty()) {
+        AddRefcountField(field.name);
+      }
+    }
+  }
+
   // Level 0: direct refcounter fields. Levels 1..threshold: a field whose
   // struct type was classified in a *previous* level (per-level snapshot so
   // one pass advances nesting depth by exactly one).
@@ -785,6 +842,54 @@ void KnowledgeBase::DiscoverMacros(const DiscoveryFacts& facts) {
     }
     smart_loops_.insert_or_assign(loop.name, std::move(loop));
   }
+}
+
+const std::vector<std::string>& KnownDialects() {
+  static const std::vector<std::string> kDialects = {"glib", "uacpi"};
+  return kDialects;
+}
+
+bool ApplyDialect(KnowledgeBase& kb, std::string_view dialect) {
+  constexpr auto kInc = RefDirection::kIncrease;
+  constexpr auto kDec = RefDirection::kDecrease;
+  auto add = [&kb](RefApiInfo info) { kb.AddApi(std::move(info)); };
+
+  if (dialect == "uacpi") {
+    // uACPI shareables (SNIPPETS.md): reference_count with the sticky
+    // BUGGED_REFCOUNT saturation sentinel; ref/unref return the *previous*
+    // value, so unref() == 1 means the last reference just dropped.
+    add({.name = "uacpi_shareable_init", .direction = kInc,
+         .category = ApiCategory::kSpecific});
+    add({.name = "uacpi_shareable_ref", .direction = kInc,
+         .category = ApiCategory::kSpecific});
+    add({.name = "uacpi_shareable_unref", .direction = kDec,
+         .category = ApiCategory::kSpecific, .tests_zero = true});
+    add({.name = "uacpi_shareable_unref_and_delete_if_last", .direction = kDec,
+         .category = ApiCategory::kSpecific});
+    kb.AddRefcountedStruct("uacpi_shareable");
+    kb.AddRefcountField("reference_count");
+    kb.AddFreeFunction("uacpi_free");
+    kb.AddFreeFunction("uacpi_kernel_free");
+    return true;
+  }
+
+  if (dialect == "glib") {
+    add({.name = "g_object_ref", .direction = kInc, .category = ApiCategory::kSpecific,
+         .returns_object = true, .object_param = -1});
+    add({.name = "g_object_ref_sink", .direction = kInc,
+         .category = ApiCategory::kSpecific, .returns_object = true, .object_param = -1});
+    add({.name = "g_object_unref", .direction = kDec, .category = ApiCategory::kSpecific});
+    add({.name = "g_clear_object", .direction = kDec, .category = ApiCategory::kSpecific});
+    add({.name = "g_atomic_int_dec_and_test", .direction = kDec,
+         .category = ApiCategory::kGeneral, .tests_zero = true});
+    kb.AddRefcountedStruct("GObject");
+    kb.AddRefcountField("ref_count");
+    kb.AddFreeFunction("g_free");
+    kb.AddFreeFunction("g_slice_free");
+    return true;
+  }
+
+  return false;
 }
 
 }  // namespace refscan

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/ast/ast.h"
@@ -55,6 +56,11 @@ struct RefApiInfo {
   // 𝒢_H/𝒫_H: none of the refcounting keywords appear in the name, or the
   // name's dominant meaning is unrelated (find/parse/...). §5.2.
   bool hidden = false;
+
+  // Decrease APIs of the *_dec_and_test / *_put_and_test family: the return
+  // value is true exactly when the count hit zero and the caller owns the
+  // release. P11 (test-and-free, DESIGN.md §5.12) keys on this flag.
+  bool tests_zero = false;
 
   // Provenance: false for the built-in catalogue, true for entries produced
   // by source discovery or interprocedural summaries. Only discovered
@@ -98,6 +104,7 @@ struct DiscoveryFacts {
   struct Field {
     bool direct_refcounter = false;  // IsRefcounterFieldType(type, name)
     std::string nested_tag;          // struct tag of the field type, "" if none
+    std::string name;                // field name (refcount-field registry, P10)
   };
   struct Struct {
     std::string name;
@@ -165,6 +172,15 @@ class KnowledgeBase {
   }
   bool IsRefcountedStruct(std::string_view struct_name) const;
 
+  // Refcount-field registry (P10, DESIGN.md §5.12): member names whose
+  // declared type is a checked refcount type (refcount_t / kref / typed
+  // atomics that pass IsRefcounterFieldType), fed by struct discovery and
+  // dialect catalogues. Raw ++/--/= on such a member bypasses the saturating
+  // APIs. The match is by field name, not (struct, field) pair — the same
+  // approximation the textual discovery pass already makes for structs.
+  bool IsRefcountField(std::string_view field_name) const;
+  bool IsRefcountField(Symbol field_name) const;
+
   // Classification helpers --------------------------------------------
   static bool IsFreeFunction(std::string_view name);    // kfree, vfree, ...
   static bool IsLockFunction(std::string_view name);    // mutex_lock, spin_lock, ...
@@ -173,6 +189,12 @@ class KnowledgeBase {
   static bool IsFreeFunction(Symbol name);
   static bool IsLockFunction(Symbol name);
   static bool IsUnlockFunction(Symbol name);
+
+  // Instance variant: the static kernel list plus any dialect-registered
+  // deallocators (uacpi_free, g_free, ... — AddFreeFunction). The CPG uses
+  // this so ℱ events exist for non-kernel codebases too.
+  bool IsFreeApi(Symbol name) const;
+  bool IsFreeApi(std::string_view name) const;
 
   // Ownership sinks: functions that store one of their pointer parameters
   // into longer-lived state (a global or another parameter's field).
@@ -196,6 +218,8 @@ class KnowledgeBase {
   void AddRefcountedStruct(std::string name);
   void AddOwnershipSink(std::string name, int param_index);
   void AddParamDerefs(std::string name, std::vector<int> param_indices);
+  void AddRefcountField(std::string field_name);
+  void AddFreeFunction(std::string name);
 
   // Mutable access for summary-time refinement (exact-name match only).
   // Callers must leave built-in entries (discovered == false) alone and are
@@ -231,6 +255,12 @@ class KnowledgeBase {
   const std::map<std::string, std::vector<int>, std::less<>>& param_derefs() const {
     return param_derefs_;
   }
+  const std::set<std::string, std::less<>>& refcount_fields() const {
+    return refcount_fields_;
+  }
+  const std::set<std::string, std::less<>>& extra_free_functions() const {
+    return extra_free_fns_;
+  }
 
  private:
   void DiscoverStructs(const DiscoveryFacts& facts, int nesting_threshold);
@@ -247,6 +277,8 @@ class KnowledgeBase {
   std::set<std::string, std::less<>> refcounted_structs_;
   std::map<std::string, int, std::less<>> ownership_sinks_;
   std::map<std::string, std::vector<int>, std::less<>> param_derefs_;
+  std::set<std::string, std::less<>> refcount_fields_;
+  std::set<std::string, std::less<>> extra_free_fns_;
 
   // Hash indexes over the sorted maps for the hot lookups (FindApi & co run
   // per call expression in discovery replay and CPG construction; the sorted
@@ -258,7 +290,17 @@ class KnowledgeBase {
   std::unordered_map<uint32_t, const RefApiInfo*> symbol_index_;
   std::unordered_map<uint32_t, int> sink_index_;
   std::unordered_map<uint32_t, const std::vector<int>*> deref_index_;
+  std::unordered_set<uint32_t> field_index_;  // interned refcount_fields_
+  std::unordered_set<uint32_t> free_index_;   // interned extra_free_fns_
 };
+
+// Userspace refcount dialects (P12, DESIGN.md §5.12): named catalogues of
+// non-kernel refcounting APIs, refcounted structs, refcount field names and
+// deallocators that ApplyDialect folds into a KnowledgeBase so the scanner
+// understands non-kernel trees (scan --dialect NAME). Catalogue entries are
+// ground truth like the built-ins (discovered == false).
+const std::vector<std::string>& KnownDialects();  // sorted: "glib", "uacpi"
+bool ApplyDialect(KnowledgeBase& kb, std::string_view dialect);
 
 }  // namespace refscan
 

@@ -214,6 +214,64 @@ TEST_F(CacheTest, JobsDoNotChangeTheFingerprint) {
   EXPECT_NE(ScanOptionsFingerprint(a), ScanOptionsFingerprint(b));
 }
 
+TEST_F(CacheTest, DialectAndNewFamilyOptionsChangeTheFingerprint) {
+  ScanOptions base;
+  ScanOptions with_dialect = base;
+  with_dialect.dialects = {"uacpi"};
+  EXPECT_NE(ScanOptionsFingerprint(base), ScanOptionsFingerprint(with_dialect));
+
+  ScanOptions both = with_dialect;
+  both.dialects = {"glib", "uacpi"};
+  EXPECT_NE(ScanOptionsFingerprint(with_dialect), ScanOptionsFingerprint(both));
+
+  ScanOptions extended = base;
+  extended.enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_NE(ScanOptionsFingerprint(base), ScanOptionsFingerprint(extended));
+}
+
+TEST_F(CacheTest, DialectScanMissesTheDialectlessCache) {
+  const SourceTree tree = SmallTree();
+  ScanTree(tree, cache_dir_);  // prime without any dialect
+
+  ScanOptions with_dialect;
+  with_dialect.jobs = 1;
+  with_dialect.cache_dir = cache_dir_;
+  with_dialect.dialects = {"glib"};
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), with_dialect);
+  const ScanResult dialect_scan = engine.Scan(tree);
+  // The dialect seeds the KB before discovery, so reusing dialect-less
+  // entries would be wrong; the options fingerprint must keep them apart.
+  EXPECT_EQ(dialect_scan.stats.cache_hits, 0u);
+
+  ScanOptions uncached = with_dialect;
+  uncached.cache_dir.clear();
+  CheckerEngine plain(KnowledgeBase::BuiltIn(), uncached);
+  ExpectSameReports(plain.Scan(tree), dialect_scan);
+}
+
+TEST_F(CacheTest, KbSnapshotRoundTripsDialectRegistries) {
+  // tests_zero flags, refcount-field names and extra free functions all
+  // live in the KB snapshot; losing any of them on a warm scan would
+  // silently disable P10-P12.
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  ASSERT_TRUE(ApplyDialect(kb, "uacpi"));
+  ASSERT_TRUE(ApplyDialect(kb, "glib"));
+  const std::optional<KnowledgeBase> back = DeserializeKb(SerializeKb(kb));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(FingerprintKnowledgeBase(*back), FingerprintKnowledgeBase(kb));
+  EXPECT_TRUE(back->IsRefcountField("reference_count"));
+  EXPECT_TRUE(back->IsRefcountField("ref_count"));
+  EXPECT_TRUE(back->IsFreeApi("uacpi_free"));
+  EXPECT_TRUE(back->IsFreeApi("g_free"));
+  const RefApiInfo* unref = back->FindApi("uacpi_shareable_unref");
+  ASSERT_NE(unref, nullptr);
+  EXPECT_TRUE(unref->tests_zero);
+
+  // A KB without the dialects fingerprints differently — the registries
+  // are part of the identity, not cosmetic.
+  EXPECT_NE(FingerprintKnowledgeBase(KnowledgeBase::BuiltIn()), FingerprintKnowledgeBase(kb));
+}
+
 TEST_F(CacheTest, InterproceduralScanSharesTheCacheCorrectly) {
   const SourceTree tree = SmallTree();
   const ScanResult uncached = ScanTree(tree, /*cache_dir=*/"", 1, /*interprocedural=*/true);

@@ -601,5 +601,191 @@ TEST(ReportTest, ImpactNames) {
   EXPECT_EQ(ImpactName(Impact::kNpd), "NPD");
 }
 
+// ------------------------------------------------------- P10-P12 extensions
+
+// The new families are opt-in: the default pattern set stays 1..9, so these
+// tests build an engine with all twelve enabled (plus any dialects).
+std::vector<BugReport> ScanAllFamilies(std::string text,
+                                       std::vector<std::string> dialects = {}) {
+  ScanOptions options;
+  options.enabled_patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  options.dialects = std::move(dialects);
+  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+  return engine.ScanFileText("drivers/test/t.c", std::move(text)).reports;
+}
+
+TEST(CheckerP10Test, RawIncrementOnRefcountFieldIsFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct conn { refcount_t usage; int id; };\n"
+      "static void conn_hold(struct conn *ct)\n"
+      "{\n"
+      "  ct->usage++;\n"  // *BUG*: bypasses refcount_inc saturation
+      "}\n");
+  ASSERT_EQ(CountPattern(reports, 10), 1);
+  const BugReport* r = FindPattern(reports, 10);
+  EXPECT_EQ(r->impact, Impact::kUaf);
+  EXPECT_EQ(r->line, 4u);
+}
+
+TEST(CheckerP10Test, RawDecrementAndCompoundOpsAreFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct conn { refcount_t usage; };\n"
+      "static void conn_drop(struct conn *ct)\n"
+      "{\n"
+      "  ct->usage--;\n"       // *BUG*
+      "}\n"
+      "static void conn_absorb(struct conn *ct, int extra)\n"
+      "{\n"
+      "  ct->usage += extra;\n"  // *BUG*
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 10), 2);
+}
+
+TEST(CheckerP10Test, PlainIntegerCounterFieldIsClean) {
+  // The ISSUE's false-positive pin: raw ++ on an ordinary counter field
+  // whose type is not a refcount type must never fire.
+  const auto reports = ScanAllFamilies(
+      "struct stats { unsigned long hits; unsigned long misses; int depth; };\n"
+      "static void stats_bump(struct stats *st)\n"
+      "{\n"
+      "  st->hits++;\n"
+      "  st->misses += 2;\n"
+      "  st->depth--;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 10), 0);
+  EXPECT_EQ(CountPattern(reports, 12), 0);
+}
+
+TEST(CheckerP10Test, CheckedApiOnRefcountFieldIsClean) {
+  const auto reports = ScanAllFamilies(
+      "struct conn { refcount_t usage; };\n"
+      "static void conn_get(struct conn *ct)\n"
+      "{\n"
+      "  refcount_inc(&ct->usage);\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 10), 0);
+}
+
+TEST(CheckerP10Test, DisabledByDefaultPatternSet) {
+  const auto reports = ScanText(
+      "struct conn { refcount_t usage; };\n"
+      "static void conn_hold(struct conn *ct)\n"
+      "{\n"
+      "  ct->usage++;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 10), 0);
+}
+
+TEST(CheckerP11Test, IgnoredDecAndTestResultIsFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct obj { refcount_t usage; char *name; };\n"
+      "static void obj_put(struct obj *obj)\n"
+      "{\n"
+      "  refcount_dec_and_test(&obj->usage);\n"  // *BUG*: result ignored
+      "}\n");
+  ASSERT_EQ(CountPattern(reports, 11), 1);
+  EXPECT_EQ(FindPattern(reports, 11)->impact, Impact::kLeak);
+}
+
+TEST(CheckerP11Test, UseAfterTrueBranchFreeIsFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct obj { refcount_t usage; int flags; };\n"
+      "static void obj_release(struct obj *obj)\n"
+      "{\n"
+      "  if (refcount_dec_and_test(&obj->usage))\n"
+      "    kfree(obj);\n"
+      "  obj->flags = 0;\n"  // *BUG*: UAF when the free branch was taken
+      "}\n");
+  ASSERT_EQ(CountPattern(reports, 11), 1);
+  EXPECT_EQ(FindPattern(reports, 11)->impact, Impact::kUaf);
+}
+
+TEST(CheckerP11Test, DoubleFreeAfterTrueBranchIsFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct obj { refcount_t usage; };\n"
+      "static void obj_destroy(struct obj *obj)\n"
+      "{\n"
+      "  if (refcount_dec_and_test(&obj->usage))\n"
+      "    kfree(obj);\n"
+      "  kfree(obj);\n"  // *BUG*: double free when the branch was taken
+      "}\n");
+  ASSERT_EQ(CountPattern(reports, 11), 1);
+  EXPECT_EQ(FindPattern(reports, 11)->impact, Impact::kUaf);
+}
+
+TEST(CheckerP11Test, CorrectDecAndTestSingleFreeIsClean) {
+  // The ISSUE's second false-positive pin: the canonical correct shape —
+  // test the result, free exactly once (including member frees inside the
+  // destructor branch), touch nothing afterwards.
+  const auto reports = ScanAllFamilies(
+      "struct obj { refcount_t usage; char *name; };\n"
+      "static void obj_put_ok(struct obj *obj)\n"
+      "{\n"
+      "  if (refcount_dec_and_test(&obj->usage)) {\n"
+      "    kfree(obj->name);\n"
+      "    kfree(obj);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 11), 0);
+}
+
+TEST(CheckerP11Test, ResultAssignedToVariableCountsAsTested) {
+  const auto reports = ScanAllFamilies(
+      "struct obj { refcount_t usage; };\n"
+      "static void obj_put_ok(struct obj *obj)\n"
+      "{\n"
+      "  int last = refcount_dec_and_test(&obj->usage);\n"
+      "  if (last)\n"
+      "    kfree(obj);\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 11), 0);
+}
+
+TEST(CheckerP12Test, ResetToZeroIsFlagged) {
+  const auto reports = ScanAllFamilies(
+      "struct conn { refcount_t usage; };\n"
+      "static void conn_recycle(struct conn *ct)\n"
+      "{\n"
+      "  ct->usage = 0;\n"  // *BUG*: orphans outstanding references
+      "}\n");
+  ASSERT_EQ(CountPattern(reports, 12), 1);
+  EXPECT_EQ(FindPattern(reports, 12)->impact, Impact::kUaf);
+}
+
+TEST(CheckerP12Test, NonZeroInitIsClean) {
+  // `obj->refs = 1` in a constructor is the accepted init idiom.
+  const auto reports = ScanAllFamilies(
+      "struct conn { refcount_t usage; };\n"
+      "static void conn_init(struct conn *ct)\n"
+      "{\n"
+      "  ct->usage = 1;\n"
+      "}\n");
+  EXPECT_EQ(CountPattern(reports, 12), 0);
+}
+
+TEST(DialectTest, UacpiBugsOnlySurfaceUnderTheDialect) {
+  const char* text =
+      "struct uacpi_namespace_node { struct uacpi_shareable shareable; int depth; };\n"
+      "static void uacpi_node_bump(struct uacpi_namespace_node *node)\n"
+      "{\n"
+      "  node->shareable.reference_count++;\n"  // P10 under --dialect uacpi
+      "}\n";
+  EXPECT_TRUE(ScanAllFamilies(text).empty());
+  const auto reports = ScanAllFamilies(text, {"uacpi"});
+  EXPECT_EQ(CountPattern(reports, 10), 1);
+}
+
+TEST(DialectTest, GlibDecAndTestMisuseSurfacesUnderTheDialect) {
+  const char* text =
+      "struct Viewer { int ref_count; char *title; };\n"
+      "static void viewer_unref(struct Viewer *self)\n"
+      "{\n"
+      "  g_atomic_int_dec_and_test(&self->ref_count);\n"  // P11: result ignored
+      "}\n";
+  EXPECT_TRUE(ScanAllFamilies(text).empty());
+  const auto reports = ScanAllFamilies(text, {"glib"});
+  EXPECT_EQ(CountPattern(reports, 11), 1);
+}
+
 }  // namespace
 }  // namespace refscan

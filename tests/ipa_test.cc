@@ -145,6 +145,42 @@ TEST(SummaryTest, DecreaseWrapperChainRegisters) {
   EXPECT_TRUE(outer->discovered);
 }
 
+TEST(SummaryTest, DecAndTestWrapperInheritsTestsZero) {
+  // `return refcount_dec_and_test(...)` relays the zero-test to the
+  // caller, so the wrapper registers with dec_and_test semantics and P11
+  // can fire through it.
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static int my_obj_put(struct obj *o)\n"
+                                   "{\n"
+                                   "\treturn refcount_dec_and_test(&o->refs);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  const FunctionSummary* s = FindSummary(result, "my_obj_put");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->tests_zero);
+  const RefApiInfo* api = kb.FindApi("my_obj_put");
+  ASSERT_NE(api, nullptr);
+  EXPECT_EQ(api->direction, RefDirection::kDecrease);
+  EXPECT_TRUE(api->tests_zero);
+}
+
+TEST(SummaryTest, PlainDecreaseWrapperDoesNotTestZero) {
+  const Parsed parsed = ParseAll({{"a.c",
+                                   "static void my_obj_drop(struct obj *o)\n"
+                                   "{\n"
+                                   "\tkref_put(&o->ref, obj_release);\n"
+                                   "}\n"}});
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const SummaryResult result = Summarize(parsed, kb);
+  const FunctionSummary* s = FindSummary(result, "my_obj_drop");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->tests_zero);
+  const RefApiInfo* api = kb.FindApi("my_obj_drop");
+  ASSERT_NE(api, nullptr);
+  EXPECT_FALSE(api->tests_zero);
+}
+
 TEST(SummaryTest, FindWrapperChainRegistersHiddenIncrease) {
   const Parsed parsed = ParseAll({{"a.c",
                                    "static struct device_node *scan2(void)\n"

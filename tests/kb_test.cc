@@ -296,6 +296,92 @@ TEST(KbDiscoveryTest, NonRefcountingFunctionNotClassified) {
   EXPECT_EQ(kb.FindApi("plain_math"), nullptr);
 }
 
+// ------------------------------------------------------------- P10-P12 KB
+
+TEST(KbTestsZeroTest, DecAndTestBuiltinsCarryTheFlag) {
+  const KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  for (const char* name :
+       {"refcount_dec_and_test", "atomic_dec_and_test", "atomic_long_dec_and_test"}) {
+    const RefApiInfo* api = kb.FindApi(name);
+    ASSERT_NE(api, nullptr) << name;
+    EXPECT_EQ(api->direction, RefDirection::kDecrease) << name;
+    EXPECT_TRUE(api->tests_zero) << name;
+  }
+  // Plain decrements do not test-and-report.
+  const RefApiInfo* put = kb.FindApi("kref_put");
+  ASSERT_NE(put, nullptr);
+  EXPECT_FALSE(put->tests_zero);
+}
+
+TEST(KbRegistryTest, RefcountFieldsDiscoveredFromStructTypes) {
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  const auto unit = Parse(
+      "struct conn { refcount_t usage; int id; };\n"
+      "struct stats { unsigned long hits; int depth; };\n");
+  kb.DiscoverFromUnit(unit);
+  EXPECT_TRUE(kb.IsRefcountField("usage"));
+  // Plain integer counters never register — the P10 zero-FP guarantee.
+  EXPECT_FALSE(kb.IsRefcountField("hits"));
+  EXPECT_FALSE(kb.IsRefcountField("depth"));
+  EXPECT_FALSE(kb.IsRefcountField("id"));
+}
+
+TEST(KbRegistryTest, FreeApiCoversKernelListPlusRegistrations) {
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  EXPECT_TRUE(kb.IsFreeApi("kfree"));
+  EXPECT_FALSE(kb.IsFreeApi("g_free"));
+  kb.AddFreeFunction("g_free");
+  EXPECT_TRUE(kb.IsFreeApi("g_free"));
+  EXPECT_TRUE(kb.extra_free_functions().contains("g_free"));
+  // The static kernel classifier is unchanged by instance registrations.
+  EXPECT_FALSE(KnowledgeBase::IsFreeFunction("g_free"));
+}
+
+TEST(KbDialectTest, KnownDialectsAreSorted) {
+  const std::vector<std::string>& dialects = KnownDialects();
+  ASSERT_EQ(dialects.size(), 2u);
+  EXPECT_EQ(dialects[0], "glib");
+  EXPECT_EQ(dialects[1], "uacpi");
+}
+
+TEST(KbDialectTest, UacpiCatalogue) {
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  ASSERT_TRUE(ApplyDialect(kb, "uacpi"));
+  const RefApiInfo* ref = kb.FindApi("uacpi_shareable_ref");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->direction, RefDirection::kIncrease);
+  const RefApiInfo* unref = kb.FindApi("uacpi_shareable_unref");
+  ASSERT_NE(unref, nullptr);
+  EXPECT_EQ(unref->direction, RefDirection::kDecrease);
+  EXPECT_TRUE(unref->tests_zero);  // returns the previous count
+  EXPECT_TRUE(kb.IsRefcountedStruct("uacpi_shareable"));
+  EXPECT_TRUE(kb.IsRefcountField("reference_count"));
+  EXPECT_TRUE(kb.IsFreeApi("uacpi_free"));
+  EXPECT_TRUE(kb.IsFreeApi("uacpi_kernel_free"));
+}
+
+TEST(KbDialectTest, GlibCatalogue) {
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  ASSERT_TRUE(ApplyDialect(kb, "glib"));
+  const RefApiInfo* ref = kb.FindApi("g_object_ref");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->direction, RefDirection::kIncrease);
+  EXPECT_TRUE(ref->returns_object);  // g_object_ref returns its argument
+  const RefApiInfo* dat = kb.FindApi("g_atomic_int_dec_and_test");
+  ASSERT_NE(dat, nullptr);
+  EXPECT_TRUE(dat->tests_zero);
+  EXPECT_TRUE(kb.IsRefcountField("ref_count"));
+  EXPECT_TRUE(kb.IsFreeApi("g_free"));
+}
+
+TEST(KbDialectTest, UnknownDialectIsRejectedWithoutSideEffects) {
+  KnowledgeBase kb = KnowledgeBase::BuiltIn();
+  EXPECT_FALSE(ApplyDialect(kb, "qt"));
+  EXPECT_EQ(kb.FindApi("g_object_ref"), nullptr);
+  EXPECT_EQ(kb.FindApi("uacpi_shareable_ref"), nullptr);
+  EXPECT_TRUE(kb.extra_free_functions().empty());
+}
+
 TEST(ApiFamilyTest, Families) {
   EXPECT_EQ(ApiFamily("of_node_get"), "of-node");
   EXPECT_EQ(ApiFamily("of_node_put"), "of-node");

@@ -135,12 +135,14 @@ TEST(PatternListTest, ParsesValidLists) {
   EXPECT_EQ(out, std::set<int>{9});
   EXPECT_TRUE(ParsePatternList("3,3,3", out));  // duplicates collapse
   EXPECT_EQ(out, std::set<int>{3});
+  EXPECT_TRUE(ParsePatternList("10,11,12", out));  // the P10-P12 extensions
+  EXPECT_EQ(out, (std::set<int>{10, 11, 12}));
 }
 
 TEST(PatternListTest, RejectsInvalidListsWithoutTouchingOutput) {
   std::set<int> out = {7};
   EXPECT_FALSE(ParsePatternList("0", out));
-  EXPECT_FALSE(ParsePatternList("10", out));
+  EXPECT_FALSE(ParsePatternList("13", out));
   EXPECT_FALSE(ParsePatternList("abc", out));
   EXPECT_FALSE(ParsePatternList("", out));
   EXPECT_FALSE(ParsePatternList("1,,2", out));

@@ -32,6 +32,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/checkers/engine.h"
 #include "src/ipa/summary.h"
@@ -53,7 +54,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
-               "                    [--interprocedural] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "                    [--dialect NAME] [--interprocedural] [--jobs N]\n"
+               "                    [--cache-dir DIR] [--no-cache]\n"
                "                    [--stats] [--faults SPEC] [--file-timeout-ms N]\n"
                "                    [--max-failure-ratio R] [--trace-out FILE] [--metrics-out FILE]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
@@ -64,7 +66,10 @@ int Usage() {
                "  refscan stats <dir> [--json] [--jobs N]   scan, print only the stats table\n"
                "  refscan demo [--jobs N] [--emit <dir>]\n"
                "\n"
-               "  --patterns LIST       comma-separated anti-pattern ids to check, e.g. 1,4,8\n"
+               "  --patterns LIST       comma-separated anti-pattern ids in 1..12, e.g. 1,4,10\n"
+               "                        (P10-P12 are opt-in; the default is 1..9)\n"
+               "  --dialect NAME        merge a userspace refcount dialect catalogue into the\n"
+               "                        KB before scanning (repeatable); known: glib, uacpi\n"
                "  --interprocedural     fold bottom-up call-graph summaries into the KB\n"
                "                        before checking (alias: --ipa)\n"
                "  --jobs/-j N   scan threads (0 = all hardware threads, the default);\n"
@@ -96,6 +101,7 @@ struct CliFlags {
   bool json = false;
   bool interprocedural = false;
   std::set<int> patterns = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<std::string> dialects;
   size_t jobs = 0;  // 0 = hardware concurrency
   std::string emit_dir;
   std::string cache_dir;
@@ -128,10 +134,31 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       if (!refscan::ParsePatternList(argv[++i], flags.patterns)) {
-        std::fprintf(stderr, "bad pattern list '%s': expected comma-separated ids in 1..9\n",
+        std::fprintf(stderr, "bad pattern list '%s': expected comma-separated ids in 1..12\n",
                      argv[i]);
         return false;
       }
+    } else if (std::strcmp(argv[i], "--dialect") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--dialect needs a name (known: ");
+        const auto& known = refscan::KnownDialects();
+        for (size_t k = 0; k < known.size(); ++k) {
+          std::fprintf(stderr, "%s%s", k == 0 ? "" : ", ", known[k].c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return false;
+      }
+      const std::string name = argv[++i];
+      const auto& known = refscan::KnownDialects();
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::fprintf(stderr, "unknown dialect '%s' (known:", name.c_str());
+        for (const std::string& k : known) {
+          std::fprintf(stderr, " %s", k.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return false;
+      }
+      flags.dialects.push_back(name);
     } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a number\n", argv[i]);
@@ -252,6 +279,7 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
   options.jobs = flags.jobs;
   options.interprocedural = flags.interprocedural;
   options.enabled_patterns = flags.patterns;
+  options.dialects = flags.dialects;
   options.file_timeout_ms = flags.file_timeout_ms;
   options.max_failure_ratio = flags.max_failure_ratio;
   if (!flags.no_cache) {
