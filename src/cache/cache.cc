@@ -1,19 +1,13 @@
 #include "src/cache/cache.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "src/cache/serial.h"
 #include "src/support/faultinject.h"
 #include "src/support/telemetry.h"
 
 namespace refscan {
-
-namespace stdfs = std::filesystem;
 
 namespace {
 
@@ -630,12 +624,15 @@ ScanCache::ScanCache(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty()) {
     return;
   }
-  std::error_code ec;
-  stdfs::create_directories(stdfs::path(dir_) / "objects", ec);
-  if (ec) {
+  auto local = std::make_shared<LocalStore>(dir_);
+  if (!local->ok()) {
     dir_.clear();  // degrade to a disabled cache rather than failing the scan
+    return;
   }
+  store_ = std::move(local);
 }
+
+ScanCache::ScanCache(std::shared_ptr<ObjectStore> store) : store_(std::move(store)) {}
 
 namespace {
 
@@ -667,15 +664,9 @@ bool ScanCache::LoadObject(const std::string& name, uint8_t kind, std::string& p
     corrupt_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::ifstream in(stdfs::path(dir_) / name, std::ios::binary);
-  if (!in) {
-    return false;
-  }
   std::string blob;
-  {
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    blob = std::move(buf).str();
+  if (!store_->Get(name, blob)) {
+    return false;
   }
   // Header: magic, version, kind, payload hash, payload size. The object
   // exists from here on: any validation failure is a corrupt load.
@@ -726,43 +717,9 @@ void ScanCache::StoreObject(const std::string& name, uint8_t kind, std::string_v
   w.U8(kind);
   w.U64(HashBytes(payload));
   w.U32(static_cast<uint32_t>(payload.size()));
-
-  const stdfs::path target = stdfs::path(dir_) / name;
-  std::error_code ec;
-  stdfs::create_directories(target.parent_path(), ec);
-  if (ec) {
-    return;
-  }
-  // Write-then-rename: readers (including concurrent scans sharing this
-  // directory) only ever see complete objects.
-  const stdfs::path tmp =
-      target.parent_path() /
-      (target.filename().string() + ".tmp" +
-       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return;
-    }
-    out.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!out) {
-      out.close();
-      stdfs::remove(tmp, ec);
-      return;
-    }
-  }
-  stdfs::rename(tmp, target, ec);
-  if (ec) {
-    stdfs::remove(tmp, ec);
-    return;
-  }
-
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  std::ofstream index(stdfs::path(dir_) / "index.tsv", std::ios::app);
-  if (index) {
-    index << kind_name << '\t' << name << '\t' << source << '\t' << payload.size() << '\n';
-  }
+  std::string blob = w.TakeBytes();
+  blob.append(payload);
+  store_->Put(name, blob, kind_name, source);
 }
 
 std::optional<DiscoveryFacts> ScanCache::LoadFacts(const CacheKey& key) const {
@@ -820,32 +777,10 @@ void ScanCache::StoreKb(const CacheKey& key, const KnowledgeBase& kb, std::strin
 }
 
 std::vector<ScanCache::IndexEntry> ScanCache::ReadIndex() const {
-  std::vector<IndexEntry> entries;
   if (!enabled()) {
-    return entries;
+    return {};
   }
-  std::ifstream in(stdfs::path(dir_) / "index.tsv");
-  std::string line;
-  while (std::getline(in, line)) {
-    IndexEntry entry;
-    const size_t t1 = line.find('\t');
-    const size_t t2 = t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
-    const size_t t3 = t2 == std::string::npos ? std::string::npos : line.find('\t', t2 + 1);
-    if (t3 == std::string::npos) {
-      continue;  // malformed line (torn concurrent append): skip, don't fail
-    }
-    entry.kind = line.substr(0, t1);
-    entry.object = line.substr(t1 + 1, t2 - t1 - 1);
-    entry.source = line.substr(t2 + 1, t3 - t2 - 1);
-    const std::string bytes = line.substr(t3 + 1);
-    char* end = nullptr;
-    entry.bytes = std::strtoull(bytes.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') {
-      continue;
-    }
-    entries.push_back(std::move(entry));
-  }
-  return entries;
+  return store_->Index();
 }
 
 }  // namespace refscan

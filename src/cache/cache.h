@@ -27,23 +27,26 @@
 // post-discovery knowledge base, because a file's reports are a pure
 // function of (content, KB, options). Loads validate magic, version, kind
 // and a payload checksum, and treat any mismatch as a miss — a corrupted or
-// truncated entry can cost time, never correctness. Stores write to a
-// temporary file and rename, so concurrent scans sharing a cache directory
-// only ever observe complete objects. An append-only index.tsv records one
-// line per stored object for inspection; readers skip malformed lines.
+// truncated entry can cost time, never correctness. Raw blob I/O goes
+// through an ObjectStore backend (src/cache/store.h): LocalStore writes to
+// a temporary file and renames, so concurrent scans sharing a cache
+// directory only ever observe complete objects, and appends one index.tsv
+// line per stored object for inspection (readers skip malformed lines);
+// RemoteStore speaks the same get/put to a shared `refscan cached` server.
 
 #ifndef REFSCAN_CACHE_CACHE_H_
 #define REFSCAN_CACHE_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/ast/ast.h"
+#include "src/cache/store.h"
 #include "src/checkers/report.h"
 #include "src/kb/kb.h"
 
@@ -90,10 +93,17 @@ class ScanCache {
  public:
   // An empty `dir` constructs a disabled cache (every Load misses, every
   // Store is a no-op) so callers need no branches. A non-empty dir is
-  // created on demand; creation failure degrades to disabled.
+  // created on demand; creation failure degrades to disabled. This is the
+  // on-disk LocalStore path.
   explicit ScanCache(std::string dir);
 
-  bool enabled() const { return !dir_.empty(); }
+  // Backs the cache with an explicit store — how `--cache-server` plugs a
+  // RemoteStore under the same artifact semantics (keys, header framing,
+  // corruption accounting all unchanged; only raw blob I/O differs).
+  // A null store constructs a disabled cache.
+  explicit ScanCache(std::shared_ptr<ObjectStore> store);
+
+  bool enabled() const { return store_ != nullptr; }
   const std::string& dir() const { return dir_; }
 
   std::optional<DiscoveryFacts> LoadFacts(const CacheKey& key) const;
@@ -116,14 +126,10 @@ class ScanCache {
   // objects are not counted.
   uint64_t corrupt_loads() const { return corrupt_loads_.load(std::memory_order_relaxed); }
 
-  // index.tsv bookkeeping: kind, object file name, source path, payload
-  // bytes. Malformed lines are skipped, not fatal.
-  struct IndexEntry {
-    std::string kind;
-    std::string object;
-    std::string source;
-    uint64_t bytes = 0;
-  };
+  // index.tsv bookkeeping: kind, object file name, source path, stored
+  // bytes. Malformed lines are skipped, not fatal. Stores without an index
+  // (RemoteStore) report empty.
+  using IndexEntry = CacheIndexEntry;
   std::vector<IndexEntry> ReadIndex() const;
 
  private:
@@ -132,8 +138,7 @@ class ScanCache {
                    std::string_view kind_name, std::string_view source);
 
   std::string dir_;
-  mutable std::mutex index_mutex_;
-  mutable std::atomic<uint64_t> tmp_counter_{0};
+  std::shared_ptr<ObjectStore> store_;
   mutable std::atomic<uint64_t> corrupt_loads_{0};
 };
 

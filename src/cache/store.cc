@@ -1,0 +1,430 @@
+#include "src/cache/store.h"
+
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/cache/serial.h"
+
+namespace refscan {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+// Cache-server frame types (one request frame in, one reply frame out, in
+// lockstep — the put ack keeps the stream framed and gives natural
+// backpressure).
+constexpr uint8_t kCacheGet = 1;    // payload: Str name
+constexpr uint8_t kCacheHit = 2;    // payload: the blob
+constexpr uint8_t kCacheMiss = 3;   // empty
+constexpr uint8_t kCachePut = 4;    // payload: Str name, Str kind, Str source, Str blob
+constexpr uint8_t kCachePutOk = 5;  // empty
+
+// Writes all of `data`, looping over partial writes and EINTR.
+bool WriteFull(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::vector<CacheIndexEntry> ParseIndexFile(const stdfs::path& path) {
+  std::vector<CacheIndexEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    CacheIndexEntry entry;
+    const size_t t1 = line.find('\t');
+    const size_t t2 = t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    const size_t t3 = t2 == std::string::npos ? std::string::npos : line.find('\t', t2 + 1);
+    if (t3 == std::string::npos) {
+      continue;  // malformed line: skip, don't fail
+    }
+    entry.kind = line.substr(0, t1);
+    entry.object = line.substr(t1 + 1, t2 - t1 - 1);
+    entry.source = line.substr(t2 + 1, t3 - t2 - 1);
+    const std::string bytes = line.substr(t3 + 1);
+    char* end = nullptr;
+    entry.bytes = std::strtoull(bytes.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LocalStore
+
+LocalStore::LocalStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(dir_) / "objects", ec);
+  if (ec) {
+    dir_.clear();  // degrade to a disabled store rather than failing the scan
+  }
+}
+
+bool LocalStore::Get(const std::string& name, std::string& blob) {
+  if (dir_.empty()) {
+    return false;
+  }
+  const stdfs::path target = stdfs::path(dir_) / name;
+  std::ifstream in(target, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  blob = std::move(buf).str();
+  // Touch mtime on every hit so `cache gc` LRU order reflects use, not
+  // write time. Best effort; a read-only cache still serves hits.
+  ::utimensat(AT_FDCWD, target.c_str(), nullptr, 0);
+  return true;
+}
+
+void LocalStore::Put(const std::string& name, std::string_view blob, std::string_view kind_name,
+                     std::string_view source) {
+  if (dir_.empty()) {
+    return;
+  }
+  const stdfs::path target = stdfs::path(dir_) / name;
+  std::error_code ec;
+  stdfs::create_directories(target.parent_path(), ec);
+  if (ec) {
+    return;
+  }
+  // Write-then-rename: readers (including concurrent scans sharing this
+  // directory) only ever see complete objects. The tmp name mixes in the
+  // pid so worker processes sharing a cache never collide.
+  const stdfs::path tmp =
+      target.parent_path() /
+      (target.filename().string() + ".tmp" + std::to_string(::getpid()) + "." +
+       std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return;
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      stdfs::remove(tmp, ec);
+      return;
+    }
+  }
+  stdfs::rename(tmp, target, ec);
+  if (ec) {
+    stdfs::remove(tmp, ec);
+    return;
+  }
+
+  std::string line;
+  line.reserve(kind_name.size() + name.size() + source.size() + 24);
+  line.append(kind_name);
+  line.push_back('\t');
+  line.append(name);
+  line.push_back('\t');
+  line.append(source);
+  line.push_back('\t');
+  line.append(std::to_string(blob.size()));
+  line.push_back('\n');
+  AppendIndexLine(line);
+}
+
+// One O_APPEND write(2) per entry: appends of a single line land atomically
+// at the end of the file even across processes, so N workers sharing a
+// cache directory never tear each other's index lines. Lines past PIPE_BUF
+// (deep source paths) fall back to an exclusive flock for the same
+// guarantee at any size.
+void LocalStore::AppendIndexLine(const std::string& line) {
+  const std::string path = (stdfs::path(dir_) / "index.tsv").string();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return;
+  }
+  if (line.size() <= PIPE_BUF) {
+    WriteFull(fd, line);
+  } else if (::flock(fd, LOCK_EX) == 0) {
+    WriteFull(fd, line);
+    ::flock(fd, LOCK_UN);
+  }
+  ::close(fd);
+}
+
+std::vector<CacheIndexEntry> LocalStore::Index() const {
+  if (dir_.empty()) {
+    return {};
+  }
+  return ParseIndexFile(stdfs::path(dir_) / "index.tsv");
+}
+
+// ---------------------------------------------------------------------------
+// RemoteStore
+
+RemoteStore::RemoteStore(std::string socket_path) : socket_path_(std::move(socket_path)) {}
+
+bool RemoteStore::EnsureConnected() {
+  if (broken_) {
+    return false;
+  }
+  if (fd_.valid()) {
+    return true;
+  }
+  fd_ = UnixConnect(socket_path_);
+  if (!fd_.valid()) {
+    broken_ = true;  // no server: every later call is a cheap local miss
+    return false;
+  }
+  return true;
+}
+
+bool RemoteStore::Get(const std::string& name, std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!EnsureConnected()) {
+    return false;
+  }
+  ByteWriter w;
+  w.Str(name);
+  uint8_t type = 0;
+  if (!SendFrame(fd_.get(), kCacheGet, w.bytes()) ||
+      RecvFrame(fd_.get(), type, blob) != RecvOutcome::kFrame) {
+    fd_.Reset();
+    broken_ = true;  // server died mid-conversation: degrade, don't thrash
+    return false;
+  }
+  return type == kCacheHit;
+}
+
+void RemoteStore::Put(const std::string& name, std::string_view blob, std::string_view kind_name,
+                      std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!EnsureConnected()) {
+    return;
+  }
+  ByteWriter w;
+  w.Str(name);
+  w.Str(kind_name);
+  w.Str(source);
+  w.Str(blob);
+  uint8_t type = 0;
+  std::string ack;
+  if (!SendFrame(fd_.get(), kCachePut, w.bytes()) ||
+      RecvFrame(fd_.get(), type, ack) != RecvOutcome::kFrame || type != kCachePutOk) {
+    fd_.Reset();
+    broken_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CacheServer
+
+CacheServer::CacheServer(std::string dir, std::string socket_path)
+    : store_(std::move(dir)), socket_path_(std::move(socket_path)) {}
+
+CacheServer::~CacheServer() { Stop(); }
+
+bool CacheServer::Start(std::string* error) {
+  if (!store_.ok()) {
+    if (error != nullptr) {
+      *error = "cannot create cache directory " + store_.dir();
+    }
+    return false;
+  }
+  listen_fd_ = UnixListen(socket_path_, error);
+  if (!listen_fd_.valid()) {
+    return false;
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void CacheServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // The poll timeout bounds how long Stop() waits for the loop to notice
+    // stopping_; it does not limit how long clients may stay connected.
+    OwnedFd conn = UnixAccept(listen_fd_.get(), /*timeout_ms=*/200);
+    if (!conn.valid()) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.push_back(conn.get());
+    conn_threads_.emplace_back([this, c = std::move(conn)]() mutable { ServeConn(std::move(c)); });
+  }
+}
+
+void CacheServer::ServeConn(OwnedFd conn) {
+  uint8_t type = 0;
+  std::string payload;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (RecvFrame(conn.get(), type, payload) != RecvOutcome::kFrame) {
+      break;
+    }
+    if (type == kCacheGet) {
+      ByteReader r(payload);
+      const std::string name = r.Str();
+      gets_.fetch_add(1, std::memory_order_relaxed);
+      std::string blob;
+      if (r.ok() && r.AtEnd() && store_.Get(name, blob)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (!SendFrame(conn.get(), kCacheHit, blob)) {
+          break;
+        }
+      } else if (!SendFrame(conn.get(), kCacheMiss, {})) {
+        break;
+      }
+    } else if (type == kCachePut) {
+      ByteReader r(payload);
+      std::string name = r.Str();
+      std::string kind = r.Str();
+      std::string source = r.Str();
+      std::string blob = r.Str();
+      if (r.ok() && r.AtEnd()) {
+        puts_.fetch_add(1, std::memory_order_relaxed);
+        store_.Put(name, blob, kind, source);
+      }
+      if (!SendFrame(conn.get(), kCachePutOk, {})) {
+        break;
+      }
+    } else {
+      break;  // unknown frame type: not our protocol, drop the connection
+    }
+  }
+  // Deregister before the fd closes (at end of this function) so Stop()
+  // never calls shutdown() on a recycled descriptor.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), conn.get()), live_fds_.end());
+}
+
+void CacheServer::Stop() {
+  if (!accept_thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // unblocks any conn thread parked in recv
+    }
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  listen_fd_.Reset();
+  ::unlink(socket_path_.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// GC
+
+CacheGcStats RunCacheGc(const std::string& dir, uint64_t max_bytes) {
+  CacheGcStats stats;
+  const stdfs::path objects = stdfs::path(dir) / "objects";
+  struct Obj {
+    std::string rel;  // path relative to `dir`, matching index object names
+    uint64_t bytes = 0;
+    stdfs::file_time_type mtime;
+  };
+  std::vector<Obj> objs;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (stdfs::recursive_directory_iterator it(objects, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    Obj o;
+    o.rel = stdfs::relative(it->path(), dir, ec).generic_string();
+    o.bytes = it->file_size(ec);
+    o.mtime = it->last_write_time(ec);
+    if (ec) {
+      continue;  // racing eviction/rename: skip
+    }
+    total += o.bytes;
+    objs.push_back(std::move(o));
+  }
+  // Oldest-first, name as the deterministic tie-break within one mtime tick.
+  std::sort(objs.begin(), objs.end(), [](const Obj& a, const Obj& b) {
+    if (a.mtime != b.mtime) {
+      return a.mtime < b.mtime;
+    }
+    return a.rel < b.rel;
+  });
+  std::vector<bool> evicted(objs.size(), false);
+  for (size_t i = 0; i < objs.size() && total > max_bytes; ++i) {
+    stdfs::remove(stdfs::path(dir) / objs[i].rel, ec);
+    if (ec) {
+      continue;
+    }
+    evicted[i] = true;
+    total -= objs[i].bytes;
+    stats.evicted_objects++;
+    stats.evicted_bytes += objs[i].bytes;
+  }
+  for (size_t i = 0; i < objs.size(); ++i) {
+    if (!evicted[i]) {
+      stats.kept_objects++;
+      stats.kept_bytes += objs[i].bytes;
+    }
+  }
+
+  // Compact index.tsv down to surviving objects, keeping the newest line
+  // per object. Best effort: an append racing the rewrite can lose its
+  // index line (inspection only), never an object.
+  const stdfs::path index_path = stdfs::path(dir) / "index.tsv";
+  std::vector<CacheIndexEntry> entries = ParseIndexFile(index_path);
+  std::unordered_set<std::string_view> seen;
+  std::vector<const CacheIndexEntry*> kept;
+  kept.reserve(entries.size());
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (seen.insert(it->object).second && stdfs::exists(stdfs::path(dir) / it->object, ec)) {
+      kept.push_back(&*it);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+  const stdfs::path tmp = stdfs::path(dir) / "index.tsv.gc";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return stats;
+    }
+    for (const CacheIndexEntry* e : kept) {
+      out << e->kind << '\t' << e->object << '\t' << e->source << '\t' << e->bytes << '\n';
+    }
+  }
+  stdfs::rename(tmp, index_path, ec);
+  if (ec) {
+    stdfs::remove(tmp, ec);
+  }
+  return stats;
+}
+
+}  // namespace refscan

@@ -8,6 +8,7 @@
 #include "src/ast/parser.h"
 #include "src/cache/cache.h"
 #include "src/cache/serial.h"
+#include "src/checkers/scan_stages.h"
 #include "src/ipa/summary.h"
 #include "src/support/faultinject.h"
 #include "src/support/governor.h"
@@ -74,123 +75,6 @@ CheckerEngine::CheckerEngine(KnowledgeBase kb, ScanOptions options)
 }
 
 namespace {
-
-// Stage-3 work for one file: build the contexts and run every enabled
-// checker, appending raw reports to this file's shard. Each worker owns its
-// shard exclusively, and reads the (now immutable) KB concurrently.
-struct FileShard {
-  std::vector<BugReport> raw;
-  size_t functions = 0;
-};
-
-FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const KnowledgeBase& kb,
-                       const ScanOptions& options) {
-  FileShard shard;
-  const UnitContext uc = BuildUnitContext(file, std::move(unit), kb);
-  shard.functions = uc.functions.size();
-
-  const auto& enabled = options.enabled_patterns;
-  for (const FunctionContext& fc : uc.functions) {
-    CheckDeadline("checker");
-    if (enabled.contains(1)) {
-      CheckReturnError(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(2)) {
-      CheckReturnNull(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(3)) {
-      CheckSmartLoopBreak(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(4)) {
-      CheckHiddenApi(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(5)) {
-      CheckErrorHandle(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(7)) {
-      CheckDirectFree(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(8)) {
-      CheckUseAfterDecrease(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(9)) {
-      CheckReferenceEscape(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(10)) {
-      CheckRawManipulation(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(11)) {
-      CheckTestAndFree(uc, fc, kb, options, shard.raw);
-    }
-    if (enabled.contains(12)) {
-      CheckRefcountReset(uc, fc, kb, options, shard.raw);
-    }
-  }
-  if (enabled.contains(6)) {
-    CheckInterUnpaired(uc, kb, options, shard.raw);
-  }
-  return shard;
-}
-
-// Maps an injected fault to the failure taxonomy by its site prefix.
-FailureKind ClassifyFault(const FaultInjected& e) {
-  if (e.transient_io()) {
-    return FailureKind::kIo;
-  }
-  const std::string& site = e.site();
-  if (site.rfind("fs.", 0) == 0) {
-    return FailureKind::kIo;
-  }
-  if (site.rfind("cache.", 0) == 0) {
-    return FailureKind::kCache;
-  }
-  if (site.rfind("parser.", 0) == 0) {
-    return FailureKind::kParse;
-  }
-  return FailureKind::kInternal;
-}
-
-// Runs one file's pipeline stage inside its sandbox: a fresh ScopedDeadline
-// per attempt, one bounded-backoff retry for transient I/O failures (only
-// while `retry_allowed` — the stage-3 body clears it once it has consumed
-// the cached TranslationUnit), and exception → FileFailure classification.
-// Returns false when the file is quarantined (`failure` is filled in); the
-// caller must then discard the file's partial state.
-template <typename Fn>
-bool GuardFileStage(std::string_view path, FailureStage stage, uint32_t timeout_ms,
-                    const bool& retry_allowed, Fn&& body, std::optional<FileFailure>& failure,
-                    bool& retried) {
-  FileFailure f;
-  f.path = std::string(path);
-  f.stage = stage;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      ScopedDeadline deadline(timeout_ms);
-      body();
-      return true;
-    } catch (const FaultInjected& e) {
-      if (e.transient_io() && retry_allowed && attempt == 0) {
-        retried = true;
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
-      }
-      f.kind = ClassifyFault(e);
-      f.what = e.what();
-    } catch (const ResourceLimitError& e) {
-      f.kind = FailureKind::kResourceLimit;
-      f.what = e.what();
-    } catch (const std::exception& e) {
-      f.kind = FailureKind::kInternal;
-      f.what = e.what();
-    } catch (...) {
-      f.kind = FailureKind::kInternal;
-      f.what = "unknown exception";
-    }
-    f.retries = retried ? 1 : 0;
-    failure = std::move(f);
-    return false;
-  }
-}
 
 // Pre-resolved counter handles for one scan. The engine counts in here (one
 // relaxed atomic add per event, no name lookups on the hot path) and
@@ -260,108 +144,23 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
 
   ThreadPool pool(options_.jobs);
 
-  ScanCache cache(options_.cache_dir);
-  const bool use_cache = cache.enabled();
-  const uint64_t options_fp = use_cache ? ScanOptionsFingerprint(options_) : 0;
-  const bool want_facts = options_.discover_from_source;
-  // Whether stage 1 must materialise a TranslationUnit for every file. With
-  // no cache, stage 3 consumes the units; in interprocedural mode, stage
-  // 2.5 walks them. With the cache and neither, a file whose facts (and
-  // later, reports) hit can go through the whole scan without ever being
-  // parsed — the incremental fast path.
-  const bool need_units = !use_cache || options_.interprocedural;
-
-  struct FileState {
-    CacheKey key;
-    DiscoveryFacts facts;
-    std::optional<TranslationUnit> unit;
-    bool parsed = false;      // ParseFile ran for this file during this scan
-    bool report_hit = false;  // stage-3 shard spliced from the cache
-    bool retried = false;     // a transient-I/O retry was consumed (any stage)
-    std::optional<FileFailure> failure;  // set = quarantined, skip later stages
-  };
-
-  // Parser caps from the governor options. max_ast_depth replaces the
-  // silent flatten-at-200 with a hard (quarantining) cap.
-  ParseOptions popts;
-  if (options_.max_ast_depth > 0) {
-    popts.max_depth = options_.max_ast_depth;
-    popts.depth_fatal = true;
-  }
-  popts.max_nodes = options_.max_ast_nodes;
-  const bool stage_retry_ok = true;  // stage 1 work is idempotent, retry freely
+  ScanCache cache(MakeScanStore(options_));
+  const ScanStageContext ctx = MakeScanStageContext(options_, cache);
+  const bool use_cache = ctx.use_cache;
+  const bool want_facts = ctx.want_facts;
 
   // Stage 1: obtain per-file discovery facts — and units where needed —
-  // (parallel; each file is independent). Cache hits replay the stored
-  // facts/unit instead of parsing; misses parse, extract, and populate the
-  // cache for the next scan. Facts extraction is a pure projection of the
-  // unit, so every path below yields identical facts for identical content.
-  // Every file runs inside its sandbox: a throw from the size cap, the
-  // parser (deadline / AST caps / injected fault) or the cache quarantines
-  // that one file and resets its partial state; the rest of the scan never
-  // sees it again. A quarantined file stores no cache artifacts, so nothing
-  // injection- or wall-clock-dependent can ever be replayed.
-  std::vector<FileState> states;
+  // (parallel; each file is independent). The per-file body lives in
+  // scan_stages.cc, shared verbatim with the shard worker. Every file runs
+  // inside its sandbox: a throw from the size cap, the parser (deadline /
+  // AST caps / injected fault) or the cache quarantines that one file and
+  // resets its partial state; the rest of the scan never sees it again. A
+  // quarantined file stores no cache artifacts, so nothing injection- or
+  // wall-clock-dependent can ever be replayed.
+  std::vector<FileScanState> states;
   {
     TelemetrySpan stage_span("stage.parse");
-    states = ParallelMap(pool, files.size(), [&](size_t i) {
-    FileState st;
-    const SourceFile& f = *files[i];
-    // One event per file whatever happens inside (cache replay, parse,
-    // retries): the guard's attempt loop runs within this span.
-    TelemetrySpan file_span("file.parse", f.path());
-    const bool ok = GuardFileStage(
-        f.path(), FailureStage::kParse, options_.file_timeout_ms, stage_retry_ok,
-        [&] {
-          st.key = CacheKey{};
-          st.facts = DiscoveryFacts{};
-          st.unit.reset();
-          st.parsed = false;
-          if (options_.max_file_bytes > 0 && f.text().size() > options_.max_file_bytes) {
-            throw ResourceLimitError(StrFormat("input size %zu exceeds cap %zu", f.text().size(),
-                                               options_.max_file_bytes));
-          }
-          if (use_cache) {
-            st.key = MakeFileKey(f.path(), f.text(), options_fp);
-            if (!need_units) {
-              if (!want_facts) {
-                return;  // discovery off: nothing is needed before stage 3
-              }
-              if (std::optional<DiscoveryFacts> facts = cache.LoadFacts(st.key)) {
-                st.facts = std::move(*facts);
-                return;
-              }
-            } else if (std::optional<TranslationUnit> unit = cache.LoadUnit(st.key)) {
-              st.unit = std::move(*unit);
-              if (want_facts) {
-                st.facts = ExtractDiscoveryFacts(*st.unit);
-              }
-              return;
-            }
-          }
-          st.unit = ParseFile(f, popts);
-          st.parsed = true;
-          if (want_facts) {
-            st.facts = ExtractDiscoveryFacts(*st.unit);
-          }
-          if (use_cache) {
-            cache.StoreUnit(st.key, *st.unit, f.path());
-            if (want_facts) {
-              cache.StoreFacts(st.key, st.facts, f.path());
-            }
-          }
-        },
-        st.failure, st.retried);
-    if (!ok) {
-      // Discard partial state so the KB replay and stage 3 see a file that
-      // simply is not there — this is what makes the healthy-subset
-      // byte-identity guarantee hold.
-      st.facts = DiscoveryFacts{};
-      st.unit.reset();
-      st.parsed = false;
-    }
-    return st;
-    });
+    states = ParallelMap(pool, files.size(), [&](size_t i) { return RunParseStage(*files[i], ctx); });
   }
 
   // Scan-wide circuit breaker (off by default): a mostly-broken tree —
@@ -374,13 +173,13 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   };
   const auto count_failed = [&] {
     size_t failed = 0;
-    for (const FileState& st : states) {
+    for (const FileScanState& st : states) {
       failed += st.failure.has_value() ? 1 : 0;
     }
     return failed;
   };
   const auto collect_failures = [&] {
-    for (FileState& st : states) {
+    for (FileScanState& st : states) {
       if (st.retried) {
         m.files_retried.Add(1);
       }
@@ -428,14 +227,14 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
     if (use_cache) {
       std::vector<const DiscoveryFacts*> all_facts;
       all_facts.reserve(states.size());
-      for (const FileState& st : states) {
+      for (const FileScanState& st : states) {
         if (st.failure) {
           continue;
         }
         all_facts.push_back(&st.facts);
       }
       kb_key = MakeKbSnapshotKey(FingerprintKnowledgeBase(kb_), options_.nesting_threshold,
-                                 all_facts, options_fp);
+                                 all_facts, ctx.options_fp);
       if (std::optional<KnowledgeBase> snapshot = cache.LoadKb(kb_key)) {
         kb_ = std::move(*snapshot);
         kb_from_snapshot = true;
@@ -445,7 +244,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       // Two discovery rounds: the first classifies directly-visible APIs,
       // the second lets wrappers of discovered APIs classify too.
       for (int round = 0; round < 2; ++round) {
-        for (const FileState& st : states) {
+        for (const FileScanState& st : states) {
           if (st.failure) {
             continue;
           }
@@ -476,7 +275,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       MaybeFault("ipa.summarize", "<tree>");
       std::vector<const TranslationUnit*> unit_ptrs;
       unit_ptrs.reserve(states.size());
-      for (const FileState& st : states) {
+      for (const FileScanState& st : states) {
         if (st.failure) {
           continue;
         }
@@ -516,56 +315,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   {
     TelemetrySpan stage_span("stage.check");
     shards = ParallelMap(pool, files.size(), [&](size_t i) {
-    FileState& st = states[i];
-    FileShard shard;
-    if (st.failure) {
-      return shard;  // quarantined in stage 1: empty shard, nothing to check
-    }
-    // One event per non-quarantined file, covering splice and cold check
-    // alike (the nested cache.load span distinguishes them in a trace).
-    TelemetrySpan file_span("file.check", files[i]->path());
-    // Retrying is only safe until the body moves the cached TranslationUnit
-    // into CheckOneFile — after that a retry would re-check a moved-from
-    // unit and silently produce wrong output, so the body revokes it.
-    bool retry_ok = true;
-    const bool ok = GuardFileStage(
-        files[i]->path(), FailureStage::kCheck, options_.file_timeout_ms, retry_ok,
-        [&] {
-          shard = FileShard{};
-          if (use_cache) {
-            if (std::optional<CachedFileReports> cached = cache.LoadReports(st.key, kb_fp)) {
-              st.report_hit = true;
-              shard.raw = std::move(cached->reports);
-              shard.functions = static_cast<size_t>(cached->functions);
-              return;
-            }
-          }
-          MaybeFault("checker.run", files[i]->path());
-          TranslationUnit unit;
-          if (st.unit.has_value()) {
-            retry_ok = false;
-            unit = std::move(*st.unit);
-            st.unit.reset();
-          } else {
-            // Facts were cached but this file's reports were invalidated
-            // (another file changed the KB): re-parse just this file,
-            // in-memory.
-            unit = ParseFile(*files[i], popts);
-            st.parsed = true;
-          }
-          shard = CheckOneFile(*files[i], std::move(unit), kb, options_);
-          if (use_cache) {
-            CachedFileReports entry;
-            entry.reports = shard.raw;
-            entry.functions = shard.functions;
-            cache.StoreReports(st.key, kb_fp, entry, files[i]->path());
-          }
-        },
-        st.failure, st.retried);
-    if (!ok) {
-      shard = FileShard{};  // discard any partial shard
-    }
-    return shard;
+      return RunCheckStage(*files[i], states[i], kb, kb_fp, ctx);
     });
   }
 
@@ -580,7 +330,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   }
 
   if (use_cache) {
-    for (const FileState& st : states) {
+    for (const FileScanState& st : states) {
       if (st.failure) {
         continue;  // quarantined files are neither hits nor misses
       }

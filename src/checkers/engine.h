@@ -59,6 +59,14 @@ struct ScanOptions {
   // value; the cache can only cost time, never change output.
   std::string cache_dir;
 
+  // Unix-socket path of a `refscan cached` shared artifact server
+  // (src/cache/store.h). When set it takes precedence over cache_dir: cache
+  // gets/puts go over the socket, so N scanning processes (or machines
+  // sharing the socket via a forwarder) split one warm store. Location, not
+  // content — excluded from the options fingerprint, and an unreachable
+  // server degrades every call to a miss.
+  std::string cache_server;
+
   // Precision knobs (the design-choice ablation toggles these):
   // treat NULL-checked failure branches as acquisition-failed paths.
   bool prune_null_branches = true;

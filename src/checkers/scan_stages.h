@@ -1,0 +1,89 @@
+// Per-file pipeline stage bodies, shared verbatim by the in-process engine
+// (CheckerEngine::Scan) and the shard worker (src/checkers/sharded).
+//
+// The sharded scan's hard requirement is byte-identical output to a
+// single-process scan at any --jobs × --workers combination. Rather than
+// reimplementing the stage-1 (parse / cache replay) and stage-3 (check /
+// report splice) bodies in the worker and proving them equivalent, both
+// callers invoke the exact same functions: a file's FileScanState and
+// FileShard cannot depend on which process computed them, because only one
+// implementation exists. The engine keeps the parts that are inherently
+// whole-tree — the KB-discovery barrier, the circuit breaker, the
+// file-ordered merge — and the sharded coordinator replays those same steps
+// over worker-supplied per-file facts.
+//
+// Each stage body runs inside the DESIGN.md §5.9 sandbox: a fresh deadline
+// per attempt, one transient-I/O retry while idempotent, and exception →
+// FileFailure quarantine that resets the file's partial state.
+
+#ifndef REFSCAN_CHECKERS_SCAN_STAGES_H_
+#define REFSCAN_CHECKERS_SCAN_STAGES_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ast/parser.h"
+#include "src/cache/cache.h"
+#include "src/checkers/engine.h"
+
+namespace refscan {
+
+// Stage-3 output for one file: the raw (pre-dedup) report shard in checker
+// emission order plus the file's function count.
+struct FileShard {
+  std::vector<BugReport> raw;
+  size_t functions = 0;
+};
+
+// Everything one file accumulates on its way through the pipeline.
+struct FileScanState {
+  CacheKey key;
+  DiscoveryFacts facts;
+  std::optional<TranslationUnit> unit;
+  bool parsed = false;      // ParseFile ran for this file during this scan
+  bool report_hit = false;  // stage-3 shard spliced from the cache
+  bool retried = false;     // a transient-I/O retry was consumed (any stage)
+  std::optional<FileFailure> failure;  // set = quarantined, skip later stages
+};
+
+// Builds the object store the options ask for: a RemoteStore client when
+// cache_server is set (takes precedence), a LocalStore for cache_dir, null
+// (disabled cache) otherwise. A local directory that cannot be created
+// degrades to null, matching ScanCache's historical behaviour.
+std::shared_ptr<ObjectStore> MakeScanStore(const ScanOptions& options);
+
+// Derived per-scan constants shared by every file's stage bodies.
+struct ScanStageContext {
+  const ScanOptions* options = nullptr;
+  ScanCache* cache = nullptr;
+  bool use_cache = false;
+  uint64_t options_fp = 0;
+  bool want_facts = false;  // discovery enabled: stage 1 must yield facts
+  // Whether stage 1 must materialise a TranslationUnit for every file. With
+  // no cache, stage 3 consumes the units; in interprocedural mode, stage
+  // 2.5 walks them. With the cache and neither, a file whose facts (and
+  // later, reports) hit can go through the whole scan without ever being
+  // parsed — the incremental fast path.
+  bool need_units = false;
+  ParseOptions popts;
+};
+ScanStageContext MakeScanStageContext(const ScanOptions& options, ScanCache& cache);
+
+// Stage 1 for one file: obtain its discovery facts — and unit where needed.
+// Cache hits replay the stored facts/unit instead of parsing; misses parse,
+// extract, and populate the cache for the next scan. A quarantined file
+// comes back with `failure` set and all partial state discarded, so the KB
+// replay and stage 3 see a file that simply is not there.
+FileScanState RunParseStage(const SourceFile& file, const ScanStageContext& ctx);
+
+// Stage 3 for one file: splice the cached report shard when the KB
+// fingerprint proves it valid, otherwise build contexts and run the enabled
+// checkers. A file quarantined earlier returns an empty shard untouched;
+// a stage-3 quarantine sets `st.failure` and returns an empty shard.
+FileShard RunCheckStage(const SourceFile& file, FileScanState& st, const KnowledgeBase& kb,
+                        uint64_t kb_fp, const ScanStageContext& ctx);
+
+}  // namespace refscan
+
+#endif  // REFSCAN_CHECKERS_SCAN_STAGES_H_

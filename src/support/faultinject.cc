@@ -16,7 +16,8 @@ namespace {
 // Known site names: rejecting unknown sites at parse time turns a typo in a
 // CI spec into a hard error instead of a silently un-faulted run.
 constexpr std::string_view kKnownSites[] = {
-    "fs.read", "cache.load", "cache.store", "parser.parse", "checker.run", "ipa.summarize",
+    "fs.read",     "cache.load",     "cache.store",    "parser.parse",
+    "checker.run", "ipa.summarize",  "worker.facts",   "worker.results",
 };
 
 bool IsKnownSite(std::string_view site) {

@@ -7,6 +7,8 @@
 // wrong report.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -16,6 +18,7 @@
 
 #include "src/ast/parser.h"
 #include "src/cache/cache.h"
+#include "src/cache/store.h"
 #include "src/checkers/engine.h"
 #include "src/corpus/generator.h"
 #include "src/cpg/dump.h"
@@ -475,6 +478,160 @@ TEST_F(CacheTest, FullCorpusColdWarmIdentical) {
   ExpectSameReports(cold, warm);
   EXPECT_EQ(warm.stats.cache_hits, corpus.tree.size());
   EXPECT_EQ(warm.stats.cache_parse_skips, corpus.tree.size());
+}
+
+// ---- object-store backends (src/cache/store, DESIGN.md §5.13) ----------
+
+TEST_F(CacheTest, LocalStoreSurvivesConcurrentWritersFromManyProcesses) {
+  // N processes append to one index.tsv concurrently. Every line must land
+  // intact (single O_APPEND write under PIPE_BUF — no torn or interleaved
+  // lines) and every object must load back byte-exact.
+  constexpr int kWriters = 8;
+  constexpr int kObjectsPerWriter = 40;
+  {
+    LocalStore warmup(cache_dir_);  // create the directory before forking
+    ASSERT_TRUE(warmup.ok());
+  }
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      LocalStore store(cache_dir_);
+      if (!store.ok()) {
+        _exit(2);
+      }
+      for (int i = 0; i < kObjectsPerWriter; ++i) {
+        const std::string name =
+            "deadbeef" + std::to_string(w) + "f" + std::to_string(i) + ".facts";
+        store.Put(name, "blob-" + std::to_string(w) + "-" + std::to_string(i), "facts",
+                  "writer" + std::to_string(w));
+      }
+      _exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  LocalStore store(cache_dir_);
+  const std::vector<CacheIndexEntry> index = store.Index();
+  EXPECT_EQ(index.size(), static_cast<size_t>(kWriters * kObjectsPerWriter));
+  for (const CacheIndexEntry& e : index) {
+    EXPECT_EQ(e.kind, "facts");
+    EXPECT_NE(e.source.find("writer"), std::string::npos) << e.source;
+  }
+  std::string blob;
+  ASSERT_TRUE(store.Get("deadbeef3f7.facts", blob));
+  EXPECT_EQ(blob, "blob-3-7");
+}
+
+TEST_F(CacheTest, CacheGcEvictsLruObjectsDownToTheByteBudget) {
+  LocalStore store(cache_dir_);
+  ASSERT_TRUE(store.ok());
+  // Object names carry the `objects/` fan-out prefix, exactly like the
+  // names ScanCache generates — RunCacheGc only walks that subtree.
+  for (int i = 0; i < 10; ++i) {
+    store.Put("objects/ca/fe" + std::to_string(i) + ".unit", std::string(100, 'a' + i), "unit",
+              "f" + std::to_string(i) + ".c");
+  }
+  // Pin a deterministic LRU order: object i's mtime = epoch + i seconds
+  // (Put order is too fast for mtime granularity to separate).
+  const std::vector<CacheIndexEntry> before = store.Index();
+  ASSERT_EQ(before.size(), 10u);
+  for (size_t i = 0; i < before.size(); ++i) {
+    const stdfs::path obj = stdfs::path(cache_dir_) / before[i].object;
+    ASSERT_TRUE(stdfs::exists(obj)) << obj;
+    stdfs::last_write_time(obj,
+                           stdfs::file_time_type(std::chrono::seconds(1000000 + i)));
+  }
+
+  const CacheGcStats gc = RunCacheGc(cache_dir_, 450);
+  EXPECT_EQ(gc.kept_objects, 4u);  // 4 * 100 <= 450 < 5 * 100
+  EXPECT_EQ(gc.kept_bytes, 400u);
+  EXPECT_EQ(gc.evicted_objects, 6u);
+  EXPECT_EQ(gc.evicted_bytes, 600u);
+
+  // The oldest six are gone, the newest four still load; the index was
+  // compacted to exactly the survivors.
+  LocalStore after(cache_dir_);
+  std::string blob;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(after.Get("objects/ca/fe" + std::to_string(i) + ".unit", blob)) << i;
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_TRUE(after.Get("objects/ca/fe" + std::to_string(i) + ".unit", blob)) << i;
+    EXPECT_EQ(blob, std::string(100, 'a' + i));
+  }
+  EXPECT_EQ(after.Index().size(), 4u);
+}
+
+TEST_F(CacheTest, CacheServerServesGetsAndPutsAcrossClients) {
+  const std::string socket = cache_dir_ + ".sock";
+  CacheServer server(cache_dir_, socket);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RemoteStore writer(socket);
+  writer.Put("feed0001.facts", "shared-blob", "facts", "a.c");
+  std::string blob;
+  ASSERT_TRUE(writer.Get("feed0001.facts", blob));
+  EXPECT_EQ(blob, "shared-blob");
+
+  // A second client (a different "process" in fleet terms) sees the same
+  // object: the store is shared server-side, not per-connection.
+  RemoteStore reader(socket);
+  blob.clear();
+  ASSERT_TRUE(reader.Get("feed0001.facts", blob));
+  EXPECT_EQ(blob, "shared-blob");
+  EXPECT_FALSE(reader.Get("feed0002.facts", blob));  // miss, not error
+
+  EXPECT_EQ(server.puts(), 1u);
+  EXPECT_EQ(server.gets(), 3u);
+  EXPECT_EQ(server.hits(), 2u);
+  server.Stop();
+  ::unlink(socket.c_str());
+}
+
+TEST_F(CacheTest, CorruptServerObjectDegradesToMissNotWrongFacts) {
+  const std::string socket = cache_dir_ + ".sock";
+  CacheServer server(cache_dir_, socket);
+  ASSERT_TRUE(server.Start());
+
+  ScanCache cache(std::make_shared<RemoteStore>(socket));
+  ASSERT_TRUE(cache.enabled());
+  const CacheKey key = MakeFileKey("a.c", "int x;\n", 1);
+  DiscoveryFacts facts;
+  cache.StoreFacts(key, facts, "a.c");
+  ASSERT_TRUE(cache.LoadFacts(key).has_value());
+
+  // Flip bytes in the stored object on disk, behind the server's back.
+  bool corrupted = false;
+  for (const auto& entry : stdfs::recursive_directory_iterator(cache_dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".facts") {
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+      out << "garbage bytes, definitely not a cache artifact";
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  ScanCache fresh(std::make_shared<RemoteStore>(socket));
+  EXPECT_FALSE(fresh.LoadFacts(key).has_value());
+  EXPECT_EQ(fresh.corrupt_loads(), 1u);
+  server.Stop();
+  ::unlink(socket.c_str());
+}
+
+TEST_F(CacheTest, UnreachableCacheServerDegradesEveryCallToAMiss) {
+  ScanCache cache(std::make_shared<RemoteStore>("/tmp/refscan-no-such-server.sock"));
+  ASSERT_TRUE(cache.enabled());
+  const CacheKey key = MakeFileKey("a.c", "int x;\n", 1);
+  DiscoveryFacts facts;
+  cache.StoreFacts(key, facts, "a.c");          // swallowed, no throw
+  EXPECT_FALSE(cache.LoadFacts(key).has_value());  // miss, no throw
 }
 
 }  // namespace

@@ -24,6 +24,8 @@
 // chrome://tracing or https://ui.perfetto.dev); `--metrics-out FILE`
 // writes the run's counters in Prometheus text exposition format.
 
+#include <csignal>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/store.h"
 #include "src/checkers/engine.h"
+#include "src/checkers/sharded.h"
 #include "src/ipa/summary.h"
 #include "src/support/threadpool.h"
 #include "src/checkers/fixes.h"
@@ -55,7 +59,8 @@ int Usage() {
                "usage:\n"
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
                "                    [--dialect NAME] [--interprocedural] [--jobs N]\n"
-               "                    [--cache-dir DIR] [--no-cache]\n"
+               "                    [--cache-dir DIR] [--cache-server PATH] [--no-cache]\n"
+               "                    [--workers N]\n"
                "                    [--stats] [--faults SPEC] [--file-timeout-ms N]\n"
                "                    [--max-failure-ratio R] [--trace-out FILE] [--metrics-out FILE]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
@@ -65,6 +70,10 @@ int Usage() {
                "  refscan summaries <dir> [--json] [--jobs N]\n"
                "  refscan stats <dir> [--json] [--jobs N]   scan, print only the stats table\n"
                "  refscan demo [--jobs N] [--emit <dir>]\n"
+               "  refscan cached <dir> [--socket PATH]      serve <dir> as a shared\n"
+               "                                            content-addressed cache\n"
+               "  refscan cache gc <dir> --max-bytes N      evict LRU cache objects over N\n"
+               "  refscan worker --socket PATH --id N       (internal) shard worker process\n"
                "\n"
                "  --patterns LIST       comma-separated anti-pattern ids in 1..12, e.g. 1,4,10\n"
                "                        (P10-P12 are opt-in; the default is 1..9)\n"
@@ -77,7 +86,13 @@ int Usage() {
                "  --cache-dir DIR   persistent incremental scan cache: rescans replay\n"
                "                    cached parses and reports for unchanged files;\n"
                "                    output is byte-identical to an uncached scan\n"
-               "  --no-cache        ignore any --cache-dir (one-shot cold scan)\n"
+               "  --no-cache        ignore any --cache-dir / --cache-server (cold scan)\n"
+               "  --cache-server PATH   Unix socket of a `refscan cached` server; shares one\n"
+               "                        warm artifact store across processes (takes\n"
+               "                        precedence over --cache-dir)\n"
+               "  --workers N       shard the scan across N worker subprocesses; output is\n"
+               "                    byte-identical to --workers 0 at any N (0 = in-process,\n"
+               "                    the default; incompatible with --interprocedural)\n"
                "  --stats           print fault-isolation and cache counters (text and JSON)\n"
                "  --faults SPEC     arm the deterministic fault-injection registry for this\n"
                "                    run, e.g. 'parser.parse:file=*.broken.c' — see\n"
@@ -105,6 +120,8 @@ struct CliFlags {
   size_t jobs = 0;  // 0 = hardware concurrency
   std::string emit_dir;
   std::string cache_dir;
+  std::string cache_server;
+  size_t workers = 0;  // 0 = in-process scan
   bool no_cache = false;
   bool stats = false;
   std::string fault_spec;
@@ -177,6 +194,24 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       flags.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-server") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-server needs a socket path\n");
+        return false;
+      }
+      flags.cache_server = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--workers needs a number\n");
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "bad worker count: %s\n", argv[i]);
+        return false;
+      }
+      flags.workers = static_cast<size_t>(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       flags.no_cache = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -284,9 +319,31 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
   options.max_failure_ratio = flags.max_failure_ratio;
   if (!flags.no_cache) {
     options.cache_dir = flags.cache_dir;
+    options.cache_server = flags.cache_server;
   }
-  CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
-  ScanResult result = engine.Scan(tree);
+
+  size_t workers = flags.workers;
+  if (workers > 0 && flags.interprocedural) {
+    // Stage 2.5 is a whole-tree pass over every unit; it cannot shard.
+    std::fprintf(stderr, "refscan: --workers is incompatible with --interprocedural; "
+                         "running in-process\n");
+    workers = 0;
+  }
+  ScanResult result;
+  if (workers > 0) {
+    // The worker subprocesses re-exec this binary; they inherit
+    // REFSCAN_FAULTS from the environment, and a --faults spec travels in
+    // the options so worker-side sites fire either way.
+    ShardedScanConfig config;
+    config.workers = workers;
+    config.worker_cmd = "/proc/self/exe";
+    ScanOptions sharded_options = options;
+    sharded_options.fault_spec = flags.fault_spec;
+    result = ShardedScan(tree, sharded_options, config);
+  } else {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    result = engine.Scan(tree);
+  }
 
   result.failures = MergeFailures(load_failures, std::move(result.failures));
   result.stats.files_quarantined += load_failures.size();
@@ -307,8 +364,9 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
 
   const int exit_code = ScanExitCodeFor(result);
 
+  const bool cache_on = !options.cache_dir.empty() || !options.cache_server.empty();
   if (flags.json) {
-    if (!options.cache_dir.empty()) {
+    if (cache_on) {
       // Keep stdout byte-identical between cold and warm scans: cache
       // accounting goes to stderr in JSON mode.
       std::fprintf(stderr, "cache: %zu hit(s), %zu miss(es), %zu parse skip(s)\n",
@@ -323,7 +381,7 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
               "%zu smartloops)\n\n",
               result.stats.files, result.stats.functions, result.stats.discovered_apis,
               result.stats.discovered_smart_loops);
-  if (!options.cache_dir.empty()) {
+  if (cache_on) {
     std::printf("cache: %zu hit(s), %zu miss(es), %zu parse skip(s)\n\n",
                 result.stats.cache_hits, result.stats.cache_misses,
                 result.stats.cache_parse_skips);
@@ -438,6 +496,99 @@ int RealMain(int argc, char** argv) {
     // so only a degraded or failed scan is an error here.
     const int rc = RunScan(corpus.tree, flags);
     return (rc == kExitDegraded || rc == kExitHardFailure) ? 1 : 0;
+  }
+
+  if (command == "worker") {
+    // Internal: spawned by `scan --workers N`. Not part of the documented
+    // surface, but inert if invoked by hand (it just waits for a
+    // coordinator that never comes, then errors out).
+    std::string socket;
+    int id = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+        socket = argv[++i];
+      } else if (std::strcmp(argv[i], "--id") == 0 && i + 1 < argc) {
+        id = std::atoi(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    if (socket.empty()) {
+      return Usage();
+    }
+    return RunShardWorker(socket, id);
+  }
+
+  if (command == "cached") {
+    if (argc < 3) {
+      return Usage();
+    }
+    const std::string dir = argv[2];
+    std::string socket = dir + "/cached.sock";
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+        socket = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    CacheServer server(dir, socket);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "refscan cached: %s\n", error.c_str());
+      return kExitHardFailure;
+    }
+    std::printf("refscan cached: serving %s on %s\n", dir.c_str(), socket.c_str());
+    std::fflush(stdout);
+    // Foreground until SIGINT/SIGTERM; the accept loop runs on its own
+    // thread. sigwait (not a handler) keeps shutdown on the main thread.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    int sig = 0;
+    sigwait(&set, &sig);
+    server.Stop();
+    std::printf("refscan cached: %llu get(s), %llu hit(s), %llu put(s)\n",
+                static_cast<unsigned long long>(server.gets()),
+                static_cast<unsigned long long>(server.hits()),
+                static_cast<unsigned long long>(server.puts()));
+    return 0;
+  }
+
+  if (command == "cache") {
+    if (argc < 4 || std::strcmp(argv[2], "gc") != 0) {
+      return Usage();
+    }
+    const std::string dir = argv[3];
+    uint64_t max_bytes = 0;
+    bool have_max = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc) {
+        char* end = nullptr;
+        max_bytes = std::strtoull(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "bad byte count: %s\n", argv[i]);
+          return Usage();
+        }
+        have_max = true;
+      } else {
+        return Usage();
+      }
+    }
+    if (!have_max) {
+      std::fprintf(stderr, "cache gc needs --max-bytes N\n");
+      return Usage();
+    }
+    const CacheGcStats gc = RunCacheGc(dir, max_bytes);
+    std::printf("cache gc: kept %llu object(s) / %llu bytes, evicted %llu object(s) / "
+                "%llu bytes\n",
+                static_cast<unsigned long long>(gc.kept_objects),
+                static_cast<unsigned long long>(gc.kept_bytes),
+                static_cast<unsigned long long>(gc.evicted_objects),
+                static_cast<unsigned long long>(gc.evicted_bytes));
+    return 0;
   }
 
   if (command == "match") {
