@@ -4,6 +4,7 @@
 // numbers for the README.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -18,6 +19,8 @@
 #include "src/histmine/miner.h"
 #include "src/ipa/summary.h"
 #include "src/lexer/lexer.h"
+#include "src/serve/client.h"
+#include "src/serve/serve.h"
 #include "src/support/fs.h"
 #include "src/support/telemetry.h"
 #include "src/support/threadpool.h"
@@ -357,6 +360,36 @@ void BM_IncrementalRescan(benchmark::State& state) {
   stdfs::remove_all(cache_dir);
 }
 BENCHMARK(BM_IncrementalRescan)->Arg(0)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// A warm rescan against the resident service (`refscan serve`, DESIGN.md
+// §5.14): one in-process ScanServer holds the tree's artifacts in its
+// MemoryStore; each iteration ships the unchanged tree over the Unix socket
+// and gets the cached verdict back. Includes the full transport cost
+// (encode + two frame copies + decode), so compare against
+// BM_FullTreeScanParallel at the same job count for the resident win and
+// against BM_IncrementalRescan/0 for the socket tax over the in-process
+// warm path.
+void BM_ResidentScan(benchmark::State& state) {
+  static const Corpus* corpus = new Corpus(GenerateKernelCorpus());
+  ServeConfig config;
+  config.socket_path = "/tmp/refscan-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  ScanServer server(config);
+  if (!server.Start()) {
+    state.SkipWithError("cannot start resident server");
+    return;
+  }
+  ScanOptions options;
+  options.jobs = static_cast<size_t>(state.range(0));
+  benchmark::DoNotOptimize(
+      RemoteScan(corpus->tree, options, config.socket_path));  // prime the store
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RemoteScan(corpus->tree, options, config.socket_path));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus->tree.size()));
+  server.Drain();
+}
+BENCHMARK(BM_ResidentScan)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 // On-disk tree loading at 1 and 4 reader threads: the corpus is emitted to
 // a temp directory once, then LoadSourceTreeFromDisk (serial walk, parallel

@@ -184,9 +184,61 @@ std::vector<CacheIndexEntry> LocalStore::Index() const {
 }
 
 // ---------------------------------------------------------------------------
+// MemoryStore
+
+bool MemoryStore::Get(const std::string& name, std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return false;
+  }
+  blob = it->second.blob;
+  return true;
+}
+
+void MemoryStore::Put(const std::string& name, std::string_view blob, std::string_view kind_name,
+                      std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  bytes_ += blob.size() - entry.blob.size();
+  entry.blob = std::string(blob);
+  entry.kind = std::string(kind_name);
+  entry.source = std::string(source);
+}
+
+std::vector<CacheIndexEntry> MemoryStore::Index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CacheIndexEntry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    CacheIndexEntry e;
+    e.kind = entry.kind;
+    e.object = name;
+    e.source = entry.source;
+    e.bytes = entry.blob.size();
+    entries.push_back(std::move(e));
+  }
+  // The map iterates in hash order; index consumers expect a stable view.
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheIndexEntry& a, const CacheIndexEntry& b) { return a.object < b.object; });
+  return entries;
+}
+
+size_t MemoryStore::objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t MemoryStore::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+// ---------------------------------------------------------------------------
 // RemoteStore
 
-RemoteStore::RemoteStore(std::string socket_path) : socket_path_(std::move(socket_path)) {}
+RemoteStore::RemoteStore(std::string socket_path, BackoffPolicy backoff)
+    : socket_path_(std::move(socket_path)), backoff_(backoff) {}
 
 bool RemoteStore::EnsureConnected() {
   if (broken_) {
@@ -195,9 +247,9 @@ bool RemoteStore::EnsureConnected() {
   if (fd_.valid()) {
     return true;
   }
-  fd_ = UnixConnect(socket_path_);
+  fd_ = ConnectWithRetry(socket_path_, backoff_);
   if (!fd_.valid()) {
-    broken_ = true;  // no server: every later call is a cheap local miss
+    broken_ = true;  // no server within the budget: every later call is a cheap miss
     return false;
   }
   return true;
@@ -205,39 +257,49 @@ bool RemoteStore::EnsureConnected() {
 
 bool RemoteStore::Get(const std::string& name, std::string& blob) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!EnsureConnected()) {
-    return false;
-  }
   ByteWriter w;
   w.Str(name);
-  uint8_t type = 0;
-  if (!SendFrame(fd_.get(), kCacheGet, w.bytes()) ||
-      RecvFrame(fd_.get(), type, blob) != RecvOutcome::kFrame) {
+  // One replay after a transport failure: get is an idempotent read, so a
+  // server bounce between requests (EPIPE on send, EOF on recv) costs one
+  // reconnect, not the rest of the scan's cache.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!EnsureConnected()) {
+      return false;
+    }
+    uint8_t type = 0;
+    if (SendFrame(fd_.get(), kCacheGet, w.bytes()) &&
+        RecvFrame(fd_.get(), type, blob) == RecvOutcome::kFrame) {
+      return type == kCacheHit;
+    }
     fd_.Reset();
-    broken_ = true;  // server died mid-conversation: degrade, don't thrash
-    return false;
   }
-  return type == kCacheHit;
+  broken_ = true;  // two fresh connections both died mid-conversation
+  return false;
 }
 
 void RemoteStore::Put(const std::string& name, std::string_view blob, std::string_view kind_name,
                       std::string_view source) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!EnsureConnected()) {
-    return;
-  }
   ByteWriter w;
   w.Str(name);
   w.Str(kind_name);
   w.Str(source);
   w.Str(blob);
-  uint8_t type = 0;
-  std::string ack;
-  if (!SendFrame(fd_.get(), kCachePut, w.bytes()) ||
-      RecvFrame(fd_.get(), type, ack) != RecvOutcome::kFrame || type != kCachePutOk) {
+  // Same one-replay policy as Get: a put is idempotent (content-addressed
+  // name → same bytes), so replaying a maybe-applied put is safe.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!EnsureConnected()) {
+      return;
+    }
+    uint8_t type = 0;
+    std::string ack;
+    if (SendFrame(fd_.get(), kCachePut, w.bytes()) &&
+        RecvFrame(fd_.get(), type, ack) == RecvOutcome::kFrame && type == kCachePutOk) {
+      return;
+    }
     fd_.Reset();
-    broken_ = true;
   }
+  broken_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -272,9 +334,8 @@ void CacheServer::AcceptLoop() {
     if (!conn.valid()) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    live_fds_.push_back(conn.get());
-    conn_threads_.emplace_back([this, c = std::move(conn)]() mutable { ServeConn(std::move(c)); });
+    conns_.Add(conn.get());
+    conns_.Launch([this, c = std::move(conn)]() mutable { ServeConn(std::move(c)); });
   }
 }
 
@@ -317,8 +378,7 @@ void CacheServer::ServeConn(OwnedFd conn) {
   }
   // Deregister before the fd closes (at end of this function) so Stop()
   // never calls shutdown() on a recycled descriptor.
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), conn.get()), live_fds_.end());
+  conns_.Remove(conn.get());
 }
 
 void CacheServer::Stop() {
@@ -327,19 +387,27 @@ void CacheServer::Stop() {
   }
   stopping_.store(true, std::memory_order_relaxed);
   accept_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const int fd : live_fds_) {
-      ::shutdown(fd, SHUT_RDWR);  // unblocks any conn thread parked in recv
-    }
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  conns_.ShutdownAll(SHUT_RDWR);  // unblocks any conn thread parked in recv
+  conns_.JoinAll();
   listen_fd_.Reset();
   ::unlink(socket_path_.c_str());
+}
+
+bool CacheServer::Drain(uint32_t timeout_ms) {
+  if (!accept_thread_.joinable()) {
+    return true;
+  }
+  // Reject new work first: stop the accept loop and remove the socket file,
+  // so a connect() after SIGTERM fails fast instead of queueing behind a
+  // listener nobody will ever accept from.
+  stopping_.store(true, std::memory_order_relaxed);
+  accept_thread_.join();
+  listen_fd_.Reset();
+  ::unlink(socket_path_.c_str());
+  // A connection thread mid-request is past its stopping_ check: it finishes
+  // the exchange and flushes the reply before SHUT_RD's EOF reaches its next
+  // recv. Parked readers wake immediately with a clean EOF.
+  return DrainConnections(conns_, timeout_ms);
 }
 
 // ---------------------------------------------------------------------------

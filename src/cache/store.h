@@ -37,9 +37,11 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/support/ipc.h"
+#include "src/support/server.h"
 
 namespace refscan {
 
@@ -92,14 +94,44 @@ class LocalStore : public ObjectStore {
   std::atomic<uint64_t> tmp_counter_{0};
 };
 
+// In-memory store for resident processes (`refscan serve`, DESIGN.md
+// §5.14): the daemon's KB snapshots, facts, units and report shards stay
+// hot across requests without touching disk. Mutex-guarded map — cache
+// traffic is tiny next to parsing, and a single lock keeps eviction (none:
+// the daemon's working set is one tree's artifacts) and accounting trivial.
+class MemoryStore : public ObjectStore {
+ public:
+  bool Get(const std::string& name, std::string& blob) override;
+  void Put(const std::string& name, std::string_view blob, std::string_view kind_name,
+           std::string_view source) override;
+  std::vector<CacheIndexEntry> Index() const override;
+
+  size_t objects() const;
+  uint64_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string blob;
+    std::string kind;
+    std::string source;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t bytes_ = 0;
+};
+
 // Client for a CacheServer. One connection, serialized by a mutex (cache
 // traffic is small next to parsing; a connection pool is not worth the
-// states). Connects lazily on first use; if the server is unreachable the
-// store marks itself broken and every later call is a cheap miss, so a
-// fleet scan outlives its cache server.
+// states). Connects lazily on first use with the bounded jittered backoff
+// of `backoff` (one immediate try plus retries — a server still binding its
+// socket, or restarting, is a transient, not an outage). A transport
+// failure mid-conversation reconnects and replays the request once (get/put
+// are idempotent content-addressed ops); only when the whole budget is
+// exhausted does the store mark itself broken and degrade every later call
+// to a cheap miss, so a fleet scan outlives its cache server.
 class RemoteStore : public ObjectStore {
  public:
-  explicit RemoteStore(std::string socket_path);
+  explicit RemoteStore(std::string socket_path, BackoffPolicy backoff = {});
 
   bool Get(const std::string& name, std::string& blob) override;
   void Put(const std::string& name, std::string_view blob, std::string_view kind_name,
@@ -110,6 +142,7 @@ class RemoteStore : public ObjectStore {
   bool EnsureConnected();  // caller holds mu_
 
   std::string socket_path_;
+  BackoffPolicy backoff_;
   std::mutex mu_;
   OwnedFd fd_;
   bool broken_ = false;
@@ -135,6 +168,15 @@ class CacheServer {
   // Idempotent; the destructor calls it.
   void Stop();
 
+  // Graceful SIGTERM path (shared drain semantics, support/server.h): stop
+  // accepting, close and unlink the listener, then let every request
+  // already received finish and flush its reply — SHUT_RD wakes idle
+  // readers without cutting in-flight writes, so no client is left on a
+  // half-written frame. Escalates to a hard shutdown only past
+  // `timeout_ms`. Idempotent with Stop(); returns true when the drain
+  // finished inside the budget.
+  bool Drain(uint32_t timeout_ms = 5000);
+
   const std::string& socket_path() const { return socket_path_; }
 
   // Served-request counters (for the CLI's status line and tests).
@@ -152,9 +194,7 @@ class CacheServer {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex conns_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> live_fds_;  // raw fds of in-flight connections, for Stop()
+  ConnectionRegistry conns_;
 
   std::atomic<uint64_t> gets_{0};
   std::atomic<uint64_t> hits_{0};

@@ -96,6 +96,7 @@ struct ScanMetrics {
   MetricCounter& cache_misses = reg.Counter("scan.cache_misses");
   MetricCounter& cache_parse_skips = reg.Counter("scan.cache_parse_skips");
   MetricCounter& cache_corrupt = reg.Counter("scan.cache_corrupt");
+  MetricCounter& kb_snapshot_hits = reg.Counter("scan.kb_snapshot_hits");
   MetricCounter& raw_reports = reg.Counter("scan.raw_reports");
   MetricCounter& reports = reg.Counter("scan.reports");
 };
@@ -238,6 +239,7 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
       if (std::optional<KnowledgeBase> snapshot = cache.LoadKb(kb_key)) {
         kb_ = std::move(*snapshot);
         kb_from_snapshot = true;
+        m.kb_snapshot_hits.Add(1);
       }
     }
     if (!kb_from_snapshot) {
@@ -440,6 +442,7 @@ const std::vector<ScanStatsField>& ScanStatsFields() {
       {"cache_misses", "scan.cache_misses", &ScanStats::cache_misses},
       {"cache_parse_skips", "scan.cache_parse_skips", &ScanStats::cache_parse_skips},
       {"cache_corrupt", "scan.cache_corrupt", &ScanStats::cache_corrupt},
+      {"kb_snapshot_hits", "scan.kb_snapshot_hits", &ScanStats::kb_snapshot_hits},
   };
   return *fields;
 }

@@ -30,6 +30,8 @@
 
 namespace refscan {
 
+class ObjectStore;  // src/cache/store.h
+
 struct ScanOptions {
   size_t max_paths_per_function = 512;
   int nesting_threshold = 3;     // struct-parser nesting depth (§6.1)
@@ -66,6 +68,15 @@ struct ScanOptions {
   // content — excluded from the options fingerprint, and an unreachable
   // server degrades every call to a miss.
   std::string cache_server;
+
+  // In-process artifact store injection: when set it wins over cache_server
+  // and cache_dir. The resident scan service (`refscan serve`) points every
+  // request at one shared MemoryStore so KB snapshots, facts and report
+  // shards stay hot across requests. Like the other cache knobs this is a
+  // location, not content — excluded from the options fingerprint, and it
+  // never travels on any wire (shard workers and serve requests get their
+  // store from their own side of the socket).
+  std::shared_ptr<ObjectStore> object_store;
 
   // Precision knobs (the design-choice ablation toggles these):
   // treat NULL-checked failure branches as acquisition-failed paths.
@@ -225,6 +236,7 @@ struct ScanStats {
   size_t cache_misses = 0;       // files checked cold while the cache was enabled
   size_t cache_parse_skips = 0;  // files never parsed this scan (facts/unit/reports cached)
   size_t cache_corrupt = 0;      // objects that existed but failed validation (→ miss)
+  size_t kb_snapshot_hits = 0;   // 1 when the tree-level KB snapshot replaced discovery
 };
 
 // One ScanStats field: binds the struct member to its `--json` stats key

@@ -1,6 +1,7 @@
 #include "src/checkers/scan_stages.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "src/cache/store.h"
@@ -128,6 +129,9 @@ bool GuardFileStage(std::string_view path, FailureStage stage, uint32_t timeout_
 }  // namespace
 
 std::shared_ptr<ObjectStore> MakeScanStore(const ScanOptions& options) {
+  if (options.object_store != nullptr) {
+    return options.object_store;  // resident injection wins over any location
+  }
   if (!options.cache_server.empty()) {
     return std::make_shared<RemoteStore>(options.cache_server);
   }
@@ -139,6 +143,65 @@ std::shared_ptr<ObjectStore> MakeScanStore(const ScanOptions& options) {
     return nullptr;  // degrade to a disabled cache rather than failing the scan
   }
   return local;
+}
+
+void WriteScanOptionsWire(ByteWriter& w, const ScanOptions& o) {
+  w.U64(o.max_paths_per_function);
+  w.I32(o.nesting_threshold);
+  w.Bool(o.discover_from_source);
+  w.U32(static_cast<uint32_t>(o.enabled_patterns.size()));
+  for (const int p : o.enabled_patterns) {
+    w.I32(p);
+  }
+  w.U32(static_cast<uint32_t>(o.dialects.size()));
+  for (const std::string& d : o.dialects) {
+    w.Str(d);
+  }
+  w.U64(o.jobs);
+  w.Str(o.cache_dir);
+  w.Str(o.cache_server);
+  w.Bool(o.prune_null_branches);
+  w.Bool(o.model_ownership_transfer);
+  w.Bool(o.interprocedural);
+  w.Str(o.fault_spec);
+  w.U32(o.file_timeout_ms);
+  w.U64(o.max_file_bytes);
+  w.U64(o.max_ast_nodes);
+  w.I32(o.max_ast_depth);
+  uint64_t ratio_bits = 0;
+  static_assert(sizeof(ratio_bits) == sizeof(o.max_failure_ratio));
+  std::memcpy(&ratio_bits, &o.max_failure_ratio, sizeof(ratio_bits));
+  w.U64(ratio_bits);
+}
+
+bool ReadScanOptionsWire(ByteReader& r, ScanOptions& o) {
+  o.max_paths_per_function = static_cast<size_t>(r.U64());
+  o.nesting_threshold = r.I32();
+  o.discover_from_source = r.Bool();
+  o.enabled_patterns.clear();
+  const uint32_t npatterns = r.Count();
+  for (uint32_t i = 0; r.ok() && i < npatterns; ++i) {
+    o.enabled_patterns.insert(r.I32());
+  }
+  o.dialects.clear();
+  const uint32_t ndialects = r.Count();
+  for (uint32_t i = 0; r.ok() && i < ndialects; ++i) {
+    o.dialects.push_back(r.Str());
+  }
+  o.jobs = static_cast<size_t>(r.U64());
+  o.cache_dir = r.Str();
+  o.cache_server = r.Str();
+  o.prune_null_branches = r.Bool();
+  o.model_ownership_transfer = r.Bool();
+  o.interprocedural = r.Bool();
+  o.fault_spec = r.Str();
+  o.file_timeout_ms = r.U32();
+  o.max_file_bytes = static_cast<size_t>(r.U64());
+  o.max_ast_nodes = static_cast<size_t>(r.U64());
+  o.max_ast_depth = r.I32();
+  const uint64_t ratio_bits = r.U64();
+  std::memcpy(&o.max_failure_ratio, &ratio_bits, sizeof(ratio_bits));
+  return r.ok();
 }
 
 ScanStageContext MakeScanStageContext(const ScanOptions& options, ScanCache& cache) {

@@ -25,6 +25,7 @@
 
 #include "src/ast/parser.h"
 #include "src/cache/cache.h"
+#include "src/cache/serial.h"
 #include "src/checkers/engine.h"
 
 namespace refscan {
@@ -47,11 +48,26 @@ struct FileScanState {
   std::optional<FileFailure> failure;  // set = quarantined, skip later stages
 };
 
-// Builds the object store the options ask for: a RemoteStore client when
-// cache_server is set (takes precedence), a LocalStore for cache_dir, null
-// (disabled cache) otherwise. A local directory that cannot be created
-// degrades to null, matching ScanCache's historical behaviour.
+// Builds the object store the options ask for: the injected object_store
+// when set (the resident server's shared MemoryStore), else a RemoteStore
+// client when cache_server is set (takes precedence over cache_dir), a
+// LocalStore for cache_dir, null (disabled cache) otherwise. A local
+// directory that cannot be created degrades to null, matching ScanCache's
+// historical behaviour.
 std::shared_ptr<ObjectStore> MakeScanStore(const ScanOptions& options);
+
+// ---- ScanOptions on the wire (ByteWriter/ByteReader format) -----------
+//
+// Shared by the shard-worker kJob frame (src/checkers/sharded) and the
+// serve kScanReq frame (src/serve/protocol): a remote process must behave
+// exactly like the in-process stages would under the same options, so every
+// value field travels — including the governor caps and the fault spec; the
+// double rides as its bit pattern (memcpy, not a cast: the value must
+// survive exactly). `object_store` is deliberately NOT on the wire: it is a
+// live pointer into the sending process, and each side of a socket supplies
+// its own store.
+void WriteScanOptionsWire(ByteWriter& w, const ScanOptions& options);
+bool ReadScanOptionsWire(ByteReader& r, ScanOptions& options);
 
 // Derived per-scan constants shared by every file's stage bodies.
 struct ScanStageContext {

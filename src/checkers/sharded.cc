@@ -33,72 +33,6 @@ constexpr uint8_t kResults = 5;
 // worker startup is exec + connect, not a scan.
 constexpr int kAcceptTimeoutMs = 30000;
 
-// ---- ScanOptions on the wire ------------------------------------------
-//
-// Every field travels, including the governor caps and the fault spec —
-// a worker must behave exactly like the in-process stages would under the
-// same options. The double rides as its bit pattern (memcpy, not a cast:
-// the value must survive exactly, not approximately).
-
-void WriteOptionsWire(ByteWriter& w, const ScanOptions& o) {
-  w.U64(o.max_paths_per_function);
-  w.I32(o.nesting_threshold);
-  w.Bool(o.discover_from_source);
-  w.U32(static_cast<uint32_t>(o.enabled_patterns.size()));
-  for (const int p : o.enabled_patterns) {
-    w.I32(p);
-  }
-  w.U32(static_cast<uint32_t>(o.dialects.size()));
-  for (const std::string& d : o.dialects) {
-    w.Str(d);
-  }
-  w.U64(o.jobs);
-  w.Str(o.cache_dir);
-  w.Str(o.cache_server);
-  w.Bool(o.prune_null_branches);
-  w.Bool(o.model_ownership_transfer);
-  w.Bool(o.interprocedural);
-  w.Str(o.fault_spec);
-  w.U32(o.file_timeout_ms);
-  w.U64(o.max_file_bytes);
-  w.U64(o.max_ast_nodes);
-  w.I32(o.max_ast_depth);
-  uint64_t ratio_bits = 0;
-  static_assert(sizeof(ratio_bits) == sizeof(o.max_failure_ratio));
-  std::memcpy(&ratio_bits, &o.max_failure_ratio, sizeof(ratio_bits));
-  w.U64(ratio_bits);
-}
-
-bool ReadOptionsWire(ByteReader& r, ScanOptions& o) {
-  o.max_paths_per_function = static_cast<size_t>(r.U64());
-  o.nesting_threshold = r.I32();
-  o.discover_from_source = r.Bool();
-  o.enabled_patterns.clear();
-  const uint32_t npatterns = r.Count();
-  for (uint32_t i = 0; r.ok() && i < npatterns; ++i) {
-    o.enabled_patterns.insert(r.I32());
-  }
-  o.dialects.clear();
-  const uint32_t ndialects = r.Count();
-  for (uint32_t i = 0; r.ok() && i < ndialects; ++i) {
-    o.dialects.push_back(r.Str());
-  }
-  o.jobs = static_cast<size_t>(r.U64());
-  o.cache_dir = r.Str();
-  o.cache_server = r.Str();
-  o.prune_null_branches = r.Bool();
-  o.model_ownership_transfer = r.Bool();
-  o.interprocedural = r.Bool();
-  o.fault_spec = r.Str();
-  o.file_timeout_ms = r.U32();
-  o.max_file_bytes = static_cast<size_t>(r.U64());
-  o.max_ast_nodes = static_cast<size_t>(r.U64());
-  o.max_ast_depth = r.I32();
-  const uint64_t ratio_bits = r.U64();
-  std::memcpy(&o.max_failure_ratio, &ratio_bits, sizeof(ratio_bits));
-  return r.ok();
-}
-
 // Per-file failure + retried flag, shared by the kFacts and kResults
 // payloads. The path never travels: the coordinator knows which global
 // index each entry is, and fills paths from its own file list.
@@ -379,7 +313,7 @@ ScanResult ShardedScan(const SourceTree& tree, const ScanOptions& options,
       continue;
     }
     ByteWriter w;
-    WriteOptionsWire(w, options);
+    WriteScanOptionsWire(w, options);
     w.U32(static_cast<uint32_t>(shards[i].size()));
     for (const size_t idx : shards[i]) {
       w.Str(files[idx]->path());
@@ -524,6 +458,7 @@ ScanResult ShardedScan(const SourceTree& tree, const ScanOptions& options,
       if (std::optional<KnowledgeBase> snapshot = cache.LoadKb(kb_key)) {
         kb = std::move(*snapshot);
         kb_from_snapshot = true;
+        result.stats.kb_snapshot_hits = 1;
       }
     }
     if (!kb_from_snapshot) {
@@ -707,7 +642,7 @@ int RunShardWorker(const std::string& socket_path, int worker_id) {
   SourceTree tree;
   {
     ByteReader r(payload);
-    if (!ReadOptionsWire(r, options)) {
+    if (!ReadScanOptionsWire(r, options)) {
       std::fprintf(stderr, "refscan worker %d: malformed job options\n", worker_id);
       return 1;
     }

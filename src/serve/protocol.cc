@@ -1,0 +1,93 @@
+#include "src/serve/protocol.h"
+
+#include "src/cache/cache.h"
+#include "src/cache/serial.h"
+#include "src/checkers/scan_stages.h"
+
+namespace refscan {
+
+std::string EncodeScanRequest(const SourceTree& tree, const ScanOptions& options) {
+  ByteWriter w;
+  WriteScanOptionsWire(w, options);
+  w.U32(static_cast<uint32_t>(tree.size()));
+  for (const auto& [path, file] : tree.files()) {
+    w.Str(path);
+    w.Str(file.text());
+  }
+  return w.TakeBytes();
+}
+
+bool DecodeScanRequest(std::string_view payload, SourceTree& tree, ScanOptions& options) {
+  ByteReader r(payload);
+  if (!ReadScanOptionsWire(r, options)) {
+    return false;
+  }
+  const uint32_t nfiles = r.Count();
+  for (uint32_t i = 0; r.ok() && i < nfiles; ++i) {
+    std::string path = r.Str();
+    std::string text = r.Str();
+    if (r.ok()) {
+      tree.Add(std::move(path), std::move(text));
+    }
+  }
+  return r.ok() && r.AtEnd();
+}
+
+std::string EncodeScanResult(const ScanResult& result) {
+  ByteWriter w;
+  CachedFileReports reports;
+  reports.reports = result.reports;
+  w.Str(SerializeReports(reports));
+  const auto& fields = ScanStatsFields();
+  w.U32(static_cast<uint32_t>(fields.size()));
+  for (const ScanStatsField& f : fields) {
+    w.U64(result.stats.*f.member);
+  }
+  w.U32(static_cast<uint32_t>(result.failures.size()));
+  for (const FileFailure& f : result.failures) {
+    w.Str(f.path);
+    w.U8(static_cast<uint8_t>(f.stage));
+    w.U8(static_cast<uint8_t>(f.kind));
+    w.Str(f.what);
+    w.I32(f.retries);
+  }
+  w.Bool(result.aborted);
+  w.Str(result.abort_reason);
+  return w.TakeBytes();
+}
+
+bool DecodeScanResult(std::string_view payload, ScanResult& result) {
+  ByteReader r(payload);
+  const std::string report_bytes = r.Str();
+  if (!r.ok()) {
+    return false;
+  }
+  std::optional<CachedFileReports> reports = DeserializeReports(report_bytes);
+  if (!reports) {
+    return false;
+  }
+  result.reports = std::move(reports->reports);
+  const auto& fields = ScanStatsFields();
+  if (r.U32() != fields.size()) {
+    return false;  // stats-table skew: refuse rather than misattribute
+  }
+  for (const ScanStatsField& f : fields) {
+    result.stats.*f.member = static_cast<size_t>(r.U64());
+  }
+  const uint32_t nfailures = r.Count();
+  result.failures.clear();
+  for (uint32_t i = 0; r.ok() && i < nfailures; ++i) {
+    FileFailure f;
+    f.path = r.Str();
+    f.stage = static_cast<FailureStage>(r.U8());
+    f.kind = static_cast<FailureKind>(r.U8());
+    f.what = r.Str();
+    f.retries = r.I32();
+    result.failures.push_back(std::move(f));
+  }
+  result.aborted = r.Bool();
+  result.abort_reason = r.Str();
+  return r.ok() && r.AtEnd();
+}
+
+}  // namespace refscan

@@ -15,6 +15,14 @@
 //   parser.parse     one file parse (subject: file path)
 //   checker.run      one file's checking stage (subject: file path)
 //   ipa.summarize    the whole-tree summary stage (subject: "<tree>")
+//   worker.facts     a shard worker's facts exchange (subject: worker id)
+//   worker.results   a shard worker's results exchange (subject: worker id)
+//   serve.accept     one accepted serve connection (subject: accept counter)
+//   serve.request    one resident-server request (subject: request name,
+//                    e.g. "scan" — see src/serve)
+//   ipc.write        one outgoing IPC frame; the frame is truncated
+//                    mid-write so the peer observes a mid-frame cut
+//                    (subject: decimal frame type)
 //
 // Spec grammar — comma-separated rules, each `site:trigger[:action]`, plus
 // an optional `seed=N` entry that reseeds the `every=` selector:

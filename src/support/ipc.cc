@@ -5,8 +5,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "src/support/faultinject.h"
 
 namespace refscan {
 
@@ -124,6 +129,39 @@ OwnedFd UnixConnect(const std::string& path, std::string* error) {
   return fd;
 }
 
+uint32_t BackoffDelayMs(const BackoffPolicy& policy, int attempt) {
+  uint64_t delay = policy.base_delay_ms;
+  for (int i = 0; i < attempt && delay < policy.max_delay_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<uint64_t>(delay, policy.max_delay_ms);
+  if (delay <= 1) {
+    return static_cast<uint32_t>(delay);
+  }
+  // splitmix64 over (seed, attempt): deterministic, well-spread jitter.
+  uint64_t x = policy.jitter_seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(attempt) + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const uint64_t half = delay / 2;
+  return static_cast<uint32_t>(half + x % (delay - half + 1));
+}
+
+OwnedFd ConnectWithRetry(const std::string& path, const BackoffPolicy& policy,
+                         std::string* error) {
+  const int attempts = std::max(policy.attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffDelayMs(policy, attempt - 1)));
+    }
+    OwnedFd fd = UnixConnect(path, error);
+    if (fd.valid()) {
+      return fd;
+    }
+  }
+  return OwnedFd();
+}
+
 OwnedFd UnixAccept(int listen_fd, int timeout_ms, std::string* error) {
   if (timeout_ms > 0) {
     pollfd pfd{};
@@ -165,6 +203,27 @@ bool SendFrame(int fd, uint8_t type, std::string_view payload, std::string* erro
   header[2] = static_cast<char>((len >> 16) & 0xff);
   header[3] = static_cast<char>((len >> 24) & 0xff);
   header[4] = static_cast<char>(type);
+  // Fault site `ipc.write` (subject: decimal frame type). A fired rule cuts
+  // this frame mid-write — the bytes that do go out promise more than
+  // arrives, so the peer deterministically observes "connection closed
+  // mid-frame" (RecvOutcome::kError) once the sender resets the socket,
+  // exactly like a peer dying between write(2) calls.
+  if (FaultsArmed()) {
+    try {
+      MaybeFault("ipc.write", std::to_string(type));
+    } catch (const FaultInjected& e) {
+      if (payload.size() >= 2) {
+        SendAll(fd, header, sizeof(header), nullptr);
+        SendAll(fd, payload.data(), payload.size() / 2, nullptr);
+      } else {
+        SendAll(fd, header, 3, nullptr);  // partial header: same mid-frame cut
+      }
+      if (error != nullptr) {
+        *error = e.what();
+      }
+      return false;
+    }
+  }
   if (!SendAll(fd, header, sizeof(header), error)) {
     return false;
   }

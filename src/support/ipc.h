@@ -75,6 +75,31 @@ OwnedFd UnixListen(const std::string& path, std::string* error = nullptr);
 // Connects to the Unix-domain socket at `path`.
 OwnedFd UnixConnect(const std::string& path, std::string* error = nullptr);
 
+// Bounded reconnect policy shared by every IPC client (RemoteStore, the
+// `scan --remote` client): jittered exponential backoff between connect
+// attempts. The jitter is a deterministic hash of (jitter_seed, attempt) —
+// not wall clock or rand() — so tests and replayed fault runs see the same
+// delays; different clients decorrelate by seeding differently (pid, worker
+// id). attempts <= 1 means a single try, no sleeping.
+struct BackoffPolicy {
+  int attempts = 5;
+  uint32_t base_delay_ms = 10;  // delay before the first retry
+  uint32_t max_delay_ms = 500;  // exponential growth cap
+  uint64_t jitter_seed = 0;
+};
+
+// Delay before retry number `attempt` (0-based: the sleep between the first
+// failed try and the second). Equal-jitter: half the capped exponential
+// deterministically, half from the seed hash. Exposed for tests.
+uint32_t BackoffDelayMs(const BackoffPolicy& policy, int attempt);
+
+// UnixConnect with up to policy.attempts tries, sleeping BackoffDelayMs
+// between them. The first attempt is immediate, so a healthy server costs
+// nothing extra. Returns an invalid fd (and the last connect error) after
+// the budget is exhausted.
+OwnedFd ConnectWithRetry(const std::string& path, const BackoffPolicy& policy,
+                         std::string* error = nullptr);
+
 // Accepts one connection, waiting at most `timeout_ms` (0 = block forever).
 // Returns an invalid fd on timeout or error.
 OwnedFd UnixAccept(int listen_fd, int timeout_ms, std::string* error = nullptr);

@@ -1,0 +1,60 @@
+#include "src/support/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace refscan {
+
+void ConnectionRegistry::Add(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.push_back(fd);
+}
+
+void ConnectionRegistry::Remove(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+void ConnectionRegistry::ShutdownAll(int how) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : fds_) {
+    ::shutdown(fd, how);
+  }
+}
+
+bool ConnectionRegistry::WaitIdle(uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return active_ == 0; });
+}
+
+void ConnectionRegistry::JoinAll() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+size_t ConnectionRegistry::live_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+bool DrainConnections(ConnectionRegistry& registry, uint32_t timeout_ms) {
+  registry.ShutdownAll(SHUT_RD);
+  const bool clean = registry.WaitIdle(timeout_ms);
+  if (!clean) {
+    registry.ShutdownAll(SHUT_RDWR);
+  }
+  registry.JoinAll();
+  return clean;
+}
+
+}  // namespace refscan

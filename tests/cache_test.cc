@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -623,6 +624,63 @@ TEST_F(CacheTest, CorruptServerObjectDegradesToMissNotWrongFacts) {
   EXPECT_EQ(fresh.corrupt_loads(), 1u);
   server.Stop();
   ::unlink(socket.c_str());
+}
+
+TEST_F(CacheTest, RemoteStoreReconnectsAcrossAServerRestart) {
+  const std::string socket = cache_dir_ + ".sock";
+  auto server = std::make_unique<CacheServer>(cache_dir_, socket);
+  ASSERT_TRUE(server->Start());
+
+  // A patient client: enough backoff budget to outlive the bounce below.
+  BackoffPolicy backoff;
+  backoff.attempts = 10;
+  backoff.base_delay_ms = 1;
+  backoff.max_delay_ms = 5;
+  RemoteStore client(socket, backoff);
+  client.Put("feed0003.facts", "durable-blob", "facts", "a.c");
+  std::string blob;
+  ASSERT_TRUE(client.Get("feed0003.facts", blob));
+
+  // Bounce the server. The client's connection is now a dead fd; the next
+  // call must reconnect (one replay — get is idempotent) and hit the object
+  // the first server persisted to disk.
+  server.reset();
+  ::unlink(socket.c_str());
+  server = std::make_unique<CacheServer>(cache_dir_, socket);
+  ASSERT_TRUE(server->Start());
+
+  blob.clear();
+  EXPECT_TRUE(client.Get("feed0003.facts", blob));
+  EXPECT_EQ(blob, "durable-blob");
+  server->Stop();
+  ::unlink(socket.c_str());
+}
+
+TEST_F(CacheTest, CacheServerDrainWakesParkedReadersAndRefusesNew) {
+  const std::string socket = cache_dir_ + ".sock";
+  CacheServer server(cache_dir_, socket);
+  ASSERT_TRUE(server.Start());
+
+  // One client with a completed put, then parked idle (its connection body
+  // is blocked in a frame read server-side); one hostile client parked
+  // mid-frame. Drain must wake both without hanging and finish in budget.
+  RemoteStore parked(socket);
+  parked.Put("feed0004.facts", "drained-blob", "facts", "a.c");
+  std::string blob;
+  ASSERT_TRUE(parked.Get("feed0004.facts", blob));
+  OwnedFd midframe = UnixConnect(socket);
+  ASSERT_TRUE(midframe.valid());
+  const char partial[] = {50, 0, 0, 0, 1};  // promises 50 bytes, sends none
+  ASSERT_EQ(::write(midframe.get(), partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+
+  EXPECT_TRUE(server.Drain(5000));
+  // The listener is gone and the object survived the drain.
+  EXPECT_FALSE(UnixConnect(socket).valid());
+  LocalStore store(cache_dir_);
+  blob.clear();
+  EXPECT_TRUE(store.Get("feed0004.facts", blob));
+  EXPECT_EQ(blob, "drained-blob");
 }
 
 TEST_F(CacheTest, UnreachableCacheServerDegradesEveryCallToAMiss) {

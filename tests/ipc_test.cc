@@ -3,13 +3,19 @@
 
 #include "src/support/ipc.h"
 
+#include <csignal>
+#include <pthread.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/support/faultinject.h"
 
 namespace refscan {
 namespace {
@@ -180,6 +186,154 @@ TEST(IpcTest, ListenReplacesStaleSocketFile) {
   }  // closed without unlink: the socket file is now stale
   OwnedFd second = UnixListen(path);
   EXPECT_TRUE(second.valid());
+  ::unlink(path.c_str());
+}
+
+TEST(BackoffTest, DelaysAreDeterministicJitteredAndCapped) {
+  BackoffPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.max_delay_ms = 100;
+  policy.jitter_seed = 42;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint32_t a = BackoffDelayMs(policy, attempt);
+    const uint32_t b = BackoffDelayMs(policy, attempt);
+    EXPECT_EQ(a, b) << "same (policy, attempt) must yield the same delay";
+    // Equal-jitter: at least half the capped exponential, at most all of it.
+    const uint32_t ceiling = std::min<uint32_t>(10u << std::min(attempt, 20), 100);
+    EXPECT_GE(a, ceiling / 2) << "attempt " << attempt;
+    EXPECT_LE(a, ceiling) << "attempt " << attempt;
+  }
+  // Different seeds decorrelate the fleet.
+  BackoffPolicy other = policy;
+  other.jitter_seed = 43;
+  bool any_differ = false;
+  for (int attempt = 2; attempt < 8; ++attempt) {
+    any_differ = any_differ || BackoffDelayMs(policy, attempt) != BackoffDelayMs(other, attempt);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(BackoffTest, ConnectWithRetryOutlastsALateServer) {
+  const std::string path = TestSocketPath("lateserver");
+  ::unlink(path.c_str());
+  std::thread late_server([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    OwnedFd listener = UnixListen(path);
+    ASSERT_TRUE(listener.valid());
+    OwnedFd conn = UnixAccept(listener.get(), 5000);
+    EXPECT_TRUE(conn.valid());
+  });
+  BackoffPolicy policy;
+  policy.attempts = 20;
+  policy.base_delay_ms = 20;
+  policy.max_delay_ms = 50;
+  std::string error;
+  OwnedFd fd = ConnectWithRetry(path, policy, &error);
+  EXPECT_TRUE(fd.valid()) << error;
+  late_server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(BackoffTest, ConnectWithRetryGivesUpAfterBudget) {
+  BackoffPolicy policy;
+  policy.attempts = 3;
+  policy.base_delay_ms = 1;
+  policy.max_delay_ms = 2;
+  std::string error;
+  OwnedFd fd = ConnectWithRetry("/tmp/refscan-ipc-test-no-such-server.sock", policy, &error);
+  EXPECT_FALSE(fd.valid());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IpcFaultTest, InjectedWriteFaultTruncatesMidFrameDeterministically) {
+  const std::string path = TestSocketPath("writefault");
+  OwnedFd listener = UnixListen(path);
+  ASSERT_TRUE(listener.valid());
+  OwnedFd client = UnixConnect(path);
+  ASSERT_TRUE(client.valid());
+  OwnedFd server_conn = UnixAccept(listener.get(), 5000);
+  ASSERT_TRUE(server_conn.valid());
+
+  {
+    ScopedFaultArm arm("ipc.write:once");
+    std::string error;
+    // The injected fault cuts the frame mid-payload: the sender learns it
+    // failed, and the peer must see a mid-frame error, never a short but
+    // "valid" frame.
+    EXPECT_FALSE(SendFrame(client.get(), 7, "payload bytes", &error));
+    EXPECT_NE(error.find("ipc.write"), std::string::npos) << error;
+  }
+  client.Reset();  // EOF after the truncated bytes
+  uint8_t type = 0;
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(RecvFrame(server_conn.get(), type, payload, &error), RecvOutcome::kError);
+  EXPECT_NE(error.find("mid-frame"), std::string::npos) << error;
+  ::unlink(path.c_str());
+}
+
+TEST(IpcFaultTest, InjectedWriteFaultOnTinyPayloadCutsTheHeader) {
+  const std::string path = TestSocketPath("writefault2");
+  OwnedFd listener = UnixListen(path);
+  ASSERT_TRUE(listener.valid());
+  OwnedFd client = UnixConnect(path);
+  ASSERT_TRUE(client.valid());
+  OwnedFd server_conn = UnixAccept(listener.get(), 5000);
+  ASSERT_TRUE(server_conn.valid());
+  {
+    ScopedFaultArm arm("ipc.write:once");
+    EXPECT_FALSE(SendFrame(client.get(), 7, ""));  // nothing to halve: cut the header
+  }
+  client.Reset();
+  uint8_t type = 0;
+  std::string payload;
+  EXPECT_EQ(RecvFrame(server_conn.get(), type, payload), RecvOutcome::kError);
+  ::unlink(path.c_str());
+}
+
+// Signal-interrupted partial writes: a sender whose send(2) keeps getting
+// cut short by EINTR must still deliver every frame intact. A tiny SO_SNDBUF
+// forces short writes; a storm of SIGUSR1 at the sender thread forces EINTR
+// returns while it is blocked.
+TEST(IpcTest, PartialWritesUnderSignalStormDeliverIntactFrames) {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};  // no SA_RESTART: send() returns EINTR
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old_sa = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  const std::string path = TestSocketPath("eintr");
+  OwnedFd listener = UnixListen(path);
+  ASSERT_TRUE(listener.valid());
+  OwnedFd client = UnixConnect(path);
+  ASSERT_TRUE(client.valid());
+  const int sndbuf = 4096;
+  ::setsockopt(client.get(), SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  OwnedFd server_conn = UnixAccept(listener.get(), 5000);
+  ASSERT_TRUE(server_conn.valid());
+
+  const std::string big(1 << 20, 'z');
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    EXPECT_TRUE(SendFrame(client.get(), 3, big));
+    done.store(true);
+  });
+  const pthread_t sender_handle = sender.native_handle();
+  std::thread pummel([&] {
+    while (!done.load()) {
+      ::pthread_kill(sender_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  uint8_t type = 0;
+  std::string payload;
+  ASSERT_EQ(RecvFrame(server_conn.get(), type, payload), RecvOutcome::kFrame);
+  EXPECT_EQ(type, 3);
+  EXPECT_EQ(payload, big);
+  sender.join();
+  pummel.join();
+  ::sigaction(SIGUSR1, &old_sa, nullptr);
   ::unlink(path.c_str());
 }
 

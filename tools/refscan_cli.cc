@@ -36,10 +36,17 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "src/cache/store.h"
 #include "src/checkers/engine.h"
 #include "src/checkers/sharded.h"
 #include "src/ipa/summary.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/serve.h"
+#include "src/serve/watch.h"
 #include "src/support/threadpool.h"
 #include "src/checkers/fixes.h"
 #include "src/checkers/template_matcher.h"
@@ -72,6 +79,14 @@ int Usage() {
                "  refscan demo [--jobs N] [--emit <dir>]\n"
                "  refscan cached <dir> [--socket PATH]      serve <dir> as a shared\n"
                "                                            content-addressed cache\n"
+               "  refscan serve <socket> [--watch TREE] [--sessions N] [--max-pending N]\n"
+               "                [--request-timeout-ms N] [--drain-timeout-ms N] [--poll-ms N]\n"
+               "                [--jobs N]                  resident scan service: keeps the\n"
+               "                                            artifact store warm and answers\n"
+               "                                            scan/stats/summaries/health\n"
+               "                                            requests; SIGTERM drains\n"
+               "  refscan health <socket> [--stats]         ping a serve daemon (--stats\n"
+               "                                            prints its counters JSON)\n"
                "  refscan cache gc <dir> --max-bytes N      evict LRU cache objects over N\n"
                "  refscan worker --socket PATH --id N       (internal) shard worker process\n"
                "\n"
@@ -93,6 +108,9 @@ int Usage() {
                "  --workers N       shard the scan across N worker subprocesses; output is\n"
                "                    byte-identical to --workers 0 at any N (0 = in-process,\n"
                "                    the default; incompatible with --interprocedural)\n"
+               "  --remote SOCKET   run the scan on a `refscan serve` daemon (warm resident\n"
+               "                    store); output is byte-identical to a local scan, and an\n"
+               "                    unreachable server falls back to scanning locally\n"
                "  --stats           print fault-isolation and cache counters (text and JSON)\n"
                "  --faults SPEC     arm the deterministic fault-injection registry for this\n"
                "                    run, e.g. 'parser.parse:file=*.broken.c' — see\n"
@@ -121,7 +139,8 @@ struct CliFlags {
   std::string emit_dir;
   std::string cache_dir;
   std::string cache_server;
-  size_t workers = 0;  // 0 = in-process scan
+  size_t workers = 0;   // 0 = in-process scan
+  std::string remote;   // serve daemon socket; empty = scan locally
   bool no_cache = false;
   bool stats = false;
   std::string fault_spec;
@@ -212,6 +231,12 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       flags.workers = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--remote") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--remote needs a socket path\n");
+        return false;
+      }
+      flags.remote = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       flags.no_cache = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -330,7 +355,28 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
     workers = 0;
   }
   ScanResult result;
-  if (workers > 0) {
+  bool have_result = false;
+  if (!flags.remote.empty()) {
+    if (workers > 0) {
+      std::fprintf(stderr, "refscan: --workers is ignored with --remote (the server picks "
+                           "its own parallelism from --jobs)\n");
+      workers = 0;
+    }
+    std::string note;
+    if (std::optional<ScanResult> remote = RemoteScan(tree, options, flags.remote, {}, &note)) {
+      result = std::move(*remote);
+      have_result = true;
+    } else {
+      // Unreachable after the whole backoff budget: the local fallback
+      // produces byte-identical stdout, so availability costs time, never
+      // output.
+      std::fprintf(stderr, "refscan: serve daemon unreachable (%s); scanning locally\n",
+                   note.c_str());
+    }
+  }
+  if (have_result) {
+    // remote result already in hand
+  } else if (workers > 0) {
     // The worker subprocesses re-exec this binary; they inherit
     // REFSCAN_FAULTS from the environment, and a --faults spec travels in
     // the options so worker-side sites fire either way.
@@ -532,6 +578,15 @@ int RealMain(int argc, char** argv) {
         return Usage();
       }
     }
+    // Foreground until SIGINT/SIGTERM; the accept loop runs on its own
+    // thread. sigwait (not a handler) keeps shutdown on the main thread;
+    // blocking BEFORE Start() means no spawned thread can catch the signal
+    // with its default (fatal) action.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
     CacheServer server(dir, socket);
     std::string error;
     if (!server.Start(&error)) {
@@ -540,20 +595,144 @@ int RealMain(int argc, char** argv) {
     }
     std::printf("refscan cached: serving %s on %s\n", dir.c_str(), socket.c_str());
     std::fflush(stdout);
-    // Foreground until SIGINT/SIGTERM; the accept loop runs on its own
-    // thread. sigwait (not a handler) keeps shutdown on the main thread.
+    int sig = 0;
+    sigwait(&set, &sig);
+    // Graceful drain (shared semantics with `refscan serve`): requests
+    // already received finish and flush; only a hung connection forces the
+    // hard-shutdown escalation.
+    server.Drain();
+    std::printf("refscan cached: %llu get(s), %llu hit(s), %llu put(s)\n",
+                static_cast<unsigned long long>(server.gets()),
+                static_cast<unsigned long long>(server.hits()),
+                static_cast<unsigned long long>(server.puts()));
+    return 0;
+  }
+
+  if (command == "serve") {
+    if (argc < 3) {
+      return Usage();
+    }
+    ServeConfig config;
+    config.socket_path = argv[2];
+    std::string watch_dir;
+    uint32_t poll_ms = 500;
+    size_t jobs = 0;
+    for (int i = 3; i < argc; ++i) {
+      const auto number = [&](unsigned long& out) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a number\n", argv[i]);
+          return false;
+        }
+        char* end = nullptr;
+        out = std::strtoul(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "bad number: %s\n", argv[i]);
+          return false;
+        }
+        return true;
+      };
+      unsigned long value = 0;
+      if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+        watch_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--sessions") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        config.sessions = static_cast<size_t>(value);
+      } else if (std::strcmp(argv[i], "--max-pending") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        config.max_pending = static_cast<size_t>(value);
+      } else if (std::strcmp(argv[i], "--request-timeout-ms") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        config.request_timeout_ms = static_cast<uint32_t>(value);
+      } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        config.drain_timeout_ms = static_cast<uint32_t>(value);
+      } else if (std::strcmp(argv[i], "--poll-ms") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        poll_ms = static_cast<uint32_t>(value);
+      } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
+        if (!number(value)) {
+          return Usage();
+        }
+        jobs = static_cast<size_t>(value);
+      } else {
+        return Usage();
+      }
+    }
+    // Block the shutdown signals BEFORE Start() spawns any thread: every
+    // thread inherits the mask, so sigwait on the main thread is the one
+    // consumer and SIGTERM can never hit a worker thread's default action.
     sigset_t set;
     sigemptyset(&set);
     sigaddset(&set, SIGINT);
     sigaddset(&set, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    ScanServer server(config);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "refscan serve: %s\n", error.c_str());
+      return kExitHardFailure;
+    }
+    std::printf("refscan serve: listening on %s\n", config.socket_path.c_str());
+    std::fflush(stdout);
+    std::atomic<bool> watch_stop{false};
+    std::thread watch_thread;
+    if (!watch_dir.empty()) {
+      WatchConfig watch;
+      watch.tree_dir = watch_dir;
+      watch.poll_ms = poll_ms;
+      ScanOptions watch_options;
+      watch_options.jobs = jobs;
+      watch_thread = std::thread([watch, watch_options, &server, &watch_stop] {
+        RunWatchLoop(watch, watch_options, server.store(), watch_stop, stdout);
+      });
+    }
     int sig = 0;
     sigwait(&set, &sig);
-    server.Stop();
-    std::printf("refscan cached: %llu get(s), %llu hit(s), %llu put(s)\n",
-                static_cast<unsigned long long>(server.gets()),
-                static_cast<unsigned long long>(server.hits()),
-                static_cast<unsigned long long>(server.puts()));
+    watch_stop.store(true, std::memory_order_relaxed);
+    if (watch_thread.joinable()) {
+      watch_thread.join();
+    }
+    const bool clean = server.Drain();
+    const ScanServer::Counters c = server.counters();
+    std::printf("refscan serve: drained%s; %llu request(s), %llu scan(s), %llu shed, "
+                "%llu faulted, %llu timed out\n",
+                clean ? "" : " (escalated)", static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.scans), static_cast<unsigned long long>(c.shed),
+                static_cast<unsigned long long>(c.faulted),
+                static_cast<unsigned long long>(c.timed_out));
+    return clean ? 0 : kExitHardFailure;
+  }
+
+  if (command == "health") {
+    if (argc < 3) {
+      return Usage();
+    }
+    bool want_stats = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stats") == 0) {
+        want_stats = true;
+      } else {
+        return Usage();
+      }
+    }
+    std::string reply;
+    std::string error;
+    const uint8_t type = want_stats ? kServeStatsReq : kServeHealthReq;
+    if (!RemoteRequestText(argv[2], type, "", reply, &error)) {
+      std::fprintf(stderr, "refscan health: %s\n", error.c_str());
+      return kExitHardFailure;
+    }
+    std::printf("%s%s", reply.c_str(), reply.ends_with('\n') ? "" : "\n");
     return 0;
   }
 
