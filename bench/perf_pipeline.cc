@@ -264,6 +264,38 @@ BENCHMARK(BM_ShardedScanWarmShared)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// A generated kernel-realism tree (CorpusOptions::kernelish_modules,
+// DESIGN.md §5.15): ~1 MLOC of attribute/asm/statement-expression/CRLF/
+// splice heavy C with one deliberately unparseable function in every other
+// module, so the run also exercises function-granular quarantine at scale.
+// Arg toggles ScanOptions::streaming; compare the two for the streaming
+// lifecycle's time cost (its memory win shows in EXPERIMENTS.md's RSS
+// column, which google-benchmark does not measure).
+void BM_KernelishScan(benchmark::State& state) {
+  static const Corpus* corpus = [] {
+    CorpusOptions options;
+    options.kernelish_modules = 1200;  // ~850 lines per module -> ~1 MLOC
+    return new Corpus(GenerateKernelCorpus(options));
+  }();
+  static const uint64_t lines = [] {
+    uint64_t total = 0;
+    for (const auto& [path, file] : corpus->tree.files()) {
+      total += file.line_count();
+    }
+    return total;
+  }();
+  ScanOptions options;
+  options.jobs = 4;
+  options.streaming = state.range(0) != 0;
+  for (auto _ : state) {
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    benchmark::DoNotOptimize(engine.Scan(corpus->tree));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lines));
+}
+BENCHMARK(BM_KernelishScan)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 // Stage 2.5 in isolation: call graph + bottom-up summary propagation over
 // the whole corpus (parse and discovery excluded), at 1 and 4 workers.
 void BM_SummaryComputation(benchmark::State& state) {

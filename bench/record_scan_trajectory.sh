@@ -30,10 +30,11 @@
 # percent change rates (BM_IncrementalRescan), the sharded multi-process
 # scan cold and over a shared warm store (BM_ShardedScan,
 # BM_ShardedScanWarmShared — DESIGN.md §5.13), the parallel on-disk tree
-# load (BM_ParallelTreeLoad), and the memory-layer micro-benches
-# (BM_InternerLookup, BM_KbFindApi — DESIGN.md §5.11). The speedup of
-# BM_IncrementalRescan/0 over BM_FullTreeScan is the cache's headline
-# number (target: >= 5x).
+# load (BM_ParallelTreeLoad), the memory-layer micro-benches
+# (BM_InternerLookup, BM_KbFindApi — DESIGN.md §5.11), and the ~1 MLOC
+# kernel-realism scan with streaming off/on (BM_KernelishScan — DESIGN.md
+# §5.15). The speedup of BM_IncrementalRescan/0 over BM_FullTreeScan is the
+# cache's headline number (target: >= 5x).
 set -eu
 
 PERF_BIN="${1:-}"
@@ -61,7 +62,7 @@ RUN_JSON="$(mktemp "${TMPDIR:-/tmp}/refscan_bench_run.XXXXXX.json")"
 trap 'rm -f "$RUN_JSON"' EXIT
 
 "$PERF_BIN" \
-  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanAllFamilies|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ShardedScan|BM_ParallelTreeLoad|BM_InternerLookup|BM_KbFindApi' \
+  --benchmark_filter='BM_FullTreeScan|BM_FullTreeScanAllFamilies|BM_FullTreeScanParallel|BM_IncrementalRescan|BM_ShardedScan|BM_ParallelTreeLoad|BM_InternerLookup|BM_KbFindApi|BM_KernelishScan' \
   --benchmark_out="$RUN_JSON" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1

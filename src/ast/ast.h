@@ -153,6 +153,18 @@ struct MacroDef {
   uint32_t line = 0;
 };
 
+// A function body the parser could not make sense of (DESIGN.md §5.15).
+// The parser skips to the function's matching top-level close brace and
+// quarantines just this function: it is excluded from `functions` (and so
+// from discovery facts and checker reports — exactly as if it were deleted
+// from the source), and surfaced in the scan's "degraded functions" section
+// instead of dropping the whole file.
+struct DegradedFunction {
+  std::string name;
+  uint32_t line = 0;    // 1-based line of the function definition
+  std::string what;     // short reason, e.g. "12 unparseable statements"
+};
+
 struct TranslationUnit {
   std::string path;
   // Owns every Expr/Stmt node below. shared_ptr so moved/copied units keep
@@ -162,6 +174,8 @@ struct TranslationUnit {
   std::vector<StructDef> structs;
   std::vector<GlobalVar> globals;
   std::vector<FunctionDef> functions;
+  // Function-granular parse casualties, in source order.
+  std::vector<DegradedFunction> degraded;
 
   const FunctionDef* FindFunction(std::string_view name) const;
 };

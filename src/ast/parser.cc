@@ -78,7 +78,7 @@ bool LooksLikeTypedefName(std::string_view text) {
 class Parser {
  public:
   Parser(const SourceFile& file, const ParseOptions& options)
-      : tokens_(Tokenize(file)),
+      : tokens_(Tokenize(file, &splices_)),
         cur_(tokens_),
         options_(options),
         arena_(std::make_shared<Arena>()) {
@@ -109,6 +109,7 @@ class Parser {
   // Skips tokens until (and including) a ';' at brace depth zero, or until a
   // '}' that would close the current scope (left unconsumed).
   void SyncToStatementEnd() {
+    ++recovery_events_;
     int depth = 0;
     while (!cur_.AtEnd()) {
       const Token& t = Peek();
@@ -163,6 +164,59 @@ class Parser {
     }
   }
 
+  // GNU declaration noise: `__attribute__((...))` soup, `__extension__`,
+  // `__restrict` qualifiers. Kernel headers drape these over nearly every
+  // declaration; they carry nothing the checkers need but their parentheses
+  // derail the declarator heuristics, so they are skipped wherever a
+  // declaration may continue. Returns true if anything was consumed.
+  bool SkipDeclNoise() {
+    bool skipped = false;
+    while (!cur_.AtEnd()) {
+      const Token& t = Peek();
+      if (t.IsIdent("__attribute__") || t.IsIdent("__attribute")) {
+        Next();
+        if (Peek().Is("(")) {
+          SkipBalanced();
+        }
+        skipped = true;
+        continue;
+      }
+      if (t.IsIdent("__extension__") || t.IsIdent("__restrict") || t.IsIdent("__restrict__")) {
+        Next();
+        skipped = true;
+        continue;
+      }
+      break;
+    }
+    return skipped;
+  }
+
+  // True for type keywords that take a parenthesised operand the declarator
+  // heuristics must step over: `typeof(expr)`, `__typeof__(expr)`,
+  // `_Atomic(type)`.
+  static bool IsParenTypeKeyword(std::string_view text) {
+    return text == "typeof" || text == "__typeof__" || text == "_Atomic";
+  }
+
+  // Index of the '}' matching the '{' at token index `open_pos`, counting
+  // raw punct braces only (string/char/preproc token text never counts), or
+  // tokens_.size() when the file runs out before the brace closes.
+  size_t FindMatchingBrace(size_t open_pos) const {
+    int depth = 0;
+    for (size_t i = open_pos; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!t.Is(TokenKind::kPunct)) {
+        continue;
+      }
+      if (t.text == "{") {
+        ++depth;
+      } else if (t.text == "}" && --depth == 0) {
+        return i;
+      }
+    }
+    return tokens_.size();
+  }
+
   // ------------------------------------------------------------- top level
 
   void ParseTopLevel() {
@@ -187,8 +241,9 @@ class Parser {
       Eat(";");
       return;
     }
-    if ((t.Is("struct") || t.Is("union")) && Peek(1).Is(TokenKind::kIdentifier) &&
-        Peek(2).Is("{")) {
+    if ((t.Is("struct") || t.Is("union")) &&
+        ((Peek(1).Is(TokenKind::kIdentifier) && Peek(2).Is("{")) ||
+         Peek(1).IsIdent("__attribute__") || Peek(1).IsIdent("__attribute"))) {
       ParseStructDef();
       return;
     }
@@ -198,16 +253,24 @@ class Parser {
   void ParsePreproc() {
     const Token tok = Next();
     std::string_view text = tok.text;
-    // Normalise continuations: replace "\\\n" with a space.
+    // Normalise continuations: replace `\`+optional trailing whitespace+
+    // newline (the CRLF and `\`+spaces forms included) with a space.
     std::string joined;
     joined.reserve(text.size());
     for (size_t i = 0; i < text.size(); ++i) {
-      if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
-        joined.push_back(' ');
-        ++i;
-      } else {
-        joined.push_back(text[i]);
+      if (text[i] == '\\') {
+        size_t j = i + 1;
+        while (j < text.size() &&
+               (text[j] == ' ' || text[j] == '\t' || text[j] == '\r')) {
+          ++j;
+        }
+        if (j < text.size() && text[j] == '\n') {
+          joined.push_back(' ');
+          i = j;
+          continue;
+        }
       }
+      joined.push_back(text[i]);
     }
     std::string_view body = Trim(joined);
     if (!body.starts_with("#")) {
@@ -253,6 +316,7 @@ class Parser {
     StructDef def;
     def.line = Line();
     Next();  // struct / union
+    SkipDeclNoise();  // `struct __attribute__((aligned(8))) tag { ... }`
     def.name = Intern(Next().text);
     if (!Eat("{")) {
       SyncToStatementEnd();
@@ -271,6 +335,9 @@ class Parser {
     std::vector<Token> field_tokens;
     int depth = 0;
     while (!cur_.AtEnd()) {
+      if (depth == 0 && SkipDeclNoise()) {
+        continue;  // `__attribute__((packed))` etc. never joins the field
+      }
       const Token& t = Peek();
       if (depth == 0 && (t.Is(";") || t.Is("}"))) {
         break;
@@ -336,6 +403,9 @@ class Parser {
     std::string type_text;
     std::string name;
     while (!cur_.AtEnd()) {
+      if (SkipDeclNoise()) {
+        continue;
+      }
       const Token& t = Peek();
       if (t.Is("static")) {
         is_static = true;
@@ -343,11 +413,15 @@ class Parser {
         continue;
       }
       if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+        const std::string_view keyword = t.text;
         if (!type_text.empty()) {
           type_text.push_back(' ');
         }
-        type_text.append(t.text);
+        type_text.append(keyword);
         Next();
+        if (IsParenTypeKeyword(keyword) && Peek().Is("(")) {
+          SkipBalanced();  // typeof(...) operand: opaque to the checkers
+        }
         continue;
       }
       if (t.Is("*")) {
@@ -417,15 +491,50 @@ class Parser {
     }
     fn.params = SplitParams(param_tokens);
 
+    // Attribute soup between the parameter list and the body:
+    // `int foo(void) __attribute__((section(".init"))) { ... }`.
+    SkipDeclNoise();
+
     if (Peek().Is("{")) {
+      // Function-granular error recovery (DESIGN.md §5.15): remember where
+      // this body's matching top-level '}' sits, parse tolerantly, and if
+      // parsing either derailed (stopped anywhere but just past that brace)
+      // or burned through the per-function error budget, quarantine only
+      // this function — resync to the close brace and keep going with the
+      // rest of the file, exactly as if the function had been deleted.
+      const size_t open_pos = cur_.position();
+      const size_t close_pos = FindMatchingBrace(open_pos);
       depth_ = 0;
+      recovery_events_ = 0;
       fn.body = ParseCompound();
+      const bool derailed = cur_.position() != close_pos + 1 && close_pos < tokens_.size();
+      const bool exhausted = recovery_events_ > kFunctionErrorBudget;
+      if (derailed || exhausted) {
+        if (close_pos < tokens_.size()) {
+          cur_.set_position(close_pos + 1);
+        }
+        DegradedFunction bad;
+        bad.name = name;
+        bad.line = line;
+        bad.what = exhausted
+                       ? StrFormat("%zu unparseable statements in body", recovery_events_)
+                       : "parse derailed inside body";
+        unit_.degraded.push_back(std::move(bad));
+        return;
+      }
       unit_.functions.push_back(std::move(fn));
       return;
     }
     // Forward declaration (or attribute soup): skip to ';'.
     SyncToStatementEnd();
   }
+
+  // A handful of recovery events inside one body is routine tolerant
+  // parsing (skipped macro statement, odd initializer); a body that keeps
+  // tripping recovery is noise the checkers would hallucinate over, so it
+  // gets quarantined instead. The budget sits well above what clean kernel
+  // code produces and well below what genuinely unparseable soup produces.
+  static constexpr size_t kFunctionErrorBudget = 6;
 
   static std::vector<Param> SplitParams(const std::vector<Token>& tokens) {
     std::vector<Param> params;
@@ -674,6 +783,23 @@ class Parser {
       return MakeStmt(Stmt::Kind::kContinue, line);
     }
 
+    // Inline assembly: `asm [volatile|inline|goto] ( output : input :
+    // clobbers )` — the register soup is opaque to the checkers, so the
+    // whole block collapses to an empty statement (code around it still
+    // parses; see the SNIPPETS.md refcount.h idiom).
+    if (t.Is("asm") || t.Is("__asm__") || t.IsIdent("__asm")) {
+      Next();
+      while (Peek().Is("volatile") || Peek().IsIdent("__volatile__") || Peek().Is("inline") ||
+             Peek().IsIdent("__inline__") || Peek().Is("goto")) {
+        Next();
+      }
+      if (Peek().Is("(")) {
+        SkipBalanced();
+      }
+      Eat(";");
+      return MakeStmt(Stmt::Kind::kEmpty, line);
+    }
+
     // Label: identifier ':' (not a ternary — at statement start this is safe).
     if (t.Is(TokenKind::kIdentifier) && Peek(1).Is(":")) {
       StmtPtr s = MakeStmt(Stmt::Kind::kLabel, line);
@@ -794,13 +920,20 @@ class Parser {
     // Type tokens: keywords, identifiers (while followed by more type-ish
     // tokens), '*'.
     while (!cur_.AtEnd()) {
+      if (SkipDeclNoise()) {
+        continue;
+      }
       const Token& t = Peek();
       if (t.Is(TokenKind::kKeyword) && IsTypeKeyword(t.text)) {
+        const std::string_view keyword = t.text;
         if (!type.empty()) {
           type.push_back(' ');
         }
-        type.append(t.text);
+        type.append(keyword);
         Next();
+        if (IsParenTypeKeyword(keyword) && Peek().Is("(")) {
+          SkipBalanced();  // typeof(...) operand: opaque to the checkers
+        }
         continue;
       }
       if (t.Is("*")) {
@@ -873,6 +1006,7 @@ class Parser {
   }
 
   ExprPtr MakeError(uint32_t line) {
+    ++recovery_events_;
     ExprPtr e = MakeExpr(Expr::Kind::kError, line);
     e->value = Intern(Peek().text);
     return e;
@@ -1124,6 +1258,38 @@ class Parser {
       e->value = Intern(Next().text);
       return e;
     }
+    if (t.Is("(") && Peek(1).Is("{")) {
+      // GNU statement expression: `({ stmt; ...; last_expr; })`. The
+      // statements parse normally, then every expression they carry is
+      // flattened into one comma chain so calls inside stay visible to the
+      // checkers (ForEachExpr reaches them through the chain); the internal
+      // control-flow shape is deliberately dropped — kernel code only grows
+      // these inside macro bodies, which the parser never expands anyway.
+      Next();  // (
+      StmtPtr body = ParseCompound();
+      Eat(")");
+      std::vector<ExprPtr> exprs;
+      ForEachStmt(*body, [&exprs](const Stmt& s) {
+        for (ExprPtr e : {s.expr, s.init, s.incr}) {
+          if (e != nullptr) {
+            exprs.push_back(e);
+          }
+        }
+      });
+      if (exprs.empty()) {
+        return MakeExpr(Expr::Kind::kLiteral, line);
+      }
+      ExprPtr chain = exprs[0];
+      static const Symbol kComma = Intern(",");
+      for (size_t k = 1; k < exprs.size(); ++k) {
+        ExprPtr comma = MakeExpr(Expr::Kind::kBinary, exprs[k]->line);
+        comma->value = kComma;
+        comma->args.push_back(chain, *arena_);
+        comma->args.push_back(exprs[k], *arena_);
+        chain = comma;
+      }
+      return chain;
+    }
     if (t.Is("(")) {
       if (LooksLikeCast()) {
         Next();  // (
@@ -1172,6 +1338,9 @@ class Parser {
     return e;
   }
 
+  // Declared before tokens_: Tokenize writes normalized spellings of
+  // spliced identifiers here, and members initialize in declaration order.
+  SpliceStorage splices_;
   std::vector<Token> tokens_;
   TokenCursor cur_;
   ParseOptions options_;
@@ -1179,6 +1348,9 @@ class Parser {
   std::shared_ptr<Arena> arena_;
   int depth_ = 0;
   size_t nodes_ = 0;
+  // Error-recovery actions (MakeError / SyncToStatementEnd) observed while
+  // parsing the current function body; drives function quarantine.
+  size_t recovery_events_ = 0;
 };
 
 }  // namespace

@@ -17,8 +17,9 @@ namespace {
 // never touch disk) and re-interned on load; units deserialize into a fresh
 // per-unit Arena. v3: DiscoveryFacts::Field carries the field name, RefApiInfo
 // carries tests_zero, and the KB snapshot/fingerprint cover the refcount-field
-// and dialect-free-function registries (P10-P12, DESIGN.md §5.12).
-constexpr uint32_t kFormatVersion = 3;
+// and dialect-free-function registries (P10-P12, DESIGN.md §5.12). v4: units
+// and report shards carry the quarantined-function list (DESIGN.md §5.15).
+constexpr uint32_t kFormatVersion = 4;
 constexpr char kMagic[4] = {'R', 'F', 'S', 'C'};
 
 constexpr uint8_t kKindFacts = 1;
@@ -255,6 +256,12 @@ void WriteUnit(ByteWriter& w, const TranslationUnit& unit) {
     }
     WriteStmt(w, fn.body);
   }
+  w.U32(static_cast<uint32_t>(unit.degraded.size()));
+  for (const DegradedFunction& d : unit.degraded) {
+    w.Str(d.name);
+    w.U32(d.line);
+    w.Str(d.what);
+  }
 }
 
 TranslationUnit ReadUnit(ByteReader& r) {
@@ -327,6 +334,15 @@ TranslationUnit ReadUnit(ByteReader& r) {
     fn.body = ReadStmt(r, arena);
     unit.functions.push_back(std::move(fn));
   }
+  const uint32_t n_degraded = r.Count();
+  unit.degraded.reserve(n_degraded);
+  for (uint32_t i = 0; i < n_degraded && r.ok(); ++i) {
+    DegradedFunction d;
+    d.name = r.Str();
+    d.line = r.U32();
+    d.what = r.Str();
+    unit.degraded.push_back(std::move(d));
+  }
   return unit;
 }
 
@@ -348,6 +364,12 @@ void WriteReports(ByteWriter& w, const CachedFileReports& shard) {
     w.Str(b.template_path);
     w.Str(b.message);
   }
+  w.U32(static_cast<uint32_t>(shard.degraded.size()));
+  for (const DegradedFunction& d : shard.degraded) {
+    w.Str(d.name);
+    w.U32(d.line);
+    w.Str(d.what);
+  }
 }
 
 CachedFileReports ReadReports(ByteReader& r) {
@@ -368,6 +390,15 @@ CachedFileReports ReadReports(ByteReader& r) {
     b.template_path = r.Str();
     b.message = r.Str();
     shard.reports.push_back(std::move(b));
+  }
+  const uint32_t n_degraded = r.Count();
+  shard.degraded.reserve(n_degraded);
+  for (uint32_t i = 0; i < n_degraded && r.ok(); ++i) {
+    DegradedFunction d;
+    d.name = r.Str();
+    d.line = r.U32();
+    d.what = r.Str();
+    shard.degraded.push_back(std::move(d));
   }
   return shard;
 }

@@ -83,10 +83,14 @@ CacheKey MakeKbSnapshotKey(uint64_t base_kb_fp, int nesting_threshold,
 uint64_t FingerprintKnowledgeBase(const KnowledgeBase& kb);
 
 // One file's cached stage-3 output: the raw (pre-dedup) report shard in
-// checker emission order, plus the file's function count for ScanStats.
+// checker emission order, the file's function count for ScanStats, and any
+// function bodies the parser quarantined (DESIGN.md §5.15) — a spliced
+// shard must reproduce the degraded-functions section exactly like a cold
+// check would.
 struct CachedFileReports {
   std::vector<BugReport> reports;
   uint64_t functions = 0;
+  std::vector<DegradedFunction> degraded;
 };
 
 class ScanCache {

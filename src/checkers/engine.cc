@@ -92,6 +92,7 @@ struct ScanMetrics {
   MetricCounter& summarized_functions = reg.Counter("scan.summarized_functions");
   MetricCounter& files_quarantined = reg.Counter("scan.files_quarantined");
   MetricCounter& files_retried = reg.Counter("scan.files_retried");
+  MetricCounter& functions_degraded = reg.Counter("scan.functions_degraded");
   MetricCounter& cache_hits = reg.Counter("scan.cache_hits");
   MetricCounter& cache_misses = reg.Counter("scan.cache_misses");
   MetricCounter& cache_parse_skips = reg.Counter("scan.cache_parse_skips");
@@ -350,10 +351,19 @@ ScanResult CheckerEngine::Scan(const SourceTree& tree) {
   TelemetrySpan merge_span("stage.merge");
   std::vector<BugReport> raw;
   m.files.Add(files.size());
-  for (FileShard& shard : shards) {
+  for (size_t i = 0; i < shards.size(); ++i) {
+    FileShard& shard = shards[i];
     m.functions.Add(shard.functions);
     raw.insert(raw.end(), std::make_move_iterator(shard.raw.begin()),
                std::make_move_iterator(shard.raw.end()));
+    // Function-granular parse casualties, already in source order within the
+    // shard; shards are walked in file order, so the merged list is
+    // (file, line)-ordered and byte-identical at every jobs/workers value.
+    m.functions_degraded.Add(shard.degraded.size());
+    for (DegradedFunction& d : shard.degraded) {
+      result.degraded_functions.push_back(
+          DegradedFunctionReport{files[i]->path(), std::move(d.name), d.line, std::move(d.what)});
+    }
   }
   m.raw_reports.Add(raw.size());
 
@@ -422,6 +432,9 @@ uint64_t ScanOptionsFingerprint(const ScanOptions& options) {
   for (const std::string& dialect : options.dialects) {
     w.Str(dialect);
   }
+  // `streaming` is deliberately excluded, like `jobs`: it changes the unit
+  // lifecycle, never any artifact, so streaming and resident scans share
+  // one warm cache.
   return HashBytes(w.bytes());
 }
 
@@ -438,6 +451,7 @@ const std::vector<ScanStatsField>& ScanStatsFields() {
       {"summarized_functions", "scan.summarized_functions", &ScanStats::summarized_functions},
       {"quarantined", "scan.files_quarantined", &ScanStats::files_quarantined},
       {"retried", "scan.files_retried", &ScanStats::files_retried},
+      {"functions_degraded", "scan.functions_degraded", &ScanStats::functions_degraded},
       {"cache_hits", "scan.cache_hits", &ScanStats::cache_hits},
       {"cache_misses", "scan.cache_misses", &ScanStats::cache_misses},
       {"cache_parse_skips", "scan.cache_parse_skips", &ScanStats::cache_parse_skips},
@@ -451,7 +465,7 @@ int ScanExitCodeFor(const ScanResult& result) {
   if (result.aborted) {
     return kExitHardFailure;
   }
-  if (!result.failures.empty()) {
+  if (!result.failures.empty() || !result.degraded_functions.empty()) {
     return kExitDegraded;
   }
   return result.reports.empty() ? kExitClean : kExitReports;
@@ -479,6 +493,22 @@ std::string ScanResultToJson(const ScanResult& result, bool include_stats) {
     out += StrFormat(", \"retries\": %d}", f.retries);
   }
   if (!result.failures.empty()) {
+    out += "\n";
+  }
+  out += "]";
+  out += ",\n\"degraded_functions\": [";
+  for (size_t i = 0; i < result.degraded_functions.size(); ++i) {
+    const DegradedFunctionReport& d = result.degraded_functions[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": ";
+    AppendJsonString(out, d.file);
+    out += ", \"function\": ";
+    AppendJsonString(out, d.function);
+    out += StrFormat(", \"line\": %u, \"what\": ", d.line);
+    AppendJsonString(out, d.what);
+    out += "}";
+  }
+  if (!result.degraded_functions.empty()) {
     out += "\n";
   }
   out += "]";

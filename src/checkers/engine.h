@@ -114,6 +114,16 @@ struct ScanOptions {
   // this fraction of files fail. 0 = disabled (the default — a degraded
   // scan normally completes and reports the healthy remainder).
   double max_failure_ratio = 0.0;
+
+  // Streaming unit lifecycle for multi-MLOC trees (DESIGN.md §5.15): stage
+  // 1 drops each file's AST right after extracting its discovery facts, and
+  // stage 3 re-parses each file just-in-time, so at most `jobs` units are
+  // alive at once and peak RSS is bounded by the largest file instead of
+  // the whole tree. Costs a second parse per cold file; output is
+  // byte-identical, so it is excluded from the options fingerprint (cached
+  // artifacts are shared with non-streaming scans). Ignored (units kept)
+  // when `interprocedural` is set — stage 2.5 needs every AST at once.
+  bool streaming = false;
 };
 
 // Where in the pipeline a quarantined file failed.
@@ -229,6 +239,11 @@ struct ScanStats {
   size_t files_quarantined = 0;
   size_t files_retried = 0;
 
+  // Function-granular parse casualties (DESIGN.md §5.15): bodies the parser
+  // quarantined while the rest of their file kept scanning. Excluded from
+  // `functions`; each appears in ScanResult::degraded_functions.
+  size_t functions_degraded = 0;
+
   // Incremental-cache accounting (all 0 when ScanOptions::cache_dir is
   // empty). A fully warm rescan of an unchanged tree has
   // cache_hits == cache_parse_skips == files and cache_misses == 0.
@@ -253,6 +268,16 @@ struct ScanStatsField {
 // Every ScanStats field, in declaration (and JSON emission) order.
 const std::vector<ScanStatsField>& ScanStatsFields();
 
+// One function body the parser quarantined (DESIGN.md §5.15): its file kept
+// scanning, its siblings' reports are byte-identical to scanning the file
+// with this function deleted, and the scan exits kExitDegraded.
+struct DegradedFunctionReport {
+  std::string file;
+  std::string function;
+  uint32_t line = 0;
+  std::string what;
+};
+
 struct ScanResult {
   std::vector<BugReport> reports;
   ScanStats stats;
@@ -264,6 +289,10 @@ struct ScanResult {
   // quarantines, which are excluded from KB discovery; asserted by
   // tests/faultinject_test.cc).
   std::vector<FileFailure> failures;
+
+  // Quarantined function bodies in (file, source line) order — the
+  // function-granular analogue of `failures`. Non-empty ⇒ kExitDegraded.
+  std::vector<DegradedFunctionReport> degraded_functions;
 
   // Circuit breaker (ScanOptions::max_failure_ratio) or a malformed
   // fault_spec: the scan gave up; `reports` must not be trusted.
@@ -278,7 +307,7 @@ struct ScanResult {
 enum ScanExitCode : int {
   kExitClean = 0,        // scan completed, no reports, nothing degraded
   kExitHardFailure = 1,  // aborted: breaker trip, bad spec, unusable input
-  kExitDegraded = 2,     // completed with quarantined files (reports or not)
+  kExitDegraded = 2,     // completed with quarantined files or functions
   kExitReports = 10,     // completed healthy, found >= 1 report
   kExitUsage = 64,       // bad flags / arguments (EX_USAGE)
 };

@@ -20,6 +20,10 @@ namespace {
 FileShard CheckOneFile(const SourceFile& file, TranslationUnit unit, const KnowledgeBase& kb,
                        const ScanOptions& options) {
   FileShard shard;
+  // Quarantined function bodies ride along with the shard (and, via
+  // StoreReports, with the cache entry): parsing is deterministic, so the
+  // list is identical whichever process or scan produced the unit.
+  shard.degraded = std::move(unit.degraded);
   const UnitContext uc = BuildUnitContext(file, std::move(unit), kb);
   shard.functions = uc.functions.size();
 
@@ -172,6 +176,7 @@ void WriteScanOptionsWire(ByteWriter& w, const ScanOptions& o) {
   static_assert(sizeof(ratio_bits) == sizeof(o.max_failure_ratio));
   std::memcpy(&ratio_bits, &o.max_failure_ratio, sizeof(ratio_bits));
   w.U64(ratio_bits);
+  w.Bool(o.streaming);
 }
 
 bool ReadScanOptionsWire(ByteReader& r, ScanOptions& o) {
@@ -201,6 +206,7 @@ bool ReadScanOptionsWire(ByteReader& r, ScanOptions& o) {
   o.max_ast_depth = r.I32();
   const uint64_t ratio_bits = r.U64();
   std::memcpy(&o.max_failure_ratio, &ratio_bits, sizeof(ratio_bits));
+  o.streaming = r.Bool();
   return r.ok();
 }
 
@@ -211,7 +217,10 @@ ScanStageContext MakeScanStageContext(const ScanOptions& options, ScanCache& cac
   ctx.use_cache = cache.enabled();
   ctx.options_fp = ctx.use_cache ? ScanOptionsFingerprint(options) : 0;
   ctx.want_facts = options.discover_from_source;
-  ctx.need_units = !ctx.use_cache || options.interprocedural;
+  // Streaming never survives interprocedural mode: stage 2.5 needs every
+  // AST resident at once, which is exactly what streaming forbids.
+  ctx.stream_units = options.streaming && !options.interprocedural;
+  ctx.need_units = (!ctx.use_cache || options.interprocedural) && !ctx.stream_units;
   // Parser caps from the governor options. max_ast_depth replaces the
   // silent flatten-at-200 with a hard (quarantining) cap.
   if (options.max_ast_depth > 0) {
@@ -270,6 +279,13 @@ FileScanState RunParseStage(const SourceFile& f, const ScanStageContext& ctx) {
             cache.StoreFacts(st.key, st.facts, f.path());
           }
         }
+        if (ctx.stream_units) {
+          // Streaming lifecycle: the facts are extracted (and the cache
+          // fed), so the AST has served stage 1's purpose. Drop it here —
+          // stage 3 re-parses just-in-time — and whole-tree peak RSS stays
+          // bounded by `jobs` concurrent units instead of the tree size.
+          st.unit.reset();
+        }
       },
       st.failure, st.retried);
   if (!ok) {
@@ -307,6 +323,7 @@ FileShard RunCheckStage(const SourceFile& file, FileScanState& st, const Knowled
             st.report_hit = true;
             shard.raw = std::move(cached->reports);
             shard.functions = static_cast<size_t>(cached->functions);
+            shard.degraded = std::move(cached->degraded);
             return;
           }
         }
@@ -328,6 +345,7 @@ FileShard RunCheckStage(const SourceFile& file, FileScanState& st, const Knowled
           CachedFileReports entry;
           entry.reports = shard.raw;
           entry.functions = shard.functions;
+          entry.degraded = shard.degraded;
           cache.StoreReports(st.key, kb_fp, entry, file.path());
         }
       },

@@ -31,10 +31,12 @@
 namespace refscan {
 
 // Stage-3 output for one file: the raw (pre-dedup) report shard in checker
-// emission order plus the file's function count.
+// emission order, the file's function count, and any function bodies the
+// parser quarantined (DESIGN.md §5.15), in source order.
 struct FileShard {
   std::vector<BugReport> raw;
   size_t functions = 0;
+  std::vector<DegradedFunction> degraded;
 };
 
 // Everything one file accumulates on its way through the pipeline.
@@ -82,6 +84,12 @@ struct ScanStageContext {
   // later, reports) hit can go through the whole scan without ever being
   // parsed — the incremental fast path.
   bool need_units = false;
+  // Streaming unit lifecycle (ScanOptions::streaming, DESIGN.md §5.15):
+  // stage 1 still parses where it must (facts, cache fill) but drops the
+  // unit before returning, and stage 3 re-parses just-in-time, so at most
+  // `jobs` ASTs coexist. Forced off by interprocedural mode (stage 2.5
+  // walks every unit at once).
+  bool stream_units = false;
   ParseOptions popts;
 };
 ScanStageContext MakeScanStageContext(const ScanOptions& options, ScanCache& cache);

@@ -532,6 +532,7 @@ ScanResult ShardedScan(const SourceTree& tree, const ScanOptions& options,
           }
           shard_results[shards[i][j]].raw = std::move(reports->reports);
           shard_results[shards[i][j]].functions = static_cast<size_t>(reports->functions);
+          shard_results[shards[i][j]].degraded = std::move(reports->degraded);
         }
       }
       worker_corrupt += r.U64();
@@ -578,10 +579,16 @@ ScanResult ShardedScan(const SourceTree& tree, const ScanOptions& options,
   TelemetrySpan merge_span("stage.merge");
   std::vector<BugReport> raw;
   result.stats.files = files.size();
-  for (FileShard& shard : shard_results) {
+  for (size_t i = 0; i < shard_results.size(); ++i) {
+    FileShard& shard = shard_results[i];
     result.stats.functions += shard.functions;
     raw.insert(raw.end(), std::make_move_iterator(shard.raw.begin()),
                std::make_move_iterator(shard.raw.end()));
+    result.stats.functions_degraded += shard.degraded.size();
+    for (DegradedFunction& d : shard.degraded) {
+      result.degraded_functions.push_back(
+          DegradedFunctionReport{files[i]->path(), std::move(d.name), d.line, std::move(d.what)});
+    }
   }
   raw_report_count = raw.size();
   result.reports = DeduplicateReports(std::move(raw));
@@ -743,6 +750,7 @@ int RunShardWorker(const std::string& socket_path, int worker_id) {
         CachedFileReports entry;
         entry.reports = std::move(shards[i].raw);
         entry.functions = shards[i].functions;
+        entry.degraded = std::move(shards[i].degraded);
         reports_bytes = SerializeReports(entry);
       }
       w.Str(reports_bytes);

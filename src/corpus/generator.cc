@@ -1428,6 +1428,123 @@ void EmitNewFamilyModules(Corpus& corpus) {
                        "g_atomic_int_dec_and_test");
 }
 
+// ----------------------------------------------------- kernelish modules
+//
+// Generated kernel-realism modules (DESIGN.md §5.15): the GNU-extension and
+// preprocessor shapes real kernel C is full of — __attribute__, inline asm,
+// statement expressions, typeof, CRLF and backslash-continued directives,
+// line-spliced identifiers and comments — plus, in every other module, one
+// deliberately unparseable function whose body exceeds the parser's
+// per-function error budget, exercising function-granular quarantine.
+// Every byte is a pure function of (seed, module index), so the bench tree
+// and the CI smoke tree reproduce bit-for-bit.
+
+void EmitKernelishModule(Corpus& corpus, const CorpusOptions& options, size_t index) {
+  Xoshiro256pp rng =
+      Xoshiro256pp(options.seed)
+          .Fork(HashString("kernelish", 9) ^ (index * 0x9e3779b97f4a7c15ULL + 1));
+  const std::string mod = StrFormat("kmod%04zu", index);
+  std::string upper = mod;
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  const char* u = upper.c_str();
+  const char* m = mod.c_str();
+
+  std::string out;
+  out += "// SPDX-License-Identifier: GPL-2.0\n";
+  out += StrFormat("// %s: generated kernel-realism module\n", m);
+  out += "#include <linux/kernel.h>\n#include <linux/of.h>\n\n";
+  // CRLF-continued directive, then a `\`-plus-trailing-spaces continuation.
+  out += StrFormat("#define %s_MASK (0x1 | \\\r\n\t\t0x2 | \\\r\n\t\t0x4)\n", u);
+  out += StrFormat("#define %s_FLAGS (%s_MASK | \\  \n\t\t0x8)\n", u, u);
+  // A declaration whose line ends in a multi-line block comment, directly
+  // followed by a directive (the at_line_start regression shape).
+  out += StrFormat("int %s_seq; /*\n * generation counter for %s\n */\n", m, m);
+  out += StrFormat("#define %s_MAGIC 0x%04x\n\n", u,
+                   static_cast<unsigned>(rng.Below(0xffff)));
+  out += StrFormat("struct __attribute__((aligned(8))) %s_dev {\n"
+                   "\tint state;\n\tint gen;\n\tlong budget;\n};\n\n",
+                   m);
+  out += StrFormat("static void %s_log(struct device_node *np)\n{\n\t(void)np;\n}\n\n", m);
+
+  const int funcs = 100;
+  for (int i = 0; i < funcs; ++i) {
+    const int k = static_cast<int>(rng.Below(1000));
+    switch (i % 5) {
+      case 0:  // attribute + statement expression
+        out += StrFormat(
+            "static int __attribute__((cold)) %s_probe_%d(struct %s_dev *kd)\n"
+            "{\n"
+            "\tint ret = ({ int __v = kd->state + %d; __v & 0xff; });\n"
+            "\tif (ret < 0)\n"
+            "\t\treturn ret;\n"
+            "\tkd->state = ret;\n"
+            "\treturn 0;\n"
+            "}\n\n",
+            m, i, m, k);
+        break;
+      case 1:  // inline asm, both spellings
+        out += StrFormat(
+            "static void %s_flush_%d(struct %s_dev *kd)\n"
+            "{\n"
+            "\t__asm__ volatile(\"\" ::: \"memory\");\n"
+            "\tkd->gen += %d;\n"
+            "\tasm volatile(\"nop\");\n"
+            "}\n\n",
+            m, i, m, k % 7 + 1);
+        break;
+      case 2:  // typeof in declarations
+        out += StrFormat(
+            "static long %s_scale_%d(long base)\n"
+            "{\n"
+            "\ttypeof(base) step = base / %d;\n"
+            "\t__typeof__(step) sum = step + %d;\n"
+            "\treturn sum;\n"
+            "}\n\n",
+            m, i, k % 5 + 2, k);
+        break;
+      case 3:  // balanced device-node refcounting (clean by construction)
+        out += StrFormat(
+            "static int %s_bind_%d(struct device_node *parent)\n"
+            "{\n"
+            "\tstruct device_node *np = of_get_child_by_name(parent, \"port%d\");\n"
+            "\tif (!np)\n"
+            "\t\treturn -ENODEV;\n"
+            "\t%s_log(np);\n"
+            "\tof_node_put(np);\n"
+            "\treturn 0;\n"
+            "}\n\n",
+            m, i, k % 4, m);
+        break;
+      default:  // spliced identifier + spliced // comment
+        out += StrFormat(
+            "static int %s_spli\\\nced_%d(int v)\n"
+            "{\n"
+            "\t// scaled by %d, continued \\\n"
+            "\t   onto this line (still the comment)\n"
+            "\treturn v * %d;\n"
+            "}\n\n",
+            m, i, k, k % 9 + 2);
+        break;
+    }
+  }
+
+  // Every other module carries one function whose body defeats the parser
+  // outright: ten garbage statements blow the per-function error budget, so
+  // the function quarantines while every sibling above still scans.
+  if (index % 2 == 0) {
+    out += StrFormat("static int %s_unparseable(struct %s_dev *kd)\n{\n\tint ok = kd->state;\n",
+                     m, m);
+    for (int g = 0; g < 10; ++g) {
+      out += StrFormat("\t@@ %d$ !! %d?? ;\n", g, static_cast<int>(rng.Below(100)));
+    }
+    out += "\treturn ok;\n}\n";
+  }
+
+  corpus.tree.Add(StrFormat("drivers/kernelish/%s.c", m), std::move(out));
+}
+
 }  // namespace
 
 Corpus GenerateKernelCorpus(const CorpusOptions& options, const std::vector<ModulePlan>& plan) {
@@ -1438,6 +1555,9 @@ Corpus GenerateKernelCorpus(const CorpusOptions& options, const std::vector<Modu
   }
   if (options.new_family_modules) {
     EmitNewFamilyModules(corpus);
+  }
+  for (int i = 0; i < options.kernelish_modules; ++i) {
+    EmitKernelishModule(corpus, options, static_cast<size_t>(i));
   }
   return corpus;
 }

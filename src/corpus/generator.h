@@ -70,6 +70,15 @@ struct CorpusOptions {
   // surface under the matching --dialect. Off by default so the base corpus
   // — and every Table 4/5 bench count — stays byte-identical.
   bool new_family_modules = false;
+  // Appends N generated kernel-realism modules (drivers/kernelish/): the
+  // GNU-extension and preprocessor shapes real kernel C is full of —
+  // __attribute__, inline asm, statement expressions, typeof, CRLF and
+  // backslash-continued directives, line-spliced identifiers — plus, in
+  // every other module, one deliberately unparseable function that
+  // exercises function-granular error recovery (DESIGN.md §5.15). Every
+  // byte is a pure function of (seed, module index). 0 (the default) keeps
+  // the base corpus byte-identical.
+  int kernelish_modules = 0;
 };
 
 struct Corpus {

@@ -156,11 +156,27 @@ bool IsKeywordSlow(std::string_view w) {
   }
 }
 
+// Length of a translation-phase-2 line splice at `i`: a backslash, optional
+// trailing whitespace (kernel trees carry both CRLF line endings and
+// `\`+spaces — GCC accepts both, the latter with a warning), then a newline.
+// Returns 0 if `i` does not start a splice. The returned span contains
+// exactly one '\n'.
+size_t SpliceLen(std::string_view text, size_t i) {
+  if (i >= text.size() || text[i] != '\\') {
+    return 0;
+  }
+  size_t j = i + 1;
+  while (j < text.size() && (text[j] == ' ' || text[j] == '\t' || text[j] == '\r')) {
+    ++j;
+  }
+  return (j < text.size() && text[j] == '\n') ? j + 1 - i : 0;
+}
+
 }  // namespace
 
 bool IsCKeyword(std::string_view word) { return IsKeywordSlow(word); }
 
-std::vector<Token> Tokenize(const SourceFile& file) {
+std::vector<Token> Tokenize(const SourceFile& file, SpliceStorage* storage) {
   std::vector<Token> tokens;
   const std::string_view text = file.text();
   size_t i = 0;
@@ -195,22 +211,80 @@ std::vector<Token> Tokenize(const SourceFile& file) {
       continue;
     }
 
+    // Bare line splice between tokens: skip it without disturbing
+    // at_line_start — the splice joins two physical lines into one logical
+    // line, so a '#' after it is still directive-eligible iff it was before.
+    if (c == '\\') {
+      const size_t sp = SpliceLen(text, i);
+      if (sp != 0) {
+        i += sp;
+        ++line;
+        continue;
+      }
+    }
+
     // Identifier / keyword (most common token class — tested first).
+    // Splices inside the identifier are honoured (`EXPORT_SYM\`+newline+
+    // `BOL_GPL` is one name); the normalized spelling lives in `storage`
+    // when the caller provides one, else the raw in-buffer span (with the
+    // splice bytes) is kept so tokens still point into the file.
     if (IsIdentStart(c)) {
       const size_t start = i;
-      while (i < n && IsIdentChar(text[i])) {
-        ++i;
+      uint32_t splices = 0;
+      while (i < n) {
+        if (IsIdentChar(text[i])) {
+          ++i;
+          continue;
+        }
+        size_t j = i;
+        uint32_t run = 0;
+        for (size_t sp; (sp = SpliceLen(text, j)) != 0; j += sp) {
+          ++run;
+        }
+        if (run != 0 && j < n && IsIdentChar(text[j])) {
+          i = j;
+          splices += run;
+          continue;
+        }
+        break;
       }
-      const std::string_view word = text.substr(start, i - start);
-      make(IsKeywordSlow(word) ? TokenKind::kKeyword : TokenKind::kIdentifier, start, i);
+      if (splices == 0) {
+        const std::string_view word = text.substr(start, i - start);
+        make(IsKeywordSlow(word) ? TokenKind::kKeyword : TokenKind::kIdentifier, start, i);
+      } else if (storage != nullptr) {
+        std::string norm;
+        norm.reserve(i - start);
+        for (size_t k = start; k < i;) {
+          const size_t sp = text[k] == '\\' ? SpliceLen(text, k) : 0;
+          if (sp != 0) {
+            k += sp;
+          } else {
+            norm.push_back(text[k++]);
+          }
+        }
+        storage->push_back(std::move(norm));
+        const std::string& word = storage->back();
+        tokens.push_back(Token{IsKeywordSlow(word) ? TokenKind::kKeyword : TokenKind::kIdentifier,
+                               std::string_view(word), line});
+      } else {
+        make(TokenKind::kIdentifier, start, i);
+      }
+      line += splices;
       at_line_start = false;
       continue;
     }
 
-    // Comments.
+    // Comments. A `//` comment ending in a backslash splice continues onto
+    // the next physical line (GCC semantics — kernel code relies on it).
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
       while (i < n && text[i] != '\n') {
-        ++i;
+        const size_t sp = text[i] == '\\' ? SpliceLen(text, i) : 0;
+        if (sp != 0) {
+          i += sp;
+          ++line;
+        } else {
+          ++i;
+        }
       }
       continue;
     }
@@ -221,35 +295,54 @@ std::vector<Token> Tokenize(const SourceFile& file) {
         ++i;
       }
       i = (i + 1 < n) ? i + 2 : n;
+      const uint32_t line_before = line;
       advance_lines(start);
+      if (line != line_before) {
+        // The comment swallowed at least one newline, so whatever follows
+        // sits at the start of a fresh physical line: a '#' there must
+        // still open a directive.
+        at_line_start = true;
+      }
       continue;
     }
 
     // Preprocessor directive: from a line-leading '#' to the first newline
-    // not preceded by a backslash continuation.
+    // not reached through a backslash continuation (`\`+newline, including
+    // the CRLF and `\`+trailing-whitespace forms kernel sources carry).
     if (c == '#' && at_line_start) {
       const size_t start = i;
       while (i < n) {
+        if (text[i] == '\\') {
+          const size_t sp = SpliceLen(text, i);
+          i += sp != 0 ? sp : 1;
+          continue;
+        }
         if (text[i] == '\n') {
-          if (i > start && text[i - 1] == '\\') {
-            ++i;
-            continue;
-          }
           break;
         }
         ++i;
       }
-      make(TokenKind::kPreproc, start, i);
+      size_t end = i;
+      while (end > start && text[end - 1] == '\r') {
+        --end;  // don't let a CRLF ending leave a stray '\r' in the token
+      }
+      make(TokenKind::kPreproc, start, end);
       advance_lines(start);
       continue;
     }
     at_line_start = false;
 
-    // String literal (escapes honoured; unterminated strings end at newline).
+    // String literal (escapes honoured; unterminated strings end at newline,
+    // except through a line splice, which continues the literal).
     if (c == '"') {
       const size_t start = i++;
       while (i < n && text[i] != '"' && text[i] != '\n') {
-        i += (text[i] == '\\' && i + 1 < n) ? 2 : 1;
+        if (text[i] == '\\') {
+          const size_t sp = SpliceLen(text, i);
+          i += sp != 0 ? sp : (i + 1 < n ? 2 : 1);
+        } else {
+          ++i;
+        }
       }
       if (i < n && text[i] == '"') {
         ++i;
@@ -263,7 +356,12 @@ std::vector<Token> Tokenize(const SourceFile& file) {
     if (c == '\'') {
       const size_t start = i++;
       while (i < n && text[i] != '\'' && text[i] != '\n') {
-        i += (text[i] == '\\' && i + 1 < n) ? 2 : 1;
+        if (text[i] == '\\') {
+          const size_t sp = SpliceLen(text, i);
+          i += sp != 0 ? sp : (i + 1 < n ? 2 : 1);
+        } else {
+          ++i;
+        }
       }
       if (i < n && text[i] == '\'') {
         ++i;

@@ -15,6 +15,8 @@
 #define REFSCAN_LEXER_LEXER_H_
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -43,8 +45,21 @@ struct Token {
   bool IsIdent(std::string_view s) const { return kind == TokenKind::kIdentifier && text == s; }
 };
 
-// Tokenizes `file`; the trailing token is always kEof.
-std::vector<Token> Tokenize(const SourceFile& file);
+// Side storage for identifier spellings that span a backslash-newline line
+// splice: the normalized (splice-free) text cannot be a view into the file
+// buffer, so it lives here instead. A deque keeps element addresses stable
+// as it grows, which is what lets tokens hold string_views into it. Must
+// outlive the returned tokens, like the SourceFile itself.
+using SpliceStorage = std::deque<std::string>;
+
+// Tokenizes `file`; the trailing token is always kEof. Line splices
+// (`\`+optional trailing whitespace+newline, GCC translation phase 2) are
+// honoured everywhere: between tokens, inside `//` comments, directives,
+// string/char literals, and identifiers. Spliced identifiers are normalized
+// into `storage` when provided; with a null `storage` their raw in-buffer
+// span (splice bytes included) is kept, so every token still points into
+// the file buffer.
+std::vector<Token> Tokenize(const SourceFile& file, SpliceStorage* storage = nullptr);
 
 // True for C keywords (C11 plus common kernel storage specifiers).
 bool IsCKeyword(std::string_view word);

@@ -51,6 +51,13 @@ std::string EncodeScanResult(const ScanResult& result) {
     w.Str(f.what);
     w.I32(f.retries);
   }
+  w.U32(static_cast<uint32_t>(result.degraded_functions.size()));
+  for (const DegradedFunctionReport& d : result.degraded_functions) {
+    w.Str(d.file);
+    w.Str(d.function);
+    w.U32(d.line);
+    w.Str(d.what);
+  }
   w.Bool(result.aborted);
   w.Str(result.abort_reason);
   return w.TakeBytes();
@@ -84,6 +91,16 @@ bool DecodeScanResult(std::string_view payload, ScanResult& result) {
     f.what = r.Str();
     f.retries = r.I32();
     result.failures.push_back(std::move(f));
+  }
+  const uint32_t ndegraded = r.Count();
+  result.degraded_functions.clear();
+  for (uint32_t i = 0; r.ok() && i < ndegraded; ++i) {
+    DegradedFunctionReport d;
+    d.file = r.Str();
+    d.function = r.Str();
+    d.line = r.U32();
+    d.what = r.Str();
+    result.degraded_functions.push_back(std::move(d));
   }
   result.aborted = r.Bool();
   result.abort_reason = r.Str();

@@ -27,6 +27,13 @@ struct LoadOptions {
   // Reader threads (0 = one per hardware thread, 1 = fully serial). The
   // loaded tree is identical at every value.
   size_t jobs = 0;
+  // mmap file contents instead of reading them into heap strings
+  // (DESIGN.md §5.15). The pages stay file-backed and evictable, so a
+  // multi-MLOC tree's peak RSS tracks the scan's working set rather than
+  // the tree size. Files mmap cannot serve (empty, exotic filesystems)
+  // silently fall back to a plain read; the loaded text is identical
+  // either way.
+  bool use_mmap = false;
 };
 
 // One file the loader could not read. `path` is the tree-relative key the

@@ -12,9 +12,19 @@ std::string SourceLocation::ToString() const {
 
 SourceFile::SourceFile(std::string path, std::string text)
     : path_(std::move(path)), text_(std::move(text)) {
+  IndexLines();
+}
+
+SourceFile::SourceFile(std::string path, std::shared_ptr<const char[]> mapping, size_t size)
+    : path_(std::move(path)), mapping_(std::move(mapping)), mapped_size_(size) {
+  IndexLines();
+}
+
+void SourceFile::IndexLines() {
+  const std::string_view t = text();
   line_starts_.push_back(0);
-  for (size_t i = 0; i < text_.size(); ++i) {
-    if (text_[i] == '\n' && i + 1 < text_.size()) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == '\n' && i + 1 < t.size()) {
       line_starts_.push_back(static_cast<uint32_t>(i + 1));
     }
   }
@@ -25,7 +35,7 @@ uint32_t SourceFile::LineAt(size_t offset) const {
     return 1;
   }
   auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
-                             static_cast<uint32_t>(std::min(offset, text_.size())));
+                             static_cast<uint32_t>(std::min(offset, text().size())));
   return static_cast<uint32_t>(it - line_starts_.begin());
 }
 
@@ -37,9 +47,10 @@ std::string_view SourceFile::Line(uint32_t line) const {
   if (line == 0 || line > line_starts_.size()) {
     return {};
   }
+  const std::string_view t = text();
   const size_t start = line_starts_[line - 1];
-  const size_t end = (line < line_starts_.size()) ? line_starts_[line] : text_.size();
-  std::string_view out(text_.data() + start, end - start);
+  const size_t end = (line < line_starts_.size()) ? line_starts_[line] : t.size();
+  std::string_view out(t.data() + start, end - start);
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
     out.remove_suffix(1);
   }
@@ -49,6 +60,11 @@ std::string_view SourceFile::Line(uint32_t line) const {
 void SourceTree::Add(std::string path, std::string text) {
   std::string key = path;
   SourceFile file(std::move(path), std::move(text));
+  files_.insert_or_assign(std::move(key), std::move(file));
+}
+
+void SourceTree::Add(SourceFile file) {
+  std::string key = file.path();
   files_.insert_or_assign(std::move(key), std::move(file));
 }
 

@@ -469,6 +469,45 @@ TEST_F(CacheTest, ReportsRoundTrip) {
   EXPECT_EQ(ReportsToJson(back->reports), ReportsToJson(entry.reports));
 }
 
+TEST_F(CacheTest, DegradedFunctionsRoundTripThroughTheCache) {
+  // v4 artifacts carry the quarantined-function list, so a warm hit must
+  // reproduce the degraded section (and the exit-2) without re-parsing.
+  CachedFileReports entry;
+  entry.functions = 12;
+  entry.degraded.push_back({"hopeless", 42, "9 unparseable statements in body"});
+  entry.degraded.push_back({"also_bad", 99, "parse derailed inside body"});
+  const std::optional<CachedFileReports> back = DeserializeReports(SerializeReports(entry));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->degraded.size(), 2u);
+  EXPECT_EQ(back->degraded[0].name, "hopeless");
+  EXPECT_EQ(back->degraded[0].line, 42u);
+  EXPECT_EQ(back->degraded[0].what, "9 unparseable statements in body");
+  EXPECT_EQ(back->degraded[1].name, "also_bad");
+
+  // Cold/warm scans of a tree with a quarantined function agree end-to-end.
+  SourceTree tree;
+  tree.Add("drivers/q/q.c",
+           "int fine(void) { return 1; }\n"
+           "int hopeless(void) {\n"
+           "  @@ 1$ !! 2?? ;\n"
+           "  @@ 3$ !! 4?? ;\n"
+           "  @@ 5$ !! 6?? ;\n"
+           "  @@ 7$ !! 8?? ;\n"
+           "}\n");
+  const ScanResult cold = ScanTree(tree, cache_dir_);
+  const ScanResult warm = ScanTree(tree, cache_dir_);
+  EXPECT_EQ(warm.stats.cache_hits, tree.size());
+  EXPECT_EQ(warm.stats.cache_parse_skips, tree.size());
+  ASSERT_EQ(cold.degraded_functions.size(), 1u);
+  ASSERT_EQ(warm.degraded_functions.size(), 1u);
+  EXPECT_EQ(warm.degraded_functions[0].function, cold.degraded_functions[0].function);
+  EXPECT_EQ(warm.degraded_functions[0].line, cold.degraded_functions[0].line);
+  EXPECT_EQ(warm.degraded_functions[0].what, cold.degraded_functions[0].what);
+  EXPECT_EQ(warm.stats.functions_degraded, 1u);
+  EXPECT_EQ(ScanExitCodeFor(cold), kExitDegraded);
+  EXPECT_EQ(ScanExitCodeFor(warm), kExitDegraded);
+}
+
 TEST_F(CacheTest, FullCorpusColdWarmIdentical) {
   // The integration-scale check: the whole synthetic kernel corpus, cold
   // then warm, byte-identical with a full cache hit.

@@ -245,6 +245,83 @@ TEST(CorpusTest, NewFamilyModulesAreOptInAndAdditive) {
   EXPECT_EQ(new_family, added);
 }
 
+TEST(CorpusTest, KernelishModulesAreOptInDeterministicAndAdditive) {
+  const Corpus base = GenerateKernelCorpus();
+  CorpusOptions options;
+  options.kernelish_modules = 6;
+  const Corpus a = GenerateKernelCorpus(options);
+  const Corpus b = GenerateKernelCorpus(options);
+
+  // Opt-in and additive: every base file is byte-identical, kernelish
+  // modules only add files under drivers/kernelish/.
+  EXPECT_EQ(a.tree.size(), base.tree.size() + 6);
+  for (const auto& [path, file] : base.tree.files()) {
+    const SourceFile* other = a.tree.Find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(file.text(), other->text()) << path;
+  }
+
+  // Deterministic: every byte is a pure function of (seed, module index).
+  for (const auto& [path, file] : a.tree.files()) {
+    const SourceFile* other = b.tree.Find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(file.text(), other->text()) << path;
+  }
+
+  // The realism shapes are actually present.
+  size_t kernelish = 0;
+  bool saw_crlf = false;
+  bool saw_attribute = false;
+  bool saw_asm = false;
+  bool saw_unparseable = false;
+  for (const auto& [path, file] : a.tree.files()) {
+    if (path.rfind("drivers/kernelish/", 0) != 0) {
+      continue;
+    }
+    ++kernelish;
+    const std::string_view text = file.text();
+    saw_crlf |= text.find("\\\r\n") != std::string_view::npos;
+    saw_attribute |= text.find("__attribute__") != std::string_view::npos;
+    saw_asm |= text.find("__asm__") != std::string_view::npos;
+    saw_unparseable |= text.find("_unparseable") != std::string_view::npos;
+  }
+  EXPECT_EQ(kernelish, 6u);
+  EXPECT_TRUE(saw_crlf);
+  EXPECT_TRUE(saw_attribute);
+  EXPECT_TRUE(saw_asm);
+  EXPECT_TRUE(saw_unparseable);
+}
+
+TEST(CorpusTest, KernelishModulesScanWithinTheQuarantineBudget) {
+  // The acceptance bar (DESIGN.md §5.15): >= 99% of kernelish functions
+  // parse, the deliberately unparseable ones quarantine (never a whole
+  // file), and the scan exits kExitDegraded.
+  CorpusOptions options;
+  options.kernelish_modules = 8;
+  const Corpus corpus = GenerateKernelCorpus(options);
+  SourceTree tree;
+  for (const auto& [path, file] : corpus.tree.files()) {
+    if (path.rfind("drivers/kernelish/", 0) == 0) {
+      tree.Add(path, std::string(file.text()));
+    }
+  }
+  ASSERT_EQ(tree.size(), 8u);
+
+  CheckerEngine engine;
+  const ScanResult result = engine.Scan(tree);
+  EXPECT_TRUE(result.failures.empty());  // no whole-file drops
+  EXPECT_EQ(ScanExitCodeFor(result), kExitDegraded);
+  // Every other module carries exactly one hopeless function.
+  EXPECT_EQ(result.degraded_functions.size(), 4u);
+  for (const DegradedFunctionReport& d : result.degraded_functions) {
+    EXPECT_NE(d.function.find("_unparseable"), std::string::npos) << d.function;
+  }
+  const size_t parsed = result.stats.functions;
+  const size_t degraded = result.stats.functions_degraded;
+  ASSERT_GT(parsed + degraded, 0u);
+  EXPECT_GE(static_cast<double>(parsed) / static_cast<double>(parsed + degraded), 0.99);
+}
+
 // Scans the extended corpus with all twelve families and both dialect
 // catalogues — the configuration the EXPERIMENTS.md recall/precision rows
 // are measured under.

@@ -221,5 +221,107 @@ TEST(PipelineTest, TableRenderingOfScanOutput) {
   EXPECT_NE(out.find("pm_runtime_get_sync"), std::string::npos);
 }
 
+// ------------------- function quarantine ↔ deletion (DESIGN.md §5.15) ---
+
+// A sibling function with exactly one planted P1 bug; the quarantined
+// function sits LAST in the file so deleting it shifts no sibling lines.
+constexpr const char* kLeakySibling =
+    "static int p1_leak(struct platform_device *pdev)\n"
+    "{\n"
+    "  int ret = pm_runtime_get_sync(pdev->dev);\n"
+    "  if (ret < 0)\n"
+    "    return ret;\n"
+    "  pm_runtime_put(pdev->dev);\n"
+    "  return 0;\n"
+    "}\n";
+
+constexpr const char* kHopelessFunction =
+    "int hopeless(void)\n"
+    "{\n"
+    "  @@ 1$ !! 2?? ;\n"
+    "  @@ 3$ !! 4?? ;\n"
+    "  @@ 5$ !! 6?? ;\n"
+    "  @@ 7$ !! 8?? ;\n"
+    "}\n";
+
+TEST(QuarantineIntegrationTest, SiblingReportsMatchDeletedFunctionByteForByte) {
+  SourceTree with_bad;
+  with_bad.Add("drivers/q/q.c", std::string(kLeakySibling) + kHopelessFunction);
+  SourceTree without_bad;
+  without_bad.Add("drivers/q/q.c", kLeakySibling);
+
+  CheckerEngine e1;
+  CheckerEngine e2;
+  const ScanResult a = e1.Scan(with_bad);
+  const ScanResult b = e2.Scan(without_bad);
+
+  // The quarantine contract: reports over the siblings are byte-identical
+  // to scanning the tree with the hopeless function deleted.
+  EXPECT_EQ(ReportsToJson(a.reports), ReportsToJson(b.reports));
+  EXPECT_FALSE(a.reports.empty());
+
+  ASSERT_EQ(a.degraded_functions.size(), 1u);
+  EXPECT_EQ(a.degraded_functions[0].file, "drivers/q/q.c");
+  EXPECT_EQ(a.degraded_functions[0].function, "hopeless");
+  EXPECT_EQ(a.degraded_functions[0].line, 9u);
+  EXPECT_EQ(a.stats.functions_degraded, 1u);
+  EXPECT_EQ(ScanExitCodeFor(a), kExitDegraded);
+
+  EXPECT_TRUE(b.degraded_functions.empty());
+  EXPECT_EQ(b.stats.functions_degraded, 0u);
+  EXPECT_EQ(ScanExitCodeFor(b), kExitReports);
+}
+
+TEST(QuarantineIntegrationTest, DegradedFunctionsSurviveJsonAndJobsSweep) {
+  SourceTree tree;
+  tree.Add("drivers/q/q.c", std::string(kLeakySibling) + kHopelessFunction);
+
+  std::string baseline;
+  for (const size_t jobs : {size_t{1}, size_t{4}}) {
+    ScanOptions options;
+    options.jobs = jobs;
+    CheckerEngine engine(KnowledgeBase::BuiltIn(), options);
+    const std::string json = ScanResultToJson(engine.Scan(tree), /*include_stats=*/true);
+    EXPECT_NE(json.find("\"degraded_functions\""), std::string::npos);
+    EXPECT_NE(json.find("hopeless"), std::string::npos);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+// ------------------- streaming unit lifecycle (DESIGN.md §5.15) ----------
+
+TEST(StreamingIntegrationTest, StreamingScanIsByteIdenticalToBuffered) {
+  // The kernelish extension carries the shapes streaming must survive:
+  // spliced identifiers, GNU extensions, and quarantined functions.
+  CorpusOptions copt;
+  copt.kernelish_modules = 4;
+  const Corpus corpus = GenerateKernelCorpus(copt);
+  SourceTree tree;
+  for (const auto& [path, file] : corpus.tree.files()) {
+    if (path.rfind("drivers/kernelish/", 0) == 0) {
+      tree.Add(path, std::string(file.text()));
+    }
+  }
+  ASSERT_GT(tree.size(), 0u);
+
+  ScanOptions buffered;
+  buffered.jobs = 2;
+  ScanOptions streaming = buffered;
+  streaming.streaming = true;
+
+  CheckerEngine e1(KnowledgeBase::BuiltIn(), buffered);
+  CheckerEngine e2(KnowledgeBase::BuiltIn(), streaming);
+  const ScanResult a = e1.Scan(tree);
+  const ScanResult b = e2.Scan(tree);
+  EXPECT_EQ(ScanResultToJson(a, /*include_stats=*/true),
+            ScanResultToJson(b, /*include_stats=*/true));
+  EXPECT_EQ(ScanExitCodeFor(a), ScanExitCodeFor(b));
+  EXPECT_GT(a.degraded_functions.size(), 0u);
+}
+
 }  // namespace
 }  // namespace refscan

@@ -128,6 +128,127 @@ TEST(LexerTest, StrayBytesBecomePunct) {
   EXPECT_EQ(toks[3].text, "$");
 }
 
+// ---- kernel-C hardening: splices, CRLF, directive edge cases (§5.15) ----
+
+TEST(LexerTest, DirectiveAfterMultiLineBlockCommentIsRecognized) {
+  // Regression: the lexer used to leave at_line_start stale after a block
+  // comment that swallowed a newline, so a '#' opening the next physical
+  // line lexed as stray punctuation and the whole directive leaked into
+  // the token stream as garbage.
+  const auto toks = Lex("int x; /* doc\n */\n#define FOO 1\nint y;");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[3].kind, TokenKind::kPreproc);
+  EXPECT_EQ(toks[3].text, "#define FOO 1");
+  EXPECT_EQ(toks[3].line, 3u);
+  EXPECT_EQ(toks[4].text, "int");
+  EXPECT_EQ(toks[4].line, 4u);
+}
+
+TEST(LexerTest, HashAfterSameLineBlockCommentIsNotADirective) {
+  // The flip side: a block comment that stays on one line must NOT make
+  // the next '#' directive-eligible.
+  const auto toks = Lex("a /* c */ # b");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[1].text, "#");
+}
+
+TEST(LexerTest, DirectiveCrlfContinuationAndCrlfEnding) {
+  // CRLF sources: `\`+CRLF continues the directive, and the final CRLF must
+  // not leave a stray '\r' inside the token.
+  const auto toks = Lex("#define A (1 | \\\r\n 2)\r\nint x;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreproc);
+  EXPECT_NE(toks[0].text.find("2)"), std::string::npos);
+  EXPECT_NE(toks[0].text.back(), '\r');
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, DirectiveContinuationWithTrailingWhitespaceAfterBackslash) {
+  // `\` + trailing spaces/tabs + newline still continues (GCC accepts this
+  // with a warning; kernel trees carry it).
+  const auto toks = Lex("#define B (1 | \\ \t\n 2)\nint y;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreproc);
+  EXPECT_NE(toks[0].text.find("2)"), std::string::npos);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, SplicedIdentifierNormalizesWithStorage) {
+  SourceFile file("t.c", "int of_node\\\n_put(struct device_node *np);\n");
+  SpliceStorage storage;
+  const auto toks = Tokenize(file, &storage);
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "of_node_put");
+  EXPECT_EQ(toks[1].line, 1u);
+  // Line accounting resumes after the splice: the '(' is on line 2.
+  EXPECT_EQ(toks[2].text, "(");
+  EXPECT_EQ(toks[2].line, 2u);
+}
+
+TEST(LexerTest, SplicedKeywordIsStillAKeyword) {
+  SourceFile file("t.c", "sta\\\ntic int x;\n");
+  SpliceStorage storage;
+  const auto toks = Tokenize(file, &storage);
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "static");
+}
+
+TEST(LexerTest, SplicedIdentifierWithoutStorageKeepsRawSpan) {
+  // With no SpliceStorage every token must still view into the file buffer,
+  // so the raw (splice bytes included) span is kept.
+  const auto toks = Lex("int a\\\nb = 1;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "a\\\nb");
+}
+
+TEST(LexerTest, LineCommentBackslashSpliceContinuesComment) {
+  // GCC semantics: a `//` comment ending in a backslash splice eats the
+  // next physical line too.
+  const auto toks = Lex("a // eats the next line \\\nstill_comment();\nb");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, StringLiteralContinuesThroughSplice) {
+  const auto toks = Lex("const char *s = \"ab\\\ncd\";");
+  const Token* str = nullptr;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kString) {
+      str = &t;
+    }
+  }
+  ASSERT_NE(str, nullptr);
+  // The literal spans the splice instead of ending (unterminated) at the
+  // newline; the raw span keeps the splice bytes.
+  EXPECT_NE(str->text.find("cd\""), std::string::npos);
+}
+
+TEST(LexerTest, BareSpliceBeforeHashKeepsDirectiveEligibility) {
+  // A splice joins two physical lines into one logical line without
+  // disturbing at_line_start: a line-leading splice keeps the '#' eligible…
+  const auto toks = Lex("\\\n#define C 3\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreproc);
+  EXPECT_EQ(toks[0].text, "#define C 3");
+  EXPECT_EQ(toks[0].line, 2u);
+}
+
+TEST(LexerTest, SpliceJoinsLogicalLineSoMidLineHashStaysPunct) {
+  // …and a splice after real tokens keeps the '#' mid-logical-line.
+  const auto toks = Lex("int x = 1 \\\n# 2;\n");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[4].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[4].text, "#");
+}
+
 TEST(TokenCursorTest, PeekNextEat) {
   const auto toks = Lex("a b c");
   TokenCursor cur(toks);

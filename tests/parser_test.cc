@@ -351,6 +351,138 @@ TEST(ParserTest, ErrorRecoverySkipsGarbageStatement) {
   EXPECT_TRUE(found_ok2);
 }
 
+// ---- GNU extensions real kernel C is full of (DESIGN.md §5.15) ----------
+
+TEST(ParserTest, AttributeSoupOnFunctionAndStruct) {
+  const auto unit = Parse(
+      "struct __attribute__((aligned(8))) dev_state {\n"
+      "  int refs;\n"
+      "};\n"
+      "__attribute__((cold)) static int probe(void) __attribute__((section(\".init\")))\n"
+      "{\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_EQ(unit.structs.size(), 1u);
+  EXPECT_EQ(unit.structs[0].name, "dev_state");
+  ASSERT_EQ(unit.structs[0].fields.size(), 1u);
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].name, "probe");
+  EXPECT_TRUE(unit.degraded.empty());
+}
+
+TEST(ParserTest, StatementExpressionKeepsCallsVisible) {
+  // `({ ... })` flattens to a comma chain so calls inside stay reachable
+  // by ForEachExpr — the checkers must see the of_node_get().
+  const auto unit = Parse(
+      "void f(struct device_node *np) {\n"
+      "  int v = ({ int __t = of_node_get(np) ? 1 : 0; __t + 1; });\n"
+      "  use(v);\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  bool saw_get = false;
+  ForEachExpr(*unit.functions[0].body, [&](const Expr& x) {
+    saw_get |= x.IsCall() && x.CalleeName() == "of_node_get";
+  });
+  EXPECT_TRUE(saw_get);
+  EXPECT_TRUE(unit.degraded.empty());
+}
+
+TEST(ParserTest, InlineAsmCollapsesToEmptyStatement) {
+  const auto unit = Parse(
+      "void barrier_heavy(void) {\n"
+      "  __asm__ volatile(\"mfence\" ::: \"memory\");\n"
+      "  asm volatile(\"nop\");\n"
+      "  asm(\"\");\n"
+      "  done();\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const auto& stmts = unit.functions[0].body->stmts;
+  ASSERT_EQ(stmts.size(), 4u);
+  EXPECT_EQ(stmts[0]->kind, Stmt::Kind::kEmpty);
+  EXPECT_EQ(stmts[1]->kind, Stmt::Kind::kEmpty);
+  EXPECT_EQ(stmts[2]->kind, Stmt::Kind::kEmpty);
+  EXPECT_EQ(stmts[3]->kind, Stmt::Kind::kExpr);
+  EXPECT_TRUE(unit.degraded.empty());
+}
+
+TEST(ParserTest, TypeofDeclarationsParse) {
+  const auto unit = Parse(
+      "void f(int base) {\n"
+      "  typeof(base) copy = base;\n"
+      "  __typeof__(base) other = copy + 1;\n"
+      "  use(copy, other);\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].body->stmts.size(), 3u);
+  EXPECT_TRUE(unit.degraded.empty());
+}
+
+// ---- function-granular quarantine (DESIGN.md §5.15) ---------------------
+
+TEST(ParserTest, UnparseableBodyQuarantinesOnlyThatFunction) {
+  const auto unit = Parse(
+      "int good_before(void) { return 1; }\n"
+      "int hopeless(void) {\n"
+      "  @@ 1$ !! 2?? ;\n"
+      "  @@ 3$ !! 4?? ;\n"
+      "  @@ 5$ !! 6?? ;\n"
+      "  @@ 7$ !! 8?? ;\n"
+      "}\n"
+      "int good_after(void) { return 2; }\n");
+  ASSERT_EQ(unit.functions.size(), 2u);
+  EXPECT_EQ(unit.functions[0].name, "good_before");
+  EXPECT_EQ(unit.functions[1].name, "good_after");
+  ASSERT_EQ(unit.degraded.size(), 1u);
+  EXPECT_EQ(unit.degraded[0].name, "hopeless");
+  EXPECT_EQ(unit.degraded[0].line, 2u);
+  EXPECT_FALSE(unit.degraded[0].what.empty());
+}
+
+TEST(ParserTest, QuarantineMatchesDeletingTheFunction) {
+  // The recovery contract: siblings of a quarantined function parse exactly
+  // as if the bad function had been deleted from the source.
+  const std::string good_part =
+      "static int balanced(struct device_node *np) {\n"
+      "  struct device_node *child = of_get_child_by_name(np, \"x\");\n"
+      "  if (!child)\n"
+      "    return -1;\n"
+      "  of_node_put(child);\n"
+      "  return 0;\n"
+      "}\n";
+  const std::string bad_fn =
+      "int mangled(void) {\n"
+      "  @@ ?? $$ ;\n"
+      "  @@ ?? $$ ;\n"
+      "  @@ ?? $$ ;\n"
+      "  @@ ?? $$ ;\n"
+      "}\n";
+  const auto with_bad = Parse(good_part + bad_fn);
+  const auto without_bad = Parse(good_part);
+  ASSERT_EQ(with_bad.functions.size(), without_bad.functions.size());
+  ASSERT_EQ(with_bad.functions.size(), 1u);
+  EXPECT_EQ(with_bad.functions[0].name, "balanced");
+  EXPECT_EQ(with_bad.functions[0].body->stmts.size(),
+            without_bad.functions[0].body->stmts.size());
+  ASSERT_EQ(with_bad.degraded.size(), 1u);
+  EXPECT_EQ(with_bad.degraded[0].name, "mangled");
+  EXPECT_TRUE(without_bad.degraded.empty());
+}
+
+TEST(ParserTest, RecoveryBudgetToleratesAFewBadStatements) {
+  // A couple of recovery events is routine tolerant parsing, not grounds
+  // for quarantine — the budget only trips on genuinely unparseable soup.
+  const auto unit = Parse(
+      "int mostly_fine(void) {\n"
+      "  int a = 1;\n"
+      "  @@ one bad statement $$;\n"
+      "  int b = 2;\n"
+      "  return a + b;\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].name, "mostly_fine");
+  EXPECT_TRUE(unit.degraded.empty());
+}
+
 TEST(ParserTest, ForwardDeclarationIgnored) {
   const auto unit = Parse("int foo(int a);\nint bar(void) { return 1; }");
   ASSERT_EQ(unit.functions.size(), 1u);

@@ -108,6 +108,9 @@ TEST(ServeProtocolTest, ScanResultRoundTripIncludingFailures) {
   f.retries = 1;
   result.failures.push_back(f);
   result.stats.files_quarantined = 1;
+  result.degraded_functions.push_back(
+      DegradedFunctionReport{"drivers/q/q.c", "hopeless", 42, "parse derailed inside body"});
+  result.stats.functions_degraded = 1;
 
   ScanResult decoded;
   ASSERT_TRUE(DecodeScanResult(EncodeScanResult(result), decoded));
@@ -117,6 +120,14 @@ TEST(ServeProtocolTest, ScanResultRoundTripIncludingFailures) {
   ASSERT_EQ(decoded.failures.size(), 1u);
   EXPECT_EQ(decoded.failures[0].kind, FailureKind::kResourceLimit);
   EXPECT_EQ(decoded.failures[0].retries, 1);
+  // The degraded-functions section travels over the wire too (exit-2
+  // parity between a remote and a local scan depends on it).
+  EXPECT_EQ(decoded.stats.functions_degraded, 1u);
+  ASSERT_EQ(decoded.degraded_functions.size(), 1u);
+  EXPECT_EQ(decoded.degraded_functions[0].file, "drivers/q/q.c");
+  EXPECT_EQ(decoded.degraded_functions[0].function, "hopeless");
+  EXPECT_EQ(decoded.degraded_functions[0].line, 42u);
+  EXPECT_EQ(decoded.degraded_functions[0].what, "parse derailed inside body");
 }
 
 TEST(ServeTest, HealthAndStatsAnswer) {

@@ -67,7 +67,7 @@ int Usage() {
                "  refscan scan <dir> [--fix] [--json] [--no-discovery] [--patterns LIST]\n"
                "                    [--dialect NAME] [--interprocedural] [--jobs N]\n"
                "                    [--cache-dir DIR] [--cache-server PATH] [--no-cache]\n"
-               "                    [--workers N]\n"
+               "                    [--workers N] [--streaming] [--mmap]\n"
                "                    [--stats] [--faults SPEC] [--file-timeout-ms N]\n"
                "                    [--max-failure-ratio R] [--trace-out FILE] [--metrics-out FILE]\n"
                "  refscan match <dir> \"<template>\" [--jobs N]   e.g. \"F_start -> S_P(p0) "
@@ -76,7 +76,7 @@ int Usage() {
                "  refscan deviations <dir> [--jobs N]\n"
                "  refscan summaries <dir> [--json] [--jobs N]\n"
                "  refscan stats <dir> [--json] [--jobs N]   scan, print only the stats table\n"
-               "  refscan demo [--jobs N] [--emit <dir>]\n"
+               "  refscan demo [--jobs N] [--emit <dir>] [--kernelish N]\n"
                "  refscan cached <dir> [--socket PATH]      serve <dir> as a shared\n"
                "                                            content-addressed cache\n"
                "  refscan serve <socket> [--watch TREE] [--sessions N] [--max-pending N]\n"
@@ -108,6 +108,16 @@ int Usage() {
                "  --workers N       shard the scan across N worker subprocesses; output is\n"
                "                    byte-identical to --workers 0 at any N (0 = in-process,\n"
                "                    the default; incompatible with --interprocedural)\n"
+               "  --streaming       bounded-memory unit lifecycle for multi-MLOC trees: each\n"
+               "                    file's AST is dropped after stage 1 and re-parsed just in\n"
+               "                    time in stage 3, so at most --jobs ASTs coexist; output is\n"
+               "                    byte-identical (ignored with --interprocedural)\n"
+               "  --mmap            mmap source files instead of reading them onto the heap;\n"
+               "                    the pages stay evictable, so peak RSS tracks the working\n"
+               "                    set rather than the tree size\n"
+               "  --kernelish N     (demo) append N generated kernel-realism modules per\n"
+               "                    subsystem: attribute/asm/stmt-expr/CRLF/splice-heavy C\n"
+               "                    plus a deliberately unparseable function per module\n"
                "  --remote SOCKET   run the scan on a `refscan serve` daemon (warm resident\n"
                "                    store); output is byte-identical to a local scan, and an\n"
                "                    unreachable server falls back to scanning locally\n"
@@ -141,6 +151,9 @@ struct CliFlags {
   std::string cache_server;
   size_t workers = 0;   // 0 = in-process scan
   std::string remote;   // serve daemon socket; empty = scan locally
+  bool streaming = false;
+  bool use_mmap = false;
+  size_t kernelish = 0;  // demo: kernel-realism modules per subsystem
   bool no_cache = false;
   bool stats = false;
   std::string fault_spec;
@@ -237,6 +250,22 @@ bool ParseFlags(int argc, char** argv, int first, CliFlags& flags) {
         return false;
       }
       flags.remote = argv[++i];
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      flags.streaming = true;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      flags.use_mmap = true;
+    } else if (std::strcmp(argv[i], "--kernelish") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--kernelish needs a number\n");
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "bad module count: %s\n", argv[i]);
+        return false;
+      }
+      flags.kernelish = static_cast<size_t>(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       flags.no_cache = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -342,6 +371,7 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
   options.dialects = flags.dialects;
   options.file_timeout_ms = flags.file_timeout_ms;
   options.max_failure_ratio = flags.max_failure_ratio;
+  options.streaming = flags.streaming;
   if (!flags.no_cache) {
     options.cache_dir = flags.cache_dir;
     options.cache_server = flags.cache_server;
@@ -471,6 +501,17 @@ int RunScan(const refscan::SourceTree& tree, const CliFlags& flags,
                 result.failures.size());
   }
 
+  if (!result.degraded_functions.empty()) {
+    std::printf("\n## Degraded functions\n\n");
+    for (const DegradedFunctionReport& d : result.degraded_functions) {
+      std::printf("%s:%u: %s(): %s\n", d.file.c_str(), d.line, d.function.c_str(),
+                  d.what.c_str());
+    }
+    std::printf("\n%zu function(s) quarantined; sibling functions in the same files were "
+                "scanned normally.\n",
+                result.degraded_functions.size());
+  }
+
   if (flags.stats) {
     // Driven by the same field table as the JSON stats object, so the text
     // view can never silently miss a ScanStats field either.
@@ -534,14 +575,21 @@ int RealMain(int argc, char** argv) {
       return Usage();
     }
     std::printf("generating the synthetic kernel corpus and scanning it...\n\n");
-    const Corpus corpus = GenerateKernelCorpus();
+    CorpusOptions corpus_options;
+    corpus_options.kernelish_modules = static_cast<int>(flags.kernelish);
+    const Corpus corpus = GenerateKernelCorpus(corpus_options);
     if (!flags.emit_dir.empty() && !EmitTree(corpus.tree, flags.emit_dir)) {
       return kExitHardFailure;
     }
     // The corpus is a bug corpus — finding reports is the expected outcome,
-    // so only a degraded or failed scan is an error here.
+    // so only a degraded or failed scan is an error here. The kernelish
+    // extension plants deliberately unparseable functions, so with it a
+    // degraded (function-quarantine) exit is the expected outcome too.
     const int rc = RunScan(corpus.tree, flags);
-    return (rc == kExitDegraded || rc == kExitHardFailure) ? 1 : 0;
+    if (rc == kExitHardFailure) {
+      return 1;
+    }
+    return (rc == kExitDegraded && flags.kernelish == 0) ? 1 : 0;
   }
 
   if (command == "worker") {
@@ -923,6 +971,7 @@ int RealMain(int argc, char** argv) {
     LoadStats load_stats;
     LoadOptions load_options;
     load_options.jobs = flags.jobs;
+    load_options.use_mmap = flags.use_mmap;
     const SourceTree tree =
         LoadSourceTreeFromDisk(argv[2], load_options, &load_failures, &load_stats);
     for (const LoadFailure& f : load_failures) {
